@@ -1,0 +1,3 @@
+//! Regenerates the paper's `ablation` artifact at micro scale.
+
+nylon_bench::figure_bench!(bench_ablation, "ablation", nylon_bench::micro_scale());

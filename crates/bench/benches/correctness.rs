@@ -1,0 +1,3 @@
+//! Regenerates the paper's `correctness` artifact at micro scale.
+
+nylon_bench::figure_bench!(bench_correctness, "correctness", nylon_bench::micro_scale());

@@ -1,0 +1,3 @@
+//! Regenerates the extension tables at micro scale.
+
+nylon_bench::figure_bench!(bench_extensions, "extensions", nylon_bench::micro_scale());

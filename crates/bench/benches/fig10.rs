@@ -1,0 +1,3 @@
+//! Regenerates Figure 10 (churn) at small scale (needs longer horizons).
+
+nylon_bench::figure_bench!(bench_fig10, "fig10", nylon_bench::small_scale());

@@ -1,0 +1,3 @@
+//! Regenerates the paper's `fig2` artifact at micro scale.
+
+nylon_bench::figure_bench!(bench_fig2, "fig2", nylon_bench::micro_scale());

@@ -1,0 +1,3 @@
+//! Regenerates the paper's `fig3` artifact at micro scale.
+
+nylon_bench::figure_bench!(bench_fig3, "fig3", nylon_bench::micro_scale());

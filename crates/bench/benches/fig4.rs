@@ -1,0 +1,3 @@
+//! Regenerates the paper's `fig4` artifact at micro scale.
+
+nylon_bench::figure_bench!(bench_fig4, "fig4", nylon_bench::micro_scale());

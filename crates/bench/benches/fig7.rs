@@ -1,0 +1,3 @@
+//! Regenerates the paper's `fig7` artifact at micro scale.
+
+nylon_bench::figure_bench!(bench_fig7, "fig7", nylon_bench::micro_scale());

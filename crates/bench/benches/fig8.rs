@@ -1,0 +1,3 @@
+//! Regenerates the paper's `fig8` artifact at micro scale.
+
+nylon_bench::figure_bench!(bench_fig8, "fig8", nylon_bench::micro_scale());

@@ -1,0 +1,3 @@
+//! Regenerates the paper's `fig9` artifact at micro scale.
+
+nylon_bench::figure_bench!(bench_fig9, "fig9", nylon_bench::micro_scale());

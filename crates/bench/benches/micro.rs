@@ -1,0 +1,134 @@
+//! Micro-benchmarks of the simulator's hot paths: event queue, NAT box,
+//! view merging, routing table, and one full protocol round.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use nylon::{NylonConfig, NylonEngine};
+use nylon_gossip::{MergePolicy, NodeDescriptor, PartialView};
+use nylon_net::natbox::NatBox;
+use nylon_net::{Endpoint, Ip, NatClass, NatType, NetConfig, PeerId, Port};
+use nylon_sim::{EventQueue, SimDuration, SimRng, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(10_000);
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_millis((i * 7919) % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_natbox(c: &mut Criterion) {
+    c.bench_function("natbox_outbound_inbound_1k", |b| {
+        let private = Endpoint::new(Ip(Ip::PRIVATE_BASE + 1), Port(5000));
+        b.iter(|| {
+            let mut nat = NatBox::new(
+                Ip(0x0100_0001),
+                NatType::PortRestrictedCone,
+                SimDuration::from_secs(90),
+            );
+            for i in 0..1_000u32 {
+                let remote = Endpoint::new(Ip(0x0200_0000 + i), Port(9000));
+                let pub_ep = nat.on_outbound(SimTime::from_millis(i as u64), private, remote);
+                let _ = black_box(nat.on_inbound(
+                    SimTime::from_millis(i as u64 + 1),
+                    pub_ep.port,
+                    remote,
+                ));
+            }
+            black_box(nat.live_rule_count(SimTime::from_millis(1_500)))
+        })
+    });
+}
+
+fn bench_view_merge(c: &mut Criterion) {
+    let mk = |id: u32, age: u16| {
+        let mut d = NodeDescriptor::new(
+            PeerId(id),
+            Endpoint::new(Ip(0x0100_0000 + id), Port(9000)),
+            NatClass::Public,
+        );
+        d.age = age;
+        d
+    };
+    c.bench_function("view_merge_healer_16", |b| {
+        let mut rng = SimRng::new(3);
+        let mut view = PartialView::new(PeerId(0), 15);
+        for i in 1..16 {
+            view.insert(mk(i, i as u16));
+        }
+        let received: Vec<NodeDescriptor> = (20..36).map(|i| mk(i, (i % 7) as u16)).collect();
+        let sent: Vec<PeerId> = view.ids();
+        b.iter(|| {
+            let mut v = view.clone();
+            v.merge_and_truncate(&received, &sent, MergePolicy::Healer, &mut rng);
+            black_box(v.len())
+        })
+    });
+}
+
+fn bench_routing_table(c: &mut Criterion) {
+    c.bench_function("routing_install_and_resolve_256", |b| {
+        b.iter(|| {
+            let mut rt = nylon::routing::RoutingTable::new(PeerId(0));
+            rt.update_direct(PeerId(1), SimDuration::from_secs(90));
+            rt.install_from_shuffle(
+                PeerId(1),
+                (2..258u32).map(|i| (PeerId(i), SimDuration::from_secs(60), 1u8)),
+            );
+            let mut hits = 0usize;
+            for i in 2..258u32 {
+                if rt.resolve_first_hop(PeerId(i), 32).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+fn bench_protocol_round(c: &mut Criterion) {
+    c.bench_function("nylon_round_200_peers_70pct_nat", |b| {
+        // Build once; benchmark the marginal cost of one shuffle round
+        // across the whole network at steady state.
+        let mut eng = NylonEngine::new(NylonConfig::default(), NetConfig::default(), 5);
+        for i in 0..200u32 {
+            let class = if i % 10 < 3 {
+                NatClass::Public
+            } else if i % 10 < 6 {
+                NatClass::Natted(NatType::RestrictedCone)
+            } else if i % 10 < 9 {
+                NatClass::Natted(NatType::PortRestrictedCone)
+            } else {
+                NatClass::Natted(NatType::Symmetric)
+            };
+            eng.add_peer(class);
+        }
+        eng.bootstrap_random_public(8);
+        eng.start();
+        eng.run_rounds(30);
+        b.iter(|| {
+            eng.run_rounds(1);
+            black_box(eng.stats().shuffles_initiated)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
+    targets = bench_event_queue, bench_natbox, bench_view_merge, bench_routing_table, bench_protocol_round
+}
+criterion_main!(benches);

@@ -1,0 +1,3 @@
+//! Regenerates the paper's `table1` artifact at micro scale.
+
+nylon_bench::figure_bench!(bench_table1, "table1", nylon_bench::micro_scale());

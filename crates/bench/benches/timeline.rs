@@ -1,0 +1,3 @@
+//! Regenerates the convergence timeline at micro scale.
+
+nylon_bench::figure_bench!(bench_timeline, "timeline", nylon_bench::micro_scale());

@@ -1,0 +1,962 @@
+//! The Nylon engine: reactive hole punching over chains of rendez-vous
+//! peers, per Figure 6 of the paper.
+//!
+//! Each peer runs the (push/pull, rand, healer) shuffle of the generic
+//! framework, extended with:
+//!
+//! * a [`crate::routing::RoutingTable`] mapping natted peers
+//!   to the RVP that provided them, with chain TTLs (Figure 5);
+//! * reactive hole punching: `OPEN_HOLE` forwarded along the RVP chain plus
+//!   a direct `PING`, answered by a `PONG` that triggers the actual
+//!   `REQUEST` (Figure 6 lines 8–12 and 35–46);
+//! * relaying of whole shuffles for the symmetric-NAT combinations where no
+//!   hole can be punched (lines 5–7 and 20–22).
+
+use std::collections::HashMap;
+
+use nylon_gossip::{NodeDescriptor, PartialView};
+use nylon_net::{Delivery, Endpoint, InFlight, NatClass, NatType, NetConfig, Network, PeerId};
+use nylon_sim::{Sim, SimDuration, SimRng, SimTime};
+
+use crate::config::NylonConfig;
+use crate::message::{NylonMsg, WireEntry};
+use crate::routing::RoutingTable;
+
+/// Aggregate Nylon protocol counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NylonStats {
+    /// Shuffle rounds where a target was selected.
+    pub shuffles_initiated: u64,
+    /// Rounds skipped for lack of view entries.
+    pub empty_view_rounds: u64,
+    /// Shuffles sent directly (public target or live hole).
+    pub direct_requests: u64,
+    /// Shuffles relayed end-to-end (symmetric combinations).
+    pub relayed_requests: u64,
+    /// Hole punches initiated (OPEN_HOLE sent).
+    pub hole_punches: u64,
+    /// Hole punches that completed (PONG received, REQUEST sent).
+    pub punch_successes: u64,
+    /// Hole punches abandoned after the punch timeout.
+    pub punch_timeouts: u64,
+    /// Rounds lost because a natted target had no live route; the stale
+    /// entry is dropped from the view.
+    pub routes_missing: u64,
+    /// Messages forwarded on behalf of other peers (RVP duty).
+    pub forwards: u64,
+    /// Forwarding attempts without a live route.
+    pub forward_failures: u64,
+    /// REQUESTs that reached their final destination.
+    pub requests_completed: u64,
+    /// RESPONSEs that reached the shuffle initiator.
+    pub responses_completed: u64,
+    /// PONGs sent.
+    pub pongs_sent: u64,
+    /// Sum of RVP-chain lengths observed at destinations (Figure 9).
+    pub chain_hops_sum: u64,
+    /// Number of chain-length samples.
+    pub chain_samples: u64,
+}
+
+impl NylonStats {
+    fn record_chain(&mut self, hops: u8) {
+        self.chain_hops_sum += hops as u64;
+        self.chain_samples += 1;
+    }
+
+    /// Mean RVP-chain length towards natted destinations (Figure 9's
+    /// y-axis), or `None` if no chain was observed.
+    pub fn mean_chain_len(&self) -> Option<f64> {
+        if self.chain_samples == 0 {
+            None
+        } else {
+            Some(self.chain_hops_sum as f64 / self.chain_samples as f64)
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Node {
+    view: PartialView,
+    routing: RoutingTable,
+    /// Last observed endpoint per peer; authoritative while a direct route
+    /// is live (replies travel through the observed hole).
+    contact: HashMap<PeerId, Endpoint>,
+    /// Outstanding hole punches: target → deadline.
+    pending_punch: HashMap<PeerId, SimTime>,
+    /// Ids shipped per outstanding shuffle, for the swapper merge policy.
+    pending_sent: HashMap<PeerId, Vec<PeerId>>,
+    rng: SimRng,
+}
+
+#[derive(Debug)]
+enum Ev {
+    Shuffle(PeerId),
+    Deliver(InFlight<NylonMsg>),
+    Purge,
+}
+
+/// Interval between NAT/contact-cache garbage-collection sweeps.
+const PURGE_EVERY: SimDuration = SimDuration::from_secs(60);
+
+/// The Nylon protocol engine.
+///
+/// Mirrors [`nylon_gossip::BaselineEngine`]'s API so the experiment harness
+/// can drive either interchangeably.
+///
+/// ```
+/// use nylon::{NylonConfig, NylonEngine};
+/// use nylon_net::{NatClass, NatType, NetConfig};
+///
+/// let mut eng = NylonEngine::new(NylonConfig::default(), NetConfig::default(), 7);
+/// for _ in 0..10 {
+///     eng.add_peer(NatClass::Public);
+/// }
+/// for _ in 0..30 {
+///     eng.add_peer(NatClass::Natted(NatType::PortRestrictedCone));
+/// }
+/// eng.bootstrap_random_public(8);
+/// eng.start();
+/// eng.run_rounds(30);
+/// assert!(eng.stats().punch_successes > 0, "holes must get punched");
+/// ```
+#[derive(Debug)]
+pub struct NylonEngine {
+    sim: Sim<Ev>,
+    net: Network<NylonMsg>,
+    cfg: NylonConfig,
+    nodes: Vec<Node>,
+    stats: NylonStats,
+    started: bool,
+    sample_log: Option<Vec<u32>>,
+}
+
+impl NylonEngine {
+    /// Creates an engine; `seed` drives every random choice in the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network's hole timeout differs from the protocol's
+    /// `hole_timeout` (the TTL bookkeeping would be meaningless).
+    pub fn new(cfg: NylonConfig, net_cfg: NetConfig, seed: u64) -> Self {
+        assert_eq!(
+            cfg.hole_timeout, net_cfg.hole_timeout,
+            "protocol HOLE_TIMEOUT must match the NAT boxes' rule lifetime"
+        );
+        let sim = Sim::new(seed);
+        let net = Network::new(net_cfg, seed ^ 0x4E59_4C4F_4E00_0002);
+        NylonEngine {
+            sim,
+            net,
+            cfg,
+            nodes: Vec::new(),
+            stats: NylonStats::default(),
+            started: false,
+            sample_log: None,
+        }
+    }
+
+    /// Starts recording every gossip-target selection (peer ids, in
+    /// selection order) for randomness analysis. Call before running.
+    pub fn enable_sample_log(&mut self) {
+        self.sample_log = Some(Vec::new());
+    }
+
+    /// The recorded target selections, if logging was enabled.
+    pub fn sample_log(&self) -> Option<&[u32]> {
+        self.sample_log.as_deref()
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &NylonConfig {
+        &self.cfg
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The underlying network (for oracles and traffic stats).
+    pub fn net(&self) -> &Network<NylonMsg> {
+        &self.net
+    }
+
+    /// Protocol counters.
+    pub fn stats(&self) -> NylonStats {
+        self.stats
+    }
+
+    /// Adds a peer; if the engine is running, it starts shuffling within
+    /// one period.
+    pub fn add_peer(&mut self, class: NatClass) -> PeerId {
+        let id = self.net.add_peer(class);
+        let rng = self.sim.rng().fork(0x4E79_6C6F_0000_0000 | id.0 as u64);
+        self.nodes.push(Node {
+            view: PartialView::new(id, self.cfg.view_size),
+            routing: RoutingTable::new(id),
+            contact: HashMap::new(),
+            pending_punch: HashMap::new(),
+            pending_sent: HashMap::new(),
+            rng,
+        });
+        if self.started {
+            let phase = {
+                let period = self.cfg.shuffle_period.as_millis();
+                let node = &mut self.nodes[id.index()];
+                SimDuration::from_millis(node.rng.gen_range(0..period))
+            };
+            self.sim.schedule_after(phase, Ev::Shuffle(id));
+        }
+        id
+    }
+
+    /// Enables a permanent UPnP/NAT-PMP port forwarding for a natted peer
+    /// (no-op for public peers). Call before bootstrapping so descriptors
+    /// advertise the forwarded endpoint.
+    pub fn enable_port_forwarding(&mut self, peer: PeerId) {
+        let _ = self.net.enable_port_forwarding(peer);
+    }
+
+    /// Adds a peer whose initial view contains `contacts`, with pre-opened
+    /// holes and direct routes (the join handshake).
+    pub fn add_peer_with_bootstrap(&mut self, class: NatClass, contacts: &[PeerId]) -> PeerId {
+        let id = self.add_peer(class);
+        let now = self.sim.now();
+        for c in contacts {
+            if *c == id || !self.net.is_alive(*c) {
+                continue;
+            }
+            let Some(ep) = self.net.open_bootstrap_hole(now, id, *c) else { continue };
+            let d = NodeDescriptor::new(*c, self.net.identity_endpoint(*c), self.net.class_of(*c));
+            let node = &mut self.nodes[id.index()];
+            node.view.insert(d);
+            node.contact.insert(*c, ep);
+            node.routing.update_direct(*c, self.cfg.hole_timeout);
+        }
+        id
+    }
+
+    /// Fills every view with up to `per_view` random *public* peers (the
+    /// paper's bootstrap). With no public peers in the population, falls
+    /// back to arbitrary peers with pre-opened holes (see
+    /// [`Network::open_bootstrap_hole`]).
+    pub fn bootstrap_random_public(&mut self, per_view: usize) {
+        let now = self.sim.now();
+        let publics: Vec<PeerId> =
+            self.net.alive_peers().filter(|p| self.net.class_of(*p).is_public()).collect();
+        let fallback = publics.is_empty();
+        let pool: Vec<PeerId> =
+            if fallback { self.net.alive_peers().collect() } else { publics };
+        let all: Vec<PeerId> = self.net.alive_peers().collect();
+        for p in all {
+            let candidates: Vec<PeerId> = pool.iter().copied().filter(|q| *q != p).collect();
+            let chosen = {
+                let node = &mut self.nodes[p.index()];
+                node.rng.sample_without_replacement(&candidates, per_view)
+            };
+            for q in chosen {
+                let d = NodeDescriptor::new(q, self.net.identity_endpoint(q), self.net.class_of(q));
+                self.nodes[p.index()].view.insert(d);
+                if fallback {
+                    if let Some(ep) = self.net.open_bootstrap_hole(now, p, q) {
+                        let node = &mut self.nodes[p.index()];
+                        node.contact.insert(q, ep);
+                        node.routing.update_direct(q, self.cfg.hole_timeout);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Schedules every peer's first shuffle (random phase) and the periodic
+    /// garbage collection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn start(&mut self) {
+        assert!(!self.started, "engine already started");
+        self.started = true;
+        let period = self.cfg.shuffle_period.as_millis();
+        let peers: Vec<PeerId> = self.net.alive_peers().collect();
+        for p in peers {
+            let phase = {
+                let node = &mut self.nodes[p.index()];
+                SimDuration::from_millis(node.rng.gen_range(0..period))
+            };
+            self.sim.schedule_after(phase, Ev::Shuffle(p));
+        }
+        self.sim.schedule_after(PURGE_EVERY, Ev::Purge);
+    }
+
+    /// Runs the simulation for `dur` of virtual time.
+    pub fn run_for(&mut self, dur: SimDuration) {
+        let deadline = self.sim.now() + dur;
+        while let Some(at) = self.sim.peek_time() {
+            if at > deadline {
+                break;
+            }
+            let (_, ev) = self.sim.step().expect("event vanished between peek and pop");
+            self.handle(ev);
+        }
+        self.sim.advance_to(deadline);
+    }
+
+    /// Runs for `n` shuffle periods.
+    pub fn run_rounds(&mut self, n: u64) {
+        self.run_for(self.cfg.shuffle_period * n);
+    }
+
+    /// Kills a set of peers simultaneously (fail-stop churn).
+    pub fn kill_peers(&mut self, peers: &[PeerId]) {
+        for p in peers {
+            self.net.kill_peer(*p);
+        }
+    }
+
+    /// The view of a peer (dead peers keep their last view).
+    pub fn view_of(&self, peer: PeerId) -> &PartialView {
+        &self.nodes[peer.index()].view
+    }
+
+    /// The routing table of a peer.
+    pub fn routing_of(&self, peer: PeerId) -> &RoutingTable {
+        &self.nodes[peer.index()].routing
+    }
+
+    /// Iterator over alive peers.
+    pub fn alive_peers(&self) -> impl Iterator<Item = PeerId> + '_ {
+        self.net.alive_peers()
+    }
+
+    fn self_descriptor(&self, peer: PeerId) -> NodeDescriptor {
+        NodeDescriptor::new(peer, self.net.identity_endpoint(peer), self.net.class_of(peer))
+    }
+
+    /// The view as shipped on the wire towards `to`: fresh self-descriptor
+    /// first, each natted entry annotated with the sender's remaining
+    /// routing TTL.
+    ///
+    /// Split horizon: entries whose route points *through the receiver*
+    /// ship a zero TTL. Without this, two peers that hand each other the
+    /// same reference end up with mutually recursive RVP chains (the
+    /// distance-vector count-to-infinity problem), and OPEN_HOLE messages
+    /// bounce between them instead of reaching the destination.
+    fn wire_view(&self, peer: PeerId, to: PeerId) -> Vec<WireEntry> {
+        let node = &self.nodes[peer.index()];
+        let mut out = Vec::with_capacity(node.view.len() + 1);
+        out.push(WireEntry::new(self.self_descriptor(peer), self.cfg.hole_timeout, 0));
+        for d in node.view.iter() {
+            let (ttl, hops) = if d.class.is_public() {
+                (SimDuration::ZERO, 0)
+            } else {
+                match node.routing.entry_of(d.id) {
+                    Some(e) if e.rvp == to && d.id != to => (SimDuration::ZERO, 0),
+                    Some(e) => (e.ttl, e.hops),
+                    None => (SimDuration::ZERO, 0),
+                }
+            };
+            out.push(WireEntry::new(*d, ttl, hops));
+        }
+        out
+    }
+
+    /// The endpoint `me` should use to reach `peer` directly: public
+    /// identity, else the last observed endpoint, else the advertised
+    /// fallback.
+    fn contact_ep(&self, me: PeerId, peer: PeerId, fallback: Option<Endpoint>) -> Option<Endpoint> {
+        let class = self.net.class_of(peer);
+        if class.is_public() {
+            return Some(self.net.identity_endpoint(peer));
+        }
+        self.nodes[me.index()].contact.get(&peer).copied().or(fallback)
+    }
+
+    fn send_msg(&mut self, from: PeerId, to_ep: Endpoint, msg: NylonMsg) {
+        let now = self.sim.now();
+        let bytes = self.cfg.wire.bytes_of(&msg);
+        if let Some(flight) = self.net.send(now, from, to_ep, msg, bytes) {
+            self.sim.schedule_at(flight.arrive_at, Ev::Deliver(flight));
+        }
+    }
+
+    /// Sends a routed message towards `dest` via the first directly
+    /// reachable hop of `from`'s RVP chain. Returns `false` (sending
+    /// nothing) if the chain is broken.
+    fn route_and_send(&mut self, from: PeerId, dest: PeerId, msg: NylonMsg) -> bool {
+        let hop = {
+            let node = &self.nodes[from.index()];
+            node.routing.resolve_first_hop(dest, self.cfg.max_chain_depth)
+        };
+        let Some(hop) = hop else { return false };
+        let Some(ep) = self.contact_ep(from, hop, None) else { return false };
+        self.send_msg(from, ep, msg);
+        true
+    }
+
+    /// Marks `via` as directly reachable: refresh the direct route and
+    /// remember the observed endpoint (every `on receive` in Figure 6
+    /// starts with `update_next_RVP(p, p, HOLE_TIMEOUT)`).
+    fn touch(&mut self, me: PeerId, via: PeerId, observed: Endpoint) {
+        let node = &mut self.nodes[me.index()];
+        node.routing.update_direct(via, self.cfg.hole_timeout);
+        node.contact.insert(via, observed);
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::Shuffle(p) => self.on_shuffle(p),
+            Ev::Deliver(flight) => self.on_deliver(flight),
+            Ev::Purge => {
+                let now = self.sim.now();
+                self.net.purge_expired_nat_state(now);
+                // Contact endpoints are only authoritative alongside a live
+                // direct route; drop the rest.
+                for node in &mut self.nodes {
+                    let routing = &node.routing;
+                    node.contact.retain(|peer, _| routing.is_direct(*peer));
+                }
+                self.sim.schedule_after(PURGE_EVERY, Ev::Purge);
+            }
+        }
+    }
+
+    /// Figure 6, lines 1–14.
+    fn on_shuffle(&mut self, p: PeerId) {
+        if !self.net.is_alive(p) {
+            return;
+        }
+        let now = self.sim.now();
+        // Expire abandoned hole punches.
+        {
+            let node = &mut self.nodes[p.index()];
+            let before = node.pending_punch.len();
+            node.pending_punch.retain(|_, deadline| *deadline > now);
+            self.stats.punch_timeouts += (before - node.pending_punch.len()) as u64;
+        }
+        let self_class = self.net.class_of(p);
+        let target = {
+            let node = &mut self.nodes[p.index()];
+            node.view.select_target(self.cfg.selection, &mut node.rng)
+        };
+        match target {
+            None => self.stats.empty_view_rounds += 1,
+            Some(target) => {
+                if let Some(log) = &mut self.sample_log {
+                    log.push(target.id.0);
+                }
+                self.stats.shuffles_initiated += 1;
+                self.initiate(p, self_class, target);
+            }
+        }
+        let node = &mut self.nodes[p.index()];
+        node.view.increase_age();
+        node.routing.decrease_ttls(self.cfg.shuffle_period);
+        self.sim.schedule_after(self.cfg.shuffle_period, Ev::Shuffle(p));
+    }
+
+    /// Figure 6, lines 3–12: direct send, relaying, or reactive hole
+    /// punching depending on the NAT combination.
+    fn initiate(&mut self, p: PeerId, self_class: NatClass, target: NodeDescriptor) {
+        let t = target.id;
+        let direct = target.class.is_public() || self.nodes[p.index()].routing.is_direct(t);
+        if direct {
+            let entries = self.wire_view(p, t);
+            let sent: Vec<PeerId> = entries.iter().map(|e| e.descriptor.id).collect();
+            self.nodes[p.index()].pending_sent.insert(t, sent);
+            let ep = self
+                .contact_ep(p, t, Some(target.addr))
+                .expect("fallback endpoint always present");
+            let msg = NylonMsg::Request { src: self.self_descriptor(p), dest: t, via: p, hops: 0, entries };
+            self.send_msg(p, ep, msg);
+            self.stats.direct_requests += 1;
+            return;
+        }
+        let relaying = (target.class.is_symmetric()
+            && self_class == NatClass::Natted(NatType::PortRestrictedCone))
+            || self_class.is_symmetric();
+        if relaying {
+            // Lines 5–7: ship the whole shuffle through the RVP chain.
+            let entries = self.wire_view(p, t);
+            let sent: Vec<PeerId> = entries.iter().map(|e| e.descriptor.id).collect();
+            let msg = NylonMsg::Request { src: self.self_descriptor(p), dest: t, via: p, hops: 0, entries };
+            if self.route_and_send(p, t, msg) {
+                self.nodes[p.index()].pending_sent.insert(t, sent);
+                self.stats.relayed_requests += 1;
+            } else {
+                self.drop_unroutable(p, t);
+            }
+        } else {
+            // Lines 8–12: reactive hole punching.
+            let msg = NylonMsg::OpenHole { src: self.self_descriptor(p), dest: t, via: p, hops: 0 };
+            if self.route_and_send(p, t, msg) {
+                self.stats.hole_punches += 1;
+                let deadline = self.sim.now() + self.cfg.punch_timeout;
+                self.nodes[p.index()].pending_punch.insert(t, deadline);
+                if !self_class.is_public() {
+                    // Open our own hole towards the target (line 11–12); for
+                    // symmetric targets the advertised endpoint is a
+                    // sentinel the PING cannot reach, but the egress session
+                    // it creates is what lets the PONG back in.
+                    self.send_msg(p, target.addr, NylonMsg::Ping { from: p });
+                }
+            } else {
+                self.drop_unroutable(p, t);
+            }
+        }
+    }
+
+    /// A natted view entry with no live route is unusable: drop it (the
+    /// paper keeps views stale-free; Section 5 "no stale references").
+    fn drop_unroutable(&mut self, p: PeerId, target: PeerId) {
+        self.stats.routes_missing += 1;
+        self.nodes[p.index()].view.remove(target);
+    }
+
+    fn on_deliver(&mut self, flight: InFlight<NylonMsg>) {
+        let now = self.sim.now();
+        let (to, from_ep, msg) = match self.net.deliver(now, flight) {
+            Delivery::ToPeer { to, from_ep, payload } => (to, from_ep, payload),
+            Delivery::Dropped { .. } => return,
+        };
+        match msg {
+            NylonMsg::Request { src, dest, via, hops, entries } => {
+                self.touch(to, via, from_ep);
+                if dest != to {
+                    // Lines 17–19: forward along the chain.
+                    if hops >= self.cfg.max_forward_hops {
+                        self.stats.forward_failures += 1;
+                        return;
+                    }
+                    let msg = NylonMsg::Request { src, dest, via: to, hops: hops.saturating_add(1), entries };
+                    if self.route_and_send(to, dest, msg) {
+                        self.stats.forwards += 1;
+                    } else {
+                        self.stats.forward_failures += 1;
+                    }
+                    return;
+                }
+                self.stats.requests_completed += 1;
+                let relayed = via != src.id;
+                if relayed {
+                    self.stats.record_chain(hops);
+                    // Reverse chain towards the initiator, as long as the
+                    // observed path.
+                    let via_ttl = self.nodes[to.index()].routing.ttl_of(via).unwrap_or(SimDuration::ZERO);
+                    self.nodes[to.index()].routing.update_next_rvp(
+                        src.id,
+                        via,
+                        via_ttl,
+                        hops.saturating_add(1),
+                    );
+                }
+                // Lines 20–24: answer.
+                let to_class = self.net.class_of(to);
+                let resp_entries = self.wire_view(to, src.id);
+                let resp_sent: Vec<PeerId> = resp_entries.iter().map(|e| e.descriptor.id).collect();
+                let resp = NylonMsg::Response { from: to, dest: src.id, via: to, hops: 0, entries: resp_entries };
+                if !relayed {
+                    // The hole to the initiator is open: answer through it.
+                    self.send_msg(to, from_ep, resp);
+                } else {
+                    let relay_resp = (src.class.is_symmetric() && !to_class.is_public())
+                        || (to_class.is_symmetric() && !src.class.is_public());
+                    let sent_ok = if relay_resp {
+                        self.route_and_send(to, src.id, resp)
+                    } else {
+                        // Defensive fallback; per the traversal analysis a
+                        // relayed request implies the relay_resp condition.
+                        self.send_msg(to, src.addr, resp);
+                        true
+                    };
+                    if !sent_ok {
+                        self.stats.forward_failures += 1;
+                    }
+                }
+                // Lines 25–26: merge and learn routes.
+                self.merge_shuffle(to, src.id, &entries, &resp_sent);
+            }
+            NylonMsg::Response { from, dest, via, hops, entries } => {
+                self.touch(to, via, from_ep);
+                if dest != to {
+                    // Lines 29–31 (forwarding the *received* payload; the
+                    // paper's line 31 has a typo shipping the relay's own
+                    // view).
+                    if hops >= self.cfg.max_forward_hops {
+                        self.stats.forward_failures += 1;
+                        return;
+                    }
+                    let msg = NylonMsg::Response { from, dest, via: to, hops: hops.saturating_add(1), entries };
+                    if self.route_and_send(to, dest, msg) {
+                        self.stats.forwards += 1;
+                    } else {
+                        self.stats.forward_failures += 1;
+                    }
+                    return;
+                }
+                self.stats.responses_completed += 1;
+                if via != from {
+                    let via_ttl = self.nodes[to.index()].routing.ttl_of(via).unwrap_or(SimDuration::ZERO);
+                    self.nodes[to.index()].routing.update_next_rvp(
+                        from,
+                        via,
+                        via_ttl,
+                        hops.saturating_add(1),
+                    );
+                }
+                let sent = self.nodes[to.index()].pending_sent.remove(&from).unwrap_or_default();
+                self.merge_shuffle(to, from, &entries, &sent);
+            }
+            NylonMsg::OpenHole { src, dest, via, hops } => {
+                self.touch(to, via, from_ep);
+                if dest != to {
+                    // Line 40: forward along the chain.
+                    if hops >= self.cfg.max_forward_hops {
+                        self.stats.forward_failures += 1;
+                        return;
+                    }
+                    let msg = NylonMsg::OpenHole { src, dest, via: to, hops: hops.saturating_add(1) };
+                    if self.route_and_send(to, dest, msg) {
+                        self.stats.forwards += 1;
+                    } else {
+                        self.stats.forward_failures += 1;
+                    }
+                    return;
+                }
+                // Lines 37–38: we are the punch target; PONG opens our hole
+                // towards the initiator. Chain length sample for Figure 9.
+                self.stats.record_chain(hops);
+                self.stats.pongs_sent += 1;
+                self.send_msg(to, src.addr, NylonMsg::Pong { from: to });
+            }
+            NylonMsg::Ping { from } => {
+                // Lines 41–43.
+                self.touch(to, from, from_ep);
+                self.stats.pongs_sent += 1;
+                self.send_msg(to, from_ep, NylonMsg::Pong { from: to });
+            }
+            NylonMsg::Pong { from } => {
+                // Lines 44–46, restricted to punches we actually have
+                // pending: a PING/OPEN_HOLE pair can produce two PONGs and
+                // the unconditional REQUEST of the pseudocode would then
+                // shuffle twice in one round.
+                self.touch(to, from, from_ep);
+                if self.nodes[to.index()].pending_punch.remove(&from).is_some() {
+                    self.stats.punch_successes += 1;
+                    let entries = self.wire_view(to, from);
+                    let sent: Vec<PeerId> = entries.iter().map(|e| e.descriptor.id).collect();
+                    self.nodes[to.index()].pending_sent.insert(from, sent);
+                    let msg = NylonMsg::Request {
+                        src: self.self_descriptor(to),
+                        dest: from,
+                        via: to,
+                        hops: 0,
+                        entries,
+                    };
+                    self.send_msg(to, from_ep, msg);
+                }
+            }
+        }
+    }
+
+    /// Figure 6 lines 25–26 / 33–34: merge the received view and install
+    /// chain routes with the partner as RVP.
+    fn merge_shuffle(&mut self, me: PeerId, partner: PeerId, entries: &[WireEntry], sent: &[PeerId]) {
+        let descriptors: Vec<NodeDescriptor> = entries.iter().map(|e| e.descriptor).collect();
+        let routes: Vec<(PeerId, SimDuration, u8)> = entries
+            .iter()
+            .filter(|e| e.descriptor.class.is_natted())
+            .map(|e| (e.descriptor.id, e.ttl, e.hops))
+            .collect();
+        let node = &mut self.nodes[me.index()];
+        node.view.merge_and_truncate(&descriptors, sent, self.cfg.merge, &mut node.rng);
+        node.routing.install_from_shuffle(partner, routes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed_engine(publics: usize, rc: usize, prc: usize, sym: usize, seed: u64) -> NylonEngine {
+        let mut eng = NylonEngine::new(NylonConfig::default(), NetConfig::default(), seed);
+        for _ in 0..publics {
+            eng.add_peer(NatClass::Public);
+        }
+        for _ in 0..rc {
+            eng.add_peer(NatClass::Natted(NatType::RestrictedCone));
+        }
+        for _ in 0..prc {
+            eng.add_peer(NatClass::Natted(NatType::PortRestrictedCone));
+        }
+        for _ in 0..sym {
+            eng.add_peer(NatClass::Natted(NatType::Symmetric));
+        }
+        eng.bootstrap_random_public(8);
+        eng.start();
+        eng
+    }
+
+    #[test]
+    fn views_fill_and_shuffles_complete() {
+        let mut eng = mixed_engine(10, 20, 15, 5, 1);
+        eng.run_rounds(40);
+        for p in eng.alive_peers().collect::<Vec<_>>() {
+            assert!(!eng.view_of(p).is_empty(), "empty view at {p}");
+        }
+        let s = eng.stats();
+        assert!(s.requests_completed > 0);
+        assert!(s.responses_completed > 0);
+        assert!(s.hole_punches > 0, "natted targets must trigger punches");
+        assert!(s.punch_successes > 0);
+    }
+
+    #[test]
+    fn natted_peers_get_sampled() {
+        let mut eng = mixed_engine(10, 20, 15, 5, 2);
+        eng.run_rounds(60);
+        let natted_refs: usize = eng
+            .alive_peers()
+            .collect::<Vec<_>>()
+            .iter()
+            .map(|p| eng.view_of(*p).iter().filter(|d| d.class.is_natted()).count())
+            .sum();
+        let total_refs: usize = eng
+            .alive_peers()
+            .collect::<Vec<_>>()
+            .iter()
+            .map(|p| eng.view_of(*p).len())
+            .sum();
+        // 80 % of peers are natted; their share of references must be
+        // substantial (the whole point of Nylon vs Figure 4's baseline).
+        let ratio = natted_refs as f64 / total_refs as f64;
+        assert!(ratio > 0.5, "natted reference ratio {ratio:.2} too low");
+    }
+
+    #[test]
+    fn chains_are_short() {
+        let mut eng = mixed_engine(5, 25, 15, 5, 3);
+        eng.run_rounds(60);
+        let mean = eng.stats().mean_chain_len().expect("chains must be observed");
+        assert!(mean >= 1.0, "chain length below 1: {mean}");
+        assert!(mean < 6.0, "chains unexpectedly long: {mean}");
+    }
+
+    #[test]
+    fn relaying_used_for_symmetric_combinations() {
+        // Lots of SYM peers force relayed shuffles.
+        let mut eng = mixed_engine(5, 0, 10, 25, 4);
+        eng.run_rounds(50);
+        assert!(eng.stats().relayed_requests > 0, "SYM initiators must relay");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut eng = mixed_engine(10, 15, 10, 5, seed);
+            eng.run_rounds(30);
+            (eng.stats(), eng.net().drop_counters())
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn survives_total_churn_of_half_the_network() {
+        let mut eng = mixed_engine(10, 20, 15, 5, 5);
+        eng.run_rounds(30);
+        let alive: Vec<PeerId> = eng.alive_peers().collect();
+        eng.kill_peers(&alive[..25]);
+        eng.run_rounds(30);
+        // Survivors keep shuffling successfully.
+        let before = eng.stats().requests_completed;
+        eng.run_rounds(10);
+        assert!(eng.stats().requests_completed > before, "gossip stalled after churn");
+    }
+
+    #[test]
+    fn hundred_percent_nat_bootstrap_works() {
+        let mut eng = NylonEngine::new(NylonConfig::default(), NetConfig::default(), 6);
+        for _ in 0..25 {
+            eng.add_peer(NatClass::Natted(NatType::RestrictedCone));
+        }
+        for _ in 0..20 {
+            eng.add_peer(NatClass::Natted(NatType::PortRestrictedCone));
+        }
+        for _ in 0..5 {
+            eng.add_peer(NatClass::Natted(NatType::Symmetric));
+        }
+        eng.bootstrap_random_public(8); // falls back to pre-opened holes
+        eng.start();
+        eng.run_rounds(40);
+        assert!(eng.stats().requests_completed > 0, "no shuffle completed at 100% NAT");
+        let nonempty = eng.alive_peers().filter(|p| !eng.view_of(*p).is_empty()).count();
+        assert_eq!(nonempty, 50);
+    }
+
+    #[test]
+    fn join_after_start_gets_integrated() {
+        let mut eng = mixed_engine(10, 15, 10, 5, 7);
+        eng.run_rounds(15);
+        let contact = eng.alive_peers().next().unwrap();
+        let newbie =
+            eng.add_peer_with_bootstrap(NatClass::Natted(NatType::PortRestrictedCone), &[contact]);
+        eng.run_rounds(30);
+        assert!(!eng.view_of(newbie).is_empty());
+        let known = eng
+            .alive_peers()
+            .collect::<Vec<_>>()
+            .iter()
+            .filter(|p| eng.view_of(**p).contains(newbie))
+            .count();
+        assert!(known > 0, "joining natted peer never advertised");
+    }
+
+    #[test]
+    fn routing_tables_stay_bounded() {
+        let mut eng = mixed_engine(10, 20, 15, 5, 8);
+        eng.run_rounds(80);
+        // TTL purging bounds the table: at most hole_timeout/period rounds
+        // of view-size insertions.
+        let bound = (90 / 5 + 1) * (15 + 1) * 2;
+        for p in eng.alive_peers().collect::<Vec<_>>() {
+            let len = eng.routing_of(p).len();
+            assert!(len <= bound, "routing table of {p} grew to {len}");
+        }
+    }
+
+    #[test]
+    fn pure_public_population_never_punches() {
+        let mut eng = mixed_engine(30, 0, 0, 0, 11);
+        eng.run_rounds(20);
+        let s = eng.stats();
+        assert_eq!(s.hole_punches, 0);
+        assert_eq!(s.relayed_requests, 0);
+        assert!(s.direct_requests > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "HOLE_TIMEOUT")]
+    fn mismatched_hole_timeout_panics() {
+        let cfg = NylonConfig { hole_timeout: SimDuration::from_secs(30), ..NylonConfig::default() };
+        let _ = NylonEngine::new(cfg, NetConfig::default(), 1);
+    }
+
+    #[test]
+    fn punches_toward_dead_targets_time_out() {
+        let mut eng = mixed_engine(10, 25, 10, 5, 21);
+        eng.run_rounds(20);
+        // Kill all natted peers: pending punches towards them can never
+        // complete, and the punch-timeout path must reclaim them.
+        let victims: Vec<PeerId> = eng
+            .alive_peers()
+            .filter(|p| eng.net().class_of(*p).is_natted())
+            .collect();
+        eng.kill_peers(&victims);
+        eng.run_rounds(20);
+        let s = eng.stats();
+        assert!(s.punch_timeouts > 0, "dead targets must produce punch timeouts");
+        // No pending state leaks: punches either succeeded or timed out.
+        for p in eng.alive_peers().collect::<Vec<_>>() {
+            assert!(
+                eng.nodes[p.index()].pending_punch.len() <= 1,
+                "pending punches not reclaimed at {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn unroutable_targets_are_dropped_from_views() {
+        let mut eng = mixed_engine(10, 25, 10, 5, 23);
+        eng.run_rounds(30);
+        // Killing most of the network leaves survivors with natted view
+        // entries whose routes expire; shuffling towards them must drop
+        // the entries and count the lost rounds.
+        let alive: Vec<PeerId> = eng.alive_peers().collect();
+        eng.kill_peers(&alive[..40]);
+        eng.run_rounds(40);
+        assert!(
+            eng.stats().routes_missing > 0,
+            "route expiry must surface as dropped view entries"
+        );
+        assert!(eng.stats().requests_completed > 0);
+    }
+
+    #[test]
+    fn sample_log_records_only_when_enabled() {
+        let mut eng = mixed_engine(10, 10, 5, 0, 25);
+        eng.run_rounds(5);
+        assert!(eng.sample_log().is_none());
+        eng.enable_sample_log();
+        eng.run_rounds(5);
+        let len = eng.sample_log().map(|l| l.len()).unwrap_or(0);
+        assert!(len > 0, "enabled log must record selections");
+        // Logged ids are valid peers.
+        for id in eng.sample_log().unwrap() {
+            assert!((*id as usize) < eng.net().peer_count());
+        }
+    }
+
+    #[test]
+    fn relays_forward_for_third_parties() {
+        // With many SYM peers, relayed REQUESTs traverse intermediate
+        // peers, which must account forwards.
+        let mut eng = mixed_engine(6, 0, 0, 34, 27);
+        eng.run_rounds(50);
+        let s = eng.stats();
+        assert!(s.forwards > 0, "RVP duty must be exercised");
+        assert!(s.relayed_requests > 0);
+    }
+
+    #[test]
+    fn views_never_contain_dead_entries_forever() {
+        let mut eng = mixed_engine(10, 20, 10, 0, 29);
+        eng.run_rounds(30);
+        let victims: Vec<PeerId> = eng.alive_peers().take(20).collect();
+        eng.kill_peers(&victims);
+        // Healer aging pushes dead entries out within ~view_size rounds of
+        // fresh inflow.
+        eng.run_rounds(60);
+        let dead_refs: usize = eng
+            .alive_peers()
+            .collect::<Vec<_>>()
+            .iter()
+            .map(|p| {
+                eng.view_of(*p)
+                    .iter()
+                    .filter(|d| !eng.net().is_alive(d.id))
+                    .count()
+            })
+            .sum();
+        let total_refs: usize = eng
+            .alive_peers()
+            .collect::<Vec<_>>()
+            .iter()
+            .map(|p| eng.view_of(*p).len())
+            .sum();
+        let ratio = dead_refs as f64 / total_refs.max(1) as f64;
+        assert!(ratio < 0.2, "dead references linger: {ratio:.2}");
+    }
+
+    #[test]
+    fn no_message_storms() {
+        // The per-peer message rate must stay within a small constant of
+        // the shuffle rate: 1 request + 1 response + punch traffic + relay
+        // duty. A routing loop would blow this up.
+        let mut eng = mixed_engine(10, 20, 15, 5, 31);
+        eng.run_rounds(60);
+        let alive = eng.alive_peers().count() as f64;
+        let msgs: u64 = eng
+            .alive_peers()
+            .collect::<Vec<_>>()
+            .iter()
+            .map(|p| eng.net().stats_of(*p).msgs_sent)
+            .sum();
+        let per_peer_per_round = msgs as f64 / alive / 60.0;
+        assert!(
+            per_peer_per_round < 8.0,
+            "message amplification too high: {per_peer_per_round:.1} msgs/peer/round"
+        );
+    }
+}

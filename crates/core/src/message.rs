@@ -1,0 +1,200 @@
+//! The Nylon wire protocol (Figure 6 message set) and its size model.
+
+use nylon_gossip::NodeDescriptor;
+use nylon_net::PeerId;
+use nylon_sim::SimDuration;
+
+/// A view entry as shipped on the wire: descriptor plus the sender's
+/// remaining routing TTL towards it.
+///
+/// The paper: "TTLs are exchanged by peers together with their views" — the
+/// receiver caps them by its own first-hop TTL (Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireEntry {
+    /// The descriptor.
+    pub descriptor: NodeDescriptor,
+    /// Sender's remaining routing TTL towards the descriptor's peer
+    /// (meaningless, and zero, for public peers — they need no route).
+    pub ttl: SimDuration,
+    /// Sender's estimated chain length towards the descriptor's peer
+    /// (1 = direct hole; the receiver's chain is one hop longer).
+    pub hops: u8,
+}
+
+impl WireEntry {
+    /// Wraps a descriptor with its routing TTL and chain-length estimate.
+    pub fn new(descriptor: NodeDescriptor, ttl: SimDuration, hops: u8) -> Self {
+        WireEntry { descriptor, ttl, hops }
+    }
+}
+
+/// Nylon protocol messages.
+///
+/// `via` is the peer the datagram physically came from last (source or
+/// relay); `hops` counts forwarding steps for the Figure 9 chain-length
+/// metric.
+#[derive(Debug, Clone)]
+pub enum NylonMsg {
+    /// Shuffle request (Figure 6 line 4/7: `⟨REQUEST, view, self, target⟩`).
+    Request {
+        /// The initiating peer's descriptor.
+        src: NodeDescriptor,
+        /// Final destination (relays forward until `dest == self`).
+        dest: PeerId,
+        /// Immediate sender of this datagram.
+        via: PeerId,
+        /// Relay hops traversed so far.
+        hops: u8,
+        /// The initiator's view (with TTLs), plus its fresh self-descriptor.
+        entries: Vec<WireEntry>,
+    },
+    /// Shuffle response (Figure 6 line 22/24: `⟨RESPONSE, view, src⟩`).
+    Response {
+        /// The responding peer.
+        from: PeerId,
+        /// Final destination (the shuffle initiator).
+        dest: PeerId,
+        /// Immediate sender of this datagram.
+        via: PeerId,
+        /// Relay hops traversed so far.
+        hops: u8,
+        /// The responder's view (with TTLs), plus its fresh self-descriptor.
+        entries: Vec<WireEntry>,
+    },
+    /// Reactive hole-punch trigger, forwarded along the RVP chain
+    /// (Figure 6 line 10: `⟨OPEN_HOLE, self, target⟩`).
+    OpenHole {
+        /// The peer wanting to punch a hole.
+        src: NodeDescriptor,
+        /// The peer that should answer with a PONG.
+        dest: PeerId,
+        /// Immediate sender of this datagram.
+        via: PeerId,
+        /// Relay hops traversed so far (the Figure 9 "number of RVPs").
+        hops: u8,
+    },
+    /// Outbound-hole opener sent directly to the gossip target (Figure 6
+    /// line 12).
+    Ping {
+        /// The pinging peer.
+        from: PeerId,
+    },
+    /// Hole-punch acknowledgement (Figure 6 lines 38/43).
+    Pong {
+        /// The ponging peer.
+        from: PeerId,
+    },
+}
+
+/// Wire-size model for Nylon messages.
+///
+/// Sizes mirror a compact binary encoding: per entry, 13 bytes of
+/// descriptor (id 4, endpoint 6, class 1, age 2) plus a 2-byte TTL and a
+/// 1-byte chain-length estimate; fixed header of 8 bytes plus addressing
+/// (src/dest/via/hops).
+#[derive(Debug, Clone, Copy)]
+pub struct WireSizeModel {
+    /// Bytes per shipped view entry (descriptor + TTL).
+    pub entry_bytes: u32,
+    /// Fixed protocol header per message.
+    pub header_bytes: u32,
+    /// Addressing overhead for routed messages (src descriptor, dest, via,
+    /// hops).
+    pub routing_bytes: u32,
+}
+
+impl Default for WireSizeModel {
+    fn default() -> Self {
+        WireSizeModel { entry_bytes: 16, header_bytes: 8, routing_bytes: 12 }
+    }
+}
+
+impl WireSizeModel {
+    /// Payload bytes of a message.
+    pub fn bytes_of(&self, msg: &NylonMsg) -> u32 {
+        match msg {
+            NylonMsg::Request { entries, .. } | NylonMsg::Response { entries, .. } => {
+                self.header_bytes + self.routing_bytes + self.entry_bytes * entries.len() as u32
+            }
+            NylonMsg::OpenHole { .. } => self.header_bytes + self.routing_bytes,
+            NylonMsg::Ping { .. } | NylonMsg::Pong { .. } => self.header_bytes,
+        }
+    }
+}
+
+impl NylonMsg {
+    /// The final destination this message must be routed to, when it is a
+    /// routed message (relays forward these).
+    pub fn routed_dest(&self) -> Option<PeerId> {
+        match self {
+            NylonMsg::Request { dest, .. }
+            | NylonMsg::Response { dest, .. }
+            | NylonMsg::OpenHole { dest, .. } => Some(*dest),
+            NylonMsg::Ping { .. } | NylonMsg::Pong { .. } => None,
+        }
+    }
+
+    /// Short label for diagnostics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NylonMsg::Request { .. } => "REQUEST",
+            NylonMsg::Response { .. } => "RESPONSE",
+            NylonMsg::OpenHole { .. } => "OPEN_HOLE",
+            NylonMsg::Ping { .. } => "PING",
+            NylonMsg::Pong { .. } => "PONG",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nylon_net::{Endpoint, Ip, NatClass, Port};
+
+    fn desc(id: u32) -> NodeDescriptor {
+        NodeDescriptor::new(PeerId(id), Endpoint::new(Ip(id), Port(9000)), NatClass::Public)
+    }
+
+    fn entries(n: usize) -> Vec<WireEntry> {
+        (0..n as u32).map(|i| WireEntry::new(desc(i), SimDuration::from_secs(30), 1)).collect()
+    }
+
+    #[test]
+    fn request_size_scales_with_entries() {
+        let m = WireSizeModel::default();
+        let mk = |n| NylonMsg::Request {
+            src: desc(1),
+            dest: PeerId(2),
+            via: PeerId(1),
+            hops: 0,
+            entries: entries(n),
+        };
+        assert_eq!(m.bytes_of(&mk(0)), 20);
+        assert_eq!(m.bytes_of(&mk(16)), 20 + 16 * 16);
+    }
+
+    #[test]
+    fn control_messages_are_small() {
+        let m = WireSizeModel::default();
+        let oh = NylonMsg::OpenHole { src: desc(1), dest: PeerId(2), via: PeerId(1), hops: 0 };
+        let ping = NylonMsg::Ping { from: PeerId(1) };
+        let pong = NylonMsg::Pong { from: PeerId(1) };
+        assert_eq!(m.bytes_of(&oh), 20);
+        assert_eq!(m.bytes_of(&ping), 8);
+        assert_eq!(m.bytes_of(&pong), 8);
+    }
+
+    #[test]
+    fn routed_dest_only_for_routed_messages() {
+        let oh = NylonMsg::OpenHole { src: desc(1), dest: PeerId(2), via: PeerId(1), hops: 0 };
+        assert_eq!(oh.routed_dest(), Some(PeerId(2)));
+        assert_eq!(NylonMsg::Ping { from: PeerId(1) }.routed_dest(), None);
+        assert_eq!(NylonMsg::Pong { from: PeerId(1) }.routed_dest(), None);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(NylonMsg::Ping { from: PeerId(1) }.label(), "PING");
+        assert_eq!(NylonMsg::Pong { from: PeerId(1) }.label(), "PONG");
+    }
+}

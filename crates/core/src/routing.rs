@@ -1,0 +1,480 @@
+//! The Nylon routing table: rendez-vous peers (RVPs) with TTLs.
+//!
+//! Every peer maintains, for each natted peer it knows of, the *next RVP* to
+//! use when sending to it — the peer it shuffled with to obtain the
+//! reference (Figure 5 of the paper). A route whose RVP is the destination
+//! itself is *direct*: a live NAT hole exists. Each entry carries a TTL
+//! equal to the minimum remaining lifetime of the NAT holes along the whole
+//! chain (the 120/140/170 example of Figure 5); TTLs decrease every shuffle
+//! period and entries are purged on expiry
+//! (`decrease_routing_table_ttls`, Figure 6 line 14).
+
+use std::collections::HashMap;
+
+use nylon_net::PeerId;
+use nylon_sim::SimDuration;
+
+/// One routing entry: the next RVP towards a destination, the remaining
+/// lifetime of the chain, and the estimated chain length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteEntry {
+    /// Next hop; equal to the destination itself for direct routes.
+    pub rvp: PeerId,
+    /// Remaining validity; the entry is purged when this reaches zero.
+    pub ttl: SimDuration,
+    /// Estimated number of physical hops to the destination (1 = direct).
+    /// This is the distance-vector metric that keeps chains short and
+    /// suppresses routing cycles: information traversing a cycle grows its
+    /// hop count and loses to fresher, shorter routes.
+    pub hops: u8,
+}
+
+impl RouteEntry {
+    fn is_direct_for(&self, dest: PeerId) -> bool {
+        self.rvp == dest
+    }
+}
+
+/// Routes estimated longer than this are not installed (RIP-style
+/// infinity; honest Nylon chains average below 4).
+pub const MAX_ROUTE_HOPS: u8 = 16;
+
+/// The routing table of one Nylon peer.
+///
+/// ```
+/// use nylon::routing::RoutingTable;
+/// use nylon_net::PeerId;
+/// use nylon_sim::SimDuration;
+///
+/// let mut rt = RoutingTable::new(PeerId(0));
+/// // A shuffle with p1 makes p1 directly reachable...
+/// rt.update_direct(PeerId(1), SimDuration::from_secs(90));
+/// // ...and p1 handed us a reference to p9, becoming our RVP for it.
+/// rt.update_next_rvp(PeerId(9), PeerId(1), SimDuration::from_secs(60), 2);
+/// assert_eq!(rt.next_rvp(PeerId(9)), Some(PeerId(1)));
+/// assert!(rt.is_direct(PeerId(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    owner: PeerId,
+    entries: HashMap<PeerId, RouteEntry>,
+}
+
+impl RoutingTable {
+    /// An empty table owned by `owner`.
+    pub fn new(owner: PeerId) -> Self {
+        RoutingTable { owner, entries: HashMap::new() }
+    }
+
+    /// The owning peer.
+    pub fn owner(&self) -> PeerId {
+        self.owner
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no routes are known.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The next RVP towards `dest` (`Some(dest)` itself when direct), or
+    /// `None` when no live route exists (Figure 6 `next_RVP()`).
+    pub fn next_rvp(&self, dest: PeerId) -> Option<PeerId> {
+        self.entries.get(&dest).map(|e| e.rvp)
+    }
+
+    /// `true` if a live direct route (open NAT hole) to `dest` exists.
+    pub fn is_direct(&self, dest: PeerId) -> bool {
+        self.entries.get(&dest).is_some_and(|e| e.is_direct_for(dest))
+    }
+
+    /// Remaining TTL of the route towards `dest`.
+    pub fn ttl_of(&self, dest: PeerId) -> Option<SimDuration> {
+        self.entries.get(&dest).map(|e| e.ttl)
+    }
+
+    /// The full route entry towards `dest`.
+    pub fn entry_of(&self, dest: PeerId) -> Option<RouteEntry> {
+        self.entries.get(&dest).copied()
+    }
+
+    /// Installs or refreshes the *direct* route for `dest` (Figure 6
+    /// `update_next_RVP(p, p, HOLE_TIMEOUT)`, run on every receive): the
+    /// hole is provably open, so the route always wins and its TTL is never
+    /// shortened.
+    pub fn update_direct(&mut self, dest: PeerId, ttl: SimDuration) {
+        if dest == self.owner || ttl.is_zero() {
+            return;
+        }
+        match self.entries.get_mut(&dest) {
+            Some(e) => {
+                e.rvp = dest;
+                e.hops = 1;
+                e.ttl = e.ttl.max(ttl);
+            }
+            None => {
+                self.entries.insert(dest, RouteEntry { rvp: dest, ttl, hops: 1 });
+            }
+        }
+    }
+
+    /// Updates (or creates) the entry for `dest` (Figure 6
+    /// `update_next_RVP()`). `hops` is the estimated chain length through
+    /// `rvp`.
+    ///
+    /// Precedence rules keeping the table sound *and loop-free*:
+    ///
+    /// * a direct route (`rvp == dest`, `hops == 1`) always overwrites;
+    /// * a chain route never downgrades a live direct route;
+    /// * among chain routes, the shorter estimated chain wins; on equal
+    ///   length the longer TTL wins; the same provider refreshes in place.
+    ///
+    /// Updates with zero TTL or more than [`MAX_ROUTE_HOPS`] hops are
+    /// ignored.
+    pub fn update_next_rvp(&mut self, dest: PeerId, rvp: PeerId, ttl: SimDuration, hops: u8) {
+        if dest == self.owner || ttl.is_zero() || hops > MAX_ROUTE_HOPS {
+            return;
+        }
+        if rvp == dest {
+            self.update_direct(dest, ttl);
+            return;
+        }
+        let new = RouteEntry { rvp, ttl, hops: hops.max(2) };
+        match self.entries.get_mut(&dest) {
+            None => {
+                self.entries.insert(dest, new);
+            }
+            Some(existing) => {
+                if existing.is_direct_for(dest) {
+                    // Keep the direct route.
+                } else if existing.rvp == rvp {
+                    // Same provider: take the fresher estimate.
+                    existing.ttl = existing.ttl.max(new.ttl);
+                    existing.hops = new.hops;
+                } else if new.hops < existing.hops
+                    || (new.hops == existing.hops && new.ttl > existing.ttl)
+                {
+                    *existing = new;
+                }
+            }
+        }
+    }
+
+    /// Installs chain routes for descriptors received in a shuffle with
+    /// `partner` (Figure 6 `update_routing_table()`): the partner becomes
+    /// the RVP for every natted peer it handed us.
+    ///
+    /// Each received TTL is capped by the TTL of our own route to the
+    /// partner — the chain cannot outlive its first hop (Figure 5's
+    /// minimum-along-the-chain invariant) — and each received hop estimate
+    /// grows by the partner's own distance.
+    pub fn install_from_shuffle(
+        &mut self,
+        partner: PeerId,
+        received: impl IntoIterator<Item = (PeerId, SimDuration, u8)>,
+    ) {
+        let Some(partner_entry) = self.entries.get(&partner).copied() else { return };
+        for (dest, ttl, hops) in received {
+            if dest == self.owner || dest == partner {
+                continue;
+            }
+            self.update_next_rvp(
+                dest,
+                partner,
+                ttl.min(partner_entry.ttl),
+                hops.saturating_add(partner_entry.hops),
+            );
+        }
+    }
+
+    /// Decreases every TTL by `elapsed` and purges expired entries
+    /// (Figure 6 `decrease_routing_table_ttls()`, line 14).
+    pub fn decrease_ttls(&mut self, elapsed: SimDuration) {
+        self.entries.retain(|_, e| {
+            e.ttl = e.ttl.saturating_sub(elapsed);
+            !e.ttl.is_zero()
+        });
+    }
+
+    /// Removes the entry for `dest`, if any.
+    pub fn remove(&mut self, dest: PeerId) -> Option<RouteEntry> {
+        self.entries.remove(&dest)
+    }
+
+    /// Resolves the chain towards `dest` down to a *directly reachable*
+    /// first hop: follows `next_RVP` links within this table until hitting
+    /// a direct route.
+    ///
+    /// Returns `None` if the chain is broken (a hop without a live route)
+    /// or longer than `max_depth` (cycle guard). For a direct `dest`
+    /// returns `dest` itself.
+    pub fn resolve_first_hop(&self, dest: PeerId, max_depth: usize) -> Option<PeerId> {
+        let mut hop = dest;
+        for _ in 0..max_depth {
+            let entry = self.entries.get(&hop)?;
+            if entry.is_direct_for(hop) {
+                return Some(hop);
+            }
+            hop = entry.rvp;
+        }
+        None
+    }
+
+    /// Iterates over `(dest, entry)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (PeerId, RouteEntry)> + '_ {
+        self.entries.iter().map(|(d, e)| (*d, *e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const S90: SimDuration = SimDuration::from_secs(90);
+    const S60: SimDuration = SimDuration::from_secs(60);
+    const S30: SimDuration = SimDuration::from_secs(30);
+
+    fn rt() -> RoutingTable {
+        RoutingTable::new(PeerId(0))
+    }
+
+    #[test]
+    fn empty_table_has_no_routes() {
+        let t = rt();
+        assert!(t.is_empty());
+        assert_eq!(t.next_rvp(PeerId(1)), None);
+        assert!(!t.is_direct(PeerId(1)));
+        assert_eq!(t.ttl_of(PeerId(1)), None);
+        assert_eq!(t.entry_of(PeerId(1)), None);
+    }
+
+    #[test]
+    fn direct_route_roundtrip() {
+        let mut t = rt();
+        t.update_direct(PeerId(1), S90);
+        assert_eq!(t.next_rvp(PeerId(1)), Some(PeerId(1)));
+        assert!(t.is_direct(PeerId(1)));
+        assert_eq!(t.ttl_of(PeerId(1)), Some(S90));
+        assert_eq!(t.entry_of(PeerId(1)).unwrap().hops, 1);
+    }
+
+    #[test]
+    fn never_routes_to_self() {
+        let mut t = rt();
+        t.update_direct(PeerId(0), S90);
+        t.update_next_rvp(PeerId(0), PeerId(1), S90, 2);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn zero_ttl_updates_ignored() {
+        let mut t = rt();
+        t.update_direct(PeerId(1), SimDuration::ZERO);
+        t.update_next_rvp(PeerId(2), PeerId(1), SimDuration::ZERO, 2);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn overlong_routes_ignored() {
+        let mut t = rt();
+        t.update_next_rvp(PeerId(2), PeerId(1), S90, MAX_ROUTE_HOPS + 1);
+        assert!(t.is_empty());
+        t.update_next_rvp(PeerId(2), PeerId(1), S90, MAX_ROUTE_HOPS);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn chain_route_does_not_downgrade_direct() {
+        let mut t = rt();
+        t.update_direct(PeerId(9), S60);
+        t.update_next_rvp(PeerId(9), PeerId(1), S90, 2);
+        assert!(t.is_direct(PeerId(9)), "chain must not replace live direct route");
+        assert_eq!(t.ttl_of(PeerId(9)), Some(S60));
+    }
+
+    #[test]
+    fn direct_overwrites_chain() {
+        let mut t = rt();
+        t.update_next_rvp(PeerId(9), PeerId(1), S90, 2);
+        t.update_direct(PeerId(9), S30);
+        assert!(t.is_direct(PeerId(9)));
+        // Direct refresh keeps the larger TTL.
+        assert_eq!(t.ttl_of(PeerId(9)), Some(S90));
+    }
+
+    #[test]
+    fn direct_refresh_never_shortens() {
+        let mut t = rt();
+        t.update_direct(PeerId(1), S90);
+        t.update_direct(PeerId(1), S30);
+        assert_eq!(t.ttl_of(PeerId(1)), Some(S90));
+        t.update_direct(PeerId(1), S90 + S30);
+        assert_eq!(t.ttl_of(PeerId(1)), Some(S90 + S30));
+    }
+
+    #[test]
+    fn shorter_chain_wins() {
+        let mut t = rt();
+        t.update_next_rvp(PeerId(9), PeerId(1), S90, 4);
+        t.update_next_rvp(PeerId(9), PeerId(2), S30, 2);
+        assert_eq!(t.next_rvp(PeerId(9)), Some(PeerId(2)), "shorter chain must win");
+        t.update_next_rvp(PeerId(9), PeerId(3), S90, 3);
+        assert_eq!(t.next_rvp(PeerId(9)), Some(PeerId(2)), "longer chain must not win");
+    }
+
+    #[test]
+    fn equal_length_longer_ttl_wins() {
+        let mut t = rt();
+        t.update_next_rvp(PeerId(9), PeerId(1), S30, 2);
+        t.update_next_rvp(PeerId(9), PeerId(2), S60, 2);
+        assert_eq!(t.next_rvp(PeerId(9)), Some(PeerId(2)));
+        t.update_next_rvp(PeerId(9), PeerId(3), S30, 2);
+        assert_eq!(t.next_rvp(PeerId(9)), Some(PeerId(2)));
+    }
+
+    #[test]
+    fn same_provider_refreshes_in_place() {
+        let mut t = rt();
+        t.update_next_rvp(PeerId(9), PeerId(1), S30, 2);
+        t.update_next_rvp(PeerId(9), PeerId(1), S60, 3);
+        let e = t.entry_of(PeerId(9)).unwrap();
+        assert_eq!(e.ttl, S60);
+        assert_eq!(e.hops, 3, "same provider updates the estimate");
+    }
+
+    #[test]
+    fn chain_hops_floor_is_two() {
+        let mut t = rt();
+        t.update_next_rvp(PeerId(9), PeerId(1), S30, 0);
+        assert_eq!(t.entry_of(PeerId(9)).unwrap().hops, 2);
+    }
+
+    #[test]
+    fn install_from_shuffle_caps_ttl_and_grows_hops() {
+        let mut t = rt();
+        t.update_direct(PeerId(1), S60); // hole to partner: 60 s, 1 hop
+        t.install_from_shuffle(PeerId(1), [(PeerId(9), S90, 1), (PeerId(8), S30, 3)]);
+        assert_eq!(t.next_rvp(PeerId(9)), Some(PeerId(1)));
+        assert_eq!(t.ttl_of(PeerId(9)), Some(S60), "chain TTL capped by first hop");
+        assert_eq!(t.entry_of(PeerId(9)).unwrap().hops, 2, "1 (partner) + 1 (received)");
+        assert_eq!(t.ttl_of(PeerId(8)), Some(S30), "smaller received TTL kept");
+        assert_eq!(t.entry_of(PeerId(8)).unwrap().hops, 4);
+    }
+
+    #[test]
+    fn install_from_shuffle_without_partner_route_is_noop() {
+        let mut t = rt();
+        t.install_from_shuffle(PeerId(1), [(PeerId(9), S90, 1)]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn install_skips_self_and_partner() {
+        let mut t = rt();
+        t.update_direct(PeerId(1), S90);
+        t.install_from_shuffle(PeerId(1), [(PeerId(0), S90, 1), (PeerId(1), S30, 1)]);
+        assert_eq!(t.len(), 1, "only the direct partner route remains");
+        assert!(t.is_direct(PeerId(1)));
+        assert_eq!(t.ttl_of(PeerId(1)), Some(S90), "partner entry untouched");
+    }
+
+    #[test]
+    fn decrease_ttls_purges_expired() {
+        let mut t = rt();
+        t.update_direct(PeerId(1), S60);
+        t.update_next_rvp(PeerId(2), PeerId(1), S30, 2);
+        t.decrease_ttls(S30);
+        assert_eq!(t.ttl_of(PeerId(1)), Some(S30));
+        assert_eq!(t.ttl_of(PeerId(2)), None, "expired entry must be purged");
+        t.decrease_ttls(S30);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn resolve_first_hop_follows_chain() {
+        let mut t = rt();
+        t.update_direct(PeerId(1), S90);
+        t.update_next_rvp(PeerId(2), PeerId(1), S60, 2);
+        t.update_next_rvp(PeerId(3), PeerId(2), S30, 3);
+        assert_eq!(t.resolve_first_hop(PeerId(1), 8), Some(PeerId(1)));
+        assert_eq!(t.resolve_first_hop(PeerId(2), 8), Some(PeerId(1)));
+        assert_eq!(t.resolve_first_hop(PeerId(3), 8), Some(PeerId(1)));
+    }
+
+    #[test]
+    fn resolve_first_hop_detects_breaks_and_cycles() {
+        let mut t = rt();
+        t.update_next_rvp(PeerId(3), PeerId(2), S30, 2);
+        assert_eq!(t.resolve_first_hop(PeerId(3), 8), None, "broken chain");
+        // Cycle: 4 -> 5 -> 4.
+        t.update_next_rvp(PeerId(4), PeerId(5), S30, 2);
+        t.update_next_rvp(PeerId(5), PeerId(4), S30, 2);
+        assert_eq!(t.resolve_first_hop(PeerId(4), 8), None, "cycle must hit depth guard");
+    }
+
+    #[test]
+    fn remove_and_iter() {
+        let mut t = rt();
+        t.update_direct(PeerId(1), S90);
+        t.update_next_rvp(PeerId(2), PeerId(1), S60, 2);
+        let collected: Vec<(PeerId, RouteEntry)> = t.iter().collect();
+        assert_eq!(collected.len(), 2);
+        let removed = t.remove(PeerId(1)).unwrap();
+        assert_eq!(removed.rvp, PeerId(1));
+        assert_eq!(t.len(), 1);
+        assert!(t.remove(PeerId(1)).is_none());
+    }
+
+    proptest! {
+        /// Chain TTLs never exceed the first-hop TTL at install time, hop
+        /// estimates always exceed the partner's, and decrease_ttls keeps
+        /// every remaining TTL positive.
+        #[test]
+        fn prop_ttl_invariants(
+            partner_ttl_s in 1u64..200,
+            recv in proptest::collection::vec((2u32..40, 1u64..200, 0u8..8), 0..30),
+            dec_s in 1u64..100,
+        ) {
+            let mut t = RoutingTable::new(PeerId(0));
+            let partner = PeerId(1);
+            let pttl = SimDuration::from_secs(partner_ttl_s);
+            t.update_direct(partner, pttl);
+            t.install_from_shuffle(
+                partner,
+                recv.iter().map(|(id, s, h)| (PeerId(*id), SimDuration::from_secs(*s), *h)),
+            );
+            for (dest, e) in t.iter() {
+                if dest != partner {
+                    prop_assert!(e.ttl <= pttl, "chain TTL exceeds first hop");
+                    prop_assert!(e.hops >= 2, "chain hop estimate below 2");
+                }
+            }
+            t.decrease_ttls(SimDuration::from_secs(dec_s));
+            for (_, e) in t.iter() {
+                prop_assert!(!e.ttl.is_zero());
+            }
+        }
+
+        /// resolve_first_hop never loops forever and, when it returns a
+        /// hop, that hop is direct.
+        #[test]
+        fn prop_resolve_terminates(
+            links in proptest::collection::vec((1u32..20, 1u32..20), 0..40),
+        ) {
+            let mut t = RoutingTable::new(PeerId(0));
+            for (dest, rvp) in &links {
+                t.update_next_rvp(PeerId(*dest), PeerId(*rvp), SimDuration::from_secs(30), 2);
+            }
+            for d in 1u32..20 {
+                if let Some(hop) = t.resolve_first_hop(PeerId(d), 32) {
+                    prop_assert!(t.is_direct(hop), "resolved hop must be direct");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Node descriptors: the unit of information exchanged by peer sampling.
+
+use std::fmt;
+
+use nylon_net::{Endpoint, NatClass, PeerId};
+
+/// A reference to a peer as stored in views and shipped in shuffles.
+///
+/// Besides the peer id, a descriptor carries the *advertised endpoint* (the
+/// stable public mapping for cone-natted peers, the unknown-port sentinel
+/// for symmetric ones), the peer's NAT classification (learned during the
+/// join handshake in a real deployment; Nylon's Figure 6 pseudocode branches
+/// on it), and the gossip *age* driving the healer/tail policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeDescriptor {
+    /// The peer this descriptor refers to.
+    pub id: PeerId,
+    /// The peer's advertised endpoint.
+    pub addr: Endpoint,
+    /// The peer's NAT classification.
+    pub class: NatClass,
+    /// Shuffle-period granularity age; 0 = freshly injected by the peer
+    /// itself.
+    pub age: u16,
+}
+
+impl NodeDescriptor {
+    /// A fresh (age 0) descriptor.
+    pub fn new(id: PeerId, addr: Endpoint, class: NatClass) -> Self {
+        NodeDescriptor { id, addr, class, age: 0 }
+    }
+
+    /// Copy with age incremented (saturating).
+    pub fn aged(mut self) -> Self {
+        self.age = self.age.saturating_add(1);
+        self
+    }
+
+    /// Copy with age reset to zero (used when a peer re-injects itself).
+    pub fn refreshed(mut self) -> Self {
+        self.age = 0;
+        self
+    }
+}
+
+impl fmt::Display for NodeDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{} ({}, age {})", self.id, self.addr, self.class, self.age)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nylon_net::{Ip, NatType, Port};
+
+    fn desc() -> NodeDescriptor {
+        NodeDescriptor::new(
+            PeerId(3),
+            Endpoint::new(Ip(0x0100_0003), Port(9000)),
+            NatClass::Natted(NatType::RestrictedCone),
+        )
+    }
+
+    #[test]
+    fn new_is_age_zero() {
+        assert_eq!(desc().age, 0);
+    }
+
+    #[test]
+    fn aged_increments_saturating() {
+        let d = desc().aged().aged();
+        assert_eq!(d.age, 2);
+        let mut old = desc();
+        old.age = u16::MAX;
+        assert_eq!(old.aged().age, u16::MAX);
+    }
+
+    #[test]
+    fn refreshed_resets() {
+        let d = desc().aged().aged().refreshed();
+        assert_eq!(d.age, 0);
+    }
+
+    #[test]
+    fn display_mentions_id_and_class() {
+        let s = desc().to_string();
+        assert!(s.contains("p3") && s.contains("RC"), "{s}");
+    }
+}

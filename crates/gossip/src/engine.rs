@@ -1,0 +1,570 @@
+//! Event-driven engine running the generic (NAT-oblivious) protocol.
+//!
+//! This is the baseline of Section 3 of the paper: peers address view
+//! entries directly, with no traversal machinery. Under NATs, requests to
+//! unreachable entries silently vanish — which is exactly the degradation
+//! Figures 2–4 quantify.
+
+use std::collections::HashMap;
+
+use nylon_net::{Delivery, InFlight, NatClass, NetConfig, Network, PeerId};
+use nylon_sim::{Sim, SimDuration, SimRng, SimTime};
+
+use crate::descriptor::NodeDescriptor;
+use crate::policy::{GossipConfig, PropagationPolicy};
+use crate::view::PartialView;
+
+/// Wire messages of the generic protocol (Figure 1 of the paper).
+#[derive(Debug, Clone)]
+pub enum BaselineMsg {
+    /// Shuffle request carrying the initiator's view (plus fresh self
+    /// descriptor).
+    Request {
+        /// Initiating peer.
+        from: PeerId,
+        /// Shipped descriptors.
+        entries: Vec<NodeDescriptor>,
+    },
+    /// Shuffle response carrying the target's view (push/pull only).
+    Response {
+        /// Responding peer.
+        from: PeerId,
+        /// Shipped descriptors.
+        entries: Vec<NodeDescriptor>,
+    },
+}
+
+/// Engine events.
+#[derive(Debug)]
+enum Ev {
+    /// A peer's shuffle timer fired.
+    Shuffle(PeerId),
+    /// A datagram arrives.
+    Deliver(InFlight<BaselineMsg>),
+    /// Periodic NAT state garbage collection.
+    Purge,
+}
+
+/// Aggregate protocol counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShuffleStats {
+    /// Shuffle rounds in which a target was selected and a request sent.
+    pub initiated: u64,
+    /// Rounds skipped because the view was empty.
+    pub empty_view_rounds: u64,
+    /// Requests that reached their target.
+    pub requests_received: u64,
+    /// Responses that reached the initiator.
+    pub responses_received: u64,
+}
+
+#[derive(Debug)]
+struct Node {
+    view: PartialView,
+    rng: SimRng,
+    /// Ids shipped per outstanding request, for the swapper merge.
+    pending_sent: HashMap<PeerId, Vec<PeerId>>,
+}
+
+/// Interval between NAT garbage-collection sweeps.
+const PURGE_EVERY: SimDuration = SimDuration::from_secs(60);
+
+/// The baseline peer-sampling engine.
+///
+/// Usage: construct, [`add_peer`](Self::add_peer) the population,
+/// [`bootstrap_random_public`](Self::bootstrap_random_public),
+/// [`start`](Self::start), then [`run_rounds`](Self::run_rounds) /
+/// [`run_for`](Self::run_for). See the crate-level example.
+#[derive(Debug)]
+pub struct BaselineEngine {
+    sim: Sim<Ev>,
+    net: Network<BaselineMsg>,
+    cfg: GossipConfig,
+    nodes: Vec<Node>,
+    stats: ShuffleStats,
+    started: bool,
+    sample_log: Option<Vec<u32>>,
+}
+
+impl BaselineEngine {
+    /// Creates an engine with the given protocol and fabric configuration;
+    /// `seed` drives every random choice in the run.
+    pub fn new(cfg: GossipConfig, net_cfg: NetConfig, seed: u64) -> Self {
+        let sim = Sim::new(seed);
+        let net = Network::new(net_cfg, seed ^ 0x4E59_4C4F_4E00_0001);
+        BaselineEngine {
+            sim,
+            net,
+            cfg,
+            nodes: Vec::new(),
+            stats: ShuffleStats::default(),
+            started: false,
+            sample_log: None,
+        }
+    }
+
+    /// Starts recording every gossip-target selection (peer ids, in
+    /// selection order) for randomness analysis. Call before running.
+    pub fn enable_sample_log(&mut self) {
+        self.sample_log = Some(Vec::new());
+    }
+
+    /// The recorded target selections, if logging was enabled.
+    pub fn sample_log(&self) -> Option<&[u32]> {
+        self.sample_log.as_deref()
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &GossipConfig {
+        &self.cfg
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The underlying network (for oracles and traffic stats).
+    pub fn net(&self) -> &Network<BaselineMsg> {
+        &self.net
+    }
+
+    /// Protocol counters.
+    pub fn stats(&self) -> ShuffleStats {
+        self.stats
+    }
+
+    /// Adds a peer of the given NAT class and returns its id.
+    ///
+    /// If the engine is already running, the peer starts shuffling one
+    /// random phase into the next period (a joining node).
+    pub fn add_peer(&mut self, class: NatClass) -> PeerId {
+        let id = self.net.add_peer(class);
+        let rng = self.sim.rng().fork(0x6E6F_6465_0000_0000 | id.0 as u64);
+        self.nodes.push(Node {
+            view: PartialView::new(id, self.cfg.view_size),
+            rng,
+            pending_sent: HashMap::new(),
+        });
+        if self.started {
+            let phase = {
+                let period = self.cfg.shuffle_period.as_millis();
+                let node = &mut self.nodes[id.index()];
+                SimDuration::from_millis(node.rng.gen_range(0..period))
+            };
+            self.sim.schedule_after(phase, Ev::Shuffle(id));
+        }
+        id
+    }
+
+    /// Enables a permanent UPnP/NAT-PMP port forwarding for a natted peer
+    /// (no-op for public peers). Call before bootstrapping so descriptors
+    /// advertise the forwarded endpoint.
+    pub fn enable_port_forwarding(&mut self, peer: PeerId) {
+        let _ = self.net.enable_port_forwarding(peer);
+    }
+
+    /// Adds a peer whose initial view contains descriptors of `contacts`
+    /// (the join path: a new node knows a few existing members).
+    pub fn add_peer_with_bootstrap(&mut self, class: NatClass, contacts: &[PeerId]) -> PeerId {
+        let id = self.add_peer(class);
+        for c in contacts {
+            if *c == id || !self.net.is_alive(*c) {
+                continue;
+            }
+            let d = NodeDescriptor::new(*c, self.net.identity_endpoint(*c), self.net.class_of(*c));
+            self.nodes[id.index()].view.insert(d);
+        }
+        id
+    }
+
+    /// Fills every view with up to `per_view` uniformly chosen *public*
+    /// peers (the paper's bootstrap: "all peers' views are filled with
+    /// randomly chosen public peers", guaranteeing an initially connected
+    /// graph).
+    ///
+    /// If the population has no public peers at all, falls back to
+    /// uniformly chosen arbitrary peers (their NATs make many of these
+    /// entries immediately unusable for the baseline — that is the point of
+    /// the 100 % NAT data point).
+    pub fn bootstrap_random_public(&mut self, per_view: usize) {
+        let publics: Vec<PeerId> =
+            self.net.alive_peers().filter(|p| self.net.class_of(*p).is_public()).collect();
+        let everyone: Vec<PeerId> = self.net.alive_peers().collect();
+        let pool = if publics.is_empty() { everyone } else { publics };
+        let all: Vec<PeerId> = self.net.alive_peers().collect();
+        for p in all {
+            let candidates: Vec<PeerId> = pool.iter().copied().filter(|q| *q != p).collect();
+            let chosen = {
+                let node = &mut self.nodes[p.index()];
+                node.rng.sample_without_replacement(&candidates, per_view)
+            };
+            for q in chosen {
+                let d = NodeDescriptor::new(q, self.net.identity_endpoint(q), self.net.class_of(q));
+                self.nodes[p.index()].view.insert(d);
+            }
+        }
+    }
+
+    /// Schedules the first shuffle of every peer (random phase within one
+    /// period) and the periodic NAT garbage collection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn start(&mut self) {
+        assert!(!self.started, "engine already started");
+        self.started = true;
+        let period = self.cfg.shuffle_period.as_millis();
+        let peers: Vec<PeerId> = self.net.alive_peers().collect();
+        for p in peers {
+            let phase = {
+                let node = &mut self.nodes[p.index()];
+                SimDuration::from_millis(node.rng.gen_range(0..period))
+            };
+            self.sim.schedule_after(phase, Ev::Shuffle(p));
+        }
+        self.sim.schedule_after(PURGE_EVERY, Ev::Purge);
+    }
+
+    /// Runs the simulation for `dur` of virtual time.
+    pub fn run_for(&mut self, dur: SimDuration) {
+        let deadline = self.sim.now() + dur;
+        while let Some(at) = self.sim.peek_time() {
+            if at > deadline {
+                break;
+            }
+            let (_, ev) = self.sim.step().expect("event vanished between peek and pop");
+            self.handle(ev);
+        }
+        self.sim.advance_to(deadline);
+    }
+
+    /// Runs for `n` shuffle periods.
+    pub fn run_rounds(&mut self, n: u64) {
+        self.run_for(self.cfg.shuffle_period * n);
+    }
+
+    /// Kills a set of peers simultaneously (fail-stop churn).
+    pub fn kill_peers(&mut self, peers: &[PeerId]) {
+        for p in peers {
+            self.net.kill_peer(*p);
+        }
+    }
+
+    /// The view of a peer (dead peers keep their last view).
+    pub fn view_of(&self, peer: PeerId) -> &PartialView {
+        &self.nodes[peer.index()].view
+    }
+
+    /// Iterator over alive peers.
+    pub fn alive_peers(&self) -> impl Iterator<Item = PeerId> + '_ {
+        self.net.alive_peers()
+    }
+
+    /// A peer's fresh self-descriptor.
+    fn self_descriptor(&self, peer: PeerId) -> NodeDescriptor {
+        NodeDescriptor::new(peer, self.net.identity_endpoint(peer), self.net.class_of(peer))
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::Shuffle(p) => self.on_shuffle(p),
+            Ev::Deliver(flight) => self.on_deliver(flight),
+            Ev::Purge => {
+                let now = self.sim.now();
+                self.net.purge_expired_nat_state(now);
+                self.sim.schedule_after(PURGE_EVERY, Ev::Purge);
+            }
+        }
+    }
+
+    /// Figure 1, lines 1–7: select target, ship view, age entries.
+    fn on_shuffle(&mut self, p: PeerId) {
+        if !self.net.is_alive(p) {
+            return; // dead peers stop shuffling; timer chain ends here
+        }
+        let now = self.sim.now();
+        let self_d = self.self_descriptor(p);
+        let target = {
+            let node = &mut self.nodes[p.index()];
+            node.view.select_target(self.cfg.selection, &mut node.rng)
+        };
+        match target {
+            None => self.stats.empty_view_rounds += 1,
+            Some(target) => {
+                if let Some(log) = &mut self.sample_log {
+                    log.push(target.id.0);
+                }
+                let payload = self.nodes[p.index()].view.shuffle_payload(self_d);
+                let sent_ids: Vec<PeerId> = payload.iter().map(|d| d.id).collect();
+                self.nodes[p.index()].pending_sent.insert(target.id, sent_ids);
+                let bytes = self.cfg.message_bytes(payload.len());
+                let msg = BaselineMsg::Request { from: p, entries: payload };
+                if let Some(flight) = self.net.send(now, p, target.addr, msg, bytes) {
+                    self.sim.schedule_at(flight.arrive_at, Ev::Deliver(flight));
+                }
+                self.stats.initiated += 1;
+            }
+        }
+        self.nodes[p.index()].view.increase_age();
+        self.sim.schedule_after(self.cfg.shuffle_period, Ev::Shuffle(p));
+    }
+
+    fn on_deliver(&mut self, flight: InFlight<BaselineMsg>) {
+        let now = self.sim.now();
+        let (to, from_ep, msg) = match self.net.deliver(now, flight) {
+            Delivery::ToPeer { to, from_ep, payload } => (to, from_ep, payload),
+            Delivery::Dropped { .. } => return, // counted by the fabric
+        };
+        match msg {
+            // Figure 1, lines 8–12: answer (push/pull), then merge.
+            BaselineMsg::Request { from, entries } => {
+                self.stats.requests_received += 1;
+                let self_d = self.self_descriptor(to);
+                let mut sent_ids: Vec<PeerId> = Vec::new();
+                if self.cfg.propagation == PropagationPolicy::PushPull {
+                    let payload = self.nodes[to.index()].view.shuffle_payload(self_d);
+                    sent_ids = payload.iter().map(|d| d.id).collect();
+                    let bytes = self.cfg.message_bytes(payload.len());
+                    let msg = BaselineMsg::Response { from: to, entries: payload };
+                    // Reply to the *observed* source endpoint: travels back
+                    // through whatever hole the request opened.
+                    if let Some(flight) = self.net.send(now, to, from_ep, msg, bytes) {
+                        self.sim.schedule_at(flight.arrive_at, Ev::Deliver(flight));
+                    }
+                }
+                let node = &mut self.nodes[to.index()];
+                node.view.merge_and_truncate(&entries, &sent_ids, self.cfg.merge, &mut node.rng);
+                let _ = from;
+            }
+            // Figure 1, lines 4–6: initiator merges the pulled view.
+            BaselineMsg::Response { from, entries } => {
+                self.stats.responses_received += 1;
+                let node = &mut self.nodes[to.index()];
+                let sent = node.pending_sent.remove(&from).unwrap_or_default();
+                node.view.merge_and_truncate(&entries, &sent, self.cfg.merge, &mut node.rng);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{MergePolicy, SelectionPolicy};
+    use nylon_net::NatType;
+
+    fn engine_with(publics: usize, natted: usize, nat: NatType, seed: u64) -> BaselineEngine {
+        let mut eng = BaselineEngine::new(GossipConfig::default(), NetConfig::default(), seed);
+        for _ in 0..publics {
+            eng.add_peer(NatClass::Public);
+        }
+        for _ in 0..natted {
+            eng.add_peer(NatClass::Natted(nat));
+        }
+        eng.bootstrap_random_public(8);
+        eng.start();
+        eng
+    }
+
+    #[test]
+    fn all_public_views_fill_up() {
+        let mut eng = engine_with(40, 0, NatType::PortRestrictedCone, 1);
+        eng.run_rounds(30);
+        for p in eng.alive_peers().collect::<Vec<_>>() {
+            assert_eq!(eng.view_of(p).len(), eng.config().view_size, "view of {p} not full");
+        }
+        let s = eng.stats();
+        assert!(s.initiated > 0);
+        assert!(s.responses_received > 0, "push/pull must produce responses");
+    }
+
+    #[test]
+    fn push_mode_has_no_responses() {
+        let cfg = GossipConfig { propagation: PropagationPolicy::Push, ..GossipConfig::default() };
+        let mut eng = BaselineEngine::new(cfg, NetConfig::default(), 3);
+        for _ in 0..30 {
+            eng.add_peer(NatClass::Public);
+        }
+        eng.bootstrap_random_public(8);
+        eng.start();
+        eng.run_rounds(20);
+        assert_eq!(eng.stats().responses_received, 0);
+        assert!(eng.stats().requests_received > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut eng = engine_with(20, 20, NatType::PortRestrictedCone, seed);
+            eng.run_rounds(25);
+            let mut ids: Vec<Vec<u32>> = Vec::new();
+            for p in eng.alive_peers().collect::<Vec<_>>() {
+                let mut v: Vec<u32> = eng.view_of(p).ids().iter().map(|q| q.0).collect();
+                v.sort_unstable();
+                ids.push(v);
+            }
+            ids
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn natted_peers_participate() {
+        let mut eng = engine_with(20, 20, NatType::RestrictedCone, 7);
+        eng.run_rounds(40);
+        // Natted peers spread into views via shuffles.
+        let natted_refs: usize = eng
+            .alive_peers()
+            .collect::<Vec<_>>()
+            .iter()
+            .map(|p| eng.view_of(*p).iter().filter(|d| d.class.is_natted()).count())
+            .sum();
+        assert!(natted_refs > 0, "natted peers never entered any view");
+    }
+
+    #[test]
+    fn dead_peers_stop_shuffling() {
+        let mut eng = engine_with(20, 0, NatType::PortRestrictedCone, 5);
+        eng.run_rounds(5);
+        let initiated_before = eng.stats().initiated;
+        let all: Vec<PeerId> = eng.alive_peers().collect();
+        eng.kill_peers(&all);
+        eng.run_rounds(10);
+        // At most the already-scheduled round per peer fires (and is skipped
+        // since the peer is dead), so `initiated` may grow by zero only.
+        assert_eq!(eng.stats().initiated, initiated_before);
+        assert_eq!(eng.alive_peers().count(), 0);
+    }
+
+    #[test]
+    fn join_after_start_gets_integrated() {
+        let mut eng = engine_with(20, 0, NatType::PortRestrictedCone, 9);
+        eng.run_rounds(10);
+        let seed_peer = eng.alive_peers().next().unwrap();
+        let newbie = eng.add_peer_with_bootstrap(NatClass::Public, &[seed_peer]);
+        eng.run_rounds(20);
+        assert!(!eng.view_of(newbie).is_empty());
+        // Someone knows the newbie.
+        let known: usize = eng
+            .alive_peers()
+            .collect::<Vec<_>>()
+            .iter()
+            .filter(|p| eng.view_of(**p).contains(newbie))
+            .count();
+        assert!(known > 0, "joining peer never advertised");
+    }
+
+    #[test]
+    fn tail_selection_and_swapper_run() {
+        let cfg = GossipConfig {
+            selection: SelectionPolicy::Tail,
+            merge: MergePolicy::Swapper,
+            ..GossipConfig::default()
+        };
+        let mut eng = BaselineEngine::new(cfg, NetConfig::default(), 11);
+        for _ in 0..30 {
+            eng.add_peer(NatClass::Public);
+        }
+        eng.bootstrap_random_public(8);
+        eng.start();
+        eng.run_rounds(25);
+        assert!(eng.stats().responses_received > 0);
+        for p in eng.alive_peers().collect::<Vec<_>>() {
+            assert!(!eng.view_of(p).is_empty());
+        }
+    }
+
+    #[test]
+    fn traffic_is_accounted() {
+        let mut eng = engine_with(10, 0, NatType::PortRestrictedCone, 13);
+        eng.run_rounds(10);
+        let total: u64 = eng
+            .alive_peers()
+            .collect::<Vec<_>>()
+            .iter()
+            .map(|p| eng.net().stats_of(*p).bytes_total())
+            .sum();
+        assert!(total > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "engine already started")]
+    fn double_start_panics() {
+        let mut eng = engine_with(5, 0, NatType::PortRestrictedCone, 1);
+        eng.start();
+    }
+
+    #[test]
+    fn staleness_emerges_from_nat_filters() {
+        // With many PRC peers, some requests die at NAT boxes: completion
+        // drops below initiation.
+        let mut eng = engine_with(8, 32, NatType::PortRestrictedCone, 15);
+        eng.run_rounds(50);
+        let s = eng.stats();
+        assert!(
+            s.requests_received < s.initiated,
+            "NATs must drop some requests: {} received of {}",
+            s.requests_received,
+            s.initiated
+        );
+        let drops = eng.net().drop_counters();
+        assert!(drops.no_mapping + drops.filtered > 0, "drops must be NAT-caused: {drops:?}");
+    }
+
+    #[test]
+    fn sample_log_capture() {
+        let mut eng = engine_with(20, 0, NatType::PortRestrictedCone, 17);
+        eng.enable_sample_log();
+        eng.run_rounds(10);
+        let log = eng.sample_log().expect("enabled");
+        assert!(!log.is_empty());
+        assert!(log.iter().all(|id| (*id as usize) < eng.net().peer_count()));
+    }
+
+    #[test]
+    fn empty_view_rounds_are_counted() {
+        // A peer bootstrapped with no contacts skips rounds.
+        let mut eng = BaselineEngine::new(GossipConfig::default(), NetConfig::default(), 19);
+        eng.add_peer(NatClass::Public);
+        eng.add_peer(NatClass::Public);
+        // No bootstrap: views empty.
+        eng.start();
+        eng.run_rounds(5);
+        assert!(eng.stats().empty_view_rounds > 0);
+        assert_eq!(eng.stats().initiated, 0);
+    }
+
+    #[test]
+    fn full_cone_population_behaves_like_public() {
+        let mut fc = engine_with(5, 35, NatType::FullCone, 23);
+        fc.run_rounds(40);
+        let fc_failures = {
+            let d = fc.net().drop_counters();
+            d.no_mapping + d.filtered
+        };
+        let mut prc = engine_with(5, 35, NatType::PortRestrictedCone, 23);
+        prc.run_rounds(40);
+        let prc_failures = {
+            let d = prc.net().drop_counters();
+            d.no_mapping + d.filtered
+        };
+        assert!(
+            fc_failures * 10 < prc_failures.max(1),
+            "FC ({fc_failures}) must drop far less than PRC ({prc_failures})"
+        );
+    }
+
+    #[test]
+    fn killed_peers_views_freeze() {
+        let mut eng = engine_with(20, 0, NatType::PortRestrictedCone, 27);
+        eng.run_rounds(10);
+        let victim = eng.alive_peers().next().unwrap();
+        let before: Vec<PeerId> = eng.view_of(victim).ids();
+        eng.kill_peers(&[victim]);
+        eng.run_rounds(20);
+        assert_eq!(eng.view_of(victim).ids(), before, "dead peer's view must not change");
+    }
+}

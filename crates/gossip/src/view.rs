@@ -1,0 +1,484 @@
+//! The partial view: a bounded, duplicate-free set of node descriptors.
+
+use nylon_net::PeerId;
+use nylon_sim::SimRng;
+
+use crate::descriptor::NodeDescriptor;
+use crate::policy::{MergePolicy, SelectionPolicy};
+
+/// A peer's partial view of the network.
+///
+/// Invariants maintained by every operation:
+///
+/// * at most `capacity` entries;
+/// * no duplicate peer ids (merging keeps the youngest copy);
+/// * never contains the owner itself.
+///
+/// ```
+/// use nylon_gossip::{NodeDescriptor, PartialView};
+/// use nylon_net::{Endpoint, Ip, NatClass, PeerId, Port};
+///
+/// let mut view = PartialView::new(PeerId(0), 3);
+/// for i in 1..=3u32 {
+///     view.insert(NodeDescriptor::new(
+///         PeerId(i),
+///         Endpoint::new(Ip(i), Port(9000)),
+///         NatClass::Public,
+///     ));
+/// }
+/// assert_eq!(view.len(), 3);
+/// assert!(view.contains(PeerId(2)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PartialView {
+    owner: PeerId,
+    capacity: usize,
+    entries: Vec<NodeDescriptor>,
+}
+
+impl PartialView {
+    /// An empty view owned by `owner` holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(owner: PeerId, capacity: usize) -> Self {
+        assert!(capacity > 0, "view capacity must be positive");
+        PartialView { owner, capacity, entries: Vec::with_capacity(capacity) }
+    }
+
+    /// The peer owning this view.
+    pub fn owner(&self) -> PeerId {
+        self.owner
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the view holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the entries in storage order.
+    pub fn iter(&self) -> std::slice::Iter<'_, NodeDescriptor> {
+        self.entries.iter()
+    }
+
+    /// The entries as a slice.
+    pub fn as_slice(&self) -> &[NodeDescriptor] {
+        &self.entries
+    }
+
+    /// The ids of all entries.
+    pub fn ids(&self) -> Vec<PeerId> {
+        self.entries.iter().map(|d| d.id).collect()
+    }
+
+    /// `true` if an entry for `id` is present.
+    pub fn contains(&self, id: PeerId) -> bool {
+        self.entries.iter().any(|d| d.id == id)
+    }
+
+    /// The entry for `id`, if present.
+    pub fn get(&self, id: PeerId) -> Option<&NodeDescriptor> {
+        self.entries.iter().find(|d| d.id == id)
+    }
+
+    /// Inserts a descriptor.
+    ///
+    /// Self-references are ignored. If the peer is already present the
+    /// *younger* copy wins. If the view is full, the oldest entry is evicted
+    /// to make room (bootstrap/maintenance path; shuffle merging goes
+    /// through [`PartialView::merge_and_truncate`]).
+    pub fn insert(&mut self, d: NodeDescriptor) {
+        if d.id == self.owner {
+            return;
+        }
+        if let Some(existing) = self.entries.iter_mut().find(|e| e.id == d.id) {
+            if d.age < existing.age {
+                *existing = d;
+            }
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            if let Some((idx, oldest)) =
+                self.entries.iter().enumerate().max_by_key(|(_, e)| e.age)
+            {
+                if oldest.age >= d.age {
+                    self.entries[idx] = d;
+                }
+                return;
+            }
+        }
+        self.entries.push(d);
+    }
+
+    /// Removes the entry for `id`, returning it if it was present.
+    pub fn remove(&mut self, id: PeerId) -> Option<NodeDescriptor> {
+        let idx = self.entries.iter().position(|d| d.id == id)?;
+        Some(self.entries.remove(idx))
+    }
+
+    /// Retains only entries for which the predicate holds.
+    pub fn retain<F: FnMut(&NodeDescriptor) -> bool>(&mut self, f: F) {
+        self.entries.retain(f);
+    }
+
+    /// Increments every entry's age by one (called once per shuffle
+    /// period, Figure 1 line 7/12 of the paper).
+    pub fn increase_age(&mut self) {
+        for d in &mut self.entries {
+            d.age = d.age.saturating_add(1);
+        }
+    }
+
+    /// Selects the gossip target per the selection policy: a uniformly
+    /// random entry, or the oldest one ("tail").
+    pub fn select_target(&self, policy: SelectionPolicy, rng: &mut SimRng) -> Option<NodeDescriptor> {
+        match policy {
+            SelectionPolicy::Rand => rng.pick(&self.entries).copied(),
+            SelectionPolicy::Tail => self.entries.iter().max_by_key(|d| d.age).copied(),
+        }
+    }
+
+    /// Merges descriptors received in a shuffle and truncates back to
+    /// capacity per the merge policy (Figure 1 `merge_and_truncate`).
+    ///
+    /// * `received` — the descriptors shipped by the partner;
+    /// * `sent` — the ids this peer shipped in the same exchange (used by
+    ///   [`MergePolicy::Swapper`] to drop them first).
+    ///
+    /// Duplicates keep the youngest copy; self-references are dropped.
+    pub fn merge_and_truncate(
+        &mut self,
+        received: &[NodeDescriptor],
+        sent: &[PeerId],
+        policy: MergePolicy,
+        rng: &mut SimRng,
+    ) {
+        for d in received {
+            if d.id == self.owner {
+                continue;
+            }
+            match self.entries.iter_mut().find(|e| e.id == d.id) {
+                Some(existing) => {
+                    if d.age < existing.age {
+                        *existing = *d;
+                    }
+                }
+                None => self.entries.push(*d),
+            }
+        }
+        if self.entries.len() <= self.capacity {
+            return;
+        }
+        let excess = self.entries.len() - self.capacity;
+        match policy {
+            MergePolicy::Blind => {
+                for _ in 0..excess {
+                    let idx = rng
+                        .pick_index(self.entries.len())
+                        .expect("entries non-empty while over capacity");
+                    self.entries.swap_remove(idx);
+                }
+            }
+            MergePolicy::Healer => {
+                // Drop the `excess` oldest entries. Ties are broken at
+                // random: a stable sort would systematically favour
+                // incumbents over freshly appended descriptors of equal age,
+                // starving newly joined peers out of every view.
+                rng.shuffle(&mut self.entries);
+                self.entries.sort_by_key(|d| d.age);
+                self.entries.truncate(self.capacity);
+            }
+            MergePolicy::Swapper => {
+                let mut to_drop = excess;
+                // First drop what we shipped to the partner (but never an
+                // entry the partner just refreshed for us: those were
+                // deduplicated above and keep their younger age, which we
+                // detect by membership in `received` with a younger copy).
+                let mut idx = 0;
+                while to_drop > 0 && idx < self.entries.len() {
+                    let id = self.entries[idx].id;
+                    let was_sent = sent.contains(&id);
+                    let was_received = received.iter().any(|r| r.id == id);
+                    if was_sent && !was_received {
+                        self.entries.swap_remove(idx);
+                        to_drop -= 1;
+                    } else {
+                        idx += 1;
+                    }
+                }
+                // Any remainder: drop random entries.
+                for _ in 0..to_drop {
+                    let idx = rng
+                        .pick_index(self.entries.len())
+                        .expect("entries non-empty while over capacity");
+                    self.entries.swap_remove(idx);
+                }
+            }
+        }
+        debug_assert!(self.entries.len() <= self.capacity);
+    }
+
+    /// The descriptors to ship in a shuffle: the whole view plus a fresh
+    /// self-descriptor, as in Figure 1 of the paper (views are exchanged in
+    /// full; the self-descriptor is what injects new peers into the
+    /// overlay).
+    pub fn shuffle_payload(&self, self_descriptor: NodeDescriptor) -> Vec<NodeDescriptor> {
+        let mut out = Vec::with_capacity(self.entries.len() + 1);
+        out.push(self_descriptor.refreshed());
+        out.extend(self.entries.iter().copied());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nylon_net::{Endpoint, Ip, NatClass, Port};
+    use proptest::prelude::*;
+
+    fn d(id: u32, age: u16) -> NodeDescriptor {
+        let mut desc = NodeDescriptor::new(
+            PeerId(id),
+            Endpoint::new(Ip(0x0100_0000 + id), Port(9000)),
+            NatClass::Public,
+        );
+        desc.age = age;
+        desc
+    }
+
+    fn filled(owner: u32, cap: usize, ids: &[(u32, u16)]) -> PartialView {
+        let mut v = PartialView::new(PeerId(owner), cap);
+        for (id, age) in ids {
+            v.insert(d(*id, *age));
+        }
+        v
+    }
+
+    #[test]
+    fn insert_rejects_self() {
+        let mut v = PartialView::new(PeerId(0), 4);
+        v.insert(d(0, 0));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn insert_dedups_keeping_youngest() {
+        let mut v = PartialView::new(PeerId(0), 4);
+        v.insert(d(1, 5));
+        v.insert(d(1, 2));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.get(PeerId(1)).unwrap().age, 2);
+        // An older copy does not replace a younger one.
+        v.insert(d(1, 9));
+        assert_eq!(v.get(PeerId(1)).unwrap().age, 2);
+    }
+
+    #[test]
+    fn insert_when_full_evicts_oldest() {
+        let mut v = filled(0, 3, &[(1, 9), (2, 1), (3, 4)]);
+        v.insert(d(4, 0));
+        assert_eq!(v.len(), 3);
+        assert!(!v.contains(PeerId(1)), "oldest entry must be evicted");
+        assert!(v.contains(PeerId(4)));
+    }
+
+    #[test]
+    fn insert_when_full_keeps_younger_incumbents() {
+        let mut v = filled(0, 3, &[(1, 0), (2, 1), (3, 2)]);
+        v.insert(d(4, 10));
+        assert_eq!(v.len(), 3);
+        assert!(!v.contains(PeerId(4)), "older newcomer must not displace younger entries");
+    }
+
+    #[test]
+    fn remove_returns_entry() {
+        let mut v = filled(0, 3, &[(1, 0), (2, 1)]);
+        let gone = v.remove(PeerId(1)).unwrap();
+        assert_eq!(gone.id, PeerId(1));
+        assert!(!v.contains(PeerId(1)));
+        assert!(v.remove(PeerId(42)).is_none());
+    }
+
+    #[test]
+    fn increase_age_all_entries() {
+        let mut v = filled(0, 3, &[(1, 0), (2, 7)]);
+        v.increase_age();
+        assert_eq!(v.get(PeerId(1)).unwrap().age, 1);
+        assert_eq!(v.get(PeerId(2)).unwrap().age, 8);
+    }
+
+    #[test]
+    fn select_tail_is_oldest() {
+        let v = filled(0, 4, &[(1, 3), (2, 9), (3, 0)]);
+        let mut rng = SimRng::new(1);
+        let t = v.select_target(SelectionPolicy::Tail, &mut rng).unwrap();
+        assert_eq!(t.id, PeerId(2));
+    }
+
+    #[test]
+    fn select_rand_covers_entries() {
+        let v = filled(0, 4, &[(1, 0), (2, 0), (3, 0)]);
+        let mut rng = SimRng::new(7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(v.select_target(SelectionPolicy::Rand, &mut rng).unwrap().id);
+        }
+        assert_eq!(seen.len(), 3, "random selection must reach every entry");
+    }
+
+    #[test]
+    fn select_from_empty_is_none() {
+        let v = PartialView::new(PeerId(0), 4);
+        let mut rng = SimRng::new(7);
+        assert!(v.select_target(SelectionPolicy::Rand, &mut rng).is_none());
+        assert!(v.select_target(SelectionPolicy::Tail, &mut rng).is_none());
+    }
+
+    #[test]
+    fn merge_healer_keeps_youngest() {
+        let mut v = filled(0, 3, &[(1, 8), (2, 6), (3, 4)]);
+        let received = vec![d(4, 0), d(5, 1)];
+        let mut rng = SimRng::new(1);
+        v.merge_and_truncate(&received, &[], MergePolicy::Healer, &mut rng);
+        assert_eq!(v.len(), 3);
+        let mut ids = v.ids();
+        ids.sort_by_key(|p| p.0);
+        assert_eq!(ids, vec![PeerId(3), PeerId(4), PeerId(5)]);
+    }
+
+    #[test]
+    fn merge_updates_age_of_duplicates() {
+        let mut v = filled(0, 3, &[(1, 8)]);
+        let mut rng = SimRng::new(1);
+        v.merge_and_truncate(&[d(1, 2)], &[], MergePolicy::Healer, &mut rng);
+        assert_eq!(v.get(PeerId(1)).unwrap().age, 2);
+        // Older incoming copy does not regress the age.
+        v.merge_and_truncate(&[d(1, 11)], &[], MergePolicy::Healer, &mut rng);
+        assert_eq!(v.get(PeerId(1)).unwrap().age, 2);
+    }
+
+    #[test]
+    fn merge_drops_self_references() {
+        let mut v = PartialView::new(PeerId(0), 3);
+        let mut rng = SimRng::new(1);
+        v.merge_and_truncate(&[d(0, 0), d(1, 0)], &[], MergePolicy::Healer, &mut rng);
+        assert!(!v.contains(PeerId(0)));
+        assert!(v.contains(PeerId(1)));
+    }
+
+    #[test]
+    fn merge_swapper_drops_sent_first() {
+        let mut v = filled(0, 3, &[(1, 0), (2, 0), (3, 0)]);
+        let sent = v.ids();
+        let received = vec![d(4, 5), d(5, 5), d(6, 5)];
+        let mut rng = SimRng::new(1);
+        v.merge_and_truncate(&received, &sent, MergePolicy::Swapper, &mut rng);
+        assert_eq!(v.len(), 3);
+        let mut ids = v.ids();
+        ids.sort_by_key(|p| p.0);
+        assert_eq!(ids, vec![PeerId(4), PeerId(5), PeerId(6)], "swapper must keep received");
+    }
+
+    #[test]
+    fn merge_blind_keeps_capacity() {
+        let mut v = filled(0, 5, &[(1, 0), (2, 1), (3, 2), (4, 3), (5, 4)]);
+        let received: Vec<NodeDescriptor> = (6..12).map(|i| d(i, 0)).collect();
+        let mut rng = SimRng::new(1);
+        v.merge_and_truncate(&received, &[], MergePolicy::Blind, &mut rng);
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn shuffle_payload_fresh_self_first() {
+        let v = filled(7, 3, &[(1, 4), (2, 2)]);
+        let mut self_d = d(7, 9);
+        self_d.age = 9;
+        let payload = v.shuffle_payload(self_d);
+        assert_eq!(payload.len(), 3);
+        assert_eq!(payload[0].id, PeerId(7));
+        assert_eq!(payload[0].age, 0, "self descriptor must be refreshed");
+    }
+
+    #[test]
+    #[should_panic(expected = "view capacity must be positive")]
+    fn zero_capacity_panics() {
+        PartialView::new(PeerId(0), 0);
+    }
+
+    proptest! {
+        /// Invariants hold after arbitrary merge sequences: bounded size, no
+        /// duplicates, no self-reference.
+        #[test]
+        fn prop_merge_invariants(
+            seed in any::<u64>(),
+            cap in 1usize..12,
+            batches in proptest::collection::vec(
+                proptest::collection::vec((0u32..30, 0u16..20), 0..20),
+                1..8,
+            ),
+        ) {
+            let mut rng = SimRng::new(seed);
+            let mut v = PartialView::new(PeerId(0), cap);
+            for (bi, batch) in batches.iter().enumerate() {
+                let received: Vec<NodeDescriptor> =
+                    batch.iter().map(|(id, age)| d(*id, *age)).collect();
+                let sent = v.ids();
+                let policy = match bi % 3 {
+                    0 => MergePolicy::Blind,
+                    1 => MergePolicy::Healer,
+                    _ => MergePolicy::Swapper,
+                };
+                v.merge_and_truncate(&received, &sent, policy, &mut rng);
+                prop_assert!(v.len() <= cap, "over capacity");
+                prop_assert!(!v.contains(PeerId(0)), "self reference");
+                let mut ids = v.ids();
+                ids.sort_by_key(|p| p.0);
+                let before = ids.len();
+                ids.dedup();
+                prop_assert_eq!(ids.len(), before, "duplicate ids");
+            }
+        }
+
+        /// Healer truncation keeps a youngest-subset: max kept age <= min
+        /// dropped age.
+        #[test]
+        fn prop_healer_keeps_youngest(
+            seed in any::<u64>(),
+            entries in proptest::collection::vec((1u32..100, 0u16..50), 6..30),
+        ) {
+            let mut uniq = std::collections::HashMap::new();
+            for (id, age) in &entries {
+                uniq.entry(*id).or_insert(*age);
+            }
+            prop_assume!(uniq.len() > 5);
+            let cap = 5;
+            let mut v = PartialView::new(PeerId(0), cap);
+            let received: Vec<NodeDescriptor> =
+                uniq.iter().map(|(id, age)| d(*id, *age)).collect();
+            let mut rng = SimRng::new(seed);
+            v.merge_and_truncate(&received, &[], MergePolicy::Healer, &mut rng);
+            prop_assert_eq!(v.len(), cap);
+            let max_kept = v.iter().map(|e| e.age).max().unwrap();
+            let kept_ids: std::collections::HashSet<u32> =
+                v.iter().map(|e| e.id.0).collect();
+            let min_dropped = uniq
+                .iter()
+                .filter(|(id, _)| !kept_ids.contains(id))
+                .map(|(_, age)| *age)
+                .min()
+                .unwrap();
+            prop_assert!(max_kept <= min_dropped);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Bandwidth aggregation by NAT class (Figures 7 and 8 of the paper).
+
+use nylon_net::TrafficStats;
+use nylon_sim::SimDuration;
+
+use crate::stats::Summary;
+
+/// Mean bytes-per-second consumption per peer, overall and split by class.
+///
+/// The paper's Figures 7/8 plot "the average number of bytes per second
+/// that each peer sends and receives": both directions summed, averaged
+/// over peers, over a measurement window.
+#[derive(Debug, Clone, Copy)]
+pub struct BandwidthReport {
+    /// Mean B/s over all peers.
+    pub overall: Summary,
+    /// Mean B/s over public peers.
+    pub public: Summary,
+    /// Mean B/s over natted peers.
+    pub natted: Summary,
+}
+
+impl BandwidthReport {
+    /// Aggregates per-peer traffic deltas over a window of length `window`.
+    ///
+    /// Each item is `(is_public, delta)` where `delta` is the difference of
+    /// [`TrafficStats`] between the end and start of the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn compute(
+        peers: impl IntoIterator<Item = (bool, TrafficStats)>,
+        window: SimDuration,
+    ) -> BandwidthReport {
+        assert!(!window.is_zero(), "measurement window must be non-zero");
+        let secs = window.as_secs_f64();
+        let mut overall = Summary::new();
+        let mut public = Summary::new();
+        let mut natted = Summary::new();
+        for (is_public, delta) in peers {
+            let bps = delta.bytes_total() as f64 / secs;
+            overall.push(bps);
+            if is_public {
+                public.push(bps);
+            } else {
+                natted.push(bps);
+            }
+        }
+        BandwidthReport { overall, public, natted }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delta(sent: u64, received: u64) -> TrafficStats {
+        TrafficStats { bytes_sent: sent, bytes_received: received, msgs_sent: 0, msgs_received: 0 }
+    }
+
+    #[test]
+    fn computes_per_second_rates() {
+        let peers = vec![(true, delta(500, 500)), (false, delta(1000, 1000))];
+        let r = BandwidthReport::compute(peers, SimDuration::from_secs(10));
+        assert_eq!(r.overall.count(), 2);
+        assert!((r.overall.mean() - 150.0).abs() < 1e-9);
+        assert!((r.public.mean() - 100.0).abs() < 1e-9);
+        assert!((r.natted.mean() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_population() {
+        let r = BandwidthReport::compute(std::iter::empty(), SimDuration::from_secs(1));
+        assert_eq!(r.overall.count(), 0);
+        assert_eq!(r.overall.mean(), 0.0);
+    }
+
+    #[test]
+    fn one_sided_population() {
+        let peers = vec![(true, delta(100, 0))];
+        let r = BandwidthReport::compute(peers, SimDuration::from_secs(1));
+        assert_eq!(r.public.count(), 1);
+        assert_eq!(r.natted.count(), 0);
+        assert!((r.public.mean() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_window_panics() {
+        let _ = BandwidthReport::compute(std::iter::empty(), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,377 @@
+//! Overlay graph analysis: connectivity and degree distributions.
+
+/// A directed graph over dense node indices, built from overlay views.
+///
+/// ```
+/// use nylon_metrics::graph::DiGraph;
+///
+/// // 0 -> 1 -> 2, 3 isolated.
+/// let g = DiGraph::from_edges(4, [(0, 1), (1, 2)]);
+/// let mask = vec![true; 4];
+/// assert_eq!(g.biggest_wcc_size(&mask), 3);
+/// assert!((g.biggest_wcc_fraction(&mask) - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiGraph {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl DiGraph {
+    /// Builds a graph over `n` nodes from an edge iterator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a node `>= n`.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let edges: Vec<(u32, u32)> = edges.into_iter().collect();
+        for (a, b) in &edges {
+            assert!((*a as usize) < n && (*b as usize) < n, "edge ({a},{b}) out of range");
+        }
+        DiGraph { n, edges }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Size (node count) of the biggest weakly-connected component among
+    /// nodes where `alive[i]` is true. Edges touching dead nodes are
+    /// ignored. Returns 0 when no node is alive.
+    pub fn biggest_wcc_size(&self, alive: &[bool]) -> usize {
+        assert_eq!(alive.len(), self.n, "mask length must equal node count");
+        let mut uf = UnionFind::new(self.n);
+        for (a, b) in &self.edges {
+            let (a, b) = (*a as usize, *b as usize);
+            if alive[a] && alive[b] {
+                uf.union(a, b);
+            }
+        }
+        let mut sizes = vec![0usize; self.n];
+        let mut best = 0;
+        for i in 0..self.n {
+            if alive[i] {
+                let root = uf.find(i);
+                sizes[root] += 1;
+                best = best.max(sizes[root]);
+            }
+        }
+        best
+    }
+
+    /// The biggest weakly-connected cluster as a fraction of alive nodes
+    /// (the y-axis of Figures 2 and 10). Returns 0 for an empty mask.
+    pub fn biggest_wcc_fraction(&self, alive: &[bool]) -> f64 {
+        let alive_count = alive.iter().filter(|a| **a).count();
+        if alive_count == 0 {
+            return 0.0;
+        }
+        self.biggest_wcc_size(alive) as f64 / alive_count as f64
+    }
+
+    /// Number of weakly-connected components among alive nodes.
+    pub fn wcc_count(&self, alive: &[bool]) -> usize {
+        assert_eq!(alive.len(), self.n, "mask length must equal node count");
+        let mut uf = UnionFind::new(self.n);
+        for (a, b) in &self.edges {
+            let (a, b) = (*a as usize, *b as usize);
+            if alive[a] && alive[b] {
+                uf.union(a, b);
+            }
+        }
+        let mut roots: Vec<usize> = (0..self.n).filter(|i| alive[*i]).map(|i| uf.find(i)).collect();
+        roots.sort_unstable();
+        roots.dedup();
+        roots.len()
+    }
+
+    /// In-degree of every node (edges from dead nodes still count unless
+    /// masked out by the caller).
+    pub fn in_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.n];
+        for (_, b) in &self.edges {
+            deg[*b as usize] += 1;
+        }
+        deg
+    }
+
+    /// Out-degree of every node.
+    pub fn out_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.n];
+        for (a, _) in &self.edges {
+            deg[*a as usize] += 1;
+        }
+        deg
+    }
+
+    /// Undirected adjacency sets (direction dropped, self-loops and
+    /// duplicates removed).
+    fn undirected_adjacency(&self) -> Vec<Vec<u32>> {
+        let mut adj: Vec<std::collections::BTreeSet<u32>> =
+            vec![std::collections::BTreeSet::new(); self.n];
+        for (a, b) in &self.edges {
+            if a != b {
+                adj[*a as usize].insert(*b);
+                adj[*b as usize].insert(*a);
+            }
+        }
+        adj.into_iter().map(|s| s.into_iter().collect()).collect()
+    }
+
+    /// Average local clustering coefficient of the undirected overlay
+    /// (Watts–Strogatz). Nodes with fewer than two neighbours contribute
+    /// zero. A healthy peer-sampling overlay looks like a random graph:
+    /// clustering near `degree / n`, far below a lattice's.
+    pub fn clustering_coefficient(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let adj = self.undirected_adjacency();
+        let mut total = 0.0;
+        for nbrs in &adj {
+            let k = nbrs.len();
+            if k < 2 {
+                continue;
+            }
+            let mut links = 0usize;
+            for (i, a) in nbrs.iter().enumerate() {
+                let a_nbrs = &adj[*a as usize];
+                for b in nbrs.iter().skip(i + 1) {
+                    if a_nbrs.binary_search(b).is_ok() {
+                        links += 1;
+                    }
+                }
+            }
+            total += 2.0 * links as f64 / (k * (k - 1)) as f64;
+        }
+        total / self.n as f64
+    }
+
+    /// Mean shortest-path length of the undirected overlay, estimated by
+    /// BFS from up to `samples` evenly spaced sources. Unreachable pairs
+    /// are skipped; returns `None` if no finite path exists.
+    pub fn mean_path_length(&self, samples: usize) -> Option<f64> {
+        if self.n == 0 || samples == 0 {
+            return None;
+        }
+        let adj = self.undirected_adjacency();
+        let step = (self.n / samples.min(self.n)).max(1);
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        let mut dist = vec![u32::MAX; self.n];
+        let mut queue = std::collections::VecDeque::new();
+        for src in (0..self.n).step_by(step) {
+            dist.iter_mut().for_each(|d| *d = u32::MAX);
+            dist[src] = 0;
+            queue.clear();
+            queue.push_back(src as u32);
+            while let Some(u) = queue.pop_front() {
+                let du = dist[u as usize];
+                for v in &adj[u as usize] {
+                    if dist[*v as usize] == u32::MAX {
+                        dist[*v as usize] = du + 1;
+                        queue.push_back(*v);
+                    }
+                }
+            }
+            for (i, d) in dist.iter().enumerate() {
+                if i != src && *d != u32::MAX {
+                    sum += *d as u64;
+                    count += 1;
+                }
+            }
+        }
+        (count > 0).then(|| sum as f64 / count as f64)
+    }
+}
+
+/// Union-find with path halving and union by size.
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect(), size: vec![1; n] }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::from_edges(0, []);
+        assert_eq!(g.biggest_wcc_size(&[]), 0);
+        assert_eq!(g.biggest_wcc_fraction(&[]), 0.0);
+        assert_eq!(g.wcc_count(&[]), 0);
+    }
+
+    #[test]
+    fn single_component() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let alive = vec![true; 4];
+        assert_eq!(g.biggest_wcc_size(&alive), 4);
+        assert_eq!(g.wcc_count(&alive), 1);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.node_count(), 4);
+    }
+
+    #[test]
+    fn direction_is_ignored_for_wcc() {
+        // Arrows all point at 0; still one weak component.
+        let g = DiGraph::from_edges(3, [(1, 0), (2, 0)]);
+        assert_eq!(g.biggest_wcc_size(&[true, true, true]), 3);
+    }
+
+    #[test]
+    fn two_components() {
+        let g = DiGraph::from_edges(5, [(0, 1), (2, 3)]);
+        let alive = vec![true; 5];
+        assert_eq!(g.biggest_wcc_size(&alive), 2);
+        assert_eq!(g.wcc_count(&alive), 3); // {0,1}, {2,3}, {4}
+    }
+
+    #[test]
+    fn dead_nodes_split_components() {
+        // 0 - 1 - 2 chain; killing 1 splits it.
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
+        assert_eq!(g.biggest_wcc_size(&[true, false, true]), 1);
+        assert_eq!(g.wcc_count(&[true, false, true]), 2);
+    }
+
+    #[test]
+    fn fraction_counts_alive_only() {
+        let g = DiGraph::from_edges(4, [(0, 1)]);
+        let f = g.biggest_wcc_fraction(&[true, true, false, false]);
+        assert!((f - 1.0).abs() < 1e-12, "2 of 2 alive nodes connected, got {f}");
+    }
+
+    #[test]
+    fn degrees() {
+        let g = DiGraph::from_edges(3, [(0, 1), (2, 1), (1, 0)]);
+        assert_eq!(g.in_degrees(), vec![1, 2, 0]);
+        assert_eq!(g.out_degrees(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        DiGraph::from_edges(2, [(0, 5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length")]
+    fn wrong_mask_length_panics() {
+        let g = DiGraph::from_edges(2, [(0, 1)]);
+        g.biggest_wcc_size(&[true]);
+    }
+
+    #[test]
+    fn clustering_coefficient_triangle_vs_path() {
+        // Triangle: fully clustered.
+        let tri = DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        assert!((tri.clustering_coefficient() - 1.0).abs() < 1e-12);
+        // Path: no triangles at all.
+        let path = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
+        assert_eq!(path.clustering_coefficient(), 0.0);
+        // Empty graph: zero by convention.
+        assert_eq!(DiGraph::from_edges(0, []).clustering_coefficient(), 0.0);
+    }
+
+    #[test]
+    fn clustering_ignores_direction_and_duplicates() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 0), (1, 2), (2, 0), (0, 2)]);
+        assert!((g.clustering_coefficient() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_length_of_a_path_graph() {
+        // 0-1-2-3: distances from all sources: mean of {1,2,3,1,1,2,2,1,1,3,2,1} = 5/3.
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let mpl = g.mean_path_length(4).unwrap();
+        assert!((mpl - 5.0 / 3.0).abs() < 1e-9, "got {mpl}");
+    }
+
+    #[test]
+    fn path_length_skips_unreachable() {
+        let g = DiGraph::from_edges(4, [(0, 1)]);
+        // Only the 0-1 pair is connected: mean distance 1.
+        assert_eq!(g.mean_path_length(4), Some(1.0));
+        let isolated = DiGraph::from_edges(3, []);
+        assert_eq!(isolated.mean_path_length(3), None);
+    }
+
+    #[test]
+    fn path_length_sampling_is_close_to_exact() {
+        // Ring of 40: exact mean distance is 10.2564 (n even: n^2/4/(n-1)).
+        let n = 40;
+        let edges: Vec<(u32, u32)> = (0..n).map(|i| (i as u32, ((i + 1) % n) as u32)).collect();
+        let g = DiGraph::from_edges(n, edges);
+        let exact = g.mean_path_length(n).unwrap();
+        let sampled = g.mean_path_length(8).unwrap();
+        assert!((exact - sampled).abs() < 0.5, "exact {exact} vs sampled {sampled}");
+    }
+
+    proptest! {
+        /// The biggest component is never larger than the alive set, and a
+        /// fully connected ring is always one component.
+        #[test]
+        fn prop_component_bounds(
+            n in 1usize..60,
+            extra in proptest::collection::vec((0u32..60, 0u32..60), 0..80),
+        ) {
+            let edges: Vec<(u32, u32)> = extra
+                .into_iter()
+                .filter(|(a, b)| (*a as usize) < n && (*b as usize) < n)
+                .collect();
+            let g = DiGraph::from_edges(n, edges);
+            let alive = vec![true; n];
+            let big = g.biggest_wcc_size(&alive);
+            prop_assert!(big <= n);
+            prop_assert!(big >= 1);
+            // Sum over components equals n (checked via count bounds).
+            let comps = g.wcc_count(&alive);
+            prop_assert!(comps >= 1 && comps <= n);
+        }
+
+        /// A ring over n nodes is one component regardless of direction.
+        #[test]
+        fn prop_ring_is_connected(n in 2usize..100) {
+            let edges: Vec<(u32, u32)> =
+                (0..n).map(|i| (i as u32, ((i + 1) % n) as u32)).collect();
+            let g = DiGraph::from_edges(n, edges);
+            prop_assert_eq!(g.biggest_wcc_size(&vec![true; n]), n);
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Statistical randomness tests on peer-sampling output.
+//!
+//! Section 5 of the paper: "we assessed randomness using the diehard test
+//! suite for random number generators". diehard consumes raw bitstreams;
+//! the property actually asserted is that *samples are uniformly random
+//! peers*. This module tests exactly that property on the stream of
+//! gossip-selected peer ids:
+//!
+//! * [`chi_square_uniform`] — are all peers selected equally often?
+//! * [`serial_correlation`] — are consecutive selections independent?
+//! * [`ks_uniform`] — does the empirical distribution match uniform?
+//!
+//! [`RandomnessReport::evaluate`] bundles the three.
+
+/// Result of a chi-square goodness-of-fit test against uniformity.
+#[derive(Debug, Clone, Copy)]
+pub struct ChiSquare {
+    /// The chi-square statistic.
+    pub statistic: f64,
+    /// Degrees of freedom (`categories - 1`).
+    pub df: usize,
+    /// Approximate p-value (Wilson–Hilferty normal approximation).
+    pub p_value: f64,
+}
+
+/// Chi-square test that `counts` are uniform draws over their categories.
+///
+/// Returns `None` if fewer than two categories or all counts are zero.
+///
+/// ```
+/// use nylon_metrics::randomness::chi_square_uniform;
+///
+/// let balanced = chi_square_uniform(&[100, 101, 99, 100]).unwrap();
+/// assert!(balanced.p_value > 0.9);
+/// let skewed = chi_square_uniform(&[400, 0, 0, 0]).unwrap();
+/// assert!(skewed.p_value < 1e-6);
+/// ```
+pub fn chi_square_uniform(counts: &[u64]) -> Option<ChiSquare> {
+    if counts.len() < 2 {
+        return None;
+    }
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let expected = total as f64 / counts.len() as f64;
+    let statistic: f64 =
+        counts.iter().map(|c| (*c as f64 - expected).powi(2) / expected).sum();
+    let df = counts.len() - 1;
+    Some(ChiSquare { statistic, df, p_value: chi_square_sf(statistic, df) })
+}
+
+/// Survival function of the chi-square distribution via the
+/// Wilson–Hilferty cube-root normal approximation (accurate to a few
+/// percent for df ≥ 3, adequate for pass/fail batteries).
+fn chi_square_sf(x: f64, df: usize) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    let k = df as f64;
+    let t = (x / k).powf(1.0 / 3.0);
+    let mu = 1.0 - 2.0 / (9.0 * k);
+    let sigma = (2.0 / (9.0 * k)).sqrt();
+    normal_sf((t - mu) / sigma)
+}
+
+/// Standard normal survival function via the Abramowitz–Stegun erfc
+/// approximation (max error ~1.5e-7).
+fn normal_sf(z: f64) -> f64 {
+    0.5 * erfc(z / std::f64::consts::SQRT_2)
+}
+
+fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Deterministic hash of `x` to a unit-interval value in `[0, 1)`
+/// (SplitMix64 finalizer).
+fn hash_unit(mut x: u64) -> f64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Index of dispersion (variance-to-mean ratio) of category counts.
+///
+/// For an iid uniform sampler the counts are multinomial and the index is
+/// ≈ 1. Gossip peer sampling is *temporally correlated* (an entry sitting
+/// in many views is selected repeatedly before it ages out), so a healthy
+/// protocol shows a stable index well above 1 — what matters is that the
+/// index does not grow when NATs are added, and that no class of peers is
+/// under-sampled. Returns `None` for fewer than two categories or all-zero
+/// counts.
+///
+/// ```
+/// use nylon_metrics::randomness::dispersion_index;
+/// assert!(dispersion_index(&[100, 100, 100]).unwrap() < 0.01);
+/// assert!(dispersion_index(&[300, 0, 0]).unwrap() > 100.0);
+/// ```
+pub fn dispersion_index(counts: &[u64]) -> Option<f64> {
+    if counts.len() < 2 {
+        return None;
+    }
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let mean = total as f64 / counts.len() as f64;
+    let var = counts.iter().map(|c| (*c as f64 - mean).powi(2)).sum::<f64>()
+        / (counts.len() - 1) as f64;
+    Some(var / mean)
+}
+
+/// Lag-1 serial correlation coefficient of a sequence.
+///
+/// Near 0 for independent draws; returns `None` for sequences shorter than
+/// 3 or with zero variance.
+pub fn serial_correlation(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 3 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum();
+    if var == 0.0 {
+        return None;
+    }
+    let cov: f64 = xs.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum();
+    Some(cov / var)
+}
+
+/// Result of a Kolmogorov–Smirnov test against the uniform distribution on
+/// `[0, 1]`.
+#[derive(Debug, Clone, Copy)]
+pub struct KsTest {
+    /// The KS statistic (max distance between empirical and uniform CDF).
+    pub statistic: f64,
+    /// Approximate p-value (asymptotic Kolmogorov distribution).
+    pub p_value: f64,
+}
+
+/// One-sample KS test that `samples` (values in `[0, 1]`) are uniform.
+///
+/// Returns `None` for empty input.
+///
+/// # Panics
+///
+/// Panics if any sample is NaN or outside `[0, 1]`.
+pub fn ks_uniform(samples: &[f64]) -> Option<KsTest> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    for s in &sorted {
+        assert!((0.0..=1.0).contains(s), "KS sample {s} outside [0, 1]");
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in KS input"));
+    let n = sorted.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, x) in sorted.iter().enumerate() {
+        let cdf_hi = (i + 1) as f64 / n;
+        let cdf_lo = i as f64 / n;
+        d = d.max((cdf_hi - x).abs()).max((x - cdf_lo).abs());
+    }
+    let lambda = (n.sqrt() + 0.12 + 0.11 / n.sqrt()) * d;
+    let mut p = 0.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        p += if k % 2 == 1 { 2.0 * term } else { -2.0 * term };
+    }
+    Some(KsTest { statistic: d, p_value: p.clamp(0.0, 1.0) })
+}
+
+/// Bundled verdict over a stream of sampled peer indices.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomnessReport {
+    /// Chi-square uniformity over selection frequencies.
+    pub chi_square: ChiSquare,
+    /// Lag-1 serial correlation of the (normalized) id stream.
+    pub serial_corr: f64,
+    /// KS test of normalized ids against uniform.
+    pub ks: KsTest,
+}
+
+impl RandomnessReport {
+    /// Evaluates the battery over a stream of sampled peer indices in
+    /// `0..n_peers`.
+    ///
+    /// Returns `None` if the stream is too short (< 3 samples) or `n_peers`
+    /// < 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sample index is `>= n_peers`.
+    pub fn evaluate(samples: &[u32], n_peers: usize) -> Option<RandomnessReport> {
+        if samples.len() < 3 || n_peers < 2 {
+            return None;
+        }
+        let mut counts = vec![0u64; n_peers];
+        for s in samples {
+            counts[*s as usize] += 1;
+        }
+        let chi_square = chi_square_uniform(&counts)?;
+        // Normalize ids to (0, 1) with a deterministic intra-cell dither:
+        // under H0 (discrete uniform over cells) the dithered value is
+        // exactly continuous uniform, so the KS test is applicable. A fixed
+        // half-step offset would instead leave a detectable lattice that KS
+        // rejects at large sample counts.
+        let normalized: Vec<f64> = samples
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let u = hash_unit(((i as u64) << 32) ^ *s as u64);
+                (*s as f64 + u) / n_peers as f64
+            })
+            .collect();
+        let serial_corr = serial_correlation(&normalized)?;
+        let ks = ks_uniform(&normalized)?;
+        Some(RandomnessReport { chi_square, serial_corr, ks })
+    }
+
+    /// A lenient pass/fail verdict: no test rejects at the given
+    /// significance level (and serial correlation is negligible).
+    pub fn passes(&self, alpha: f64) -> bool {
+        self.chi_square.p_value > alpha && self.ks.p_value > alpha && self.serial_corr.abs() < 0.1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn chi_square_accepts_uniform() {
+        let counts = vec![500u64; 20];
+        let r = chi_square_uniform(&counts).unwrap();
+        assert!(r.statistic < 1e-9);
+        assert!(r.p_value > 0.99);
+        assert_eq!(r.df, 19);
+    }
+
+    #[test]
+    fn chi_square_rejects_skew() {
+        let mut counts = vec![100u64; 20];
+        counts[0] = 2000;
+        let r = chi_square_uniform(&counts).unwrap();
+        assert!(r.p_value < 1e-6, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn chi_square_degenerate_inputs() {
+        assert!(chi_square_uniform(&[]).is_none());
+        assert!(chi_square_uniform(&[5]).is_none());
+        assert!(chi_square_uniform(&[0, 0]).is_none());
+    }
+
+    #[test]
+    fn serial_correlation_detects_trend() {
+        let ramp: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let r = serial_correlation(&ramp).unwrap();
+        assert!(r > 0.9, "ramp should correlate, got {r}");
+    }
+
+    #[test]
+    fn serial_correlation_near_zero_for_rng() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..5000).map(|_| rng.gen::<f64>()).collect();
+        let r = serial_correlation(&xs).unwrap();
+        assert!(r.abs() < 0.05, "independent draws correlated: {r}");
+    }
+
+    #[test]
+    fn serial_correlation_degenerate() {
+        assert!(serial_correlation(&[1.0, 2.0]).is_none());
+        assert!(serial_correlation(&[3.0; 10]).is_none());
+    }
+
+    #[test]
+    fn ks_accepts_uniform_rng() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        let xs: Vec<f64> = (0..2000).map(|_| rng.gen::<f64>()).collect();
+        let r = ks_uniform(&xs).unwrap();
+        assert!(r.p_value > 0.01, "uniform sample rejected: p = {}", r.p_value);
+    }
+
+    #[test]
+    fn ks_rejects_clustered() {
+        let xs: Vec<f64> = (0..1000).map(|i| 0.4 + 0.2 * (i as f64 / 1000.0)).collect();
+        let r = ks_uniform(&xs).unwrap();
+        assert!(r.p_value < 1e-6);
+        assert!(r.statistic > 0.3);
+    }
+
+    #[test]
+    fn ks_empty_is_none() {
+        assert!(ks_uniform(&[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn ks_out_of_range_panics() {
+        ks_uniform(&[0.5, 1.5]);
+    }
+
+    #[test]
+    fn report_passes_for_uniform_sampler() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let n = 50usize;
+        let samples: Vec<u32> = (0..20_000).map(|_| rng.gen_range(0..n as u32)).collect();
+        let rep = RandomnessReport::evaluate(&samples, n).unwrap();
+        assert!(rep.passes(0.01), "uniform sampler failed: {rep:?}");
+    }
+
+    #[test]
+    fn report_fails_for_biased_sampler() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+        let n = 50usize;
+        // Peer 0 is sampled 10x too often (a "public peers only" bias).
+        let samples: Vec<u32> = (0..20_000)
+            .map(|_| if rng.gen::<f64>() < 0.3 { 0 } else { rng.gen_range(0..n as u32) })
+            .collect();
+        let rep = RandomnessReport::evaluate(&samples, n).unwrap();
+        assert!(!rep.passes(0.01), "biased sampler passed: {rep:?}");
+    }
+
+    #[test]
+    fn report_degenerate_inputs() {
+        assert!(RandomnessReport::evaluate(&[1, 2], 10).is_none());
+        assert!(RandomnessReport::evaluate(&[0, 0, 0], 1).is_none());
+    }
+}

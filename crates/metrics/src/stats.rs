@@ -1,0 +1,240 @@
+//! Summary statistics shared by the experiment harness.
+
+use std::fmt;
+
+/// Streaming mean/variance/min/max via Welford's algorithm.
+///
+/// ```
+/// use nylon_metrics::stats::Summary;
+///
+/// let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.std_dev() - 2.138089935299395).abs() < 1e-9); // sample stddev
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Summary { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (0 with fewer than two observations).
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another summary into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mean {:.3} ± {:.3} (n={})", self.mean(), self.std_dev(), self.count)
+    }
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of a sample, by linear interpolation on the
+/// sorted data. Returns `None` for an empty sample.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or any value is NaN.
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be within [0, 1]");
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut s = Summary::new();
+        s.push(3.5);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), Some(3.5));
+        assert_eq!(s.max(), Some(3.5));
+    }
+
+    #[test]
+    fn known_values() {
+        let s: Summary = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        let expected_sd = (5.0f64 / 3.0).sqrt(); // sample variance of 1..4
+        assert!((s.std_dev() - expected_sd).abs() < 1e-12);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(4.0));
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let all: Summary = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut a: Summary = (0..40).map(|i| (i as f64).sin() * 10.0).collect();
+        let b: Summary = (40..100).map(|i| (i as f64).sin() * 10.0).collect();
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.std_dev() - all.std_dev()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a: Summary = [1.0, 2.0].into_iter().collect();
+        a.merge(&Summary::new());
+        assert_eq!(a.count(), 2);
+        let mut e = Summary::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 2);
+        assert!((e.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s: Summary = [1.0, 3.0].into_iter().collect();
+        let txt = s.to_string();
+        assert!(txt.contains("mean 2.000"), "{txt}");
+        assert!(txt.contains("n=2"), "{txt}");
+    }
+
+    #[test]
+    fn quantiles() {
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 0.5), Some(3.0));
+        assert_eq!(quantile(&v, 1.0), Some(5.0));
+        assert_eq!(quantile(&v, 0.25), Some(2.0));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn quantile_out_of_range_panics() {
+        quantile(&[1.0], 1.5);
+    }
+
+    proptest! {
+        /// Mean is bounded by min/max; stddev is non-negative.
+        #[test]
+        fn prop_summary_bounds(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let s: Summary = values.iter().copied().collect();
+            let min = s.min().unwrap();
+            let max = s.max().unwrap();
+            prop_assert!(s.mean() >= min - 1e-9 && s.mean() <= max + 1e-9);
+            prop_assert!(s.std_dev() >= 0.0);
+        }
+
+        /// Merging any split equals sequential accumulation.
+        #[test]
+        fn prop_merge_associative(
+            values in proptest::collection::vec(-1e3f64..1e3, 2..100),
+            split in 1usize..99,
+        ) {
+            prop_assume!(split < values.len());
+            let all: Summary = values.iter().copied().collect();
+            let mut a: Summary = values[..split].iter().copied().collect();
+            let b: Summary = values[split..].iter().copied().collect();
+            a.merge(&b);
+            prop_assert_eq!(a.count(), all.count());
+            prop_assert!((a.mean() - all.mean()).abs() < 1e-6);
+            prop_assert!((a.std_dev() - all.std_dev()).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Network addressing: IPs, ports, endpoints and peer identifiers.
+
+use std::fmt;
+
+/// A 32-bit IPv4-style address.
+///
+/// The simulator hands out synthetic addresses; only equality and the
+/// public/private distinction matter to the protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ip(pub u32);
+
+impl Ip {
+    /// Base of the synthetic private address space (10.0.0.0).
+    pub const PRIVATE_BASE: u32 = 0x0A00_0000;
+
+    /// `true` if this address lies in the synthetic private range.
+    pub const fn is_private(self) -> bool {
+        self.0 >= Self::PRIVATE_BASE && self.0 < Self::PRIVATE_BASE + 0x00FF_FFFF
+    }
+}
+
+impl fmt::Display for Ip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.0.to_be_bytes();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+/// A 16-bit transport port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Port(pub u16);
+
+impl Port {
+    /// The sentinel "unknown port" used in identity endpoints of peers
+    /// behind symmetric NATs, whose public port is destination-dependent
+    /// and therefore cannot be advertised. Packets addressed to port 0 are
+    /// always dropped.
+    pub const UNKNOWN: Port = Port(0);
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A transport endpoint: IP address and port.
+///
+/// ```
+/// use nylon_net::addr::{Endpoint, Ip, Port};
+/// let ep = Endpoint::new(Ip(0x0100_0001), Port(9000));
+/// assert_eq!(ep.to_string(), "1.0.0.1:9000");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Endpoint {
+    /// IP address.
+    pub ip: Ip,
+    /// Transport port.
+    pub port: Port,
+}
+
+impl Endpoint {
+    /// Creates an endpoint from parts.
+    pub const fn new(ip: Ip, port: Port) -> Self {
+        Endpoint { ip, port }
+    }
+
+    /// `true` if the port is the [`Port::UNKNOWN`] sentinel.
+    pub const fn has_unknown_port(self) -> bool {
+        self.port.0 == 0
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.ip, self.port)
+    }
+}
+
+/// A dense peer identifier assigned by the network in creation order.
+///
+/// Peer ids index internal tables; they are stable for the lifetime of a
+/// simulation (dead peers keep their id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeerId(pub u32);
+
+impl PeerId {
+    /// The id as a usize, for indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ip_display_dotted_quad() {
+        assert_eq!(Ip(0x0102_0304).to_string(), "1.2.3.4");
+        assert_eq!(Ip(0).to_string(), "0.0.0.0");
+    }
+
+    #[test]
+    fn private_range() {
+        assert!(Ip(Ip::PRIVATE_BASE).is_private());
+        assert!(Ip(Ip::PRIVATE_BASE + 5).is_private());
+        assert!(!Ip(0x0100_0000).is_private());
+    }
+
+    #[test]
+    fn endpoint_display_and_sentinel() {
+        let ep = Endpoint::new(Ip(0x0A00_0001), Port(1234));
+        assert_eq!(ep.to_string(), "10.0.0.1:1234");
+        assert!(!ep.has_unknown_port());
+        assert!(Endpoint::new(Ip(1), Port::UNKNOWN).has_unknown_port());
+    }
+
+    #[test]
+    fn peer_id_index_and_display() {
+        assert_eq!(PeerId(7).index(), 7);
+        assert_eq!(PeerId(7).to_string(), "p7");
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = Endpoint::new(Ip(1), Port(2));
+        let b = Endpoint::new(Ip(1), Port(3));
+        let c = Endpoint::new(Ip(2), Port(0));
+        assert!(a < b && b < c);
+    }
+}

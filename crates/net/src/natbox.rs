@@ -1,0 +1,638 @@
+//! The NAT device state machine: mappings, filtering rules, hole expiry.
+
+use std::collections::HashMap;
+
+use nylon_sim::{SimDuration, SimTime};
+
+use crate::addr::{Endpoint, Ip, Port};
+use crate::nat::NatType;
+
+/// Why an inbound packet was not forwarded by the NAT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NatReject {
+    /// No mapping exists at the destination public port (never created, or
+    /// every session expired).
+    NoMapping,
+    /// A mapping exists but the filtering rule rejects this source.
+    Filtered,
+}
+
+/// A session: one (private endpoint → remote endpoint) flow with an expiry.
+///
+/// The paper: "The public IP address and port mapping, as well as the
+/// filtering rule, only remain valid a limited time after the last message
+/// was sent (or received) in a session."
+#[derive(Debug, Clone, Copy)]
+struct Session {
+    expires: SimTime,
+}
+
+/// State of an endpoint-independent (cone) mapping for one private endpoint.
+#[derive(Debug, Clone, Default)]
+struct ConeMapping {
+    /// Live sessions keyed by remote endpoint.
+    sessions: HashMap<Endpoint, Session>,
+}
+
+impl ConeMapping {
+    fn live(&self, now: SimTime) -> bool {
+        self.sessions.values().any(|s| s.expires > now)
+    }
+}
+
+/// A symmetric (per-destination) mapping.
+#[derive(Debug, Clone, Copy)]
+struct SymMapping {
+    private: Endpoint,
+    remote: Endpoint,
+    expires: SimTime,
+}
+
+/// A NAT device fronting one or more private endpoints.
+///
+/// The box owns one public IP. Cone types reserve a *stable* public port per
+/// private endpoint (reused across mapping re-creations — common vendor
+/// behaviour, and what lets cone peers advertise a durable identity
+/// endpoint). Symmetric mappings get a fresh public port per destination.
+///
+/// All rules expire `hole_timeout` after the last packet sent *or received*
+/// on their session, matching Section 2.1.
+///
+/// ```
+/// use nylon_net::addr::{Endpoint, Ip, Port};
+/// use nylon_net::nat::NatType;
+/// use nylon_net::natbox::NatBox;
+/// use nylon_sim::{SimDuration, SimTime};
+///
+/// let mut nat = NatBox::new(Ip(0x0100_0001), NatType::PortRestrictedCone,
+///                           SimDuration::from_secs(90));
+/// let private = Endpoint::new(Ip(Ip::PRIVATE_BASE), Port(5000));
+/// let remote = Endpoint::new(Ip(0x0200_0002), Port(9000));
+///
+/// // Outbound packet opens a hole towards `remote`...
+/// let public_src = nat.on_outbound(SimTime::ZERO, private, remote);
+/// // ...so `remote` can now answer through the hole.
+/// assert_eq!(nat.on_inbound(SimTime::from_secs(1), public_src.port, remote),
+///            Ok(private));
+/// // A different source is filtered by the PRC rule.
+/// let other = Endpoint::new(Ip(0x0300_0003), Port(9000));
+/// assert!(nat.on_inbound(SimTime::from_secs(1), public_src.port, other).is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct NatBox {
+    public_ip: Ip,
+    nat_type: NatType,
+    hole_timeout: SimDuration,
+    /// Cone state, keyed by private endpoint.
+    cone: HashMap<Endpoint, ConeMapping>,
+    /// Stable public-port reservations for cone mappings.
+    reserved: HashMap<Endpoint, Port>,
+    /// Reverse index: public port → owning private endpoint (cone).
+    cone_by_port: HashMap<Port, Endpoint>,
+    /// Symmetric mappings keyed by (private, remote).
+    sym: HashMap<(Endpoint, Endpoint), Port>,
+    /// Reverse index: public port → symmetric mapping.
+    sym_by_port: HashMap<Port, SymMapping>,
+    /// Permanent UPnP/NAT-PMP port forwardings: public port → private
+    /// endpoint, never expiring and never filtered.
+    forwarded: HashMap<Port, Endpoint>,
+    next_port: u16,
+}
+
+/// First port handed out by the allocator (below are considered reserved).
+const FIRST_DYNAMIC_PORT: u16 = 1024;
+
+impl NatBox {
+    /// Creates a NAT box that owns `public_ip` and behaves per `nat_type`,
+    /// expiring rules `hole_timeout` after the last activity.
+    pub fn new(public_ip: Ip, nat_type: NatType, hole_timeout: SimDuration) -> Self {
+        NatBox {
+            public_ip,
+            nat_type,
+            hole_timeout,
+            cone: HashMap::new(),
+            reserved: HashMap::new(),
+            cone_by_port: HashMap::new(),
+            sym: HashMap::new(),
+            sym_by_port: HashMap::new(),
+            forwarded: HashMap::new(),
+            next_port: FIRST_DYNAMIC_PORT,
+        }
+    }
+
+    /// Installs a permanent UPnP/NAT-PMP port forwarding for `private` and
+    /// returns the forwarded public endpoint.
+    ///
+    /// The paper's related-work section discusses these protocols as an
+    /// alternative to traversal: they "create permanent NAT filtering
+    /// rules" but "are not supported by all NAT devices" and "pose
+    /// security issues". A forwarded port behaves like a public endpoint:
+    /// no expiry, no filtering — regardless of the box's NAT type.
+    /// Idempotent per private endpoint.
+    pub fn enable_port_forwarding(&mut self, private: Endpoint) -> Endpoint {
+        if let Some((port, _)) = self.forwarded.iter().find(|(_, p)| **p == private) {
+            return Endpoint::new(self.public_ip, *port);
+        }
+        // Reuse the stable reservation for cone boxes so the identity
+        // endpoint does not change; symmetric boxes get a fresh port.
+        let port = match self.reserved.get(&private) {
+            Some(p) => *p,
+            None => {
+                let p = self.alloc_port();
+                self.reserved.insert(private, p);
+                p
+            }
+        };
+        self.forwarded.insert(port, private);
+        Endpoint::new(self.public_ip, port)
+    }
+
+    /// `true` if `public_port` is a permanent UPnP forwarding.
+    pub fn is_forwarded(&self, public_port: Port) -> bool {
+        self.forwarded.contains_key(&public_port)
+    }
+
+    /// The public IP owned by this box.
+    pub fn public_ip(&self) -> Ip {
+        self.public_ip
+    }
+
+    /// The behaviour of this box.
+    pub fn nat_type(&self) -> NatType {
+        self.nat_type
+    }
+
+    /// The configured rule lifetime.
+    pub fn hole_timeout(&self) -> SimDuration {
+        self.hole_timeout
+    }
+
+    fn alloc_port(&mut self) -> Port {
+        // Skip ports that are still indexed; wrap at the end of the range.
+        loop {
+            let p = Port(self.next_port);
+            self.next_port = if self.next_port == u16::MAX {
+                FIRST_DYNAMIC_PORT
+            } else {
+                self.next_port + 1
+            };
+            if !self.cone_by_port.contains_key(&p)
+                && !self.sym_by_port.contains_key(&p)
+                && !self.reserved.values().any(|r| *r == p)
+            {
+                return p;
+            }
+        }
+    }
+
+    /// The stable public endpoint reserved for `private` under a cone
+    /// mapping; `None` for symmetric boxes (their port is per-destination).
+    ///
+    /// Reserving does not open any hole: packets to this endpoint are still
+    /// subject to mapping liveness and filtering.
+    pub fn stable_public_endpoint(&mut self, private: Endpoint) -> Option<Endpoint> {
+        if !self.nat_type.is_cone() {
+            return None;
+        }
+        let port = match self.reserved.get(&private) {
+            Some(p) => *p,
+            None => {
+                let p = self.alloc_port();
+                self.reserved.insert(private, p);
+                p
+            }
+        };
+        Some(Endpoint::new(self.public_ip, port))
+    }
+
+    /// Processes an outbound packet from `private` to `remote` at `now`,
+    /// creating or refreshing the mapping and filtering rule. Returns the
+    /// public source endpoint the packet leaves with.
+    pub fn on_outbound(&mut self, now: SimTime, private: Endpoint, remote: Endpoint) -> Endpoint {
+        let expires = now + self.hole_timeout;
+        if self.nat_type.is_cone() {
+            let public = self
+                .stable_public_endpoint(private)
+                .expect("cone box always yields a stable endpoint");
+            let mapping = self.cone.entry(private).or_default();
+            mapping.sessions.insert(remote, Session { expires });
+            self.cone_by_port.insert(public.port, private);
+            public
+        } else {
+            let key = (private, remote);
+            // A live mapping keeps its port; an expired one is replaced by a
+            // fresh port, which is exactly what makes symmetric NATs hard to
+            // traverse.
+            if let Some(port) = self.sym.get(&key).copied() {
+                let live = self
+                    .sym_by_port
+                    .get(&port)
+                    .is_some_and(|m| m.expires > now && m.private == private && m.remote == remote);
+                if live {
+                    if let Some(m) = self.sym_by_port.get_mut(&port) {
+                        m.expires = expires;
+                    }
+                    return Endpoint::new(self.public_ip, port);
+                }
+                self.sym.remove(&key);
+                self.sym_by_port.remove(&port);
+            }
+            let port = self.alloc_port();
+            self.sym.insert(key, port);
+            self.sym_by_port.insert(port, SymMapping { private, remote, expires });
+            Endpoint::new(self.public_ip, port)
+        }
+    }
+
+    /// Processes an inbound packet addressed to `public_port` coming from
+    /// `src`. On success returns the private destination endpoint and
+    /// refreshes the session; on failure reports why the packet was dropped.
+    pub fn on_inbound(
+        &mut self,
+        now: SimTime,
+        public_port: Port,
+        src: Endpoint,
+    ) -> Result<Endpoint, NatReject> {
+        if public_port == Port::UNKNOWN {
+            return Err(NatReject::NoMapping);
+        }
+        if let Some(private) = self.forwarded.get(&public_port) {
+            return Ok(*private);
+        }
+        if self.nat_type.is_cone() {
+            let private = *self.cone_by_port.get(&public_port).ok_or(NatReject::NoMapping)?;
+            let admitted = {
+                let mapping = self.cone.get(&private).ok_or(NatReject::NoMapping)?;
+                if !mapping.live(now) {
+                    return Err(NatReject::NoMapping);
+                }
+                match self.nat_type {
+                    NatType::FullCone => true,
+                    NatType::RestrictedCone => {
+                        mapping.sessions.iter().any(|(r, s)| s.expires > now && r.ip == src.ip)
+                    }
+                    NatType::PortRestrictedCone => {
+                        mapping.sessions.get(&src).is_some_and(|s| s.expires > now)
+                    }
+                    NatType::Symmetric => unreachable!("cone branch"),
+                }
+            };
+            if !admitted {
+                return Err(NatReject::Filtered);
+            }
+            // Receiving refreshes the session ("sent (or received)").
+            let expires = now + self.hole_timeout;
+            let mapping = self.cone.get_mut(&private).expect("mapping checked above");
+            mapping.sessions.insert(src, Session { expires });
+            Ok(private)
+        } else {
+            let m = self.sym_by_port.get_mut(&public_port).ok_or(NatReject::NoMapping)?;
+            if m.expires <= now {
+                return Err(NatReject::NoMapping);
+            }
+            if m.remote != src {
+                return Err(NatReject::Filtered);
+            }
+            m.expires = now + self.hole_timeout;
+            Ok(m.private)
+        }
+    }
+
+    /// Read-only filtering oracle: would a packet from `src` addressed to
+    /// `public_port` be forwarded at `now`? Unlike [`NatBox::on_inbound`],
+    /// no session is refreshed or created. Used by the staleness metric.
+    pub fn would_admit(&self, now: SimTime, public_port: Port, src: Endpoint) -> bool {
+        if public_port == Port::UNKNOWN {
+            return false;
+        }
+        if self.forwarded.contains_key(&public_port) {
+            return true;
+        }
+        if self.nat_type.is_cone() {
+            let Some(private) = self.cone_by_port.get(&public_port) else { return false };
+            let Some(mapping) = self.cone.get(private) else { return false };
+            if !mapping.live(now) {
+                return false;
+            }
+            match self.nat_type {
+                NatType::FullCone => true,
+                NatType::RestrictedCone => {
+                    mapping.sessions.iter().any(|(r, s)| s.expires > now && r.ip == src.ip)
+                }
+                NatType::PortRestrictedCone => {
+                    mapping.sessions.get(&src).is_some_and(|s| s.expires > now)
+                }
+                NatType::Symmetric => unreachable!("cone branch"),
+            }
+        } else {
+            self.sym_by_port
+                .get(&public_port)
+                .is_some_and(|m| m.expires > now && m.remote == src)
+        }
+    }
+
+    /// Read-only egress preview: the public source endpoint a packet from
+    /// `private` to `remote` would leave with right now, plus whether that
+    /// would require creating a *new* mapping (relevant for symmetric boxes,
+    /// where a new mapping means an unpredictable port).
+    pub fn egress_preview(&self, now: SimTime, private: Endpoint, remote: Endpoint) -> (Endpoint, bool) {
+        if self.nat_type.is_cone() {
+            match self.reserved.get(&private) {
+                Some(p) => (Endpoint::new(self.public_ip, *p), false),
+                None => (Endpoint::new(self.public_ip, Port::UNKNOWN), true),
+            }
+        } else {
+            match self.sym.get(&(private, remote)) {
+                Some(port)
+                    if self.sym_by_port.get(port).is_some_and(|m| m.expires > now) =>
+                {
+                    (Endpoint::new(self.public_ip, *port), false)
+                }
+                _ => (Endpoint::new(self.public_ip, Port::UNKNOWN), true),
+            }
+        }
+    }
+
+    /// Number of live sessions (cone) plus live symmetric mappings.
+    pub fn live_rule_count(&self, now: SimTime) -> usize {
+        let cone: usize = self
+            .cone
+            .values()
+            .map(|m| m.sessions.values().filter(|s| s.expires > now).count())
+            .sum();
+        let sym = self.sym_by_port.values().filter(|m| m.expires > now).count();
+        cone + sym
+    }
+
+    /// Drops expired sessions and mappings to bound memory. Port
+    /// reservations for cone mappings are kept (they are the peer's stable
+    /// identity).
+    pub fn purge_expired(&mut self, now: SimTime) {
+        for mapping in self.cone.values_mut() {
+            mapping.sessions.retain(|_, s| s.expires > now);
+        }
+        self.cone.retain(|_, m| !m.sessions.is_empty());
+        let dead: Vec<Port> = self
+            .sym_by_port
+            .iter()
+            .filter(|(_, m)| m.expires <= now)
+            .map(|(p, _)| *p)
+            .collect();
+        for port in dead {
+            if let Some(m) = self.sym_by_port.remove(&port) {
+                self.sym.remove(&(m.private, m.remote));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TIMEOUT: SimDuration = SimDuration::from_secs(90);
+
+    fn private() -> Endpoint {
+        Endpoint::new(Ip(Ip::PRIVATE_BASE + 1), Port(5000))
+    }
+
+    fn remote(n: u32) -> Endpoint {
+        Endpoint::new(Ip(0x0200_0000 + n), Port(9000))
+    }
+
+    fn boxed(t: NatType) -> NatBox {
+        NatBox::new(Ip(0x0100_0001), t, TIMEOUT)
+    }
+
+    #[test]
+    fn cone_mapping_is_endpoint_independent() {
+        for t in [NatType::FullCone, NatType::RestrictedCone, NatType::PortRestrictedCone] {
+            let mut nat = boxed(t);
+            let a = nat.on_outbound(SimTime::ZERO, private(), remote(1));
+            let b = nat.on_outbound(SimTime::ZERO, private(), remote(2));
+            assert_eq!(a, b, "{t}: cone mapping must reuse the public endpoint");
+        }
+    }
+
+    #[test]
+    fn symmetric_mapping_is_per_destination() {
+        let mut nat = boxed(NatType::Symmetric);
+        let a = nat.on_outbound(SimTime::ZERO, private(), remote(1));
+        let b = nat.on_outbound(SimTime::ZERO, private(), remote(2));
+        assert_ne!(a.port, b.port, "SYM must allocate a fresh port per destination");
+        assert_eq!(a.ip, b.ip);
+        // Same destination reuses the same live mapping.
+        let a2 = nat.on_outbound(SimTime::from_secs(1), private(), remote(1));
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn full_cone_admits_anyone_while_alive() {
+        let mut nat = boxed(NatType::FullCone);
+        let pub_ep = nat.on_outbound(SimTime::ZERO, private(), remote(1));
+        // A peer never contacted is forwarded.
+        assert_eq!(nat.on_inbound(SimTime::from_secs(1), pub_ep.port, remote(9)), Ok(private()));
+    }
+
+    #[test]
+    fn restricted_cone_filters_by_ip_only() {
+        let mut nat = boxed(NatType::RestrictedCone);
+        let pub_ep = nat.on_outbound(SimTime::ZERO, private(), remote(1));
+        // Same IP, different port: admitted.
+        let same_ip = Endpoint::new(remote(1).ip, Port(4242));
+        assert_eq!(nat.on_inbound(SimTime::from_secs(1), pub_ep.port, same_ip), Ok(private()));
+        // Different IP: filtered.
+        assert_eq!(
+            nat.on_inbound(SimTime::from_secs(1), pub_ep.port, remote(2)),
+            Err(NatReject::Filtered)
+        );
+    }
+
+    #[test]
+    fn port_restricted_cone_filters_by_exact_endpoint() {
+        let mut nat = boxed(NatType::PortRestrictedCone);
+        let pub_ep = nat.on_outbound(SimTime::ZERO, private(), remote(1));
+        assert_eq!(nat.on_inbound(SimTime::from_secs(1), pub_ep.port, remote(1)), Ok(private()));
+        let same_ip = Endpoint::new(remote(1).ip, Port(4242));
+        assert_eq!(
+            nat.on_inbound(SimTime::from_secs(1), pub_ep.port, same_ip),
+            Err(NatReject::Filtered)
+        );
+    }
+
+    #[test]
+    fn symmetric_filters_by_exact_destination() {
+        let mut nat = boxed(NatType::Symmetric);
+        let pub_ep = nat.on_outbound(SimTime::ZERO, private(), remote(1));
+        assert_eq!(nat.on_inbound(SimTime::from_secs(1), pub_ep.port, remote(1)), Ok(private()));
+        assert_eq!(
+            nat.on_inbound(SimTime::from_secs(1), pub_ep.port, remote(2)),
+            Err(NatReject::Filtered)
+        );
+    }
+
+    #[test]
+    fn rules_expire_after_hole_timeout() {
+        for t in NatType::ALL {
+            let mut nat = boxed(t);
+            let pub_ep = nat.on_outbound(SimTime::ZERO, private(), remote(1));
+            let just_before = SimTime::ZERO + TIMEOUT - SimDuration::from_millis(1);
+            let just_after = SimTime::ZERO + TIMEOUT;
+            assert!(nat.on_inbound(just_before, pub_ep.port, remote(1)).is_ok(), "{t}");
+            // Admission at `just_before` refreshed the rule...
+            let after_refresh = just_before + TIMEOUT;
+            assert_eq!(
+                nat.on_inbound(after_refresh, pub_ep.port, remote(1)),
+                Err(NatReject::NoMapping),
+                "{t}: rule must expire when idle"
+            );
+            let _ = just_after;
+        }
+    }
+
+    #[test]
+    fn receive_refreshes_rule() {
+        let mut nat = boxed(NatType::PortRestrictedCone);
+        let pub_ep = nat.on_outbound(SimTime::ZERO, private(), remote(1));
+        let mid = SimTime::ZERO + SimDuration::from_secs(60);
+        assert!(nat.on_inbound(mid, pub_ep.port, remote(1)).is_ok());
+        // 60 + 90 > 90: without the refresh this would be expired.
+        let later = SimTime::ZERO + SimDuration::from_secs(120);
+        assert!(nat.on_inbound(later, pub_ep.port, remote(1)).is_ok());
+    }
+
+    #[test]
+    fn expired_symmetric_mapping_gets_fresh_port() {
+        let mut nat = boxed(NatType::Symmetric);
+        let a = nat.on_outbound(SimTime::ZERO, private(), remote(1));
+        let later = SimTime::ZERO + TIMEOUT + SimDuration::from_secs(1);
+        let b = nat.on_outbound(later, private(), remote(1));
+        assert_ne!(a.port, b.port, "expired SYM mapping must not reuse its port");
+    }
+
+    #[test]
+    fn cone_keeps_stable_port_across_expiry() {
+        let mut nat = boxed(NatType::PortRestrictedCone);
+        let a = nat.on_outbound(SimTime::ZERO, private(), remote(1));
+        let later = SimTime::ZERO + TIMEOUT * 2;
+        nat.purge_expired(later);
+        let b = nat.on_outbound(later, private(), remote(2));
+        assert_eq!(a, b, "cone identity endpoint must be stable");
+    }
+
+    #[test]
+    fn stable_endpoint_is_none_for_symmetric() {
+        let mut nat = boxed(NatType::Symmetric);
+        assert_eq!(nat.stable_public_endpoint(private()), None);
+        let mut cone = boxed(NatType::RestrictedCone);
+        let ep = cone.stable_public_endpoint(private()).unwrap();
+        assert_eq!(ep.ip, Ip(0x0100_0001));
+        // Idempotent.
+        assert_eq!(cone.stable_public_endpoint(private()), Some(ep));
+    }
+
+    #[test]
+    fn reserving_does_not_open_hole() {
+        let mut nat = boxed(NatType::FullCone);
+        let ep = nat.stable_public_endpoint(private()).unwrap();
+        assert_eq!(
+            nat.on_inbound(SimTime::ZERO, ep.port, remote(1)),
+            Err(NatReject::NoMapping),
+            "no outbound traffic yet, even FC must drop"
+        );
+    }
+
+    #[test]
+    fn unknown_port_always_dropped() {
+        let mut nat = boxed(NatType::FullCone);
+        nat.on_outbound(SimTime::ZERO, private(), remote(1));
+        assert_eq!(
+            nat.on_inbound(SimTime::ZERO, Port::UNKNOWN, remote(1)),
+            Err(NatReject::NoMapping)
+        );
+    }
+
+    #[test]
+    fn would_admit_matches_on_inbound_without_refresh() {
+        let mut nat = boxed(NatType::PortRestrictedCone);
+        let pub_ep = nat.on_outbound(SimTime::ZERO, private(), remote(1));
+        let t = SimTime::from_secs(10);
+        assert!(nat.would_admit(t, pub_ep.port, remote(1)));
+        assert!(!nat.would_admit(t, pub_ep.port, remote(2)));
+        // Oracle must not refresh: rule still expires on schedule.
+        let after = SimTime::ZERO + TIMEOUT;
+        assert!(!nat.would_admit(after, pub_ep.port, remote(1)));
+    }
+
+    #[test]
+    fn egress_preview_reports_fresh_mappings() {
+        let mut nat = boxed(NatType::Symmetric);
+        let (_, fresh) = nat.egress_preview(SimTime::ZERO, private(), remote(1));
+        assert!(fresh);
+        let ep = nat.on_outbound(SimTime::ZERO, private(), remote(1));
+        let (seen, fresh) = nat.egress_preview(SimTime::from_secs(1), private(), remote(1));
+        assert!(!fresh);
+        assert_eq!(seen, ep);
+        // Different destination: fresh again.
+        let (_, fresh) = nat.egress_preview(SimTime::from_secs(1), private(), remote(2));
+        assert!(fresh);
+    }
+
+    #[test]
+    fn purge_bounds_state() {
+        let mut nat = boxed(NatType::Symmetric);
+        for i in 0..100 {
+            nat.on_outbound(SimTime::ZERO, private(), remote(i));
+        }
+        assert_eq!(nat.live_rule_count(SimTime::ZERO), 100);
+        let later = SimTime::ZERO + TIMEOUT * 2;
+        nat.purge_expired(later);
+        assert_eq!(nat.live_rule_count(later), 0);
+        // Internals are actually emptied, not just filtered.
+        assert!(nat.sym_by_port.is_empty());
+        assert!(nat.sym.is_empty());
+    }
+
+    #[test]
+    fn multiple_private_endpoints_behind_one_box() {
+        let mut nat = boxed(NatType::PortRestrictedCone);
+        let p1 = Endpoint::new(Ip(Ip::PRIVATE_BASE + 1), Port(5000));
+        let p2 = Endpoint::new(Ip(Ip::PRIVATE_BASE + 2), Port(5000));
+        let a = nat.on_outbound(SimTime::ZERO, p1, remote(1));
+        let b = nat.on_outbound(SimTime::ZERO, p2, remote(1));
+        assert_ne!(a.port, b.port, "distinct private endpoints need distinct public ports");
+        assert_eq!(nat.on_inbound(SimTime::from_secs(1), a.port, remote(1)), Ok(p1));
+        assert_eq!(nat.on_inbound(SimTime::from_secs(1), b.port, remote(1)), Ok(p2));
+    }
+
+    #[test]
+    fn port_forwarding_admits_anyone_forever() {
+        for t in NatType::ALL {
+            let mut nat = boxed(t);
+            let ep = nat.enable_port_forwarding(private());
+            assert!(nat.is_forwarded(ep.port), "{t}");
+            // Unsolicited, from anyone, long after any timeout.
+            let late = SimTime::ZERO + TIMEOUT * 10;
+            assert_eq!(nat.on_inbound(late, ep.port, remote(42)), Ok(private()), "{t}");
+            assert!(nat.would_admit(late, ep.port, remote(43)), "{t}");
+            // Idempotent.
+            assert_eq!(nat.enable_port_forwarding(private()), ep, "{t}");
+        }
+    }
+
+    #[test]
+    fn forwarding_reuses_cone_reservation() {
+        let mut nat = boxed(NatType::PortRestrictedCone);
+        let stable = nat.stable_public_endpoint(private()).unwrap();
+        let fwd = nat.enable_port_forwarding(private());
+        assert_eq!(stable, fwd, "cone identity endpoint must be preserved");
+    }
+
+    #[test]
+    fn accessors() {
+        let nat = boxed(NatType::RestrictedCone);
+        assert_eq!(nat.public_ip(), Ip(0x0100_0001));
+        assert_eq!(nat.nat_type(), NatType::RestrictedCone);
+        assert_eq!(nat.hole_timeout(), TIMEOUT);
+    }
+}

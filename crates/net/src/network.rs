@@ -1,0 +1,909 @@
+//! The simulated network fabric: NAT egress/ingress, latency, loss,
+//! accounting.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use nylon_sim::{SimDuration, SimRng, SimTime};
+
+use crate::addr::{Endpoint, Ip, PeerId, Port};
+use crate::nat::NatClass;
+use crate::natbox::{NatBox, NatReject};
+
+/// Fabric configuration, defaulting to the paper's experimental settings.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// One-way message latency (paper: 50 ms).
+    pub latency: SimDuration,
+    /// Uniform latency jitter, applied as ± `jitter` around [`NetConfig::latency`].
+    pub latency_jitter: SimDuration,
+    /// Probability that a datagram is lost in transit (paper: 0).
+    pub loss_probability: f64,
+    /// Lifetime of NAT mappings/filter rules after the last activity
+    /// (paper: 90 s, "a typical vendor value").
+    pub hole_timeout: SimDuration,
+    /// Per-datagram overhead added to every payload (IP + UDP headers).
+    pub header_bytes: u32,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            latency: SimDuration::from_millis(50),
+            latency_jitter: SimDuration::ZERO,
+            loss_probability: 0.0,
+            hole_timeout: SimDuration::from_secs(90),
+            header_bytes: 28,
+        }
+    }
+}
+
+/// Per-peer traffic counters (cumulative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrafficStats {
+    /// Bytes sent, including per-datagram header overhead.
+    pub bytes_sent: u64,
+    /// Bytes received, including per-datagram header overhead.
+    pub bytes_received: u64,
+    /// Datagrams sent.
+    pub msgs_sent: u64,
+    /// Datagrams received.
+    pub msgs_received: u64,
+}
+
+impl TrafficStats {
+    /// Total bytes in both directions.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_sent + self.bytes_received
+    }
+
+    /// Counter-wise difference `self - earlier`; saturates at zero.
+    pub fn since(&self, earlier: &TrafficStats) -> TrafficStats {
+        TrafficStats {
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            bytes_received: self.bytes_received.saturating_sub(earlier.bytes_received),
+            msgs_sent: self.msgs_sent.saturating_sub(earlier.msgs_sent),
+            msgs_received: self.msgs_received.saturating_sub(earlier.msgs_received),
+        }
+    }
+}
+
+/// Why a datagram never reached a peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// Random in-transit loss.
+    Loss,
+    /// The destination endpoint's IP is not assigned to anyone.
+    NoRoute,
+    /// The destination peer (or the host behind the NAT) is dead.
+    TargetDead,
+    /// The sender is dead (engines should not let this happen).
+    SourceDead,
+    /// The NAT had no live mapping at the destination port.
+    NoMapping,
+    /// The NAT filtering rule rejected the source.
+    Filtered,
+}
+
+impl fmt::Display for DropReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DropReason::Loss => "in-transit loss",
+            DropReason::NoRoute => "no route to endpoint",
+            DropReason::TargetDead => "target dead",
+            DropReason::SourceDead => "source dead",
+            DropReason::NoMapping => "no NAT mapping",
+            DropReason::Filtered => "filtered by NAT",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Cumulative drop counters by cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DropCounters {
+    /// Datagrams lost in transit.
+    pub loss: u64,
+    /// Datagrams to unassigned endpoints.
+    pub no_route: u64,
+    /// Datagrams to dead peers.
+    pub target_dead: u64,
+    /// Datagrams from dead peers.
+    pub source_dead: u64,
+    /// Datagrams hitting an expired/absent NAT mapping.
+    pub no_mapping: u64,
+    /// Datagrams rejected by NAT filtering rules.
+    pub filtered: u64,
+}
+
+impl DropCounters {
+    fn bump(&mut self, reason: DropReason) {
+        match reason {
+            DropReason::Loss => self.loss += 1,
+            DropReason::NoRoute => self.no_route += 1,
+            DropReason::TargetDead => self.target_dead += 1,
+            DropReason::SourceDead => self.source_dead += 1,
+            DropReason::NoMapping => self.no_mapping += 1,
+            DropReason::Filtered => self.filtered += 1,
+        }
+    }
+
+    /// Sum of all counters.
+    pub fn total(&self) -> u64 {
+        self.loss + self.no_route + self.target_dead + self.source_dead + self.no_mapping + self.filtered
+    }
+}
+
+/// A datagram travelling through the fabric.
+///
+/// Produced by [`Network::send`] *after* egress NAT processing; the caller
+/// schedules it on its event loop and hands it back to [`Network::deliver`]
+/// at `arrive_at`, when ingress processing (NAT filtering at the
+/// destination) happens.
+#[derive(Debug, Clone)]
+pub struct InFlight<P> {
+    /// Arrival instant (send time + sampled latency).
+    pub arrive_at: SimTime,
+    /// Public source endpoint after egress NAT translation.
+    pub src_ep: Endpoint,
+    /// Destination endpoint the sender addressed.
+    pub dst_ep: Endpoint,
+    /// Sender peer (for diagnostics; the wire carries only endpoints).
+    pub sender: PeerId,
+    /// Total bytes on the wire (payload + headers).
+    pub wire_bytes: u32,
+    /// Protocol payload.
+    pub payload: P,
+}
+
+/// Outcome of delivering an [`InFlight`] datagram.
+#[derive(Debug, Clone)]
+pub enum Delivery<P> {
+    /// The datagram reached a peer.
+    ToPeer {
+        /// Receiving peer.
+        to: PeerId,
+        /// Source endpoint as observed by the receiver (post-NAT); replies
+        /// to this endpoint travel back through the sender's NAT hole.
+        from_ep: Endpoint,
+        /// Protocol payload.
+        payload: P,
+    },
+    /// The datagram was dropped.
+    Dropped {
+        /// Why it was dropped.
+        reason: DropReason,
+        /// The payload, returned for diagnostics.
+        payload: P,
+    },
+}
+
+#[derive(Debug)]
+struct PeerSlot {
+    class: NatClass,
+    private_ep: Endpoint,
+    identity_ep: Endpoint,
+    nat_box: Option<usize>,
+    alive: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum IpOwner {
+    PublicPeer(PeerId),
+    Nat(usize),
+}
+
+/// Base of the synthetic public address space for public peers.
+const PUBLIC_PEER_IP_BASE: u32 = 0x0100_0000;
+/// Base of the synthetic public address space for NAT boxes.
+const NAT_IP_BASE: u32 = 0x4000_0000;
+/// Port public peers listen on.
+const PUBLIC_PEER_PORT: u16 = 9000;
+/// Private port every peer binds.
+const PRIVATE_PORT: u16 = 5000;
+
+/// The simulated network: peers, NAT boxes, latency, loss and accounting.
+///
+/// Payload-generic: `P` is the protocol message type. See the crate-level
+/// example for basic usage.
+#[derive(Debug)]
+pub struct Network<P> {
+    cfg: NetConfig,
+    peers: Vec<PeerSlot>,
+    boxes: Vec<NatBox>,
+    ip_owner: HashMap<Ip, IpOwner>,
+    peer_by_private: HashMap<Endpoint, PeerId>,
+    stats: Vec<TrafficStats>,
+    drops: DropCounters,
+    rng: SimRng,
+    alive_count: usize,
+    _payload: std::marker::PhantomData<fn() -> P>,
+}
+
+impl<P> Network<P> {
+    /// Creates an empty network with the given configuration and RNG seed
+    /// (used for latency jitter and loss sampling).
+    pub fn new(cfg: NetConfig, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&cfg.loss_probability),
+            "loss probability must be within [0, 1]"
+        );
+        Network {
+            cfg,
+            peers: Vec::new(),
+            boxes: Vec::new(),
+            ip_owner: HashMap::new(),
+            peer_by_private: HashMap::new(),
+            stats: Vec::new(),
+            drops: DropCounters::default(),
+            rng: SimRng::new(seed).fork(0x6E65_7477), // "netw"
+            alive_count: 0,
+            _payload: std::marker::PhantomData,
+        }
+    }
+
+    /// The fabric configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// Adds a peer of the given class and returns its id. Natted peers get
+    /// a dedicated NAT box; cone peers get their stable public endpoint
+    /// reserved immediately.
+    pub fn add_peer(&mut self, class: NatClass) -> PeerId {
+        let id = PeerId(self.peers.len() as u32);
+        let private_ep =
+            Endpoint::new(Ip(Ip::PRIVATE_BASE + id.0), Port(PRIVATE_PORT));
+        let (identity_ep, nat_box) = match class {
+            NatClass::Public => {
+                let ip = Ip(PUBLIC_PEER_IP_BASE + id.0);
+                let ep = Endpoint::new(ip, Port(PUBLIC_PEER_PORT));
+                self.ip_owner.insert(ip, IpOwner::PublicPeer(id));
+                (ep, None)
+            }
+            NatClass::Natted(t) => {
+                let box_idx = self.boxes.len();
+                let ip = Ip(NAT_IP_BASE + box_idx as u32);
+                let mut nat = NatBox::new(ip, t, self.cfg.hole_timeout);
+                let identity = nat
+                    .stable_public_endpoint(private_ep)
+                    .unwrap_or(Endpoint::new(ip, Port::UNKNOWN));
+                self.boxes.push(nat);
+                self.ip_owner.insert(ip, IpOwner::Nat(box_idx));
+                (identity, Some(box_idx))
+            }
+        };
+        self.peer_by_private.insert(private_ep, id);
+        self.peers.push(PeerSlot { class, private_ep, identity_ep, nat_box, alive: true });
+        self.stats.push(TrafficStats::default());
+        self.alive_count += 1;
+        id
+    }
+
+    /// Total number of peers ever added (dead peers keep their slot).
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Number of currently alive peers.
+    pub fn alive_count(&self) -> usize {
+        self.alive_count
+    }
+
+    /// `true` if `peer` is alive.
+    pub fn is_alive(&self, peer: PeerId) -> bool {
+        self.peers[peer.index()].alive
+    }
+
+    /// The peer's NAT classification.
+    pub fn class_of(&self, peer: PeerId) -> NatClass {
+        self.peers[peer.index()].class
+    }
+
+    /// The endpoint a peer advertises: its public address for public peers,
+    /// the stable NAT mapping for cone-natted peers, and an
+    /// unknown-port sentinel for symmetric-natted peers (whose public port
+    /// is destination-dependent).
+    pub fn identity_endpoint(&self, peer: PeerId) -> Endpoint {
+        self.peers[peer.index()].identity_ep
+    }
+
+    /// Iterator over all currently alive peers.
+    pub fn alive_peers(&self) -> impl Iterator<Item = PeerId> + '_ {
+        self.peers
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive)
+            .map(|(i, _)| PeerId(i as u32))
+    }
+
+    /// Kills a peer (fail-stop: no goodbye messages, NAT box stops
+    /// forwarding). Idempotent.
+    pub fn kill_peer(&mut self, peer: PeerId) {
+        let slot = &mut self.peers[peer.index()];
+        if slot.alive {
+            slot.alive = false;
+            self.alive_count -= 1;
+        }
+    }
+
+    /// Sends `payload` from `peer` to `dst_ep`, performing egress NAT
+    /// processing and sampling latency/loss.
+    ///
+    /// Returns the in-flight datagram to schedule, or `None` if the
+    /// datagram will never arrive (lost in transit, or sent by a dead
+    /// peer). Bytes sent are accounted in both cases — the datagram did
+    /// leave the host.
+    pub fn send(
+        &mut self,
+        now: SimTime,
+        peer: PeerId,
+        dst_ep: Endpoint,
+        payload: P,
+        payload_bytes: u32,
+    ) -> Option<InFlight<P>> {
+        let slot = &self.peers[peer.index()];
+        if !slot.alive {
+            self.drops.bump(DropReason::SourceDead);
+            return None;
+        }
+        let wire_bytes = payload_bytes + self.cfg.header_bytes;
+        let src_ep = match slot.nat_box {
+            Some(b) => self.boxes[b].on_outbound(now, slot.private_ep, dst_ep),
+            None => slot.identity_ep,
+        };
+        let st = &mut self.stats[peer.index()];
+        st.bytes_sent += wire_bytes as u64;
+        st.msgs_sent += 1;
+
+        if self.cfg.loss_probability > 0.0 && self.rng.chance(self.cfg.loss_probability) {
+            self.drops.bump(DropReason::Loss);
+            return None;
+        }
+        let jitter = self.cfg.latency_jitter.as_millis();
+        let latency_ms = if jitter == 0 {
+            self.cfg.latency.as_millis()
+        } else {
+            let base = self.cfg.latency.as_millis();
+            let sampled = self.rng.gen_range(0..=2 * jitter);
+            (base + sampled).saturating_sub(jitter).max(1)
+        };
+        Some(InFlight {
+            arrive_at: now + SimDuration::from_millis(latency_ms),
+            src_ep,
+            dst_ep,
+            sender: peer,
+            wire_bytes,
+            payload,
+        })
+    }
+
+    /// Delivers an in-flight datagram: ingress NAT filtering runs *now*,
+    /// against the NAT state at arrival time.
+    pub fn deliver(&mut self, now: SimTime, flight: InFlight<P>) -> Delivery<P> {
+        let InFlight { dst_ep, src_ep, wire_bytes, payload, .. } = flight;
+        let owner = match self.ip_owner.get(&dst_ep.ip) {
+            Some(o) => *o,
+            None => {
+                self.drops.bump(DropReason::NoRoute);
+                return Delivery::Dropped { reason: DropReason::NoRoute, payload };
+            }
+        };
+        let to = match owner {
+            IpOwner::PublicPeer(pid) => {
+                if dst_ep.port != Port(PUBLIC_PEER_PORT) {
+                    self.drops.bump(DropReason::NoRoute);
+                    return Delivery::Dropped { reason: DropReason::NoRoute, payload };
+                }
+                pid
+            }
+            IpOwner::Nat(b) => match self.boxes[b].on_inbound(now, dst_ep.port, src_ep) {
+                Ok(private) => match self.peer_by_private.get(&private) {
+                    Some(pid) => *pid,
+                    None => {
+                        self.drops.bump(DropReason::NoRoute);
+                        return Delivery::Dropped { reason: DropReason::NoRoute, payload };
+                    }
+                },
+                Err(NatReject::NoMapping) => {
+                    self.drops.bump(DropReason::NoMapping);
+                    return Delivery::Dropped { reason: DropReason::NoMapping, payload };
+                }
+                Err(NatReject::Filtered) => {
+                    self.drops.bump(DropReason::Filtered);
+                    return Delivery::Dropped { reason: DropReason::Filtered, payload };
+                }
+            },
+        };
+        if !self.peers[to.index()].alive {
+            self.drops.bump(DropReason::TargetDead);
+            return Delivery::Dropped { reason: DropReason::TargetDead, payload };
+        }
+        let st = &mut self.stats[to.index()];
+        st.bytes_received += wire_bytes as u64;
+        st.msgs_received += 1;
+        Delivery::ToPeer { to, from_ep: src_ep, payload }
+    }
+
+    /// Read-only reachability oracle for the staleness metric of Section 3:
+    /// would a datagram sent *now* by `holder` to `target` at the advertised
+    /// endpoint `target_ep` be forwarded to `target`?
+    ///
+    /// No NAT state is created or refreshed — this is an observer, not a
+    /// participant.
+    pub fn reachable(
+        &self,
+        now: SimTime,
+        holder: PeerId,
+        target: PeerId,
+        target_ep: Endpoint,
+    ) -> bool {
+        if !self.peers[target.index()].alive || !self.peers[holder.index()].alive {
+            return false;
+        }
+        // Source endpoint as the target's NAT would observe it.
+        let hslot = &self.peers[holder.index()];
+        let src_ep = match hslot.nat_box {
+            None => hslot.identity_ep,
+            Some(b) => self.boxes[b].egress_preview(now, hslot.private_ep, target_ep).0,
+        };
+        let tslot = &self.peers[target.index()];
+        match tslot.nat_box {
+            None => target_ep == tslot.identity_ep,
+            Some(b) => {
+                if target_ep.ip != self.boxes[b].public_ip() {
+                    return false;
+                }
+                self.boxes[b].would_admit(now, target_ep.port, src_ep)
+            }
+        }
+    }
+
+    /// Enables a permanent UPnP/NAT-PMP port forwarding for a natted peer
+    /// and updates its identity endpoint to the forwarded one. The peer
+    /// then behaves like a public peer for inbound traffic. No-op (and
+    /// `None`) for public peers.
+    pub fn enable_port_forwarding(&mut self, peer: PeerId) -> Option<Endpoint> {
+        let slot = &self.peers[peer.index()];
+        let b = slot.nat_box?;
+        let private = slot.private_ep;
+        let ep = self.boxes[b].enable_port_forwarding(private);
+        self.peers[peer.index()].identity_ep = ep;
+        Some(ep)
+    }
+
+    /// Pre-opens a NAT hole so that `holder` can contact `target` without
+    /// traversal, returning the endpoint `holder` should use.
+    ///
+    /// This models an out-of-band join handshake (the paper bootstraps
+    /// views with *public* peers; this helper exists for the degenerate
+    /// 100 %-NAT population where no public peer is available). For a
+    /// public `target` it is a no-op returning the identity endpoint. For a
+    /// natted `target`, an outbound session from the target towards the
+    /// holder's predicted source endpoint is installed; note that pairs
+    /// whose filtering is port-exact on both sides (e.g. a symmetric holder
+    /// towards a port-restricted target) cannot be pre-opened this way and
+    /// will still require relaying — exactly as in a real deployment.
+    pub fn open_bootstrap_hole(
+        &mut self,
+        now: SimTime,
+        holder: PeerId,
+        target: PeerId,
+    ) -> Option<Endpoint> {
+        let target_identity = self.identity_endpoint(target);
+        let Some(tb) = self.peers[target.index()].nat_box else {
+            return Some(target_identity);
+        };
+        // Predicted source endpoint of the holder as seen by the target.
+        let hslot = &self.peers[holder.index()];
+        let holder_src = match hslot.nat_box {
+            None => hslot.identity_ep,
+            Some(hb) => self.boxes[hb].egress_preview(now, hslot.private_ep, target_identity).0,
+        };
+        let t_private = self.peers[target.index()].private_ep;
+        let target_ep = self.boxes[tb].on_outbound(now, t_private, holder_src);
+        // Also open the holder's own outbound session so replies pass its
+        // filter.
+        let hslot = &self.peers[holder.index()];
+        if let Some(hb) = hslot.nat_box {
+            let h_private = hslot.private_ep;
+            self.boxes[hb].on_outbound(now, h_private, target_ep);
+        }
+        Some(target_ep)
+    }
+
+    /// Traffic counters for one peer.
+    pub fn stats_of(&self, peer: PeerId) -> TrafficStats {
+        self.stats[peer.index()]
+    }
+
+    /// Drop counters by cause.
+    pub fn drop_counters(&self) -> DropCounters {
+        self.drops
+    }
+
+    /// Drops expired NAT sessions to bound memory; call periodically.
+    pub fn purge_expired_nat_state(&mut self, now: SimTime) {
+        for b in &mut self.boxes {
+            b.purge_expired(now);
+        }
+    }
+
+    /// Direct access to a peer's NAT box, if natted (for tests and probes).
+    pub fn nat_box_of(&self, peer: PeerId) -> Option<&NatBox> {
+        self.peers[peer.index()].nat_box.map(|b| &self.boxes[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nat::NatType;
+
+    type Net = Network<u32>;
+
+    fn send_and_deliver(net: &mut Net, now: SimTime, from: PeerId, to_ep: Endpoint, tag: u32) -> Delivery<u32> {
+        let f = net.send(now, from, to_ep, tag, 100).expect("not lost");
+        let at = f.arrive_at;
+        net.deliver(at, f)
+    }
+
+    fn expect_peer(d: Delivery<u32>) -> (PeerId, Endpoint, u32) {
+        match d {
+            Delivery::ToPeer { to, from_ep, payload } => (to, from_ep, payload),
+            Delivery::Dropped { reason, .. } => panic!("unexpected drop: {reason}"),
+        }
+    }
+
+    fn expect_drop(d: Delivery<u32>) -> DropReason {
+        match d {
+            Delivery::ToPeer { to, .. } => panic!("unexpectedly delivered to {to}"),
+            Delivery::Dropped { reason, .. } => reason,
+        }
+    }
+
+    #[test]
+    fn public_to_public_direct() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let a = net.add_peer(NatClass::Public);
+        let b = net.add_peer(NatClass::Public);
+        let d = { let ep = net.identity_endpoint(b); send_and_deliver(&mut net, SimTime::ZERO, a, ep, 7) };
+        let (to, from_ep, payload) = expect_peer(d);
+        assert_eq!(to, b);
+        assert_eq!(from_ep, net.identity_endpoint(a));
+        assert_eq!(payload, 7);
+    }
+
+    #[test]
+    fn latency_is_applied() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let a = net.add_peer(NatClass::Public);
+        let b = net.add_peer(NatClass::Public);
+        let f = net.send(SimTime::ZERO, a, net.identity_endpoint(b), 1, 10).unwrap();
+        assert_eq!(f.arrive_at, SimTime::from_millis(50));
+    }
+
+    #[test]
+    fn natted_reply_flows_through_hole() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let pub_peer = net.add_peer(NatClass::Public);
+        let nat_peer = net.add_peer(NatClass::Natted(NatType::PortRestrictedCone));
+        // Natted initiates: opens a hole.
+        let d = { let ep = net.identity_endpoint(pub_peer); send_and_deliver(&mut net, SimTime::ZERO, nat_peer, ep, 1) };
+        let (to, observed, _) = expect_peer(d);
+        assert_eq!(to, pub_peer);
+        // Public replies to the observed source endpoint: admitted.
+        let d = send_and_deliver(&mut net, SimTime::from_millis(50), pub_peer, observed, 2);
+        let (to, _, payload) = expect_peer(d);
+        assert_eq!(to, nat_peer);
+        assert_eq!(payload, 2);
+    }
+
+    #[test]
+    fn unsolicited_to_natted_is_dropped() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let pub_peer = net.add_peer(NatClass::Public);
+        let nat_peer = net.add_peer(NatClass::Natted(NatType::PortRestrictedCone));
+        let d = { let ep = net.identity_endpoint(nat_peer); send_and_deliver(&mut net, SimTime::ZERO, pub_peer, ep, 1) };
+        assert_eq!(expect_drop(d), DropReason::NoMapping);
+    }
+
+    #[test]
+    fn filtered_when_wrong_source() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let p1 = net.add_peer(NatClass::Public);
+        let p2 = net.add_peer(NatClass::Public);
+        let n = net.add_peer(NatClass::Natted(NatType::PortRestrictedCone));
+        // n talks to p1 only.
+        let _ = { let ep = net.identity_endpoint(p1); send_and_deliver(&mut net, SimTime::ZERO, n, ep, 1) };
+        // p2 tries n's stable endpoint: the mapping exists but p2 is filtered.
+        let d = { let ep = net.identity_endpoint(n); send_and_deliver(&mut net, SimTime::from_millis(100), p2, ep, 2) };
+        assert_eq!(expect_drop(d), DropReason::Filtered);
+    }
+
+    #[test]
+    fn hole_expires_after_timeout() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let pub_peer = net.add_peer(NatClass::Public);
+        let nat_peer = net.add_peer(NatClass::Natted(NatType::RestrictedCone));
+        let d = { let ep = net.identity_endpoint(pub_peer); send_and_deliver(&mut net, SimTime::ZERO, nat_peer, ep, 1) };
+        let (_, observed, _) = expect_peer(d);
+        // 91 s later the rule is gone.
+        let late = SimTime::from_secs(91);
+        let d = send_and_deliver(&mut net, late, pub_peer, observed, 2);
+        assert_eq!(expect_drop(d), DropReason::NoMapping);
+    }
+
+    #[test]
+    fn symmetric_identity_is_unknown_port() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let s = net.add_peer(NatClass::Natted(NatType::Symmetric));
+        assert!(net.identity_endpoint(s).has_unknown_port());
+        let p = net.add_peer(NatClass::Public);
+        let d = { let ep = net.identity_endpoint(s); send_and_deliver(&mut net, SimTime::ZERO, p, ep, 1) };
+        assert_eq!(expect_drop(d), DropReason::NoMapping);
+    }
+
+    #[test]
+    fn symmetric_reply_to_observed_endpoint_works() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let s = net.add_peer(NatClass::Natted(NatType::Symmetric));
+        let p = net.add_peer(NatClass::Public);
+        let d = { let ep = net.identity_endpoint(p); send_and_deliver(&mut net, SimTime::ZERO, s, ep, 1) };
+        let (_, observed, _) = expect_peer(d);
+        assert_eq!(observed.ip, net.nat_box_of(s).unwrap().public_ip());
+        let d = send_and_deliver(&mut net, SimTime::from_millis(60), p, observed, 2);
+        let (to, _, _) = expect_peer(d);
+        assert_eq!(to, s);
+    }
+
+    #[test]
+    fn dead_target_drops() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let a = net.add_peer(NatClass::Public);
+        let b = net.add_peer(NatClass::Public);
+        net.kill_peer(b);
+        let d = { let ep = net.identity_endpoint(b); send_and_deliver(&mut net, SimTime::ZERO, a, ep, 1) };
+        assert_eq!(expect_drop(d), DropReason::TargetDead);
+        assert_eq!(net.alive_count(), 1);
+        assert!(!net.is_alive(b));
+    }
+
+    #[test]
+    fn dead_source_cannot_send() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let a = net.add_peer(NatClass::Public);
+        let b = net.add_peer(NatClass::Public);
+        net.kill_peer(a);
+        assert!(net.send(SimTime::ZERO, a, net.identity_endpoint(b), 1, 10).is_none());
+        assert_eq!(net.drop_counters().source_dead, 1);
+    }
+
+    #[test]
+    fn no_route_for_unassigned_ip() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let a = net.add_peer(NatClass::Public);
+        let bogus = Endpoint::new(Ip(0x7F00_0001), Port(9000));
+        let d = send_and_deliver(&mut net, SimTime::ZERO, a, bogus, 1);
+        assert_eq!(expect_drop(d), DropReason::NoRoute);
+    }
+
+    #[test]
+    fn wrong_port_on_public_peer_is_no_route() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let a = net.add_peer(NatClass::Public);
+        let b = net.add_peer(NatClass::Public);
+        let wrong = Endpoint::new(net.identity_endpoint(b).ip, Port(1234));
+        let d = send_and_deliver(&mut net, SimTime::ZERO, a, wrong, 1);
+        assert_eq!(expect_drop(d), DropReason::NoRoute);
+    }
+
+    #[test]
+    fn byte_accounting_includes_headers() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let a = net.add_peer(NatClass::Public);
+        let b = net.add_peer(NatClass::Public);
+        let _ = { let ep = net.identity_endpoint(b); send_and_deliver(&mut net, SimTime::ZERO, a, ep, 1) };
+        assert_eq!(net.stats_of(a).bytes_sent, 128); // 100 + 28 header
+        assert_eq!(net.stats_of(a).msgs_sent, 1);
+        assert_eq!(net.stats_of(b).bytes_received, 128);
+        assert_eq!(net.stats_of(b).msgs_received, 1);
+        let diff = net.stats_of(b).since(&TrafficStats::default());
+        assert_eq!(diff.bytes_total(), 128);
+    }
+
+    #[test]
+    fn loss_is_sampled_and_counted() {
+        let mut cfg = NetConfig::default();
+        cfg.loss_probability = 1.0;
+        let mut net = Net::new(cfg, 1);
+        let a = net.add_peer(NatClass::Public);
+        let b = net.add_peer(NatClass::Public);
+        assert!(net.send(SimTime::ZERO, a, net.identity_endpoint(b), 1, 10).is_none());
+        assert_eq!(net.drop_counters().loss, 1);
+        // Bytes sent are still accounted.
+        assert_eq!(net.stats_of(a).msgs_sent, 1);
+    }
+
+    #[test]
+    fn jitter_bounds_latency() {
+        let mut cfg = NetConfig::default();
+        cfg.latency_jitter = SimDuration::from_millis(20);
+        let mut net = Net::new(cfg, 42);
+        let a = net.add_peer(NatClass::Public);
+        let b = net.add_peer(NatClass::Public);
+        for _ in 0..200 {
+            let f = net.send(SimTime::ZERO, a, net.identity_endpoint(b), 1, 10).unwrap();
+            let ms = f.arrive_at.as_millis();
+            assert!((30..=70).contains(&ms), "latency {ms}ms out of bounds");
+        }
+    }
+
+    #[test]
+    fn reachable_oracle_matches_reality() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let pub_peer = net.add_peer(NatClass::Public);
+        let nat_peer = net.add_peer(NatClass::Natted(NatType::PortRestrictedCone));
+        let nat_ep = net.identity_endpoint(nat_peer);
+        // Before any traffic: unreachable.
+        assert!(!net.reachable(SimTime::ZERO, pub_peer, nat_peer, nat_ep));
+        // Open the hole.
+        let _ = { let ep = net.identity_endpoint(pub_peer); send_and_deliver(&mut net, SimTime::ZERO, nat_peer, ep, 1) };
+        let t = SimTime::from_millis(100);
+        assert!(net.reachable(t, pub_peer, nat_peer, nat_ep));
+        // The oracle does not refresh: rule expires on schedule.
+        let late = SimTime::from_secs(120);
+        assert!(!net.reachable(late, pub_peer, nat_peer, nat_ep));
+        // Public target is always reachable at the right endpoint.
+        assert!(net.reachable(t, nat_peer, pub_peer, net.identity_endpoint(pub_peer)));
+    }
+
+    #[test]
+    fn reachable_false_for_dead_parties() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let a = net.add_peer(NatClass::Public);
+        let b = net.add_peer(NatClass::Public);
+        let b_ep = net.identity_endpoint(b);
+        net.kill_peer(b);
+        assert!(!net.reachable(SimTime::ZERO, a, b, b_ep));
+    }
+
+    #[test]
+    fn purge_keeps_behaviour() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let p = net.add_peer(NatClass::Public);
+        let n = net.add_peer(NatClass::Natted(NatType::RestrictedCone));
+        let _ = { let ep = net.identity_endpoint(p); send_and_deliver(&mut net, SimTime::ZERO, n, ep, 1) };
+        net.purge_expired_nat_state(SimTime::from_secs(10));
+        // Rule was live, must survive purge.
+        assert!(net.reachable(SimTime::from_secs(10), p, n, net.identity_endpoint(n)));
+        net.purge_expired_nat_state(SimTime::from_secs(200));
+        assert!(!net.reachable(SimTime::from_secs(200), p, n, net.identity_endpoint(n)));
+    }
+
+    #[test]
+    fn alive_peers_iterates_live_only() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let a = net.add_peer(NatClass::Public);
+        let b = net.add_peer(NatClass::Public);
+        let c = net.add_peer(NatClass::Public);
+        net.kill_peer(b);
+        let alive: Vec<PeerId> = net.alive_peers().collect();
+        assert_eq!(alive, vec![a, c]);
+        assert_eq!(net.peer_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn invalid_loss_probability_panics() {
+        let mut cfg = NetConfig::default();
+        cfg.loss_probability = 1.5;
+        let _ = Net::new(cfg, 1);
+    }
+
+    #[test]
+    fn bootstrap_hole_public_target_is_noop() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let a = net.add_peer(NatClass::Natted(NatType::PortRestrictedCone));
+        let b = net.add_peer(NatClass::Public);
+        let ep = net.open_bootstrap_hole(SimTime::ZERO, a, b).unwrap();
+        assert_eq!(ep, net.identity_endpoint(b));
+    }
+
+    #[test]
+    fn bootstrap_hole_lets_holder_in() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let holder = net.add_peer(NatClass::Natted(NatType::RestrictedCone));
+        let target = net.add_peer(NatClass::Natted(NatType::PortRestrictedCone));
+        let target_ep = net.open_bootstrap_hole(SimTime::ZERO, holder, target).unwrap();
+        // The holder can now initiate towards the natted target.
+        let d = { let ep = target_ep; send_and_deliver(&mut net, SimTime::from_millis(10), holder, ep, 5) };
+        let (to, _, _) = expect_peer(d);
+        assert_eq!(to, target);
+    }
+
+    #[test]
+    fn bootstrap_hole_does_not_open_for_third_parties() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let holder = net.add_peer(NatClass::Public);
+        let target = net.add_peer(NatClass::Natted(NatType::PortRestrictedCone));
+        let outsider = net.add_peer(NatClass::Public);
+        let target_ep = net.open_bootstrap_hole(SimTime::ZERO, holder, target).unwrap();
+        let d = { let ep = target_ep; send_and_deliver(&mut net, SimTime::from_millis(10), outsider, ep, 5) };
+        assert_eq!(expect_drop(d), DropReason::Filtered, "hole is holder-specific");
+    }
+
+    #[test]
+    fn identity_endpoints_are_unique() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let mut eps = std::collections::HashSet::new();
+        for i in 0..50u32 {
+            let class = if i % 2 == 0 {
+                NatClass::Public
+            } else {
+                NatClass::Natted(NatType::RestrictedCone)
+            };
+            let p = net.add_peer(class);
+            assert!(eps.insert(net.identity_endpoint(p)), "duplicate identity endpoint");
+        }
+    }
+
+    #[test]
+    fn drop_counters_tally_with_observed_drops() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let a = net.add_peer(NatClass::Public);
+        let n = net.add_peer(NatClass::Natted(NatType::PortRestrictedCone));
+        let n_ep = net.identity_endpoint(n);
+        for i in 0..5u32 {
+            let d = { let ep = n_ep; send_and_deliver(&mut net, SimTime::from_millis(i as u64 * 10), a, ep, i) };
+            assert_eq!(expect_drop(d), DropReason::NoMapping);
+        }
+        assert_eq!(net.drop_counters().no_mapping, 5);
+        assert_eq!(net.drop_counters().total(), 5);
+    }
+
+    #[test]
+    fn upnp_peer_reachable_unsolicited() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let a = net.add_peer(NatClass::Public);
+        let n = net.add_peer(NatClass::Natted(NatType::Symmetric));
+        let fwd = net.enable_port_forwarding(n).expect("natted peer");
+        assert_eq!(net.identity_endpoint(n), fwd, "identity must advertise the forwarding");
+        let d = { let ep = fwd; send_and_deliver(&mut net, SimTime::ZERO, a, ep, 9) };
+        let (to, _, payload) = expect_peer(d);
+        assert_eq!((to, payload), (n, 9));
+        // Oracle agrees.
+        assert!(net.reachable(SimTime::from_secs(300), a, n, fwd));
+        // Public peers: no-op.
+        assert!(net.enable_port_forwarding(a).is_none());
+    }
+
+    #[test]
+    fn kill_is_idempotent() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let a = net.add_peer(NatClass::Public);
+        net.kill_peer(a);
+        net.kill_peer(a);
+        assert_eq!(net.alive_count(), 0);
+    }
+
+    #[test]
+    fn separate_networks_are_independent() {
+        let mk = |seed: u64| {
+            let mut cfg = NetConfig::default();
+            cfg.latency_jitter = SimDuration::from_millis(20);
+            let mut net = Net::new(cfg, seed);
+            let a = net.add_peer(NatClass::Public);
+            let b = net.add_peer(NatClass::Public);
+            let b_ep = net.identity_endpoint(b);
+            (0..20)
+                .map(|i| {
+                    net.send(SimTime::from_millis(i), a, b_ep, 0, 8)
+                        .map(|f| f.arrive_at.as_millis())
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(mk(5), mk(5), "same seed, same jitter stream");
+        assert_ne!(mk(5), mk(6), "different seed, different jitter stream");
+    }
+}

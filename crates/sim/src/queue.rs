@@ -1,0 +1,200 @@
+//! A deterministic priority queue of timestamped events.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event queue ordered by firing time with stable FIFO tie-breaking.
+///
+/// Two events scheduled for the same instant are delivered in the order in
+/// which they were scheduled. This property is essential for deterministic
+/// simulations: `BinaryHeap` alone does not guarantee any order among equal
+/// keys, so every entry carries a monotonically increasing sequence number.
+///
+/// ```
+/// use nylon_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_millis(5), "b");
+/// q.schedule(SimTime::from_millis(5), "c");
+/// q.schedule(SimTime::from_millis(1), "a");
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!["a", "b", "c"]);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Manual ordering: min-heap on (at, seq). `BinaryHeap` is a max-heap, so the
+// comparisons are reversed here rather than wrapping everything in `Reverse`.
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Creates an empty queue with room for `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue { heap: BinaryHeap::with_capacity(capacity), next_seq: 0 }
+    }
+
+    /// Schedules `event` to fire at instant `at`.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` if the queue is
+    /// empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// The firing time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), 3);
+        q.schedule(SimTime::from_millis(10), 1);
+        q.schedule(SimTime::from_millis(20), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_millis(10), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(20), 2)));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(7), "x");
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(7), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let q: EventQueue<()> = EventQueue::default();
+        assert!(q.is_empty());
+    }
+
+    proptest! {
+        /// Popping must always yield a non-decreasing sequence of timestamps,
+        /// and FIFO order among equal timestamps.
+        #[test]
+        fn prop_pop_order(times in proptest::collection::vec(0u64..50, 0..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_millis(*t), i);
+            }
+            let mut last: Option<(SimTime, usize)> = None;
+            while let Some((t, idx)) = q.pop() {
+                if let Some((lt, lidx)) = last {
+                    prop_assert!(t >= lt);
+                    if t == lt {
+                        prop_assert!(idx > lidx, "FIFO violated for equal timestamps");
+                    }
+                }
+                last = Some((t, idx));
+            }
+        }
+
+        /// The queue must never lose or duplicate events.
+        #[test]
+        fn prop_conservation(times in proptest::collection::vec(0u64..1000, 0..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_millis(*t), i);
+            }
+            let mut seen = vec![false; times.len()];
+            while let Some((_, idx)) = q.pop() {
+                prop_assert!(!seen[idx], "duplicate event");
+                seen[idx] = true;
+            }
+            prop_assert!(seen.iter().all(|&s| s), "lost event");
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Virtual time for the simulation: instants and durations in milliseconds.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A point in virtual time, measured in milliseconds since the start of the
+/// simulation.
+///
+/// `SimTime` is totally ordered and supports arithmetic with
+/// [`SimDuration`]. The zero instant is [`SimTime::ZERO`].
+///
+/// ```
+/// use nylon_sim::{SimDuration, SimTime};
+/// let t = SimTime::ZERO + SimDuration::from_secs(5);
+/// assert_eq!(t.as_millis(), 5_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable instant; useful as an "infinite" deadline.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `millis` milliseconds after the simulation start.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis)
+    }
+
+    /// Creates an instant `secs` seconds after the simulation start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs * 1000` overflows `u64`.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000)
+    }
+
+    /// This instant expressed as milliseconds since the simulation start.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed as (fractional) seconds since the start.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The duration elapsed since `earlier`, saturating to zero if `earlier`
+    /// is in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Adds a duration, saturating at [`SimTime::MAX`].
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}ms", self.0)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+/// A span of virtual time, measured in milliseconds.
+///
+/// ```
+/// use nylon_sim::SimDuration;
+/// assert_eq!(SimDuration::from_secs(2) * 3, SimDuration::from_millis(6_000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration of `millis` milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis)
+    }
+
+    /// Creates a duration of `secs` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs * 1000` overflows `u64`.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000)
+    }
+
+    /// This duration in milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// This duration in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// `true` if this is the empty duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Subtracts `rhs`, saturating at zero.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the smaller of two durations.
+    pub fn min(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(rhs.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ms", self.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_ordering_and_arithmetic() {
+        let a = SimTime::from_millis(10);
+        let b = SimTime::from_millis(30);
+        assert!(a < b);
+        assert_eq!(b - a, SimDuration::from_millis(20));
+        assert_eq!(a + SimDuration::from_millis(20), b);
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        assert_eq!(SimTime::from_secs(3).as_millis(), 3_000);
+        assert_eq!(SimDuration::from_secs(3).as_millis(), 3_000);
+        assert!((SimTime::from_millis(1_500).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturating_operations() {
+        let a = SimTime::from_millis(10);
+        let b = SimTime::from_millis(30);
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+        assert_eq!(b.saturating_since(a), SimDuration::from_millis(20));
+        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimDuration::from_millis(5).saturating_sub(SimDuration::from_millis(9)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(SimTime::from_millis(7).to_string(), "t=7ms");
+        assert_eq!(SimDuration::from_millis(7).to_string(), "7ms");
+    }
+
+    #[test]
+    fn duration_scaling() {
+        assert_eq!(SimDuration::from_millis(7) * 3, SimDuration::from_millis(21));
+        assert_eq!(
+            SimDuration::from_millis(7).min(SimDuration::from_millis(3)),
+            SimDuration::from_millis(3)
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Periodic timer bookkeeping.
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Tracks the firing schedule of a fixed-period timer.
+///
+/// Gossip protocols fire a shuffle every `period` (5 s in the paper). Peers
+/// must not fire in lock-step — real deployments have arbitrary phase offsets
+/// — so the timer starts at a random phase within the first period.
+///
+/// ```
+/// use nylon_sim::{PeriodicTimer, SimDuration, SimRng, SimTime};
+///
+/// let mut rng = SimRng::new(3);
+/// let mut timer = PeriodicTimer::with_random_phase(SimDuration::from_secs(5), &mut rng);
+/// let first = timer.next_fire();
+/// assert!(first < SimTime::from_secs(5));
+/// timer.advance();
+/// assert_eq!(timer.next_fire(), first + SimDuration::from_secs(5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PeriodicTimer {
+    period: SimDuration,
+    next: SimTime,
+    fired: u64,
+}
+
+impl PeriodicTimer {
+    /// A timer that first fires at `phase` and then every `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(period: SimDuration, phase: SimTime) -> Self {
+        assert!(!period.is_zero(), "timer period must be non-zero");
+        PeriodicTimer { period, next: phase, fired: 0 }
+    }
+
+    /// A timer with a phase drawn uniformly from `[0, period)`.
+    pub fn with_random_phase(period: SimDuration, rng: &mut SimRng) -> Self {
+        assert!(!period.is_zero(), "timer period must be non-zero");
+        let phase = SimTime::from_millis(rng.gen_range(0..period.as_millis()));
+        PeriodicTimer::new(period, phase)
+    }
+
+    /// The instant of the next firing.
+    pub fn next_fire(&self) -> SimTime {
+        self.next
+    }
+
+    /// The timer period.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// Number of times the timer has fired.
+    pub fn times_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Records a firing and moves the schedule one period forward.
+    pub fn advance(&mut self) {
+        self.fired += 1;
+        self.next = self.next + self.period;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_every_period() {
+        let mut t = PeriodicTimer::new(SimDuration::from_secs(5), SimTime::from_millis(300));
+        assert_eq!(t.next_fire(), SimTime::from_millis(300));
+        t.advance();
+        assert_eq!(t.next_fire(), SimTime::from_millis(5_300));
+        t.advance();
+        assert_eq!(t.next_fire(), SimTime::from_millis(10_300));
+        assert_eq!(t.times_fired(), 2);
+        assert_eq!(t.period(), SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn random_phase_within_first_period() {
+        let mut rng = SimRng::new(9);
+        for _ in 0..100 {
+            let t = PeriodicTimer::with_random_phase(SimDuration::from_secs(5), &mut rng);
+            assert!(t.next_fire() < SimTime::from_secs(5));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "timer period must be non-zero")]
+    fn zero_period_panics() {
+        PeriodicTimer::new(SimDuration::ZERO, SimTime::ZERO);
+    }
+}

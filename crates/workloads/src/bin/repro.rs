@@ -1,0 +1,121 @@
+//! Command-line reproduction harness.
+//!
+//! ```text
+//! repro [ARTIFACTS...] [--peers N] [--seeds K] [--rounds R] [--full]
+//!       [--csv] [--out DIR]
+//!
+//! ARTIFACTS: table1 fig2 fig3 fig4 fig7 fig8 fig9 fig10 correctness
+//!            ablation all          (default: all)
+//! --peers N    network size                 (default 400; paper 10000)
+//! --seeds K    seeds per data point         (default 3; paper 30)
+//! --rounds R   steady-state horizon, rounds (default 120)
+//! --full       paper scale: 10000 peers, 30 seeds, full churn horizons
+//! --csv        print CSV instead of markdown
+//! --out DIR    also write one .csv file per table into DIR
+//! ```
+
+use std::process::ExitCode;
+
+use nylon_workloads::figures::{self, FigureScale, FIGURES};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = FigureScale::default();
+    let mut names: Vec<String> = Vec::new();
+    let mut csv = false;
+    let mut out_dir: Option<String> = None;
+
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--peers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => scale.peers = v,
+                None => return usage("--peers needs an integer"),
+            },
+            "--seeds" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => scale.seeds = v,
+                None => return usage("--seeds needs an integer"),
+            },
+            "--rounds" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => scale.rounds = v,
+                None => return usage("--rounds needs an integer"),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => scale.base_seed = v,
+                None => return usage("--seed needs an integer"),
+            },
+            "--full" => {
+                let base = scale.base_seed;
+                scale = FigureScale::paper();
+                scale.base_seed = base;
+            }
+            "--csv" => csv = true,
+            "--out" => match it.next() {
+                Some(v) => out_dir = Some(v.clone()),
+                None => return usage("--out needs a directory"),
+            },
+            "--help" | "-h" => return usage(""),
+            name if !name.starts_with('-') => names.push(name.to_string()),
+            other => return usage(&format!("unknown flag {other}")),
+        }
+    }
+    if names.is_empty() || names.iter().any(|n| n == "all") {
+        names = FIGURES.iter().map(|s| s.to_string()).collect();
+    }
+    for n in &names {
+        if !FIGURES.contains(&n.as_str()) {
+            return usage(&format!("unknown artifact '{n}'"));
+        }
+    }
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    eprintln!(
+        "[repro] scale: {} peers, {} seeds, {} rounds{}",
+        scale.peers,
+        scale.seeds,
+        scale.rounds,
+        if scale.full_churn_horizons { ", paper churn horizons" } else { "" }
+    );
+    for name in &names {
+        let started = std::time::Instant::now();
+        let tables = figures::generate(name, &scale).expect("names validated above");
+        eprintln!("[repro] {name} done in {:.1?}", started.elapsed());
+        for (i, table) in tables.iter().enumerate() {
+            println!("## {}\n", table.title);
+            if csv {
+                println!("{}", table.to_csv());
+            } else {
+                println!("{}", table.to_markdown());
+            }
+            if let Some(dir) = &out_dir {
+                let suffix = if tables.len() > 1 { format!("_{}", i + 1) } else { String::new() };
+                let path = format!("{dir}/{name}{suffix}.csv");
+                if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: repro [ARTIFACTS...] [--peers N] [--seeds K] [--rounds R] [--seed S] [--full] [--csv] [--out DIR]"
+    );
+    eprintln!("artifacts: {} all", FIGURES.join(" "));
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

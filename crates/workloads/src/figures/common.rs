@@ -1,0 +1,177 @@
+//! Shared sweep helpers for the figure generators.
+
+use nylon::NylonConfig;
+use nylon_gossip::GossipConfig;
+use nylon_metrics::{BandwidthReport, Summary};
+use nylon_net::TrafficStats;
+use nylon_sim::SimDuration;
+
+use crate::runner::{
+    biggest_cluster_pct_baseline, build_baseline, build_nylon, run_seeds, seeds,
+    staleness_baseline,
+};
+use crate::scenario::{NatMix, Scenario};
+
+use super::FigureScale;
+
+/// Writes a progress line to stderr (the tables go to stdout).
+pub fn progress(msg: &str) {
+    eprintln!("[repro] {msg}");
+}
+
+/// Derives the seed list for a data point, mixing figure-specific salt so
+/// different figures do not share seeds.
+pub fn point_seeds(scale: &FigureScale, salt: u64) -> Vec<u64> {
+    seeds(scale.seeds, scale.base_seed ^ salt)
+}
+
+/// Mean biggest-cluster percentage for a baseline configuration at one NAT
+/// percentage (Figure 2 cell).
+pub fn baseline_cluster_point(
+    scale: &FigureScale,
+    cfg: &GossipConfig,
+    nat_pct: f64,
+    salt: u64,
+) -> Summary {
+    let seed_list = point_seeds(scale, salt);
+    let values = run_seeds(&seed_list, |seed| {
+        let scn = Scenario {
+            mix: NatMix::prc_only(),
+            view_size: cfg.view_size,
+            ..Scenario::new(scale.peers, nat_pct, seed)
+        };
+        let mut eng = build_baseline(&scn, cfg.clone());
+        eng.run_rounds(scale.rounds);
+        biggest_cluster_pct_baseline(&eng)
+    });
+    values.into_iter().collect()
+}
+
+/// Staleness metrics for the (push/pull, rand, healer) baseline at one NAT
+/// percentage (Figures 3/4 cell): mean over seeds of
+/// `(stale %, natted non-stale %)`, each averaged over three end-of-run
+/// snapshots.
+pub fn baseline_staleness_point(
+    scale: &FigureScale,
+    view_size: usize,
+    nat_pct: f64,
+    salt: u64,
+) -> (Summary, Summary) {
+    let seed_list = point_seeds(scale, salt);
+    let values = run_seeds(&seed_list, |seed| {
+        let scn = Scenario {
+            mix: NatMix::prc_only(),
+            view_size,
+            ..Scenario::new(scale.peers, nat_pct, seed)
+        };
+        let cfg = GossipConfig { view_size, ..GossipConfig::default() };
+        let mut eng = build_baseline(&scn, cfg);
+        eng.run_rounds(scale.rounds.saturating_sub(10));
+        let mut stale = 0.0;
+        let mut natted = 0.0;
+        for _ in 0..3 {
+            eng.run_rounds(5);
+            let rep = staleness_baseline(&eng);
+            stale += rep.stale_pct / 3.0;
+            natted += rep.natted_nonstale_pct / 3.0;
+        }
+        (stale, natted)
+    });
+    let stale: Summary = values.iter().map(|(s, _)| *s).collect();
+    let natted: Summary = values.iter().map(|(_, n)| *n).collect();
+    (stale, natted)
+}
+
+/// Per-class bandwidth for Nylon at one NAT percentage, measured over the
+/// last two thirds of the horizon: mean over seeds of
+/// `(overall, public, natted)` B/s per peer. NaN for empty classes.
+pub fn nylon_bandwidth_point(
+    scale: &FigureScale,
+    nat_pct: f64,
+    salt: u64,
+) -> (Summary, Summary, Summary) {
+    let seed_list = point_seeds(scale, salt);
+    let values = run_seeds(&seed_list, |seed| {
+        let scn = Scenario::new(scale.peers, nat_pct, seed);
+        let mut eng = build_nylon(&scn, NylonConfig::default());
+        let warmup = scale.rounds / 3;
+        eng.run_rounds(warmup);
+        let before: Vec<TrafficStats> =
+            eng.alive_peers().map(|p| eng.net().stats_of(p)).collect();
+        let window_rounds = scale.rounds - warmup;
+        eng.run_rounds(window_rounds);
+        let window = eng.config().shuffle_period * window_rounds;
+        let peers: Vec<_> = eng.alive_peers().collect();
+        let report = BandwidthReport::compute(
+            peers.iter().enumerate().map(|(i, p)| {
+                let delta = eng.net().stats_of(*p).since(&before[i]);
+                (eng.net().class_of(*p).is_public(), delta)
+            }),
+            window,
+        );
+        (report.overall.mean(), report.public.mean(), report.natted.mean())
+    });
+    let overall: Summary = values.iter().map(|v| v.0).collect();
+    let public: Summary =
+        values.iter().map(|v| v.1).filter(|v| !v.is_nan() && *v > 0.0).collect();
+    let natted: Summary =
+        values.iter().map(|v| v.2).filter(|v| !v.is_nan() && *v > 0.0).collect();
+    (overall, public, natted)
+}
+
+/// Bandwidth of the NAT-oblivious reference, (push/pull, rand, healer), in
+/// a NAT-free population (Figure 7's flat "Reference" line).
+pub fn reference_bandwidth(scale: &FigureScale, salt: u64) -> Summary {
+    let seed_list = point_seeds(scale, salt);
+    let values = run_seeds(&seed_list, |seed| {
+        let scn = Scenario::new(scale.peers, 0.0, seed);
+        let mut eng = build_baseline(&scn, GossipConfig::default());
+        let warmup = scale.rounds / 3;
+        eng.run_rounds(warmup);
+        let before: Vec<TrafficStats> =
+            eng.alive_peers().map(|p| eng.net().stats_of(p)).collect();
+        let window_rounds = scale.rounds - warmup;
+        eng.run_rounds(window_rounds);
+        let window: SimDuration = eng.config().shuffle_period * window_rounds;
+        let peers: Vec<_> = eng.alive_peers().collect();
+        let report = BandwidthReport::compute(
+            peers.iter().enumerate().map(|(i, p)| {
+                let delta = eng.net().stats_of(*p).since(&before[i]);
+                (true, delta)
+            }),
+            window,
+        );
+        report.overall.mean()
+    });
+    values.into_iter().collect()
+}
+
+/// Mean RVP chain length for Nylon at one NAT percentage over the
+/// measurement window (Figure 9 cell). NaN when no chain was observed.
+pub fn nylon_chain_point(
+    scale: &FigureScale,
+    view_size: usize,
+    nat_pct: f64,
+    salt: u64,
+) -> Summary {
+    let seed_list = point_seeds(scale, salt);
+    let values = run_seeds(&seed_list, |seed| {
+        let scn =
+            Scenario { view_size, ..Scenario::new(scale.peers, nat_pct, seed) };
+        let cfg = NylonConfig { view_size, ..NylonConfig::default() };
+        let mut eng = build_nylon(&scn, cfg);
+        let warmup = scale.rounds / 3;
+        eng.run_rounds(warmup);
+        let before = eng.stats();
+        eng.run_rounds(scale.rounds - warmup);
+        let after = eng.stats();
+        let hops = after.chain_hops_sum - before.chain_hops_sum;
+        let samples = after.chain_samples - before.chain_samples;
+        if samples == 0 {
+            f64::NAN
+        } else {
+            hops as f64 / samples as f64
+        }
+    });
+    values.into_iter().filter(|v| !v.is_nan()).collect()
+}

@@ -1,0 +1,363 @@
+//! Extension experiments beyond the paper's figures.
+//!
+//! The paper motivates, but does not plot, several sensitivities; these
+//! generators fill them in:
+//!
+//! * `ext-loss` — message loss. Footnote 3 argues the TTL mechanism
+//!   tolerates late/lost messages ("the protocol resists the simultaneous
+//!   departure of 50 % of the nodes", so it "would resist half of the
+//!   message exchanges exceeding the upper bound"). We inject real loss.
+//! * `ext-timeout` — NAT hole lifetime. 90 s is "a typical vendor value";
+//!   stingier vendors exist.
+//! * `ext-view` — view size. Figures 2/3/9 show three effects of view
+//!   size; this sweeps Nylon across it.
+//! * `ext-fc` — full-cone NATs "behave similarly to public peers as long
+//!   as they frequently send or receive messages" (Section 5's reason for
+//!   not reporting FC experiments). Verified here.
+//! * `ext-indegree` — Jelasity-style randomness evidence: the in-degree
+//!   distribution of the Nylon overlay vs the baseline's, with and
+//!   without NATs.
+//! * `ext-churn` — continuous churn (a fraction of peers replaced every
+//!   round) rather than one massive departure.
+//! * `ext-upnp` — UPnP/NAT-PMP port forwarding, the related-work
+//!   alternative the paper rejects for partial device support and
+//!   security concerns: how much adoption would the *baseline* need to
+//!   survive NATs without any traversal protocol?
+
+use nylon::NylonConfig;
+use nylon_gossip::GossipConfig;
+use nylon_metrics::{Summary};
+use nylon_net::{NatClass, NatType, NetConfig, PeerId};
+use nylon_sim::{SimDuration, SimRng};
+
+use crate::output::{fmt_f, Table};
+use crate::runner::{
+    biggest_cluster_pct_baseline, biggest_cluster_pct_nylon, build_baseline, build_nylon,
+    overlay_graph_baseline, overlay_graph_nylon, run_seeds, staleness_baseline, staleness_nylon,
+};
+use crate::scenario::{NatMix, Scenario};
+
+use super::common::{point_seeds, progress};
+use super::FigureScale;
+
+/// Generates all extension tables.
+pub fn generate(scale: &FigureScale) -> Vec<Table> {
+    vec![
+        loss_sensitivity(scale),
+        timeout_sensitivity(scale),
+        view_size_sweep(scale),
+        full_cone_equivalence(scale),
+        indegree_distribution(scale),
+        continuous_churn(scale),
+        upnp_adoption(scale),
+    ]
+}
+
+/// Builds a Nylon engine with a custom network configuration.
+fn build_nylon_with_net(scn: &Scenario, mut cfg: NylonConfig, net: NetConfig) -> nylon::NylonEngine {
+    cfg.view_size = scn.view_size;
+    cfg.hole_timeout = net.hole_timeout;
+    let mut eng = nylon::NylonEngine::new(cfg, net, scn.seed);
+    for class in scn.classes() {
+        eng.add_peer(class);
+    }
+    eng.bootstrap_random_public(scn.bootstrap_contacts);
+    eng.start();
+    eng
+}
+
+fn loss_sensitivity(scale: &FigureScale) -> Table {
+    let mut table = Table::new(
+        "Extension (ext-loss) — Nylon at 70% NAT under message loss",
+        ["loss %", "biggest cluster %", "stale refs %", "punch success %", "shuffle completion %"],
+    );
+    for (i, loss) in [0.0f64, 0.01, 0.05, 0.10, 0.20].iter().enumerate() {
+        progress(&format!("ext-loss: {:.0}%", loss * 100.0));
+        let seed_list = point_seeds(scale, 0x00E0_0000 ^ (i as u64));
+        let values = run_seeds(&seed_list, |seed| {
+            let scn = Scenario::new(scale.peers, 70.0, seed);
+            let net = NetConfig { loss_probability: *loss, ..NetConfig::default() };
+            let mut eng = build_nylon_with_net(&scn, NylonConfig::default(), net);
+            eng.run_rounds(scale.rounds);
+            let s = eng.stats();
+            let punch = 100.0 * s.punch_successes as f64 / s.hole_punches.max(1) as f64;
+            let completion =
+                100.0 * s.responses_completed as f64 / s.shuffles_initiated.max(1) as f64;
+            (
+                biggest_cluster_pct_nylon(&eng),
+                staleness_nylon(&eng).stale_pct,
+                punch,
+                completion,
+            )
+        });
+        let mean = |f: &dyn Fn(&(f64, f64, f64, f64)) -> f64| {
+            values.iter().map(f).sum::<f64>() / values.len() as f64
+        };
+        table.push_row([
+            format!("{:.0}", loss * 100.0),
+            fmt_f(mean(&|v| v.0), 1),
+            fmt_f(mean(&|v| v.1), 2),
+            fmt_f(mean(&|v| v.2), 1),
+            fmt_f(mean(&|v| v.3), 1),
+        ]);
+    }
+    table
+}
+
+fn timeout_sensitivity(scale: &FigureScale) -> Table {
+    let mut table = Table::new(
+        "Extension (ext-timeout) — Nylon at 70% NAT vs NAT rule lifetime (paper default: 90 s)",
+        ["hole timeout s", "stale refs %", "rounds lost to missing routes %", "mean chain len"],
+    );
+    for (i, secs) in [30u64, 60, 90, 180].iter().enumerate() {
+        progress(&format!("ext-timeout: {secs}s"));
+        let seed_list = point_seeds(scale, 0x00E1_0000 ^ (i as u64));
+        let values = run_seeds(&seed_list, |seed| {
+            let scn = Scenario::new(scale.peers, 70.0, seed);
+            let net =
+                NetConfig { hole_timeout: SimDuration::from_secs(*secs), ..NetConfig::default() };
+            let mut eng = build_nylon_with_net(&scn, NylonConfig::default(), net);
+            eng.run_rounds(scale.rounds);
+            let s = eng.stats();
+            let missing = 100.0 * s.routes_missing as f64
+                / (s.shuffles_initiated + s.routes_missing).max(1) as f64;
+            (
+                staleness_nylon(&eng).stale_pct,
+                missing,
+                s.mean_chain_len().unwrap_or(f64::NAN),
+            )
+        });
+        let mean = |f: &dyn Fn(&(f64, f64, f64)) -> f64| {
+            let v: Vec<f64> = values.iter().map(f).filter(|x| !x.is_nan()).collect();
+            if v.is_empty() { f64::NAN } else { v.iter().sum::<f64>() / v.len() as f64 }
+        };
+        table.push_row([
+            secs.to_string(),
+            fmt_f(mean(&|v| v.0), 2),
+            fmt_f(mean(&|v| v.1), 2),
+            fmt_f(mean(&|v| v.2), 2),
+        ]);
+    }
+    table
+}
+
+fn view_size_sweep(scale: &FigureScale) -> Table {
+    let mut table = Table::new(
+        "Extension (ext-view) — Nylon at 80% NAT vs view size",
+        ["view size", "biggest cluster %", "mean chain len", "B/s per peer"],
+    );
+    for (i, view) in [8usize, 15, 27, 40].iter().enumerate() {
+        progress(&format!("ext-view: {view}"));
+        let seed_list = point_seeds(scale, 0x00E2_0000 ^ (i as u64));
+        let values = run_seeds(&seed_list, |seed| {
+            let scn = Scenario { view_size: *view, ..Scenario::new(scale.peers, 80.0, seed) };
+            let cfg = NylonConfig { view_size: *view, ..NylonConfig::default() };
+            let mut eng = build_nylon(&scn, cfg);
+            eng.run_rounds(scale.rounds);
+            let bytes: u64 = eng
+                .alive_peers()
+                .collect::<Vec<_>>()
+                .iter()
+                .map(|p| eng.net().stats_of(*p).bytes_total())
+                .sum();
+            let bps =
+                bytes as f64 / eng.alive_peers().count() as f64 / eng.now().as_secs_f64();
+            (
+                biggest_cluster_pct_nylon(&eng),
+                eng.stats().mean_chain_len().unwrap_or(f64::NAN),
+                bps,
+            )
+        });
+        let mean = |f: &dyn Fn(&(f64, f64, f64)) -> f64| {
+            let v: Vec<f64> = values.iter().map(f).filter(|x| !x.is_nan()).collect();
+            if v.is_empty() { f64::NAN } else { v.iter().sum::<f64>() / v.len() as f64 }
+        };
+        table.push_row([
+            view.to_string(),
+            fmt_f(mean(&|v| v.0), 1),
+            fmt_f(mean(&|v| v.1), 2),
+            fmt_f(mean(&|v| v.2), 0),
+        ]);
+    }
+    table
+}
+
+fn full_cone_equivalence(scale: &FigureScale) -> Table {
+    let mut table = Table::new(
+        "Extension (ext-fc) — full-cone NATs behave like public peers (baseline protocol, 70% natted)",
+        ["population", "biggest cluster %", "stale refs %"],
+    );
+    let cases: [(&str, NatMix, f64); 3] = [
+        ("all public (0% NAT)", NatMix::prc_only(), 0.0),
+        ("70% FC NATs", NatMix { fc: 1.0, rc: 0.0, prc: 0.0, sym: 0.0 }, 70.0),
+        ("70% PRC NATs", NatMix::prc_only(), 70.0),
+    ];
+    for (i, (label, mix, pct)) in cases.iter().enumerate() {
+        progress(&format!("ext-fc: {label}"));
+        let seed_list = point_seeds(scale, 0x00E3_0000 ^ (i as u64));
+        let values = run_seeds(&seed_list, |seed| {
+            let scn = Scenario { mix: *mix, ..Scenario::new(scale.peers, *pct, seed) };
+            let mut eng = build_baseline(&scn, GossipConfig::default());
+            eng.run_rounds(scale.rounds);
+            (biggest_cluster_pct_baseline(&eng), staleness_baseline(&eng).stale_pct)
+        });
+        let cluster: Summary = values.iter().map(|v| v.0).collect();
+        let stale: Summary = values.iter().map(|v| v.1).collect();
+        table.push_row([
+            label.to_string(),
+            fmt_f(cluster.mean(), 1),
+            fmt_f(stale.mean(), 2),
+        ]);
+    }
+    table
+}
+
+fn indegree_distribution(scale: &FigureScale) -> Table {
+    let mut table = Table::new(
+        "Extension (ext-indegree) — health of the usable overlay graph (randomness evidence)",
+        ["overlay", "NAT %", "mean in-degree", "std dev", "max", "clustering coeff", "mean path len"],
+    );
+    let cases: [(&str, f64, bool); 4] = [
+        ("baseline", 0.0, false),
+        ("baseline", 60.0, false),
+        ("nylon", 60.0, true),
+        ("nylon", 90.0, true),
+    ];
+    for (i, (label, pct, is_nylon)) in cases.iter().enumerate() {
+        progress(&format!("ext-indegree: {label} {pct:.0}%"));
+        let seed_list = point_seeds(scale, 0x00E4_0000 ^ (i as u64));
+        let values = run_seeds(&seed_list, |seed| {
+            let scn = Scenario::new(scale.peers, *pct, seed);
+            let graph = if *is_nylon {
+                let mut eng = build_nylon(&scn, NylonConfig::default());
+                eng.run_rounds(scale.rounds);
+                overlay_graph_nylon(&eng).0
+            } else {
+                let mut eng = build_baseline(&scn, GossipConfig::default());
+                eng.run_rounds(scale.rounds);
+                overlay_graph_baseline(&eng).0
+            };
+            let s: Summary = graph.in_degrees().iter().map(|d| *d as f64).collect();
+            (
+                s.mean(),
+                s.std_dev(),
+                s.max().unwrap_or(0.0),
+                graph.clustering_coefficient(),
+                graph.mean_path_length(16).unwrap_or(f64::NAN),
+            )
+        });
+        let mean = |f: &dyn Fn(&(f64, f64, f64, f64, f64)) -> f64| {
+            let v: Vec<f64> = values.iter().map(f).filter(|x| !x.is_nan()).collect();
+            if v.is_empty() { f64::NAN } else { v.iter().sum::<f64>() / v.len() as f64 }
+        };
+        table.push_row([
+            label.to_string(),
+            format!("{pct:.0}"),
+            fmt_f(mean(&|v| v.0), 1),
+            fmt_f(mean(&|v| v.1), 1),
+            fmt_f(mean(&|v| v.2), 0),
+            fmt_f(mean(&|v| v.3), 4),
+            fmt_f(mean(&|v| v.4), 2),
+        ]);
+    }
+    table
+}
+
+fn continuous_churn(scale: &FigureScale) -> Table {
+    let mut table = Table::new(
+        "Extension (ext-churn) — Nylon at 70% NAT under continuous churn (replacement per round)",
+        ["churn %/round", "biggest cluster %", "stale refs %", "shuffle completion %"],
+    );
+    for (i, churn) in [0.0f64, 0.5, 1.0, 2.0, 5.0].iter().enumerate() {
+        progress(&format!("ext-churn: {churn}%/round"));
+        let seed_list = point_seeds(scale, 0x00E5_0000 ^ (i as u64));
+        let values = run_seeds(&seed_list, |seed| {
+            let scn = Scenario::new(scale.peers, 70.0, seed);
+            let mut eng = build_nylon(&scn, NylonConfig::default());
+            let mut rng = SimRng::new(seed).fork(0x6363_6875_726E);
+            eng.run_rounds(scale.rounds / 3);
+            let churn_rounds = scale.rounds - scale.rounds / 3;
+            let per_round =
+                ((churn / 100.0) * scale.peers as f64).round() as usize;
+            for _ in 0..churn_rounds {
+                // Replace peers: kill `per_round`, admit `per_round` new
+                // ones via a surviving contact (70% of newcomers natted).
+                let alive: Vec<PeerId> = eng.alive_peers().collect();
+                if alive.len() > per_round + 2 {
+                    let victims = rng.sample_without_replacement(&alive, per_round);
+                    eng.kill_peers(&victims);
+                }
+                let contact = eng.alive_peers().next();
+                if let Some(contact) = contact {
+                    for _ in 0..per_round {
+                        let class = if rng.chance(0.7) {
+                            match rng.gen_range(0..10u32) {
+                                0 => NatClass::Natted(NatType::Symmetric),
+                                1..=4 => NatClass::Natted(NatType::PortRestrictedCone),
+                                _ => NatClass::Natted(NatType::RestrictedCone),
+                            }
+                        } else {
+                            NatClass::Public
+                        };
+                        eng.add_peer_with_bootstrap(class, &[contact]);
+                    }
+                }
+                eng.run_rounds(1);
+            }
+            let s = eng.stats();
+            let completion =
+                100.0 * s.responses_completed as f64 / s.shuffles_initiated.max(1) as f64;
+            (
+                biggest_cluster_pct_nylon(&eng),
+                staleness_nylon(&eng).stale_pct,
+                completion,
+            )
+        });
+        let mean = |f: &dyn Fn(&(f64, f64, f64)) -> f64| {
+            values.iter().map(f).sum::<f64>() / values.len() as f64
+        };
+        table.push_row([
+            format!("{churn}"),
+            fmt_f(mean(&|v| v.0), 1),
+            fmt_f(mean(&|v| v.1), 2),
+            fmt_f(mean(&|v| v.2), 1),
+        ]);
+    }
+    table
+}
+
+fn upnp_adoption(scale: &FigureScale) -> Table {
+    let mut table = Table::new(
+        "Extension (ext-upnp) — baseline protocol at 70% PRC NAT vs UPnP port-forwarding adoption",
+        ["UPnP adoption %", "biggest cluster %", "stale refs %", "natted share of usable refs %"],
+    );
+    for (i, adoption) in [0.0f64, 0.25, 0.5, 0.75, 1.0].iter().enumerate() {
+        progress(&format!("ext-upnp: {:.0}%", adoption * 100.0));
+        let seed_list = point_seeds(scale, 0x00E6_0000 ^ (i as u64));
+        let values = run_seeds(&seed_list, |seed| {
+            let scn = Scenario {
+                mix: NatMix::prc_only(),
+                upnp_adoption: *adoption,
+                ..Scenario::new(scale.peers, 70.0, seed)
+            };
+            let mut eng = build_baseline(&scn, GossipConfig::default());
+            eng.run_rounds(scale.rounds);
+            let stale = staleness_baseline(&eng);
+            (
+                biggest_cluster_pct_baseline(&eng),
+                stale.stale_pct,
+                stale.natted_nonstale_pct,
+            )
+        });
+        let mean = |f: &dyn Fn(&(f64, f64, f64)) -> f64| {
+            values.iter().map(f).sum::<f64>() / values.len() as f64
+        };
+        table.push_row([
+            format!("{:.0}", adoption * 100.0),
+            fmt_f(mean(&|v| v.0), 1),
+            fmt_f(mean(&|v| v.1), 2),
+            fmt_f(mean(&|v| v.2), 1),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,88 @@
+//! Figure 10: biggest cluster after massive simultaneous departures.
+//!
+//! Paper shape: Nylon tolerates 50 % simultaneous departures with no
+//! partition at all and stays above ~80 % of survivors in one cluster even
+//! at 80 % departures, across NAT percentages.
+
+use nylon::NylonConfig;
+use nylon_net::PeerId;
+use nylon_sim::SimRng;
+
+use crate::output::{fmt_f, Table};
+use crate::runner::{biggest_cluster_pct_nylon, build_nylon, run_seeds};
+use crate::scenario::Scenario;
+
+use super::common::{point_seeds, progress};
+use super::FigureScale;
+
+/// Percentages of peers leaving simultaneously (the paper's x-axis).
+const DEPARTURES: [f64; 5] = [50.0, 60.0, 70.0, 75.0, 80.0];
+/// NAT percentages (the paper's bar series).
+const NAT_PCTS: [f64; 5] = [40.0, 50.0, 60.0, 70.0, 80.0];
+
+/// Generates the Figure 10 table. Rows are departure percentages, columns
+/// NAT percentages; cells are the biggest cluster among survivors,
+/// measured `post` shuffles after the churn event.
+pub fn generate(scale: &FigureScale) -> Table {
+    // Paper horizons: churn after 500 shuffles, measure 1500 later.
+    let (warmup, post) =
+        if scale.full_churn_horizons { (500u64, 1500u64) } else { (120u64, 240u64) };
+    let mut columns = vec!["departures %".to_string()];
+    columns.extend(NAT_PCTS.iter().map(|p| format!("{p:.0}% NAT")));
+    let mut table = Table::new(
+        &format!(
+            "Figure 10 — biggest cluster (% of survivors) {post} shuffles after mass departure (churn at {warmup} shuffles)"
+        ),
+        columns,
+    );
+    for (di, dep) in DEPARTURES.iter().enumerate() {
+        let mut row = vec![format!("{dep:.0}")];
+        for (ni, pct) in NAT_PCTS.iter().enumerate() {
+            progress(&format!("fig10: departures={dep:.0}% nat={pct:.0}%"));
+            let salt = 0x0010_0000 ^ ((di as u64) << 8) ^ (ni as u64);
+            let seed_list = point_seeds(scale, salt);
+            let values = run_seeds(&seed_list, |seed| {
+                let scn = Scenario::new(scale.peers, *pct, seed);
+                let mut eng = build_nylon(&scn, NylonConfig::default());
+                eng.run_rounds(warmup);
+                let victims = pick_victims(&eng, *dep, seed);
+                eng.kill_peers(&victims);
+                eng.run_rounds(post);
+                biggest_cluster_pct_nylon(&eng)
+            });
+            let s: nylon_metrics::Summary = values.into_iter().collect();
+            // The paper: "any non negligible observed variance is
+            // indicated in the graphs" — churn is the noisy experiment.
+            if s.count() > 1 && s.std_dev() > 1.0 {
+                row.push(format!("{} ±{}", fmt_f(s.mean(), 1), fmt_f(s.std_dev(), 1)));
+            } else {
+                row.push(fmt_f(s.mean(), 1));
+            }
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Picks `pct`% of the alive peers, public and natted proportionally to
+/// their numbers (the paper: "public and natted peers were removed
+/// proportionally to their number in the system").
+fn pick_victims(eng: &nylon::NylonEngine, pct: f64, seed: u64) -> Vec<PeerId> {
+    let mut rng = SimRng::new(seed).fork(0x6368_7572_6E00); // "churn"
+    let mut publics: Vec<PeerId> = Vec::new();
+    let mut natted: Vec<PeerId> = Vec::new();
+    for p in eng.alive_peers() {
+        if eng.net().class_of(p).is_public() {
+            publics.push(p);
+        } else {
+            natted.push(p);
+        }
+    }
+    let mut victims = Vec::new();
+    for pool in [&mut publics, &mut natted] {
+        let kill = ((pct / 100.0) * pool.len() as f64).round() as usize;
+        rng.shuffle(pool);
+        victims.extend(pool.iter().take(kill).copied());
+    }
+    victims
+}

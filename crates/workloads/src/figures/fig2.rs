@@ -1,0 +1,50 @@
+//! Figure 2: biggest cluster vs NAT percentage for the six baseline
+//! configurations, view sizes 15 and 27.
+//!
+//! Paper shape: the overlay partitions once the NAT percentage crosses a
+//! threshold (~50 % for view 15, ~70 % for view 27); larger views postpone
+//! the collapse.
+
+use nylon_gossip::GossipConfig;
+
+use crate::output::{fmt_f, Table};
+
+use super::common::{baseline_cluster_point, progress};
+use super::FigureScale;
+
+/// NAT percentages on the x-axis, as in the paper.
+const NAT_PCTS: [f64; 7] = [40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0];
+
+/// Generates the Figure 2 table (both panels: view 15 and view 27).
+pub fn generate(scale: &FigureScale) -> Table {
+    let mut columns = vec!["view".to_string(), "configuration".to_string()];
+    columns.extend(NAT_PCTS.iter().map(|p| format!("{p:.0}% NAT")));
+    let mut table = Table::new(
+        "Figure 2 — biggest cluster (% of peers), PRC NATs, no churn",
+        columns,
+    );
+    for view_size in [15usize, 27] {
+        for cfg in GossipConfig::paper_configurations(view_size) {
+            progress(&format!("fig2: view={view_size} config={}", cfg.label()));
+            let mut row = vec![view_size.to_string(), cfg.label()];
+            for (i, pct) in NAT_PCTS.iter().enumerate() {
+                let salt = 0x0002_0000
+                    ^ ((view_size as u64) << 20)
+                    ^ ((i as u64) << 8)
+                    ^ config_salt(&cfg);
+                let s = baseline_cluster_point(scale, &cfg, *pct, salt);
+                row.push(fmt_f(s.mean(), 1));
+            }
+            table.push_row(row);
+        }
+    }
+    table
+}
+
+fn config_salt(cfg: &GossipConfig) -> u64 {
+    let mut salt = 0u64;
+    for b in cfg.label().bytes() {
+        salt = salt.wrapping_mul(31).wrapping_add(b as u64);
+    }
+    salt
+}

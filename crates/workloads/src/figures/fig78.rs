@@ -1,0 +1,52 @@
+//! Figures 7 and 8: bandwidth consumption of Nylon.
+//!
+//! Paper shapes: Figure 7 — Nylon stays below a few hundred B/s per peer,
+//! grows *sub-linearly* with the NAT percentage (chains do not grow
+//! linearly), and sits above the NAT-oblivious reference; Figure 8 — the
+//! load is nearly even, with public peers 10–20 % *below* natted peers
+//! (they receive no OPEN_HOLE for themselves and send no PONGs).
+
+use crate::output::{fmt_f, Table};
+
+use super::common::{nylon_bandwidth_point, progress, reference_bandwidth};
+use super::FigureScale;
+
+const NAT_PCTS: [f64; 11] =
+    [0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0];
+
+/// Generates the Figure 7 table: total B/s per peer, Nylon vs reference.
+pub fn generate_fig7(scale: &FigureScale) -> Table {
+    let mut table = Table::new(
+        "Figure 7 — bytes/s sent+received per peer, Nylon vs NAT-oblivious reference (RC/PRC/SYM mix 50/40/10)",
+        ["NAT %", "Nylon B/s", "Reference B/s"],
+    );
+    progress("fig7: reference baseline");
+    let reference = reference_bandwidth(scale, 0x0007_0F00);
+    for (i, pct) in NAT_PCTS.iter().enumerate() {
+        progress(&format!("fig7: {pct:.0}% NAT"));
+        let (overall, _, _) = nylon_bandwidth_point(scale, *pct, 0x0007_0000 ^ (i as u64));
+        table.push_row([
+            format!("{pct:.0}"),
+            fmt_f(overall.mean(), 0),
+            fmt_f(reference.mean(), 0),
+        ]);
+    }
+    table
+}
+
+/// Generates the Figure 8 table: B/s per peer for public vs natted peers
+/// under Nylon.
+pub fn generate_fig8(scale: &FigureScale) -> Table {
+    let mut table = Table::new(
+        "Figure 8 — bytes/s sent+received per peer by class, Nylon (RC/PRC/SYM mix 50/40/10)",
+        ["NAT %", "public peers B/s", "natted peers B/s"],
+    );
+    for (i, pct) in NAT_PCTS.iter().enumerate() {
+        progress(&format!("fig8: {pct:.0}% NAT"));
+        let (_, public, natted) = nylon_bandwidth_point(scale, *pct, 0x0008_0000 ^ (i as u64));
+        let pub_mean = if public.count() == 0 { f64::NAN } else { public.mean() };
+        let nat_mean = if natted.count() == 0 { f64::NAN } else { natted.mean() };
+        table.push_row([format!("{pct:.0}"), fmt_f(pub_mean, 0), fmt_f(nat_mean, 0)]);
+    }
+    table
+}

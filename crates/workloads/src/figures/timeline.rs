@@ -1,0 +1,78 @@
+//! Convergence over time: how fast each protocol reaches (or loses) its
+//! steady state after the bootstrap.
+//!
+//! Not a figure in the paper — its plots are steady-state — but the
+//! natural first question about any gossip protocol, and the view that
+//! shows *when* the baseline's degradation sets in: staleness accumulates
+//! over the first ~hole-timeout of simulated time (18 rounds at the
+//! default 90 s / 5 s), after which the usable overlay has shed its
+//! doomed links.
+
+use nylon::NylonConfig;
+use nylon_gossip::GossipConfig;
+
+use crate::output::{fmt_f, Table};
+use crate::runner::{
+    biggest_cluster_pct_baseline, biggest_cluster_pct_nylon, build_baseline, build_nylon,
+    run_seeds, staleness_baseline, staleness_nylon,
+};
+use crate::scenario::{NatMix, Scenario};
+
+use super::common::{point_seeds, progress};
+use super::FigureScale;
+
+const NAT_PCT: f64 = 70.0;
+
+/// Round checkpoints at which the overlays are measured.
+const CHECKPOINTS: [u64; 8] = [0, 2, 5, 10, 18, 30, 60, 120];
+
+/// Generates the timeline table: per checkpoint, biggest usable cluster
+/// and staleness for the baseline and for Nylon at 70 % PRC NAT.
+pub fn generate(scale: &FigureScale) -> Table {
+    let mut table = Table::new(
+        "Timeline — convergence at 70% PRC NAT: usable cluster and staleness per round",
+        [
+            "round",
+            "baseline cluster %",
+            "baseline stale %",
+            "nylon cluster %",
+            "nylon stale %",
+        ],
+    );
+    progress("timeline: running checkpoints");
+    let seed_list = point_seeds(scale, 0x0011_0000);
+    // Each seed walks both engines through the checkpoints.
+    let per_seed = run_seeds(&seed_list, |seed| {
+        let scn = Scenario { mix: NatMix::prc_only(), ..Scenario::new(scale.peers, NAT_PCT, seed) };
+        let mut base = build_baseline(&scn, GossipConfig::default());
+        let mut nyl = build_nylon(&scn, NylonConfig::default());
+        let mut rows = Vec::with_capacity(CHECKPOINTS.len());
+        let mut done = 0u64;
+        for cp in CHECKPOINTS {
+            let advance = cp - done;
+            base.run_rounds(advance);
+            nyl.run_rounds(advance);
+            done = cp;
+            rows.push((
+                biggest_cluster_pct_baseline(&base),
+                staleness_baseline(&base).stale_pct,
+                biggest_cluster_pct_nylon(&nyl),
+                staleness_nylon(&nyl).stale_pct,
+            ));
+        }
+        rows
+    });
+    for (i, cp) in CHECKPOINTS.iter().enumerate() {
+        let mean = |f: &dyn Fn(&(f64, f64, f64, f64)) -> f64| -> f64 {
+            per_seed.iter().map(|rows| f(&rows[i])).sum::<f64>() / per_seed.len() as f64
+        };
+        table.push_row([
+            cp.to_string(),
+            fmt_f(mean(&|r| r.0), 1),
+            fmt_f(mean(&|r| r.1), 1),
+            fmt_f(mean(&|r| r.2), 1),
+            fmt_f(mean(&|r| r.3), 1),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,32 @@
+//! Experiment harness for the Nylon reproduction.
+//!
+//! Everything needed to regenerate the paper's evaluation:
+//!
+//! * [`scenario`] — populations: network size, NAT percentage, NAT-type
+//!   mix ([`scenario::NatMix`]), deterministic class assignment.
+//! * [`runner`] — building and driving engines, snapshot extraction,
+//!   multi-seed fan-out over threads.
+//! * [`output`] — result tables rendered as markdown or CSV.
+//! * [`figures`] — one generator per paper artifact (Figures 2–4, 7–10,
+//!   the Section 2 traversal table, the Section 5 correctness checks, and
+//!   the DESIGN.md ablations).
+//!
+//! The `repro` binary exposes all of it:
+//!
+//! ```text
+//! repro fig2 fig9 --peers 1000 --seeds 5
+//! repro all --full          # paper-scale (10,000 peers, 30 seeds)
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod figures;
+pub mod output;
+pub mod runner;
+pub mod scenario;
+
+pub use figures::FigureScale;
+pub use output::Table;
+pub use scenario::{NatMix, Scenario};

@@ -1,0 +1,251 @@
+//! Engine construction, snapshot extraction and multi-seed fan-out.
+
+use nylon::{NylonConfig, NylonEngine};
+use nylon_gossip::{BaselineEngine, GossipConfig};
+use nylon_metrics::graph::DiGraph;
+use nylon_metrics::staleness::StalenessReport;
+use nylon_net::{NetConfig, PeerId};
+use nylon_sim::SimRng;
+
+use crate::scenario::Scenario;
+
+/// Natted peers granted UPnP forwarding under the scenario's adoption
+/// fraction: a deterministic subset drawn from the scenario seed.
+fn upnp_peers(scn: &Scenario) -> Vec<bool> {
+    let mut rng = SimRng::new(scn.seed).fork(0x7570_6E70); // "upnp"
+    scn.classes()
+        .iter()
+        .map(|c| c.is_natted() && rng.chance(scn.upnp_adoption))
+        .collect()
+}
+
+/// Builds, bootstraps and starts a baseline engine for a scenario.
+pub fn build_baseline(scn: &Scenario, mut cfg: GossipConfig) -> BaselineEngine {
+    cfg.view_size = scn.view_size;
+    let mut eng = BaselineEngine::new(cfg, NetConfig::default(), scn.seed);
+    for class in scn.classes() {
+        eng.add_peer(class);
+    }
+    if scn.upnp_adoption > 0.0 {
+        for (i, enabled) in upnp_peers(scn).iter().enumerate() {
+            if *enabled {
+                eng.enable_port_forwarding(PeerId(i as u32));
+            }
+        }
+    }
+    eng.bootstrap_random_public(scn.bootstrap_contacts);
+    eng.start();
+    eng
+}
+
+/// Builds, bootstraps and starts a Nylon engine for a scenario.
+pub fn build_nylon(scn: &Scenario, mut cfg: NylonConfig) -> NylonEngine {
+    cfg.view_size = scn.view_size;
+    let mut eng = NylonEngine::new(cfg, NetConfig::default(), scn.seed);
+    for class in scn.classes() {
+        eng.add_peer(class);
+    }
+    if scn.upnp_adoption > 0.0 {
+        for (i, enabled) in upnp_peers(scn).iter().enumerate() {
+            if *enabled {
+                eng.enable_port_forwarding(PeerId(i as u32));
+            }
+        }
+    }
+    eng.bootstrap_random_public(scn.bootstrap_contacts);
+    eng.start();
+    eng
+}
+
+/// The *usable* overlay graph of a baseline engine: one edge per view
+/// entry over which the holder could communicate right now (alive target,
+/// NAT admits the holder), plus the alive mask.
+///
+/// Stale entries are excluded: a reference the holder cannot use does not
+/// keep the overlay connected. This matches the paper's reading of
+/// "network partitions" — its Section 3 explains the surviving clusters as
+/// groups of peers that keep their mutual NAT holes alive by shuffling
+/// with each other within the filter-rule lifetime.
+pub fn overlay_graph_baseline(eng: &BaselineEngine) -> (DiGraph, Vec<bool>) {
+    let n = eng.net().peer_count();
+    let now = eng.now();
+    let net = eng.net();
+    let alive: Vec<bool> = (0..n).map(|i| net.is_alive(nylon_net::PeerId(i as u32))).collect();
+    let mut edges = Vec::new();
+    for p in eng.alive_peers() {
+        for d in eng.view_of(p).iter() {
+            if d.id.index() < n && alive[d.id.index()] && net.reachable(now, p, d.id, d.addr) {
+                edges.push((p.0, d.id.0));
+            }
+        }
+    }
+    (DiGraph::from_edges(n, edges), alive)
+}
+
+/// The *usable* overlay graph of a Nylon engine: an entry is usable when
+/// the target is alive and either public or reachable through a live
+/// route (direct hole or RVP chain) — traversal through relays is the
+/// protocol's point, so usability asks the routing table.
+pub fn overlay_graph_nylon(eng: &NylonEngine) -> (DiGraph, Vec<bool>) {
+    let n = eng.net().peer_count();
+    let net = eng.net();
+    let alive: Vec<bool> = (0..n).map(|i| net.is_alive(nylon_net::PeerId(i as u32))).collect();
+    let mut edges = Vec::new();
+    for p in eng.alive_peers() {
+        for d in eng.view_of(p).iter() {
+            let usable = d.id.index() < n
+                && alive[d.id.index()]
+                && (d.class.is_public() || eng.routing_of(p).next_rvp(d.id).is_some());
+            if usable {
+                edges.push((p.0, d.id.0));
+            }
+        }
+    }
+    (DiGraph::from_edges(n, edges), alive)
+}
+
+/// Biggest weakly-connected cluster as a percentage of alive peers
+/// (Figure 2 / Figure 10 y-axis) for a baseline engine.
+pub fn biggest_cluster_pct_baseline(eng: &BaselineEngine) -> f64 {
+    let (graph, alive) = overlay_graph_baseline(eng);
+    100.0 * graph.biggest_wcc_fraction(&alive)
+}
+
+/// Biggest weakly-connected cluster as a percentage of alive peers for a
+/// Nylon engine.
+pub fn biggest_cluster_pct_nylon(eng: &NylonEngine) -> f64 {
+    let (graph, alive) = overlay_graph_nylon(eng);
+    100.0 * graph.biggest_wcc_fraction(&alive)
+}
+
+/// Staleness report for a baseline engine, using the network's packet-level
+/// reachability oracle.
+pub fn staleness_baseline(eng: &BaselineEngine) -> StalenessReport {
+    let now = eng.now();
+    let net = eng.net();
+    let peers: Vec<nylon_net::PeerId> = eng.alive_peers().collect();
+    StalenessReport::compute(
+        peers.iter().map(|p| (*p, eng.view_of(*p).as_slice())),
+        |holder, d| net.is_alive(d.id) && net.reachable(now, holder, d.id, d.addr),
+    )
+}
+
+/// Staleness report for a Nylon engine.
+///
+/// For Nylon, a natted reference is usable when a live *route* towards it
+/// exists (direct hole or RVP chain) — reachability through relays is the
+/// protocol's whole point, so the oracle asks the routing table, not the
+/// raw NAT state.
+pub fn staleness_nylon(eng: &NylonEngine) -> StalenessReport {
+    let net = eng.net();
+    let peers: Vec<nylon_net::PeerId> = eng.alive_peers().collect();
+    StalenessReport::compute(
+        peers.iter().map(|p| (*p, eng.view_of(*p).as_slice())),
+        |holder, d| {
+            if !net.is_alive(d.id) {
+                return false;
+            }
+            if d.class.is_public() {
+                return true;
+            }
+            eng.routing_of(holder).next_rvp(d.id).is_some()
+        },
+    )
+}
+
+/// Derives `count` seeds from a base seed.
+pub fn seeds(count: u64, base: u64) -> Vec<u64> {
+    (0..count).map(|i| base.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i * 1_000_003 + 1)).collect()
+}
+
+/// Runs `f` once per seed, in parallel over OS threads, returning results
+/// in seed order.
+pub fn run_seeds<T, F>(seed_list: &[u64], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = seed_list
+            .iter()
+            .map(|s| {
+                let f = &f;
+                let s = *s;
+                scope.spawn(move || f(s))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("seed worker panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nylon_metrics::Summary;
+
+    fn scn(peers: usize, nat_pct: f64, seed: u64) -> Scenario {
+        Scenario::new(peers, nat_pct, seed)
+    }
+
+    #[test]
+    fn baseline_cluster_healthy_without_nats() {
+        let mut eng = build_baseline(&scn(80, 0.0, 1), GossipConfig::default());
+        eng.run_rounds(30);
+        let pct = biggest_cluster_pct_baseline(&eng);
+        assert!(pct > 99.0, "all-public overlay must stay connected, got {pct}");
+        let stale = staleness_baseline(&eng);
+        assert!(stale.stale_pct < 1.0, "no NATs, no staleness, got {}", stale.stale_pct);
+    }
+
+    #[test]
+    fn baseline_degrades_with_nats() {
+        let mut eng = build_baseline(&scn(80, 80.0, 1), GossipConfig::default());
+        eng.run_rounds(60);
+        let stale = staleness_baseline(&eng);
+        assert!(
+            stale.stale_pct > 10.0,
+            "80% PRC NATs must produce stale references, got {}",
+            stale.stale_pct
+        );
+    }
+
+    #[test]
+    fn nylon_stays_clean_with_nats() {
+        let mut eng = build_nylon(&scn(80, 80.0, 1), NylonConfig::default());
+        eng.run_rounds(60);
+        let pct = biggest_cluster_pct_nylon(&eng);
+        assert!(pct > 95.0, "Nylon must stay connected under NATs, got {pct}");
+        let stale = staleness_nylon(&eng);
+        assert!(stale.stale_pct < 5.0, "Nylon views must stay fresh, got {}", stale.stale_pct);
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let s = seeds(10, 42);
+        let mut dedup = s.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+        assert_eq!(seeds(10, 42), s, "seed derivation must be deterministic");
+    }
+
+    #[test]
+    fn run_seeds_parallel_results_in_order() {
+        let s = [1u64, 2, 3, 4];
+        let out = run_seeds(&s, |seed| seed * 10);
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn run_seeds_aggregates_into_summary() {
+        let s = seeds(3, 7);
+        let values = run_seeds(&s, |seed| {
+            let mut eng = build_baseline(&scn(40, 0.0, seed), GossipConfig::default());
+            eng.run_rounds(10);
+            biggest_cluster_pct_baseline(&eng)
+        });
+        let summary: Summary = values.into_iter().collect();
+        assert_eq!(summary.count(), 3);
+        assert!(summary.mean() > 90.0);
+    }
+}

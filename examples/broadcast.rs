@@ -1,0 +1,98 @@
+//! An application on top of peer sampling: epidemic broadcast.
+//!
+//! Gossip dissemination protocols pick fan-out targets from the peer
+//! sampling service. If the sample is full of stale (NAT-blocked) entries,
+//! rumors stall. This example plants a rumor at one peer and spreads it
+//! over the *usable* links of the live overlay — once using baseline
+//! views, once using Nylon views — and reports coverage per round.
+//!
+//! Run with: `cargo run --release --example broadcast`
+
+use std::collections::HashSet;
+
+use nylon::NylonConfig;
+use nylon_gossip::GossipConfig;
+use nylon_net::PeerId;
+use nylon_workloads::runner::{build_baseline, build_nylon};
+use nylon_workloads::{NatMix, Scenario};
+
+const PEERS: usize = 300;
+const FANOUT: usize = 3;
+const NAT_PCT: f64 = 80.0;
+
+fn main() {
+    let scn = Scenario { mix: NatMix::prc_only(), ..Scenario::new(PEERS, NAT_PCT, 21) };
+    println!(
+        "{PEERS} peers, {NAT_PCT:.0}% PRC NATs, fan-out {FANOUT}, rumor planted after 80 rounds of sampling\n"
+    );
+
+    // Steady-state overlays.
+    let mut base = build_baseline(&scn, GossipConfig::default());
+    base.run_rounds(80);
+    let mut nyl = build_nylon(&scn, NylonConfig::default());
+    nyl.run_rounds(80);
+
+    // Deliverable edges right now.
+    let base_coverage = spread(|p| {
+        let now = base.now();
+        base.view_of(p)
+            .iter()
+            .filter(|d| base.net().reachable(now, p, d.id, d.addr))
+            .map(|d| d.id)
+            .collect()
+    });
+    let nylon_coverage = spread(|p| {
+        nyl.view_of(p)
+            .iter()
+            .filter(|d| d.class.is_public() || nyl.routing_of(p).next_rvp(d.id).is_some())
+            .map(|d| d.id)
+            .collect()
+    });
+
+    println!("{:>6} | {:>14} | {:>14}", "round", "baseline reach", "nylon reach");
+    println!("{}", "-".repeat(42));
+    let rounds = base_coverage.len().max(nylon_coverage.len());
+    for r in 0..rounds {
+        let b = base_coverage.get(r).copied().unwrap_or(*base_coverage.last().unwrap_or(&0));
+        let n = nylon_coverage.get(r).copied().unwrap_or(*nylon_coverage.last().unwrap_or(&0));
+        println!(
+            "{:>6} | {:>13.1}% | {:>13.1}%",
+            r,
+            100.0 * b as f64 / PEERS as f64,
+            100.0 * n as f64 / PEERS as f64
+        );
+    }
+    println!(
+        "\nReading: with {NAT_PCT:.0}% NATs the baseline's usable out-links are so\n\
+         sparse that the rumor plateaus far from full coverage, while the\n\
+         Nylon overlay delivers it to (nearly) everyone."
+    );
+    // Engines stay warm for further experimentation.
+    let _ = (base.stats(), nyl.stats());
+}
+
+/// Synchronous-round epidemic push over `usable_links`, starting at p0.
+/// Returns informed-count per round until no progress for two rounds.
+fn spread(usable_links: impl Fn(PeerId) -> Vec<PeerId>) -> Vec<usize> {
+    let mut informed: HashSet<PeerId> = HashSet::new();
+    informed.insert(PeerId(0));
+    let mut per_round = vec![1usize];
+    let mut stagnant = 0;
+    while stagnant < 2 && per_round.len() < 40 {
+        let mut next = informed.clone();
+        for p in &informed {
+            // Deterministic fan-out: first FANOUT usable links.
+            for q in usable_links(*p).into_iter().take(FANOUT) {
+                next.insert(q);
+            }
+        }
+        if next.len() == informed.len() {
+            stagnant += 1;
+        } else {
+            stagnant = 0;
+        }
+        informed = next;
+        per_round.push(informed.len());
+    }
+    per_round
+}

@@ -1,0 +1,63 @@
+//! The paper's motivation in one run: what NATs do to a NAT-oblivious
+//! peer-sampling protocol, and how Nylon repairs it.
+//!
+//! For each NAT percentage, runs the (push/pull, rand, healer) baseline
+//! and Nylon on identical populations and compares connectivity,
+//! staleness and sampling fairness (Figures 2–4 in miniature).
+//!
+//! Run with: `cargo run --release --example nat_impact`
+
+use nylon::NylonConfig;
+use nylon_gossip::GossipConfig;
+use nylon_workloads::runner::{
+    biggest_cluster_pct_baseline, biggest_cluster_pct_nylon, build_baseline, build_nylon,
+    staleness_baseline, staleness_nylon,
+};
+use nylon_workloads::{NatMix, Scenario};
+
+const PEERS: usize = 300;
+const ROUNDS: u64 = 100;
+
+fn main() {
+    println!("{PEERS} peers, PRC NATs, {ROUNDS} rounds, view 15\n");
+    println!(
+        "{:>6} | {:>22} | {:>22} | {:>26}",
+        "NAT %", "biggest cluster %", "stale refs %", "natted share of samples %"
+    );
+    println!("{:>6} | {:>10} {:>11} | {:>10} {:>11} | {:>12} {:>13}",
+        "", "baseline", "nylon", "baseline", "nylon", "baseline", "nylon");
+    println!("{}", "-".repeat(88));
+    for nat_pct in [0.0f64, 40.0, 60.0, 80.0, 95.0] {
+        let scn = Scenario {
+            mix: NatMix::prc_only(),
+            ..Scenario::new(PEERS, nat_pct, 7)
+        };
+
+        let mut base = build_baseline(&scn, GossipConfig::default());
+        base.run_rounds(ROUNDS);
+        let base_cluster = biggest_cluster_pct_baseline(&base);
+        let base_stale = staleness_baseline(&base);
+
+        let mut nyl = build_nylon(&scn, NylonConfig::default());
+        nyl.run_rounds(ROUNDS);
+        let nyl_cluster = biggest_cluster_pct_nylon(&nyl);
+        let nyl_stale = staleness_nylon(&nyl);
+
+        println!(
+            "{:>6.0} | {:>10.1} {:>11.1} | {:>10.1} {:>11.1} | {:>12.1} {:>13.1}",
+            nat_pct,
+            base_cluster,
+            nyl_cluster,
+            base_stale.stale_pct,
+            nyl_stale.stale_pct,
+            base_stale.natted_nonstale_pct,
+            nyl_stale.natted_nonstale_pct,
+        );
+    }
+    println!(
+        "\nReading: the baseline loses connectivity and starves natted peers of\n\
+         usable references as the NAT share grows; Nylon keeps the overlay in\n\
+         one cluster, views fresh, and natted peers represented at their true\n\
+         population share (rightmost column ≈ NAT %)."
+    );
+}

@@ -1,0 +1,95 @@
+//! A guided replay of Figure 5 of the paper: how a chain of rendez-vous
+//! peers (RVPs) forms, what the routing tables contain, and how an
+//! OPEN_HOLE message walks the chain backwards.
+//!
+//! Run with: `cargo run --release --example rvp_chain_walkthrough`
+
+use nylon::routing::RoutingTable;
+use nylon_net::PeerId;
+use nylon_sim::SimDuration;
+
+fn main() {
+    // The cast of Figure 5: four natted peers. In the figure, n1 ... n4
+    // hold NAT holes n1<->n2 (TTL 120), n2<->n3 (TTL 140), n3<->n4
+    // (TTL 170), built by three successive shuffles.
+    let (n1, n2, n3, n4) = (PeerId(1), PeerId(2), PeerId(3), PeerId(4));
+    let ttl = SimDuration::from_secs;
+
+    println!("Figure 5 replay: building the chain n4 -> n3 -> n2 -> n1\n");
+
+    // Shuffle #1: n1 <-> n2. Both get direct routes to each other.
+    let mut rt2 = RoutingTable::new(n2);
+    rt2.update_direct(n1, ttl(120));
+    println!("n1 shuffles with n2:");
+    println!("  n2 routing: n1 via n1 (direct), TTL 120\n");
+
+    // Shuffle #2: n2 <-> n3, and n2 hands n3 a reference to n1.
+    let mut rt3 = RoutingTable::new(n3);
+    rt3.update_direct(n2, ttl(140));
+    // n2 ships (n1, TTL 120, 1 hop); n3 caps by its hole to n2.
+    rt3.install_from_shuffle(n2, [(n1, ttl(120), 1)]);
+    println!("n2 shuffles with n3 and hands over the reference to n1:");
+    print_route(&rt3, n2, "n3");
+    print_route(&rt3, n1, "n3");
+    println!();
+
+    // Shuffle #3: n3 <-> n4, and n3 hands n4 the reference to n1.
+    let mut rt4 = RoutingTable::new(n4);
+    rt4.update_direct(n3, ttl(170));
+    let n1_ttl_at_n3 = rt3.ttl_of(n1).expect("installed above");
+    let n1_hops_at_n3 = rt3.entry_of(n1).expect("installed above").hops;
+    rt4.install_from_shuffle(n3, [(n1, n1_ttl_at_n3, n1_hops_at_n3)]);
+    println!("n3 shuffles with n4 and hands over the reference to n1:");
+    print_route(&rt4, n3, "n4");
+    print_route(&rt4, n1, "n4");
+    println!();
+
+    // The invariant of Figure 5: every routing entry for n1 carries the
+    // *minimum* TTL along its chain (120 everywhere), while the hole TTLs
+    // are 120/140/170.
+    assert_eq!(rt3.ttl_of(n1), Some(ttl(120)));
+    assert_eq!(rt4.ttl_of(n1), Some(ttl(120)));
+    println!("invariant: chain TTLs are min along the chain = 120 everywhere ✓\n");
+
+    // n4 gossips with n1: the OPEN_HOLE walks the chain.
+    println!("n4 initiates a shuffle with n1 — OPEN_HOLE path:");
+    let mut hop_table: &RoutingTable = &rt4;
+    let mut at = n4;
+    let mut dest_route = hop_table.next_rvp(n1);
+    while let Some(next) = dest_route {
+        println!("  {at} forwards OPEN_HOLE(src=n4, dest=n1) to {next}");
+        if next == n1 {
+            break;
+        }
+        at = next;
+        hop_table = match next {
+            PeerId(3) => &rt3,
+            PeerId(2) => &rt2,
+            _ => unreachable!("chain is n4 -> n3 -> n2 -> n1"),
+        };
+        dest_route = hop_table.next_rvp(n1);
+    }
+    println!("  n1 receives OPEN_HOLE and sends PONG to n4: the hole is punched.\n");
+
+    // Time passes: one shuffle period per tick, TTLs decrease; after 120
+    // seconds the whole chain to n1 is gone while fresher holes remain.
+    rt4.decrease_ttls(ttl(120));
+    rt3.decrease_ttls(ttl(120));
+    println!("after 120 s without refresh:");
+    println!("  n4 route to n1: {:?}", rt4.next_rvp(n1));
+    println!("  n4 route to n3: {:?} (hole had TTL 170)", rt4.next_rvp(n3));
+    assert_eq!(rt4.next_rvp(n1), None, "chain expired with its weakest hole");
+    assert!(rt4.is_direct(n3), "fresher hole survives");
+    println!("\nthe chain expired exactly when its weakest hole did — no stale routes.");
+}
+
+fn print_route(rt: &RoutingTable, dest: PeerId, owner: &str) {
+    let e = rt.entry_of(dest).expect("route exists");
+    let kind = if rt.is_direct(dest) { "direct" } else { "chain" };
+    println!(
+        "  {owner} routing: {dest} via {} ({kind}), TTL {}s, {} hop(s)",
+        e.rvp,
+        e.ttl.as_millis() / 1000,
+        e.hops
+    );
+}

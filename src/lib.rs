@@ -1,0 +1,21 @@
+//! Umbrella package for the Nylon reproduction.
+//!
+//! The real code lives in the workspace crates:
+//!
+//! * [`nylon`] — the NAT-resilient peer-sampling protocol (the paper's
+//!   contribution).
+//! * [`nylon_gossip`] — the generic peer-sampling framework (baselines).
+//! * [`nylon_net`] — the NAT-aware simulated network.
+//! * [`nylon_sim`] — the discrete-event kernel.
+//! * [`nylon_metrics`] — connectivity/staleness/randomness analysis.
+//! * [`nylon_workloads`] — the experiment harness and the `repro` binary.
+//!
+//! This package only hosts the runnable `examples/` and the cross-crate
+//! integration tests in `tests/`.
+
+pub use nylon;
+pub use nylon_gossip;
+pub use nylon_metrics;
+pub use nylon_net;
+pub use nylon_sim;
+pub use nylon_workloads;
