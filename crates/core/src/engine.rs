@@ -246,8 +246,7 @@ impl NylonEngine {
         let publics: Vec<PeerId> =
             self.net.alive_peers().filter(|p| self.net.class_of(*p).is_public()).collect();
         let fallback = publics.is_empty();
-        let pool: Vec<PeerId> =
-            if fallback { self.net.alive_peers().collect() } else { publics };
+        let pool: Vec<PeerId> = if fallback { self.net.alive_peers().collect() } else { publics };
         let all: Vec<PeerId> = self.net.alive_peers().collect();
         for p in all {
             let candidates: Vec<PeerId> = pool.iter().copied().filter(|q| *q != p).collect();
@@ -465,10 +464,15 @@ impl NylonEngine {
             let entries = self.wire_view(p, t);
             let sent: Vec<PeerId> = entries.iter().map(|e| e.descriptor.id).collect();
             self.nodes[p.index()].pending_sent.insert(t, sent);
-            let ep = self
-                .contact_ep(p, t, Some(target.addr))
-                .expect("fallback endpoint always present");
-            let msg = NylonMsg::Request { src: self.self_descriptor(p), dest: t, via: p, hops: 0, entries };
+            let ep =
+                self.contact_ep(p, t, Some(target.addr)).expect("fallback endpoint always present");
+            let msg = NylonMsg::Request {
+                src: self.self_descriptor(p),
+                dest: t,
+                via: p,
+                hops: 0,
+                entries,
+            };
             self.send_msg(p, ep, msg);
             self.stats.direct_requests += 1;
             return;
@@ -480,7 +484,13 @@ impl NylonEngine {
             // Lines 5–7: ship the whole shuffle through the RVP chain.
             let entries = self.wire_view(p, t);
             let sent: Vec<PeerId> = entries.iter().map(|e| e.descriptor.id).collect();
-            let msg = NylonMsg::Request { src: self.self_descriptor(p), dest: t, via: p, hops: 0, entries };
+            let msg = NylonMsg::Request {
+                src: self.self_descriptor(p),
+                dest: t,
+                via: p,
+                hops: 0,
+                entries,
+            };
             if self.route_and_send(p, t, msg) {
                 self.nodes[p.index()].pending_sent.insert(t, sent);
                 self.stats.relayed_requests += 1;
@@ -529,7 +539,13 @@ impl NylonEngine {
                         self.stats.forward_failures += 1;
                         return;
                     }
-                    let msg = NylonMsg::Request { src, dest, via: to, hops: hops.saturating_add(1), entries };
+                    let msg = NylonMsg::Request {
+                        src,
+                        dest,
+                        via: to,
+                        hops: hops.saturating_add(1),
+                        entries,
+                    };
                     if self.route_and_send(to, dest, msg) {
                         self.stats.forwards += 1;
                     } else {
@@ -543,7 +559,8 @@ impl NylonEngine {
                     self.stats.record_chain(hops);
                     // Reverse chain towards the initiator, as long as the
                     // observed path.
-                    let via_ttl = self.nodes[to.index()].routing.ttl_of(via).unwrap_or(SimDuration::ZERO);
+                    let via_ttl =
+                        self.nodes[to.index()].routing.ttl_of(via).unwrap_or(SimDuration::ZERO);
                     self.nodes[to.index()].routing.update_next_rvp(
                         src.id,
                         via,
@@ -555,7 +572,13 @@ impl NylonEngine {
                 let to_class = self.net.class_of(to);
                 let resp_entries = self.wire_view(to, src.id);
                 let resp_sent: Vec<PeerId> = resp_entries.iter().map(|e| e.descriptor.id).collect();
-                let resp = NylonMsg::Response { from: to, dest: src.id, via: to, hops: 0, entries: resp_entries };
+                let resp = NylonMsg::Response {
+                    from: to,
+                    dest: src.id,
+                    via: to,
+                    hops: 0,
+                    entries: resp_entries,
+                };
                 if !relayed {
                     // The hole to the initiator is open: answer through it.
                     self.send_msg(to, from_ep, resp);
@@ -587,7 +610,13 @@ impl NylonEngine {
                         self.stats.forward_failures += 1;
                         return;
                     }
-                    let msg = NylonMsg::Response { from, dest, via: to, hops: hops.saturating_add(1), entries };
+                    let msg = NylonMsg::Response {
+                        from,
+                        dest,
+                        via: to,
+                        hops: hops.saturating_add(1),
+                        entries,
+                    };
                     if self.route_and_send(to, dest, msg) {
                         self.stats.forwards += 1;
                     } else {
@@ -597,7 +626,8 @@ impl NylonEngine {
                 }
                 self.stats.responses_completed += 1;
                 if via != from {
-                    let via_ttl = self.nodes[to.index()].routing.ttl_of(via).unwrap_or(SimDuration::ZERO);
+                    let via_ttl =
+                        self.nodes[to.index()].routing.ttl_of(via).unwrap_or(SimDuration::ZERO);
                     self.nodes[to.index()].routing.update_next_rvp(
                         from,
                         via,
@@ -616,7 +646,8 @@ impl NylonEngine {
                         self.stats.forward_failures += 1;
                         return;
                     }
-                    let msg = NylonMsg::OpenHole { src, dest, via: to, hops: hops.saturating_add(1) };
+                    let msg =
+                        NylonMsg::OpenHole { src, dest, via: to, hops: hops.saturating_add(1) };
                     if self.route_and_send(to, dest, msg) {
                         self.stats.forwards += 1;
                     } else {
@@ -662,7 +693,13 @@ impl NylonEngine {
 
     /// Figure 6 lines 25–26 / 33–34: merge the received view and install
     /// chain routes with the partner as RVP.
-    fn merge_shuffle(&mut self, me: PeerId, partner: PeerId, entries: &[WireEntry], sent: &[PeerId]) {
+    fn merge_shuffle(
+        &mut self,
+        me: PeerId,
+        partner: PeerId,
+        entries: &[WireEntry],
+        sent: &[PeerId],
+    ) {
         let descriptors: Vec<NodeDescriptor> = entries.iter().map(|e| e.descriptor).collect();
         let routes: Vec<(PeerId, SimDuration, u8)> = entries
             .iter()
@@ -722,12 +759,8 @@ mod tests {
             .iter()
             .map(|p| eng.view_of(*p).iter().filter(|d| d.class.is_natted()).count())
             .sum();
-        let total_refs: usize = eng
-            .alive_peers()
-            .collect::<Vec<_>>()
-            .iter()
-            .map(|p| eng.view_of(*p).len())
-            .sum();
+        let total_refs: usize =
+            eng.alive_peers().collect::<Vec<_>>().iter().map(|p| eng.view_of(*p).len()).sum();
         // 80 % of peers are natted; their share of references must be
         // substantial (the whole point of Nylon vs Figure 4's baseline).
         let ratio = natted_refs as f64 / total_refs as f64;
@@ -839,7 +872,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "HOLE_TIMEOUT")]
     fn mismatched_hole_timeout_panics() {
-        let cfg = NylonConfig { hole_timeout: SimDuration::from_secs(30), ..NylonConfig::default() };
+        let cfg =
+            NylonConfig { hole_timeout: SimDuration::from_secs(30), ..NylonConfig::default() };
         let _ = NylonEngine::new(cfg, NetConfig::default(), 1);
     }
 
@@ -849,10 +883,8 @@ mod tests {
         eng.run_rounds(20);
         // Kill all natted peers: pending punches towards them can never
         // complete, and the punch-timeout path must reclaim them.
-        let victims: Vec<PeerId> = eng
-            .alive_peers()
-            .filter(|p| eng.net().class_of(*p).is_natted())
-            .collect();
+        let victims: Vec<PeerId> =
+            eng.alive_peers().filter(|p| eng.net().class_of(*p).is_natted()).collect();
         eng.kill_peers(&victims);
         eng.run_rounds(20);
         let s = eng.stats();
@@ -922,19 +954,10 @@ mod tests {
             .alive_peers()
             .collect::<Vec<_>>()
             .iter()
-            .map(|p| {
-                eng.view_of(*p)
-                    .iter()
-                    .filter(|d| !eng.net().is_alive(d.id))
-                    .count()
-            })
+            .map(|p| eng.view_of(*p).iter().filter(|d| !eng.net().is_alive(d.id)).count())
             .sum();
-        let total_refs: usize = eng
-            .alive_peers()
-            .collect::<Vec<_>>()
-            .iter()
-            .map(|p| eng.view_of(*p).len())
-            .sum();
+        let total_refs: usize =
+            eng.alive_peers().collect::<Vec<_>>().iter().map(|p| eng.view_of(*p).len()).sum();
         let ratio = dead_refs as f64 / total_refs.max(1) as f64;
         assert!(ratio < 0.2, "dead references linger: {ratio:.2}");
     }

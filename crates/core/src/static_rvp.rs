@@ -121,7 +121,14 @@ impl StaticRvpEngine {
     pub fn new(cfg: GossipConfig, net_cfg: NetConfig, seed: u64) -> Self {
         let sim = Sim::new(seed);
         let net = Network::new(net_cfg, seed ^ 0x4E59_4C4F_4E00_0003);
-        StaticRvpEngine { sim, net, cfg, nodes: Vec::new(), stats: StaticRvpStats::default(), started: false }
+        StaticRvpEngine {
+            sim,
+            net,
+            cfg,
+            nodes: Vec::new(),
+            stats: StaticRvpStats::default(),
+            started: false,
+        }
     }
 
     /// Current virtual time.
@@ -159,10 +166,7 @@ impl StaticRvpEngine {
     pub fn bootstrap_random_public(&mut self, per_view: usize) {
         let publics: Vec<PeerId> =
             self.net.alive_peers().filter(|p| self.net.class_of(*p).is_public()).collect();
-        assert!(
-            !publics.is_empty(),
-            "the static-RVP scheme requires at least one public peer"
-        );
+        assert!(!publics.is_empty(), "the static-RVP scheme requires at least one public peer");
         let all: Vec<PeerId> = self.net.alive_peers().collect();
         for p in all {
             let candidates: Vec<PeerId> = publics.iter().copied().filter(|q| *q != p).collect();
@@ -305,11 +309,8 @@ impl StaticRvpEngine {
         if self.net.class_of(p).is_natted() {
             let rvp_dead = self.nodes[p.index()].rvp.is_none_or(|r| !self.net.is_alive(r));
             if rvp_dead {
-                let publics: Vec<PeerId> = self
-                    .net
-                    .alive_peers()
-                    .filter(|q| self.net.class_of(*q).is_public())
-                    .collect();
+                let publics: Vec<PeerId> =
+                    self.net.alive_peers().filter(|q| self.net.class_of(*q).is_public()).collect();
                 if publics.is_empty() {
                     // No RVP available: skip this round entirely.
                     self.sim.schedule_after(self.cfg.shuffle_period, Ev::Shuffle(p));
@@ -338,8 +339,11 @@ impl StaticRvpEngine {
                 let entries = self.wire_view(p);
                 let sent: Vec<PeerId> = entries.iter().map(|e| e.descriptor.id).collect();
                 self.nodes[p.index()].pending_sent.insert(target.id, sent);
-                let msg =
-                    StaticRvpMsg::Request { src: self.self_descriptor(p), dest: target.id, entries };
+                let msg = StaticRvpMsg::Request {
+                    src: self.self_descriptor(p),
+                    dest: target.id,
+                    entries,
+                };
                 if target.class.is_public() {
                     let ep = self.net.identity_endpoint(target.id);
                     self.send_msg(p, ep, msg);
@@ -383,7 +387,11 @@ impl StaticRvpEngine {
                     match self.nodes[to.index()].clients.get(&dest).copied() {
                         Some(client_ep) => {
                             self.stats.relays += 1;
-                            self.send_msg(to, client_ep, StaticRvpMsg::Request { src, dest, entries });
+                            self.send_msg(
+                                to,
+                                client_ep,
+                                StaticRvpMsg::Request { src, dest, entries },
+                            );
                         }
                         None => self.stats.relay_failures += 1,
                     }
@@ -392,8 +400,11 @@ impl StaticRvpEngine {
                 self.stats.requests_completed += 1;
                 let resp_entries = self.wire_view(to);
                 let resp_sent: Vec<PeerId> = resp_entries.iter().map(|e| e.descriptor.id).collect();
-                let resp =
-                    StaticRvpMsg::Response { from: to, dest: src.descriptor.id, entries: resp_entries };
+                let resp = StaticRvpMsg::Response {
+                    from: to,
+                    dest: src.descriptor.id,
+                    entries: resp_entries,
+                };
                 if src.descriptor.class.is_public() {
                     let ep = self.net.identity_endpoint(src.descriptor.id);
                     self.send_msg(to, ep, resp);
@@ -408,7 +419,11 @@ impl StaticRvpEngine {
                     match self.nodes[to.index()].clients.get(&dest).copied() {
                         Some(client_ep) => {
                             self.stats.relays += 1;
-                            self.send_msg(to, client_ep, StaticRvpMsg::Response { from, dest, entries });
+                            self.send_msg(
+                                to,
+                                client_ep,
+                                StaticRvpMsg::Response { from, dest, entries },
+                            );
                         }
                         None => self.stats.relay_failures += 1,
                     }
@@ -498,10 +513,8 @@ mod tests {
         let mut eng = engine(5, 30, 3);
         eng.run_rounds(20);
         // Kill all public peers but one.
-        let publics: Vec<PeerId> = eng
-            .alive_peers()
-            .filter(|p| eng.net().class_of(*p).is_public())
-            .collect();
+        let publics: Vec<PeerId> =
+            eng.alive_peers().filter(|p| eng.net().class_of(*p).is_public()).collect();
         eng.kill_peers(&publics[1..]);
         eng.run_rounds(20);
         assert!(eng.stats().rebinds > 0, "orphaned clients must re-bind");

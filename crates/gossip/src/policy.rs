@@ -111,12 +111,7 @@ impl GossipConfig {
     /// Config labelled as in the paper's legends, e.g.
     /// `push/pull,rand,healer`.
     pub fn label(&self) -> String {
-        format!(
-            "{},{},{}",
-            self.propagation.label(),
-            self.selection.label(),
-            self.merge.label()
-        )
+        format!("{},{},{}", self.propagation.label(), self.selection.label(), self.merge.label())
     }
 
     /// The six push/pull configurations evaluated in Section 3 of the
@@ -125,12 +120,7 @@ impl GossipConfig {
         let mut out = Vec::new();
         for selection in [SelectionPolicy::Rand, SelectionPolicy::Tail] {
             for merge in [MergePolicy::Healer, MergePolicy::Blind, MergePolicy::Swapper] {
-                out.push(GossipConfig {
-                    view_size,
-                    selection,
-                    merge,
-                    ..GossipConfig::default()
-                });
+                out.push(GossipConfig { view_size, selection, merge, ..GossipConfig::default() });
             }
         }
         out

@@ -109,8 +109,7 @@ impl PartialView {
             return;
         }
         if self.entries.len() == self.capacity {
-            if let Some((idx, oldest)) =
-                self.entries.iter().enumerate().max_by_key(|(_, e)| e.age)
+            if let Some((idx, oldest)) = self.entries.iter().enumerate().max_by_key(|(_, e)| e.age)
             {
                 if oldest.age >= d.age {
                     self.entries[idx] = d;
@@ -142,7 +141,11 @@ impl PartialView {
 
     /// Selects the gossip target per the selection policy: a uniformly
     /// random entry, or the oldest one ("tail").
-    pub fn select_target(&self, policy: SelectionPolicy, rng: &mut SimRng) -> Option<NodeDescriptor> {
+    pub fn select_target(
+        &self,
+        policy: SelectionPolicy,
+        rng: &mut SimRng,
+    ) -> Option<NodeDescriptor> {
         match policy {
             SelectionPolicy::Rand => rng.pick(&self.entries).copied(),
             SelectionPolicy::Tail => self.entries.iter().max_by_key(|d| d.age).copied(),

@@ -55,8 +55,8 @@ impl DiGraph {
         }
         let mut sizes = vec![0usize; self.n];
         let mut best = 0;
-        for i in 0..self.n {
-            if alive[i] {
+        for (i, &is_alive) in alive.iter().enumerate() {
+            if is_alive {
                 let root = uf.find(i);
                 sizes[root] += 1;
                 best = best.max(sizes[root]);

@@ -44,8 +44,7 @@ pub fn chi_square_uniform(counts: &[u64]) -> Option<ChiSquare> {
         return None;
     }
     let expected = total as f64 / counts.len() as f64;
-    let statistic: f64 =
-        counts.iter().map(|c| (*c as f64 - expected).powi(2) / expected).sum();
+    let statistic: f64 = counts.iter().map(|c| (*c as f64 - expected).powi(2) / expected).sum();
     let df = counts.len() - 1;
     Some(ChiSquare { statistic, df, p_value: chi_square_sf(statistic, df) })
 }
@@ -81,9 +80,8 @@ fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -125,8 +123,8 @@ pub fn dispersion_index(counts: &[u64]) -> Option<f64> {
         return None;
     }
     let mean = total as f64 / counts.len() as f64;
-    let var = counts.iter().map(|c| (*c as f64 - mean).powi(2)).sum::<f64>()
-        / (counts.len() - 1) as f64;
+    let var =
+        counts.iter().map(|c| (*c as f64 - mean).powi(2)).sum::<f64>() / (counts.len() - 1) as f64;
     Some(var / mean)
 }
 

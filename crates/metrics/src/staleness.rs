@@ -88,11 +88,8 @@ mod tests {
     use nylon_net::{Endpoint, Ip, NatClass, NatType, Port};
 
     fn desc(id: u32, natted: bool) -> NodeDescriptor {
-        let class = if natted {
-            NatClass::Natted(NatType::PortRestrictedCone)
-        } else {
-            NatClass::Public
-        };
+        let class =
+            if natted { NatClass::Natted(NatType::PortRestrictedCone) } else { NatClass::Public };
         NodeDescriptor::new(PeerId(id), Endpoint::new(Ip(id), Port(9000)), class)
     }
 

@@ -171,11 +171,8 @@ impl NatBox {
         // Skip ports that are still indexed; wrap at the end of the range.
         loop {
             let p = Port(self.next_port);
-            self.next_port = if self.next_port == u16::MAX {
-                FIRST_DYNAMIC_PORT
-            } else {
-                self.next_port + 1
-            };
+            self.next_port =
+                if self.next_port == u16::MAX { FIRST_DYNAMIC_PORT } else { self.next_port + 1 };
             if !self.cone_by_port.contains_key(&p)
                 && !self.sym_by_port.contains_key(&p)
                 && !self.reserved.values().any(|r| *r == p)
@@ -325,9 +322,7 @@ impl NatBox {
                 NatType::Symmetric => unreachable!("cone branch"),
             }
         } else {
-            self.sym_by_port
-                .get(&public_port)
-                .is_some_and(|m| m.expires > now && m.remote == src)
+            self.sym_by_port.get(&public_port).is_some_and(|m| m.expires > now && m.remote == src)
         }
     }
 
@@ -335,7 +330,12 @@ impl NatBox {
     /// `private` to `remote` would leave with right now, plus whether that
     /// would require creating a *new* mapping (relevant for symmetric boxes,
     /// where a new mapping means an unpredictable port).
-    pub fn egress_preview(&self, now: SimTime, private: Endpoint, remote: Endpoint) -> (Endpoint, bool) {
+    pub fn egress_preview(
+        &self,
+        now: SimTime,
+        private: Endpoint,
+        remote: Endpoint,
+    ) -> (Endpoint, bool) {
         if self.nat_type.is_cone() {
             match self.reserved.get(&private) {
                 Some(p) => (Endpoint::new(self.public_ip, *p), false),
@@ -343,9 +343,7 @@ impl NatBox {
             }
         } else {
             match self.sym.get(&(private, remote)) {
-                Some(port)
-                    if self.sym_by_port.get(port).is_some_and(|m| m.expires > now) =>
-                {
+                Some(port) if self.sym_by_port.get(port).is_some_and(|m| m.expires > now) => {
                     (Endpoint::new(self.public_ip, *port), false)
                 }
                 _ => (Endpoint::new(self.public_ip, Port::UNKNOWN), true),
@@ -372,12 +370,8 @@ impl NatBox {
             mapping.sessions.retain(|_, s| s.expires > now);
         }
         self.cone.retain(|_, m| !m.sessions.is_empty());
-        let dead: Vec<Port> = self
-            .sym_by_port
-            .iter()
-            .filter(|(_, m)| m.expires <= now)
-            .map(|(p, _)| *p)
-            .collect();
+        let dead: Vec<Port> =
+            self.sym_by_port.iter().filter(|(_, m)| m.expires <= now).map(|(p, _)| *p).collect();
         for port in dead {
             if let Some(m) = self.sym_by_port.remove(&port) {
                 self.sym.remove(&(m.private, m.remote));

@@ -130,7 +130,12 @@ impl DropCounters {
 
     /// Sum of all counters.
     pub fn total(&self) -> u64 {
-        self.loss + self.no_route + self.target_dead + self.source_dead + self.no_mapping + self.filtered
+        self.loss
+            + self.no_route
+            + self.target_dead
+            + self.source_dead
+            + self.no_mapping
+            + self.filtered
     }
 }
 
@@ -252,8 +257,7 @@ impl<P> Network<P> {
     /// reserved immediately.
     pub fn add_peer(&mut self, class: NatClass) -> PeerId {
         let id = PeerId(self.peers.len() as u32);
-        let private_ep =
-            Endpoint::new(Ip(Ip::PRIVATE_BASE + id.0), Port(PRIVATE_PORT));
+        let private_ep = Endpoint::new(Ip(Ip::PRIVATE_BASE + id.0), Port(PRIVATE_PORT));
         let (identity_ep, nat_box) = match class {
             NatClass::Public => {
                 let ip = Ip(PUBLIC_PEER_IP_BASE + id.0);
@@ -310,11 +314,7 @@ impl<P> Network<P> {
 
     /// Iterator over all currently alive peers.
     pub fn alive_peers(&self) -> impl Iterator<Item = PeerId> + '_ {
-        self.peers
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.alive)
-            .map(|(i, _)| PeerId(i as u32))
+        self.peers.iter().enumerate().filter(|(_, s)| s.alive).map(|(i, _)| PeerId(i as u32))
     }
 
     /// Kills a peer (fail-stop: no goodbye messages, NAT box stops
@@ -542,7 +542,13 @@ mod tests {
 
     type Net = Network<u32>;
 
-    fn send_and_deliver(net: &mut Net, now: SimTime, from: PeerId, to_ep: Endpoint, tag: u32) -> Delivery<u32> {
+    fn send_and_deliver(
+        net: &mut Net,
+        now: SimTime,
+        from: PeerId,
+        to_ep: Endpoint,
+        tag: u32,
+    ) -> Delivery<u32> {
         let f = net.send(now, from, to_ep, tag, 100).expect("not lost");
         let at = f.arrive_at;
         net.deliver(at, f)
@@ -567,7 +573,10 @@ mod tests {
         let mut net = Net::new(NetConfig::default(), 1);
         let a = net.add_peer(NatClass::Public);
         let b = net.add_peer(NatClass::Public);
-        let d = { let ep = net.identity_endpoint(b); send_and_deliver(&mut net, SimTime::ZERO, a, ep, 7) };
+        let d = {
+            let ep = net.identity_endpoint(b);
+            send_and_deliver(&mut net, SimTime::ZERO, a, ep, 7)
+        };
         let (to, from_ep, payload) = expect_peer(d);
         assert_eq!(to, b);
         assert_eq!(from_ep, net.identity_endpoint(a));
@@ -589,7 +598,10 @@ mod tests {
         let pub_peer = net.add_peer(NatClass::Public);
         let nat_peer = net.add_peer(NatClass::Natted(NatType::PortRestrictedCone));
         // Natted initiates: opens a hole.
-        let d = { let ep = net.identity_endpoint(pub_peer); send_and_deliver(&mut net, SimTime::ZERO, nat_peer, ep, 1) };
+        let d = {
+            let ep = net.identity_endpoint(pub_peer);
+            send_and_deliver(&mut net, SimTime::ZERO, nat_peer, ep, 1)
+        };
         let (to, observed, _) = expect_peer(d);
         assert_eq!(to, pub_peer);
         // Public replies to the observed source endpoint: admitted.
@@ -604,7 +616,10 @@ mod tests {
         let mut net = Net::new(NetConfig::default(), 1);
         let pub_peer = net.add_peer(NatClass::Public);
         let nat_peer = net.add_peer(NatClass::Natted(NatType::PortRestrictedCone));
-        let d = { let ep = net.identity_endpoint(nat_peer); send_and_deliver(&mut net, SimTime::ZERO, pub_peer, ep, 1) };
+        let d = {
+            let ep = net.identity_endpoint(nat_peer);
+            send_and_deliver(&mut net, SimTime::ZERO, pub_peer, ep, 1)
+        };
         assert_eq!(expect_drop(d), DropReason::NoMapping);
     }
 
@@ -615,9 +630,15 @@ mod tests {
         let p2 = net.add_peer(NatClass::Public);
         let n = net.add_peer(NatClass::Natted(NatType::PortRestrictedCone));
         // n talks to p1 only.
-        let _ = { let ep = net.identity_endpoint(p1); send_and_deliver(&mut net, SimTime::ZERO, n, ep, 1) };
+        let _ = {
+            let ep = net.identity_endpoint(p1);
+            send_and_deliver(&mut net, SimTime::ZERO, n, ep, 1)
+        };
         // p2 tries n's stable endpoint: the mapping exists but p2 is filtered.
-        let d = { let ep = net.identity_endpoint(n); send_and_deliver(&mut net, SimTime::from_millis(100), p2, ep, 2) };
+        let d = {
+            let ep = net.identity_endpoint(n);
+            send_and_deliver(&mut net, SimTime::from_millis(100), p2, ep, 2)
+        };
         assert_eq!(expect_drop(d), DropReason::Filtered);
     }
 
@@ -626,7 +647,10 @@ mod tests {
         let mut net = Net::new(NetConfig::default(), 1);
         let pub_peer = net.add_peer(NatClass::Public);
         let nat_peer = net.add_peer(NatClass::Natted(NatType::RestrictedCone));
-        let d = { let ep = net.identity_endpoint(pub_peer); send_and_deliver(&mut net, SimTime::ZERO, nat_peer, ep, 1) };
+        let d = {
+            let ep = net.identity_endpoint(pub_peer);
+            send_and_deliver(&mut net, SimTime::ZERO, nat_peer, ep, 1)
+        };
         let (_, observed, _) = expect_peer(d);
         // 91 s later the rule is gone.
         let late = SimTime::from_secs(91);
@@ -640,7 +664,10 @@ mod tests {
         let s = net.add_peer(NatClass::Natted(NatType::Symmetric));
         assert!(net.identity_endpoint(s).has_unknown_port());
         let p = net.add_peer(NatClass::Public);
-        let d = { let ep = net.identity_endpoint(s); send_and_deliver(&mut net, SimTime::ZERO, p, ep, 1) };
+        let d = {
+            let ep = net.identity_endpoint(s);
+            send_and_deliver(&mut net, SimTime::ZERO, p, ep, 1)
+        };
         assert_eq!(expect_drop(d), DropReason::NoMapping);
     }
 
@@ -649,7 +676,10 @@ mod tests {
         let mut net = Net::new(NetConfig::default(), 1);
         let s = net.add_peer(NatClass::Natted(NatType::Symmetric));
         let p = net.add_peer(NatClass::Public);
-        let d = { let ep = net.identity_endpoint(p); send_and_deliver(&mut net, SimTime::ZERO, s, ep, 1) };
+        let d = {
+            let ep = net.identity_endpoint(p);
+            send_and_deliver(&mut net, SimTime::ZERO, s, ep, 1)
+        };
         let (_, observed, _) = expect_peer(d);
         assert_eq!(observed.ip, net.nat_box_of(s).unwrap().public_ip());
         let d = send_and_deliver(&mut net, SimTime::from_millis(60), p, observed, 2);
@@ -663,7 +693,10 @@ mod tests {
         let a = net.add_peer(NatClass::Public);
         let b = net.add_peer(NatClass::Public);
         net.kill_peer(b);
-        let d = { let ep = net.identity_endpoint(b); send_and_deliver(&mut net, SimTime::ZERO, a, ep, 1) };
+        let d = {
+            let ep = net.identity_endpoint(b);
+            send_and_deliver(&mut net, SimTime::ZERO, a, ep, 1)
+        };
         assert_eq!(expect_drop(d), DropReason::TargetDead);
         assert_eq!(net.alive_count(), 1);
         assert!(!net.is_alive(b));
@@ -703,7 +736,10 @@ mod tests {
         let mut net = Net::new(NetConfig::default(), 1);
         let a = net.add_peer(NatClass::Public);
         let b = net.add_peer(NatClass::Public);
-        let _ = { let ep = net.identity_endpoint(b); send_and_deliver(&mut net, SimTime::ZERO, a, ep, 1) };
+        let _ = {
+            let ep = net.identity_endpoint(b);
+            send_and_deliver(&mut net, SimTime::ZERO, a, ep, 1)
+        };
         assert_eq!(net.stats_of(a).bytes_sent, 128); // 100 + 28 header
         assert_eq!(net.stats_of(a).msgs_sent, 1);
         assert_eq!(net.stats_of(b).bytes_received, 128);
@@ -714,8 +750,7 @@ mod tests {
 
     #[test]
     fn loss_is_sampled_and_counted() {
-        let mut cfg = NetConfig::default();
-        cfg.loss_probability = 1.0;
+        let cfg = NetConfig { loss_probability: 1.0, ..NetConfig::default() };
         let mut net = Net::new(cfg, 1);
         let a = net.add_peer(NatClass::Public);
         let b = net.add_peer(NatClass::Public);
@@ -727,8 +762,8 @@ mod tests {
 
     #[test]
     fn jitter_bounds_latency() {
-        let mut cfg = NetConfig::default();
-        cfg.latency_jitter = SimDuration::from_millis(20);
+        let cfg =
+            NetConfig { latency_jitter: SimDuration::from_millis(20), ..NetConfig::default() };
         let mut net = Net::new(cfg, 42);
         let a = net.add_peer(NatClass::Public);
         let b = net.add_peer(NatClass::Public);
@@ -748,7 +783,10 @@ mod tests {
         // Before any traffic: unreachable.
         assert!(!net.reachable(SimTime::ZERO, pub_peer, nat_peer, nat_ep));
         // Open the hole.
-        let _ = { let ep = net.identity_endpoint(pub_peer); send_and_deliver(&mut net, SimTime::ZERO, nat_peer, ep, 1) };
+        let _ = {
+            let ep = net.identity_endpoint(pub_peer);
+            send_and_deliver(&mut net, SimTime::ZERO, nat_peer, ep, 1)
+        };
         let t = SimTime::from_millis(100);
         assert!(net.reachable(t, pub_peer, nat_peer, nat_ep));
         // The oracle does not refresh: rule expires on schedule.
@@ -773,7 +811,10 @@ mod tests {
         let mut net = Net::new(NetConfig::default(), 1);
         let p = net.add_peer(NatClass::Public);
         let n = net.add_peer(NatClass::Natted(NatType::RestrictedCone));
-        let _ = { let ep = net.identity_endpoint(p); send_and_deliver(&mut net, SimTime::ZERO, n, ep, 1) };
+        let _ = {
+            let ep = net.identity_endpoint(p);
+            send_and_deliver(&mut net, SimTime::ZERO, n, ep, 1)
+        };
         net.purge_expired_nat_state(SimTime::from_secs(10));
         // Rule was live, must survive purge.
         assert!(net.reachable(SimTime::from_secs(10), p, n, net.identity_endpoint(n)));
@@ -796,8 +837,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "loss probability")]
     fn invalid_loss_probability_panics() {
-        let mut cfg = NetConfig::default();
-        cfg.loss_probability = 1.5;
+        let cfg = NetConfig { loss_probability: 1.5, ..NetConfig::default() };
         let _ = Net::new(cfg, 1);
     }
 
@@ -817,7 +857,10 @@ mod tests {
         let target = net.add_peer(NatClass::Natted(NatType::PortRestrictedCone));
         let target_ep = net.open_bootstrap_hole(SimTime::ZERO, holder, target).unwrap();
         // The holder can now initiate towards the natted target.
-        let d = { let ep = target_ep; send_and_deliver(&mut net, SimTime::from_millis(10), holder, ep, 5) };
+        let d = {
+            let ep = target_ep;
+            send_and_deliver(&mut net, SimTime::from_millis(10), holder, ep, 5)
+        };
         let (to, _, _) = expect_peer(d);
         assert_eq!(to, target);
     }
@@ -829,7 +872,10 @@ mod tests {
         let target = net.add_peer(NatClass::Natted(NatType::PortRestrictedCone));
         let outsider = net.add_peer(NatClass::Public);
         let target_ep = net.open_bootstrap_hole(SimTime::ZERO, holder, target).unwrap();
-        let d = { let ep = target_ep; send_and_deliver(&mut net, SimTime::from_millis(10), outsider, ep, 5) };
+        let d = {
+            let ep = target_ep;
+            send_and_deliver(&mut net, SimTime::from_millis(10), outsider, ep, 5)
+        };
         assert_eq!(expect_drop(d), DropReason::Filtered, "hole is holder-specific");
     }
 
@@ -855,7 +901,10 @@ mod tests {
         let n = net.add_peer(NatClass::Natted(NatType::PortRestrictedCone));
         let n_ep = net.identity_endpoint(n);
         for i in 0..5u32 {
-            let d = { let ep = n_ep; send_and_deliver(&mut net, SimTime::from_millis(i as u64 * 10), a, ep, i) };
+            let d = {
+                let ep = n_ep;
+                send_and_deliver(&mut net, SimTime::from_millis(i as u64 * 10), a, ep, i)
+            };
             assert_eq!(expect_drop(d), DropReason::NoMapping);
         }
         assert_eq!(net.drop_counters().no_mapping, 5);
@@ -869,7 +918,10 @@ mod tests {
         let n = net.add_peer(NatClass::Natted(NatType::Symmetric));
         let fwd = net.enable_port_forwarding(n).expect("natted peer");
         assert_eq!(net.identity_endpoint(n), fwd, "identity must advertise the forwarding");
-        let d = { let ep = fwd; send_and_deliver(&mut net, SimTime::ZERO, a, ep, 9) };
+        let d = {
+            let ep = fwd;
+            send_and_deliver(&mut net, SimTime::ZERO, a, ep, 9)
+        };
         let (to, _, payload) = expect_peer(d);
         assert_eq!((to, payload), (n, 9));
         // Oracle agrees.
@@ -890,8 +942,8 @@ mod tests {
     #[test]
     fn separate_networks_are_independent() {
         let mk = |seed: u64| {
-            let mut cfg = NetConfig::default();
-            cfg.latency_jitter = SimDuration::from_millis(20);
+            let cfg =
+                NetConfig { latency_jitter: SimDuration::from_millis(20), ..NetConfig::default() };
             let mut net = Net::new(cfg, seed);
             let a = net.add_peer(NatClass::Public);
             let b = net.add_peer(NatClass::Public);

@@ -62,7 +62,7 @@ impl PeriodicTimer {
     /// Records a firing and moves the schedule one period forward.
     pub fn advance(&mut self) {
         self.fired += 1;
-        self.next = self.next + self.period;
+        self.next += self.period;
     }
 }
 

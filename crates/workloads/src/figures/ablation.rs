@@ -19,7 +19,7 @@ use crate::runner::{
 };
 use crate::scenario::{NatMix, Scenario};
 
-use super::common::{point_seeds, progress};
+use super::common::{point_seeds, progress, Sample4};
 use super::FigureScale;
 
 /// Generates all three ablation tables.
@@ -59,7 +59,7 @@ fn mix_ablation(scale: &FigureScale) -> Table {
                 punch_pct,
             )
         });
-        let col = |f: &dyn Fn(&(f64, f64, f64, f64)) -> f64| -> f64 {
+        let col = |f: &dyn Fn(&Sample4) -> f64| -> f64 {
             let v: Vec<f64> = values.iter().map(f).filter(|x| !x.is_nan()).collect();
             if v.is_empty() {
                 f64::NAN
@@ -106,8 +106,7 @@ fn rvp_ablation(scale: &FigureScale) -> Table {
         eng.start();
         let warmup = scale.rounds / 3;
         eng.run_rounds(warmup);
-        let before: Vec<TrafficStats> =
-            eng.alive_peers().map(|p| eng.net().stats_of(p)).collect();
+        let before: Vec<TrafficStats> = eng.alive_peers().map(|p| eng.net().stats_of(p)).collect();
         let window_rounds = scale.rounds - warmup;
         eng.run_rounds(window_rounds);
         let window = nylon_sim::SimDuration::from_secs(5) * window_rounds;
@@ -168,10 +167,8 @@ fn push_ablation(scale: &FigureScale) -> Table {
             progress(&format!("ablation push: {} {pct:.0}%", propagation.label()));
             let seed_list = point_seeds(scale, 0x00AB_2000 ^ ((pi as u64) << 8) ^ (ni as u64));
             let values = run_seeds(&seed_list, |seed| {
-                let scn = Scenario {
-                    mix: NatMix::prc_only(),
-                    ..Scenario::new(scale.peers, *pct, seed)
-                };
+                let scn =
+                    Scenario { mix: NatMix::prc_only(), ..Scenario::new(scale.peers, *pct, seed) };
                 let cfg = GossipConfig { propagation: *propagation, ..GossipConfig::default() };
                 let mut eng = build_baseline(&scn, cfg);
                 eng.run_rounds(scale.rounds);

@@ -7,12 +7,18 @@ use nylon_net::TrafficStats;
 use nylon_sim::SimDuration;
 
 use crate::runner::{
-    biggest_cluster_pct_baseline, build_baseline, build_nylon, run_seeds, seeds,
-    staleness_baseline,
+    biggest_cluster_pct_baseline, build_baseline, build_nylon, run_seeds, seeds, staleness_baseline,
 };
 use crate::scenario::{NatMix, Scenario};
 
 use super::FigureScale;
+
+/// A per-seed sample of four summary metrics, as collected by the sweep
+/// closures in the figure generators.
+pub type Sample4 = (f64, f64, f64, f64);
+
+/// A per-seed sample of five summary metrics.
+pub type Sample5 = (f64, f64, f64, f64, f64);
 
 /// Writes a progress line to stderr (the tables go to stdout).
 pub fn progress(msg: &str) {
@@ -96,8 +102,7 @@ pub fn nylon_bandwidth_point(
         let mut eng = build_nylon(&scn, NylonConfig::default());
         let warmup = scale.rounds / 3;
         eng.run_rounds(warmup);
-        let before: Vec<TrafficStats> =
-            eng.alive_peers().map(|p| eng.net().stats_of(p)).collect();
+        let before: Vec<TrafficStats> = eng.alive_peers().map(|p| eng.net().stats_of(p)).collect();
         let window_rounds = scale.rounds - warmup;
         eng.run_rounds(window_rounds);
         let window = eng.config().shuffle_period * window_rounds;
@@ -112,10 +117,8 @@ pub fn nylon_bandwidth_point(
         (report.overall.mean(), report.public.mean(), report.natted.mean())
     });
     let overall: Summary = values.iter().map(|v| v.0).collect();
-    let public: Summary =
-        values.iter().map(|v| v.1).filter(|v| !v.is_nan() && *v > 0.0).collect();
-    let natted: Summary =
-        values.iter().map(|v| v.2).filter(|v| !v.is_nan() && *v > 0.0).collect();
+    let public: Summary = values.iter().map(|v| v.1).filter(|v| !v.is_nan() && *v > 0.0).collect();
+    let natted: Summary = values.iter().map(|v| v.2).filter(|v| !v.is_nan() && *v > 0.0).collect();
     (overall, public, natted)
 }
 
@@ -128,8 +131,7 @@ pub fn reference_bandwidth(scale: &FigureScale, salt: u64) -> Summary {
         let mut eng = build_baseline(&scn, GossipConfig::default());
         let warmup = scale.rounds / 3;
         eng.run_rounds(warmup);
-        let before: Vec<TrafficStats> =
-            eng.alive_peers().map(|p| eng.net().stats_of(p)).collect();
+        let before: Vec<TrafficStats> = eng.alive_peers().map(|p| eng.net().stats_of(p)).collect();
         let window_rounds = scale.rounds - warmup;
         eng.run_rounds(window_rounds);
         let window: SimDuration = eng.config().shuffle_period * window_rounds;
@@ -156,8 +158,7 @@ pub fn nylon_chain_point(
 ) -> Summary {
     let seed_list = point_seeds(scale, salt);
     let values = run_seeds(&seed_list, |seed| {
-        let scn =
-            Scenario { view_size, ..Scenario::new(scale.peers, nat_pct, seed) };
+        let scn = Scenario { view_size, ..Scenario::new(scale.peers, nat_pct, seed) };
         let cfg = NylonConfig { view_size, ..NylonConfig::default() };
         let mut eng = build_nylon(&scn, cfg);
         let warmup = scale.rounds / 3;

@@ -29,7 +29,7 @@ use crate::output::{fmt_f, Table};
 use crate::runner::{biggest_cluster_pct_nylon, build_nylon, run_seeds, staleness_nylon};
 use crate::scenario::Scenario;
 
-use super::common::{point_seeds, progress};
+use super::common::{point_seeds, progress, Sample5};
 use super::FigureScale;
 
 const NAT_PCTS: [f64; 4] = [0.0, 30.0, 60.0, 90.0];
@@ -76,12 +76,11 @@ pub fn generate(scale: &FigureScale) -> Table {
                 (natted_hits as f64 / log.len() as f64) / natted_frac
             };
             let dispersion = dispersion_index(&counts).unwrap_or(f64::NAN);
-            let normalized: Vec<f64> =
-                log.iter().map(|s| *s as f64 / n as f64).collect();
+            let normalized: Vec<f64> = log.iter().map(|s| *s as f64 / n as f64).collect();
             let corr = serial_correlation(&normalized).unwrap_or(f64::NAN);
             (cluster, stale, share_ratio, dispersion, corr)
         });
-        let mean = |f: &dyn Fn(&(f64, f64, f64, f64, f64)) -> f64| -> f64 {
+        let mean = |f: &dyn Fn(&Sample5) -> f64| -> f64 {
             let vals: Vec<f64> = values.iter().map(f).filter(|v| !v.is_nan()).collect();
             if vals.is_empty() {
                 f64::NAN

@@ -26,7 +26,7 @@
 
 use nylon::NylonConfig;
 use nylon_gossip::GossipConfig;
-use nylon_metrics::{Summary};
+use nylon_metrics::Summary;
 use nylon_net::{NatClass, NatType, NetConfig, PeerId};
 use nylon_sim::{SimDuration, SimRng};
 
@@ -37,7 +37,7 @@ use crate::runner::{
 };
 use crate::scenario::{NatMix, Scenario};
 
-use super::common::{point_seeds, progress};
+use super::common::{point_seeds, progress, Sample4, Sample5};
 use super::FigureScale;
 
 /// Generates all extension tables.
@@ -54,7 +54,11 @@ pub fn generate(scale: &FigureScale) -> Vec<Table> {
 }
 
 /// Builds a Nylon engine with a custom network configuration.
-fn build_nylon_with_net(scn: &Scenario, mut cfg: NylonConfig, net: NetConfig) -> nylon::NylonEngine {
+fn build_nylon_with_net(
+    scn: &Scenario,
+    mut cfg: NylonConfig,
+    net: NetConfig,
+) -> nylon::NylonEngine {
     cfg.view_size = scn.view_size;
     cfg.hole_timeout = net.hole_timeout;
     let mut eng = nylon::NylonEngine::new(cfg, net, scn.seed);
@@ -83,16 +87,10 @@ fn loss_sensitivity(scale: &FigureScale) -> Table {
             let punch = 100.0 * s.punch_successes as f64 / s.hole_punches.max(1) as f64;
             let completion =
                 100.0 * s.responses_completed as f64 / s.shuffles_initiated.max(1) as f64;
-            (
-                biggest_cluster_pct_nylon(&eng),
-                staleness_nylon(&eng).stale_pct,
-                punch,
-                completion,
-            )
+            (biggest_cluster_pct_nylon(&eng), staleness_nylon(&eng).stale_pct, punch, completion)
         });
-        let mean = |f: &dyn Fn(&(f64, f64, f64, f64)) -> f64| {
-            values.iter().map(f).sum::<f64>() / values.len() as f64
-        };
+        let mean =
+            |f: &dyn Fn(&Sample4) -> f64| values.iter().map(f).sum::<f64>() / values.len() as f64;
         table.push_row([
             format!("{:.0}", loss * 100.0),
             fmt_f(mean(&|v| v.0), 1),
@@ -121,15 +119,15 @@ fn timeout_sensitivity(scale: &FigureScale) -> Table {
             let s = eng.stats();
             let missing = 100.0 * s.routes_missing as f64
                 / (s.shuffles_initiated + s.routes_missing).max(1) as f64;
-            (
-                staleness_nylon(&eng).stale_pct,
-                missing,
-                s.mean_chain_len().unwrap_or(f64::NAN),
-            )
+            (staleness_nylon(&eng).stale_pct, missing, s.mean_chain_len().unwrap_or(f64::NAN))
         });
         let mean = |f: &dyn Fn(&(f64, f64, f64)) -> f64| {
             let v: Vec<f64> = values.iter().map(f).filter(|x| !x.is_nan()).collect();
-            if v.is_empty() { f64::NAN } else { v.iter().sum::<f64>() / v.len() as f64 }
+            if v.is_empty() {
+                f64::NAN
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
         };
         table.push_row([
             secs.to_string(),
@@ -160,17 +158,16 @@ fn view_size_sweep(scale: &FigureScale) -> Table {
                 .iter()
                 .map(|p| eng.net().stats_of(*p).bytes_total())
                 .sum();
-            let bps =
-                bytes as f64 / eng.alive_peers().count() as f64 / eng.now().as_secs_f64();
-            (
-                biggest_cluster_pct_nylon(&eng),
-                eng.stats().mean_chain_len().unwrap_or(f64::NAN),
-                bps,
-            )
+            let bps = bytes as f64 / eng.alive_peers().count() as f64 / eng.now().as_secs_f64();
+            (biggest_cluster_pct_nylon(&eng), eng.stats().mean_chain_len().unwrap_or(f64::NAN), bps)
         });
         let mean = |f: &dyn Fn(&(f64, f64, f64)) -> f64| {
             let v: Vec<f64> = values.iter().map(f).filter(|x| !x.is_nan()).collect();
-            if v.is_empty() { f64::NAN } else { v.iter().sum::<f64>() / v.len() as f64 }
+            if v.is_empty() {
+                f64::NAN
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
         };
         table.push_row([
             view.to_string(),
@@ -203,11 +200,7 @@ fn full_cone_equivalence(scale: &FigureScale) -> Table {
         });
         let cluster: Summary = values.iter().map(|v| v.0).collect();
         let stale: Summary = values.iter().map(|v| v.1).collect();
-        table.push_row([
-            label.to_string(),
-            fmt_f(cluster.mean(), 1),
-            fmt_f(stale.mean(), 2),
-        ]);
+        table.push_row([label.to_string(), fmt_f(cluster.mean(), 1), fmt_f(stale.mean(), 2)]);
     }
     table
 }
@@ -215,7 +208,15 @@ fn full_cone_equivalence(scale: &FigureScale) -> Table {
 fn indegree_distribution(scale: &FigureScale) -> Table {
     let mut table = Table::new(
         "Extension (ext-indegree) — health of the usable overlay graph (randomness evidence)",
-        ["overlay", "NAT %", "mean in-degree", "std dev", "max", "clustering coeff", "mean path len"],
+        [
+            "overlay",
+            "NAT %",
+            "mean in-degree",
+            "std dev",
+            "max",
+            "clustering coeff",
+            "mean path len",
+        ],
     );
     let cases: [(&str, f64, bool); 4] = [
         ("baseline", 0.0, false),
@@ -246,9 +247,13 @@ fn indegree_distribution(scale: &FigureScale) -> Table {
                 graph.mean_path_length(16).unwrap_or(f64::NAN),
             )
         });
-        let mean = |f: &dyn Fn(&(f64, f64, f64, f64, f64)) -> f64| {
+        let mean = |f: &dyn Fn(&Sample5) -> f64| {
             let v: Vec<f64> = values.iter().map(f).filter(|x| !x.is_nan()).collect();
-            if v.is_empty() { f64::NAN } else { v.iter().sum::<f64>() / v.len() as f64 }
+            if v.is_empty() {
+                f64::NAN
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
         };
         table.push_row([
             label.to_string(),
@@ -277,8 +282,7 @@ fn continuous_churn(scale: &FigureScale) -> Table {
             let mut rng = SimRng::new(seed).fork(0x6363_6875_726E);
             eng.run_rounds(scale.rounds / 3);
             let churn_rounds = scale.rounds - scale.rounds / 3;
-            let per_round =
-                ((churn / 100.0) * scale.peers as f64).round() as usize;
+            let per_round = ((churn / 100.0) * scale.peers as f64).round() as usize;
             for _ in 0..churn_rounds {
                 // Replace peers: kill `per_round`, admit `per_round` new
                 // ones via a surviving contact (70% of newcomers natted).
@@ -307,11 +311,7 @@ fn continuous_churn(scale: &FigureScale) -> Table {
             let s = eng.stats();
             let completion =
                 100.0 * s.responses_completed as f64 / s.shuffles_initiated.max(1) as f64;
-            (
-                biggest_cluster_pct_nylon(&eng),
-                staleness_nylon(&eng).stale_pct,
-                completion,
-            )
+            (biggest_cluster_pct_nylon(&eng), staleness_nylon(&eng).stale_pct, completion)
         });
         let mean = |f: &dyn Fn(&(f64, f64, f64)) -> f64| {
             values.iter().map(f).sum::<f64>() / values.len() as f64
@@ -343,11 +343,7 @@ fn upnp_adoption(scale: &FigureScale) -> Table {
             let mut eng = build_baseline(&scn, GossipConfig::default());
             eng.run_rounds(scale.rounds);
             let stale = staleness_baseline(&eng);
-            (
-                biggest_cluster_pct_baseline(&eng),
-                stale.stale_pct,
-                stale.natted_nonstale_pct,
-            )
+            (biggest_cluster_pct_baseline(&eng), stale.stale_pct, stale.natted_nonstale_pct)
         });
         let mean = |f: &dyn Fn(&(f64, f64, f64)) -> f64| {
             values.iter().map(f).sum::<f64>() / values.len() as f64

@@ -19,10 +19,8 @@ const NAT_PCTS: [f64; 7] = [40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0];
 pub fn generate(scale: &FigureScale) -> Table {
     let mut columns = vec!["view".to_string(), "configuration".to_string()];
     columns.extend(NAT_PCTS.iter().map(|p| format!("{p:.0}% NAT")));
-    let mut table = Table::new(
-        "Figure 2 — biggest cluster (% of peers), PRC NATs, no churn",
-        columns,
-    );
+    let mut table =
+        Table::new("Figure 2 — biggest cluster (% of peers), PRC NATs, no churn", columns);
     for view_size in [15usize, 27] {
         for cfg in GossipConfig::paper_configurations(view_size) {
             progress(&format!("fig2: view={view_size} config={}", cfg.label()));

@@ -12,8 +12,7 @@ use crate::output::{fmt_f, Table};
 use super::common::{baseline_staleness_point, progress};
 use super::FigureScale;
 
-const NAT_PCTS: [f64; 11] =
-    [0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0];
+const NAT_PCTS: [f64; 11] = [0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0];
 
 fn sweep(scale: &FigureScale, stale: bool, title: &str) -> Table {
     let mut columns = vec!["NAT %".to_string()];
@@ -21,14 +20,12 @@ fn sweep(scale: &FigureScale, stale: bool, title: &str) -> Table {
         columns.push(format!("view {view}"));
     }
     let mut table = Table::new(title, columns);
-    let mut cells: Vec<Vec<String>> =
-        NAT_PCTS.iter().map(|p| vec![format!("{p:.0}")]).collect();
+    let mut cells: Vec<Vec<String>> = NAT_PCTS.iter().map(|p| vec![format!("{p:.0}")]).collect();
     for view_size in [15usize, 27] {
         progress(&format!("fig3/4: view={view_size}"));
         for (i, pct) in NAT_PCTS.iter().enumerate() {
             let salt = 0x0003_0000 ^ ((view_size as u64) << 20) ^ (i as u64);
-            let (stale_s, natted_s) =
-                baseline_staleness_point(scale, view_size, *pct, salt);
+            let (stale_s, natted_s) = baseline_staleness_point(scale, view_size, *pct, salt);
             let value = if stale { stale_s.mean() } else { natted_s.mean() };
             cells[i].push(fmt_f(value, 1));
         }

@@ -11,8 +11,7 @@ use crate::output::{fmt_f, Table};
 use super::common::{nylon_bandwidth_point, progress, reference_bandwidth};
 use super::FigureScale;
 
-const NAT_PCTS: [f64; 11] =
-    [0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0];
+const NAT_PCTS: [f64; 11] = [0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0];
 
 /// Generates the Figure 7 table: total B/s per peer, Nylon vs reference.
 pub fn generate_fig7(scale: &FigureScale) -> Table {
@@ -25,11 +24,7 @@ pub fn generate_fig7(scale: &FigureScale) -> Table {
     for (i, pct) in NAT_PCTS.iter().enumerate() {
         progress(&format!("fig7: {pct:.0}% NAT"));
         let (overall, _, _) = nylon_bandwidth_point(scale, *pct, 0x0007_0000 ^ (i as u64));
-        table.push_row([
-            format!("{pct:.0}"),
-            fmt_f(overall.mean(), 0),
-            fmt_f(reference.mean(), 0),
-        ]);
+        table.push_row([format!("{pct:.0}"), fmt_f(overall.mean(), 0), fmt_f(reference.mean(), 0)]);
     }
     table
 }

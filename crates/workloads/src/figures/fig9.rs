@@ -9,8 +9,7 @@ use crate::output::{fmt_f, Table};
 use super::common::{nylon_chain_point, progress};
 use super::FigureScale;
 
-const NAT_PCTS: [f64; 10] =
-    [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0];
+const NAT_PCTS: [f64; 10] = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0];
 
 /// Generates the Figure 9 table.
 pub fn generate(scale: &FigureScale) -> Table {
@@ -18,8 +17,7 @@ pub fn generate(scale: &FigureScale) -> Table {
         "Figure 9 — average number of RVPs towards a natted destination (RC/PRC/SYM mix 50/40/10)",
         ["NAT %", "view 15", "view 27"],
     );
-    let mut cells: Vec<Vec<String>> =
-        NAT_PCTS.iter().map(|p| vec![format!("{p:.0}")]).collect();
+    let mut cells: Vec<Vec<String>> = NAT_PCTS.iter().map(|p| vec![format!("{p:.0}")]).collect();
     for view_size in [15usize, 27] {
         progress(&format!("fig9: view={view_size}"));
         for (i, pct) in NAT_PCTS.iter().enumerate() {

@@ -10,8 +10,8 @@ use crate::output::Table;
 
 mod ablation;
 mod common;
-mod extensions;
 mod correctness;
+mod extensions;
 mod fig10;
 mod fig2;
 mod fig34;

@@ -18,7 +18,7 @@ use crate::runner::{
 };
 use crate::scenario::{NatMix, Scenario};
 
-use super::common::{point_seeds, progress};
+use super::common::{point_seeds, progress, Sample4};
 use super::FigureScale;
 
 const NAT_PCT: f64 = 70.0;
@@ -31,13 +31,7 @@ const CHECKPOINTS: [u64; 8] = [0, 2, 5, 10, 18, 30, 60, 120];
 pub fn generate(scale: &FigureScale) -> Table {
     let mut table = Table::new(
         "Timeline — convergence at 70% PRC NAT: usable cluster and staleness per round",
-        [
-            "round",
-            "baseline cluster %",
-            "baseline stale %",
-            "nylon cluster %",
-            "nylon stale %",
-        ],
+        ["round", "baseline cluster %", "baseline stale %", "nylon cluster %", "nylon stale %"],
     );
     progress("timeline: running checkpoints");
     let seed_list = point_seeds(scale, 0x0011_0000);
@@ -63,7 +57,7 @@ pub fn generate(scale: &FigureScale) -> Table {
         rows
     });
     for (i, cp) in CHECKPOINTS.iter().enumerate() {
-        let mean = |f: &dyn Fn(&(f64, f64, f64, f64)) -> f64| -> f64 {
+        let mean = |f: &dyn Fn(&Sample4) -> f64| -> f64 {
             per_seed.iter().map(|rows| f(&rows[i])).sum::<f64>() / per_seed.len() as f64
         };
         table.push_row([

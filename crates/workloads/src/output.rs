@@ -29,7 +29,7 @@ impl Table {
         Table {
             title: title.to_string(),
             columns: columns.into_iter().map(Into::into).collect(),
-        rows: Vec::new(),
+            rows: Vec::new(),
         }
     }
 

@@ -13,10 +13,7 @@ use crate::scenario::Scenario;
 /// fraction: a deterministic subset drawn from the scenario seed.
 fn upnp_peers(scn: &Scenario) -> Vec<bool> {
     let mut rng = SimRng::new(scn.seed).fork(0x7570_6E70); // "upnp"
-    scn.classes()
-        .iter()
-        .map(|c| c.is_natted() && rng.chance(scn.upnp_adoption))
-        .collect()
+    scn.classes().iter().map(|c| c.is_natted() && rng.chance(scn.upnp_adoption)).collect()
 }
 
 /// Builds, bootstraps and starts a baseline engine for a scenario.
@@ -124,10 +121,9 @@ pub fn staleness_baseline(eng: &BaselineEngine) -> StalenessReport {
     let now = eng.now();
     let net = eng.net();
     let peers: Vec<nylon_net::PeerId> = eng.alive_peers().collect();
-    StalenessReport::compute(
-        peers.iter().map(|p| (*p, eng.view_of(*p).as_slice())),
-        |holder, d| net.is_alive(d.id) && net.reachable(now, holder, d.id, d.addr),
-    )
+    StalenessReport::compute(peers.iter().map(|p| (*p, eng.view_of(*p).as_slice())), |holder, d| {
+        net.is_alive(d.id) && net.reachable(now, holder, d.id, d.addr)
+    })
 }
 
 /// Staleness report for a Nylon engine.
@@ -139,23 +135,22 @@ pub fn staleness_baseline(eng: &BaselineEngine) -> StalenessReport {
 pub fn staleness_nylon(eng: &NylonEngine) -> StalenessReport {
     let net = eng.net();
     let peers: Vec<nylon_net::PeerId> = eng.alive_peers().collect();
-    StalenessReport::compute(
-        peers.iter().map(|p| (*p, eng.view_of(*p).as_slice())),
-        |holder, d| {
-            if !net.is_alive(d.id) {
-                return false;
-            }
-            if d.class.is_public() {
-                return true;
-            }
-            eng.routing_of(holder).next_rvp(d.id).is_some()
-        },
-    )
+    StalenessReport::compute(peers.iter().map(|p| (*p, eng.view_of(*p).as_slice())), |holder, d| {
+        if !net.is_alive(d.id) {
+            return false;
+        }
+        if d.class.is_public() {
+            return true;
+        }
+        eng.routing_of(holder).next_rvp(d.id).is_some()
+    })
 }
 
 /// Derives `count` seeds from a base seed.
 pub fn seeds(count: u64, base: u64) -> Vec<u64> {
-    (0..count).map(|i| base.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i * 1_000_003 + 1)).collect()
+    (0..count)
+        .map(|i| base.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i * 1_000_003 + 1))
+        .collect()
 }
 
 /// Runs `f` once per seed, in parallel over OS threads, returning results

@@ -79,7 +79,7 @@ impl NatMix {
         }
         let mut out = Vec::with_capacity(count);
         for (t, c, _) in counts {
-            out.extend(std::iter::repeat(t).take(c));
+            out.extend(std::iter::repeat_n(t, c));
         }
         out
     }
@@ -140,15 +140,12 @@ impl Scenario {
     ///
     /// Panics if `nat_pct` is outside `[0, 100]`.
     pub fn classes(&self) -> Vec<NatClass> {
-        assert!(
-            (0.0..=100.0).contains(&self.nat_pct),
-            "nat_pct must be within [0, 100]"
-        );
+        assert!((0.0..=100.0).contains(&self.nat_pct), "nat_pct must be within [0, 100]");
         let natted = self.natted_count().min(self.peers);
         let mut classes: Vec<NatClass> = Vec::with_capacity(self.peers);
-        classes.extend(std::iter::repeat(NatClass::Public).take(self.peers - natted));
+        classes.extend(std::iter::repeat_n(NatClass::Public, self.peers - natted));
         classes.extend(self.mix.assign(natted).into_iter().map(NatClass::Natted));
-        let mut rng = SimRng::new(self.seed).fork(0x636C_6173_7365_73); // "classes"
+        let mut rng = SimRng::new(self.seed).fork(0x63_6C61_7373_6573); // "classes"
         rng.shuffle(&mut classes);
         classes
     }

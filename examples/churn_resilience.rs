@@ -55,8 +55,7 @@ fn main() {
 fn report(eng: &NylonEngine, label: &str) {
     let cluster = biggest_cluster_pct_nylon(eng);
     let alive = eng.alive_peers().count();
-    let full_views =
-        eng.alive_peers().filter(|p| !eng.view_of(*p).is_empty()).count();
+    let full_views = eng.alive_peers().filter(|p| !eng.view_of(*p).is_empty()).count();
     println!(
         "{label:<42} alive {alive:>4}   biggest cluster {cluster:>6.1}%   populated views {full_views}/{alive}"
     );

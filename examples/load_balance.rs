@@ -28,7 +28,8 @@ fn main() {
     summarize("Nylon (reactive RVP chains)", &nylon_stats, window);
 
     // The strawman: natted peers bound to static public RVPs.
-    let mut strawman = StaticRvpEngine::new(GossipConfig::default(), NetConfig::default(), scn.seed);
+    let mut strawman =
+        StaticRvpEngine::new(GossipConfig::default(), NetConfig::default(), scn.seed);
     for class in scn.classes() {
         strawman.add_peer(class);
     }
@@ -49,8 +50,7 @@ fn main() {
 
 fn summarize(label: &str, stats: &[(bool, TrafficStats, u32)], window: SimDuration) {
     let secs = window.as_secs_f64();
-    let bps =
-        |t: &TrafficStats| (t.bytes_sent + t.bytes_received) as f64 / secs;
+    let bps = |t: &TrafficStats| (t.bytes_sent + t.bytes_received) as f64 / secs;
     let avg = |public: bool| {
         let v: Vec<f64> =
             stats.iter().filter(|(p, _, _)| *p == public).map(|(_, t, _)| bps(t)).collect();

@@ -24,14 +24,13 @@ fn main() {
         "{:>6} | {:>22} | {:>22} | {:>26}",
         "NAT %", "biggest cluster %", "stale refs %", "natted share of samples %"
     );
-    println!("{:>6} | {:>10} {:>11} | {:>10} {:>11} | {:>12} {:>13}",
-        "", "baseline", "nylon", "baseline", "nylon", "baseline", "nylon");
+    println!(
+        "{:>6} | {:>10} {:>11} | {:>10} {:>11} | {:>12} {:>13}",
+        "", "baseline", "nylon", "baseline", "nylon", "baseline", "nylon"
+    );
     println!("{}", "-".repeat(88));
     for nat_pct in [0.0f64, 40.0, 60.0, 80.0, 95.0] {
-        let scn = Scenario {
-            mix: NatMix::prc_only(),
-            ..Scenario::new(PEERS, nat_pct, 7)
-        };
+        let scn = Scenario { mix: NatMix::prc_only(), ..Scenario::new(PEERS, nat_pct, 7) };
 
         let mut base = build_baseline(&scn, GossipConfig::default());
         base.run_rounds(ROUNDS);

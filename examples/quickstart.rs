@@ -44,7 +44,10 @@ fn main() {
     println!("\nprotocol counters after {} of virtual time:", eng.now());
     println!("  shuffles initiated      {}", s.shuffles_initiated);
     println!("  completed request/resp  {}/{}", s.requests_completed, s.responses_completed);
-    println!("  direct / punched / relayed  {}/{}/{}", s.direct_requests, s.hole_punches, s.relayed_requests);
+    println!(
+        "  direct / punched / relayed  {}/{}/{}",
+        s.direct_requests, s.hole_punches, s.relayed_requests
+    );
     println!(
         "  hole punch success      {:.1}%",
         100.0 * s.punch_successes as f64 / s.hole_punches.max(1) as f64

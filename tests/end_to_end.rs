@@ -47,11 +47,7 @@ fn natted_representation() {
     let mut nyl = build_nylon(&scn, NylonConfig::default());
     nyl.run_rounds(60);
     let n = staleness_nylon(&nyl);
-    assert!(
-        n.natted_nonstale_pct > 45.0,
-        "nylon natted share too low: {}",
-        n.natted_nonstale_pct
-    );
+    assert!(n.natted_nonstale_pct > 45.0, "nylon natted share too low: {}", n.natted_nonstale_pct);
 }
 
 /// Figure 2 vs Section 5: at extreme NAT ratios the baseline's usable
@@ -125,8 +121,7 @@ fn bandwidth_is_modest() {
         .iter()
         .map(|p| eng.net().stats_of(*p).bytes_total())
         .sum();
-    let per_peer_bps =
-        total as f64 / eng.alive_peers().count() as f64 / eng.now().as_secs_f64();
+    let per_peer_bps = total as f64 / eng.alive_peers().count() as f64 / eng.now().as_secs_f64();
     assert!(
         per_peer_bps < 500.0,
         "per-peer bandwidth out of the paper's ballpark: {per_peer_bps:.0} B/s"

@@ -27,7 +27,12 @@ impl Pair {
 
     /// Sends from `from` to `to_ep` and delivers, advancing time by the
     /// sampled latency.
-    fn exchange(&mut self, from: PeerId, to_ep: Endpoint, tag: &'static str) -> Delivery<&'static str> {
+    fn exchange(
+        &mut self,
+        from: PeerId,
+        to_ep: Endpoint,
+        tag: &'static str,
+    ) -> Delivery<&'static str> {
         let flight = self.net.send(self.t, from, to_ep, tag, 32).expect("no loss configured");
         self.t = flight.arrive_at;
         self.net.deliver(self.t, flight)
@@ -99,10 +104,8 @@ fn hole_punching_public_to_prc() {
 /// symmetric NAT's *fresh port* still passes the RC filter (ip-only).
 #[test]
 fn rc_to_sym_hole_punching_works() {
-    let mut pair = Pair::new(
-        NatClass::Natted(NatType::RestrictedCone),
-        NatClass::Natted(NatType::Symmetric),
-    );
+    let mut pair =
+        Pair::new(NatClass::Natted(NatType::RestrictedCone), NatClass::Natted(NatType::Symmetric));
     let dst_identity = pair.net.identity_endpoint(pair.dst);
     // 1. PING to the (unroutable) identity endpoint opens the source's
     //    own hole towards the target's box IP.
@@ -179,7 +182,7 @@ fn punched_holes_expire() {
         Delivery::Dropped { reason, .. } => panic!("should be open: {reason}"),
     }
     // Wait out the hole timeout.
-    pair.t = pair.t + SimDuration::from_secs(91);
+    pair.t += SimDuration::from_secs(91);
     match pair.exchange(pair.src, pong_src, "too-late") {
         Delivery::ToPeer { .. } => panic!("hole must have expired"),
         Delivery::Dropped { reason, .. } => assert_eq!(reason, DropReason::NoMapping),

@@ -1,0 +1,195 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no network access, so this crate provides the
+//! API subset the Nylon bench targets use — [`Criterion`],
+//! [`Bencher::iter`], [`black_box`], [`criterion_group!`], and
+//! [`criterion_main!`] — backed by a simple wall-clock measurement loop:
+//! per bench it warms up for `warm_up_time`, then runs `sample_size`
+//! samples (bounded by `measurement_time`) and reports the mean, min, and
+//! max iteration time. No plots, no statistics beyond that; the goal is
+//! that `cargo bench` compiles and produces comparable ns/iter numbers.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver: collects configuration and runs bench functions.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets how long to run the routine before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the target total measurement time.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and calls
+    /// [`Bencher::iter`] with the routine to measure.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+}
+
+/// Handed to bench closures; [`Bencher::iter`] measures a routine.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures `routine`: warm-up, then up to `sample_size` timed samples
+    /// within the measurement-time budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run untimed until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        // Measurement: one sample per routine call, stopping early if the
+        // budget runs out (but always taking at least one sample).
+        let meas_start = Instant::now();
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+            if meas_start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<40} (no samples — bench closure never called iter)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().expect("nonempty");
+        let max = self.samples.iter().max().expect("nonempty");
+        println!(
+            "{id:<40} time: [{} {} {}]  ({} samples)",
+            fmt_duration(*min),
+            fmt_duration(mean),
+            fmt_duration(*max),
+            self.samples.len(),
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group, in either criterion form:
+/// `criterion_group!(name, target, ..)` or
+/// `criterion_group! { name = n; config = expr; targets = t, .. }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo passes `--bench` (and possibly filters) to the target;
+            // this stand-in runs every group unconditionally.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(50));
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+}

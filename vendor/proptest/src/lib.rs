@@ -1,0 +1,166 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no network access, so this crate reimplements
+//! the subset of proptest the Nylon reproduction's tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`);
+//! * strategies: integer/float ranges, tuples of strategies (arity 2–3),
+//!   [`any::<T>()`](any), and [`collection::vec`];
+//! * assertions: [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   and [`prop_assume!`].
+//!
+//! Differences from real proptest, by design: cases are generated from a
+//! deterministic per-test seed (stable CI), there is **no shrinking** (a
+//! failing case panics immediately; cases are reproducible because the
+//! seed is derived from the test path and case index), and rejected
+//! assumptions simply skip the case.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s whose length is drawn from `size` and
+    /// whose elements are drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Creates a strategy for `Vec`s. `size` is the half-open range of
+    /// lengths, e.g. `vec(0u32..100, 0..64)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.usize_in(self.size.clone())
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Runs one generated case. Public for the [`proptest!`] expansion: passing
+/// the already-sampled tuple through this helper gives the body closure a
+/// concrete parameter type (a bare `let f = |args| ..; f(vals)` would fail
+/// inference on method calls inside the body), and a `prop_assume!` early
+/// return skips just this case.
+#[doc(hidden)]
+pub fn with_case<T>(values: T, body: impl FnOnce(T)) {
+    body(values)
+}
+
+/// Returns the strategy generating arbitrary values of `T` (full domain).
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+pub mod prelude {
+    //! Common imports for property tests, mirroring `proptest::prelude`.
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a property test, panicking with the message
+/// on failure (no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts two values are equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+/// Asserts two values are not equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+)
+    };
+}
+
+/// Skips the current case when the precondition does not hold.
+///
+/// Only valid inside a [`proptest!`] body (it expands to an early return
+/// from the generated per-case closure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `body` over `Config::cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; the config expression is
+/// captured outside any repetition so it can expand once per test.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let test_path = concat!(module_path!(), "::", stringify!($name));
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(test_path, case);
+                    // Values are sampled to concrete types *before* the body
+                    // closure is checked, so closure params infer fully.
+                    let values = ($( $crate::strategy::Strategy::sample(&($strat), &mut rng), )+);
+                    $crate::with_case(values, |($($arg),+ ,)| $body);
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,75 @@
+//! Test configuration and the deterministic per-case RNG.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::ops::Range;
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+///
+/// Construct with struct-update syntax:
+/// `Config { cases: 8, ..Config::default() }`.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted for API compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Accepted for API compatibility; local rejects are not tracked.
+    pub max_local_rejects: u32,
+    /// Accepted for API compatibility; global rejects are not tracked.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_shrink_iters: 1024,
+            max_local_rejects: 65_536,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+/// The RNG handed to strategies: deterministic per `(test path, case)`.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+/// FNV-1a over the test path, so every property gets its own stream.
+fn hash_path(path: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl TestRng {
+    /// Creates the RNG for one case of one property test.
+    pub fn for_case(test_path: &str, case: u32) -> TestRng {
+        let seed = hash_path(test_path) ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        TestRng { inner: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniform value in `[0, bound)`; `bound == 0` means the full domain.
+    pub fn u64_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            self.inner.next_u64()
+        } else {
+            self.inner.gen_range(0..bound)
+        }
+    }
+
+    /// A uniform `usize` drawn from a half-open range.
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        self.inner.gen_range(range)
+    }
+}

@@ -1,0 +1,454 @@
+//! Offline stand-in for the `rand` 0.8 crate.
+//!
+//! The build container has no network access and no registry cache, so this
+//! workspace vendors the *exact API subset* of rand 0.8 that the Nylon
+//! reproduction uses:
+//!
+//! * [`RngCore`] / [`Rng`] with `gen`, `gen_range`, and `gen_bool`;
+//! * [`SeedableRng`] with `seed_from_u64` (SplitMix64 seed expansion, as in
+//!   upstream rand);
+//! * [`rngs::SmallRng`] behind the `small_rng` feature (xoshiro256++, the
+//!   same algorithm upstream rand 0.8 uses on 64-bit platforms);
+//! * [`seq::SliceRandom`] with `shuffle` and `choose`;
+//! * [`distributions::uniform`] with the [`SampleUniform`] /
+//!   [`SampleRange`] traits backing `Rng::gen_range`.
+//!
+//! Streams are deterministic across runs and platforms, which is all the
+//! simulation kernel requires; no numerical compatibility with upstream
+//! rand streams is promised (or needed — every seed in the repo flows
+//! through this crate).
+//!
+//! [`SampleUniform`]: distributions::uniform::SampleUniform
+//! [`SampleRange`]: distributions::uniform::SampleRange
+
+#![forbid(unsafe_code)]
+
+use distributions::uniform::{SampleRange, SampleUniform};
+use distributions::{Distribution, Standard};
+
+/// The core of a random number generator: a source of random bits.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Convenience methods layered on any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the standard distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples a value uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        assert!(!range.is_empty(), "cannot sample empty range");
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with SplitMix64 as
+    /// upstream rand 0.8 does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod rngs {
+    //! Concrete generator implementations.
+
+    #[cfg(feature = "small_rng")]
+    pub use small::SmallRng;
+
+    #[cfg(feature = "small_rng")]
+    mod small {
+        use crate::{RngCore, SeedableRng};
+
+        /// A small, fast, non-cryptographic PRNG: xoshiro256++ — the same
+        /// algorithm upstream rand 0.8's `SmallRng` uses on 64-bit targets.
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct SmallRng {
+            s: [u64; 4],
+        }
+
+        impl RngCore for SmallRng {
+            fn next_u32(&mut self) -> u32 {
+                (self.next_u64() >> 32) as u32
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let result =
+                    self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+                let t = self.s[1] << 17;
+                self.s[2] ^= self.s[0];
+                self.s[3] ^= self.s[1];
+                self.s[1] ^= self.s[2];
+                self.s[0] ^= self.s[3];
+                self.s[2] ^= t;
+                self.s[3] = self.s[3].rotate_left(45);
+                result
+            }
+        }
+
+        impl SeedableRng for SmallRng {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut s = [0u64; 4];
+                for (i, word) in s.iter_mut().enumerate() {
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                    *word = u64::from_le_bytes(b);
+                }
+                // An all-zero state is a fixed point of xoshiro; upstream
+                // rand avoids it the same way.
+                if s == [0; 4] {
+                    s = [
+                        0x9E37_79B9_7F4A_7C15,
+                        0xBF58_476D_1CE4_E5B9,
+                        0x94D0_49BB_1331_11EB,
+                        0x2545_F491_4F6C_DD1D,
+                    ];
+                }
+                SmallRng { s }
+            }
+        }
+    }
+}
+
+pub mod distributions {
+    //! Sampling distributions: the standard distribution and uniform ranges.
+
+    use super::RngCore;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one sample using `rng` as the source of randomness.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution for a type: uniform over all values for
+    /// integers, uniform in `[0, 1)` for floats, fair coin for `bool`.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    macro_rules! standard_int {
+        ($($t:ty => $next:ident),* $(,)?) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.$next() as $t
+                }
+            }
+        )*};
+    }
+
+    standard_int!(
+        u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+        usize => next_u64, i8 => next_u32, i16 => next_u32, i32 => next_u32,
+        i64 => next_u64, isize => next_u64, u128 => next_u64, i128 => next_u64,
+    );
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 random mantissa bits, uniform in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    pub mod uniform {
+        //! Uniform sampling from ranges, backing `Rng::gen_range`.
+
+        use crate::RngCore;
+        use core::ops::{Range, RangeInclusive};
+
+        /// Types that can be sampled uniformly from a bounded range.
+        pub trait SampleUniform: Sized + PartialOrd {
+            /// Uniform sample from the inclusive range `[lo, hi]`.
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+            /// Uniform sample from the half-open range `[lo, hi)`.
+            fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+        }
+
+        macro_rules! uniform_int {
+            ($($t:ty as $wide:ty),* $(,)?) => {$(
+                impl SampleUniform for $t {
+                    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                        debug_assert!(lo <= hi);
+                        // Width of [lo, hi] as an unsigned value; 0 encodes
+                        // the full domain (every bit pattern is valid).
+                        let span = (hi as $wide).wrapping_sub(lo as $wide).wrapping_add(1);
+                        if span == 0 {
+                            return rng.next_u64() as $t;
+                        }
+                        // Unbiased rejection sampling (Lemire's method on
+                        // the 64-bit stream keeps the loop nearly free).
+                        let zone = u64::MAX - (u64::MAX.wrapping_sub(span as u64 - 1) % span as u64);
+                        loop {
+                            let v = rng.next_u64();
+                            if v <= zone {
+                                return lo.wrapping_add((v % span as u64) as $t);
+                            }
+                        }
+                    }
+
+                    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                        debug_assert!(lo < hi);
+                        Self::sample_inclusive(lo, hi.wrapping_sub(1), rng)
+                    }
+                }
+            )*};
+        }
+
+        uniform_int!(
+            u8 as u64,
+            u16 as u64,
+            u32 as u64,
+            u64 as u64,
+            usize as u64,
+            i8 as u8,
+            i16 as u16,
+            i32 as u32,
+            i64 as u64,
+            isize as usize,
+        );
+
+        macro_rules! uniform_float {
+            ($($t:ty),* $(,)?) => {$(
+                impl SampleUniform for $t {
+                    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                        Self::sample_half_open(lo, hi, rng)
+                    }
+
+                    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                        let unit = (rng.next_u64() >> 11) as $t * (1.0 / (1u64 << 53) as $t);
+                        lo + unit * (hi - lo)
+                    }
+                }
+            )*};
+        }
+
+        uniform_float!(f32, f64);
+
+        /// Range types `Rng::gen_range` accepts for element type `T`.
+        pub trait SampleRange<T> {
+            /// Draws one uniform sample from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+            /// Whether the range contains no values.
+            fn is_empty(&self) -> bool;
+        }
+
+        impl<T: SampleUniform + Copy> SampleRange<T> for Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_half_open(self.start, self.end, rng)
+            }
+            // NaN float bounds must read as empty, exactly like upstream
+            // rand: a partially-ordered "not less than" is the intent.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            fn is_empty(&self) -> bool {
+                !(self.start < self.end)
+            }
+        }
+
+        impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_inclusive(*self.start(), *self.end(), rng)
+            }
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            fn is_empty(&self) -> bool {
+                !(self.start() <= self.end())
+            }
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related extensions: shuffling and choosing from slices.
+
+    use super::{Rng, RngCore};
+
+    /// Extension methods on slices requiring randomness.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns one uniformly chosen element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The crate's commonly used items in one import.
+    #[cfg(feature = "small_rng")]
+    pub use crate::rngs::SmallRng;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn seed_determinism() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let va: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+        let mut c = SmallRng::seed_from_u64(43);
+        let vc: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: i32 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+            let f: f64 = rng.gen_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_every_value() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unit_float_in_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle of 100 elements left them sorted");
+    }
+
+    #[test]
+    fn choose_empty_and_nonempty() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        assert!([1, 2, 3].choose(&mut rng).is_some());
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde` 1.x.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the macro namespace
+//! (no-op derives from the vendored `serde_derive`) and the trait namespace,
+//! which is all the Nylon reproduction currently needs — scenario types tag
+//! themselves serializable but nothing serializes them yet. Swap in the
+//! real crates when the build environment gains registry access.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde_derive`: the derives parse and expand to
+//! nothing, so `#[derive(Serialize, Deserialize)]` compiles without pulling
+//! in real serde. Swap in the real crates when the build environment gains
+//! registry access.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
