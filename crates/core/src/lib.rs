@@ -60,9 +60,11 @@ pub mod config;
 pub mod engine;
 pub mod message;
 pub mod routing;
+pub mod sampler;
 pub mod static_rvp;
 
 pub use config::NylonConfig;
 pub use engine::{NylonEngine, NylonStats};
 pub use message::{NylonMsg, WireEntry, WireSizeModel};
+pub use sampler::StaticRvpConfig;
 pub use static_rvp::{StaticRvpEngine, StaticRvpStats};

@@ -1,0 +1,263 @@
+//! [`PeerSampler`] implementations for the engines in this crate.
+//!
+//! [`NylonEngine`] and the [`StaticRvpEngine`] strawman plug into the same
+//! generic experiment harness as the baseline: see
+//! [`nylon_gossip::sampler`] for the trait contract. The only
+//! protocol-specific answer each engine gives is
+//! [`PeerSampler::edge_usable`] — for Nylon, a natted reference is usable
+//! when a live *route* towards it exists (direct hole or RVP chain),
+//! because reachability through relays is the protocol's whole point, so
+//! the oracle asks the routing table, not the raw NAT state.
+
+use nylon_gossip::{GossipConfig, NodeDescriptor, PartialView, PeerSampler, SamplerConfig};
+use nylon_net::{NatClass, NetConfig, PeerId, TrafficStats};
+use nylon_sim::{SimDuration, SimTime};
+
+use crate::config::NylonConfig;
+use crate::engine::NylonEngine;
+use crate::static_rvp::StaticRvpEngine;
+
+impl SamplerConfig for NylonConfig {
+    type Sampler = NylonEngine;
+
+    fn set_view_size(&mut self, view_size: usize) {
+        self.view_size = view_size;
+    }
+
+    /// Nylon's `HOLE_TIMEOUT` must match the NAT boxes' rule lifetime or
+    /// the TTL bookkeeping would be meaningless; building against a custom
+    /// fabric adopts its lifetime.
+    fn align_to_net(&mut self, net_cfg: &NetConfig) {
+        self.hole_timeout = net_cfg.hole_timeout;
+    }
+}
+
+impl PeerSampler for NylonEngine {
+    type Config = NylonConfig;
+
+    fn with_seed(cfg: NylonConfig, net_cfg: NetConfig, seed: u64) -> Self {
+        NylonEngine::new(cfg, net_cfg, seed)
+    }
+
+    fn add_peer(&mut self, class: NatClass) -> PeerId {
+        NylonEngine::add_peer(self, class)
+    }
+
+    fn enable_port_forwarding(&mut self, peer: PeerId) {
+        NylonEngine::enable_port_forwarding(self, peer);
+    }
+
+    fn bootstrap_random_public(&mut self, per_view: usize) {
+        NylonEngine::bootstrap_random_public(self, per_view);
+    }
+
+    fn start(&mut self) {
+        NylonEngine::start(self);
+    }
+
+    fn run_for(&mut self, dur: SimDuration) {
+        NylonEngine::run_for(self, dur);
+    }
+
+    fn run_rounds(&mut self, n: u64) {
+        NylonEngine::run_rounds(self, n);
+    }
+
+    fn kill_peers(&mut self, peers: &[PeerId]) {
+        NylonEngine::kill_peers(self, peers);
+    }
+
+    fn now(&self) -> SimTime {
+        NylonEngine::now(self)
+    }
+
+    fn shuffle_period(&self) -> SimDuration {
+        self.config().shuffle_period
+    }
+
+    fn peer_count(&self) -> usize {
+        self.net().peer_count()
+    }
+
+    fn is_alive(&self, peer: PeerId) -> bool {
+        self.net().is_alive(peer)
+    }
+
+    fn class_of(&self, peer: PeerId) -> NatClass {
+        self.net().class_of(peer)
+    }
+
+    fn traffic_of(&self, peer: PeerId) -> TrafficStats {
+        self.net().stats_of(peer)
+    }
+
+    fn alive_peers(&self) -> Vec<PeerId> {
+        self.net().alive_peers().collect()
+    }
+
+    fn view_of(&self, peer: PeerId) -> &PartialView {
+        NylonEngine::view_of(self, peer)
+    }
+
+    /// An entry is usable when the target is alive and either public or
+    /// reachable through a live route (direct hole or RVP chain).
+    fn edge_usable(&self, holder: PeerId, d: &NodeDescriptor) -> bool {
+        d.id.index() < self.net().peer_count()
+            && self.net().is_alive(d.id)
+            && (d.class.is_public() || self.routing_of(holder).next_rvp(d.id).is_some())
+    }
+}
+
+/// Configuration newtype binding [`GossipConfig`] parameters to the
+/// [`StaticRvpEngine`] (the plain `GossipConfig` already builds the
+/// baseline, and a config type can build only one engine).
+#[derive(Debug, Clone, Default)]
+pub struct StaticRvpConfig(pub GossipConfig);
+
+impl SamplerConfig for StaticRvpConfig {
+    type Sampler = StaticRvpEngine;
+
+    fn set_view_size(&mut self, view_size: usize) {
+        self.0.view_size = view_size;
+    }
+}
+
+impl PeerSampler for StaticRvpEngine {
+    type Config = StaticRvpConfig;
+
+    fn with_seed(cfg: StaticRvpConfig, net_cfg: NetConfig, seed: u64) -> Self {
+        StaticRvpEngine::new(cfg.0, net_cfg, seed)
+    }
+
+    fn add_peer(&mut self, class: NatClass) -> PeerId {
+        StaticRvpEngine::add_peer(self, class)
+    }
+
+    fn enable_port_forwarding(&mut self, peer: PeerId) {
+        StaticRvpEngine::enable_port_forwarding(self, peer);
+    }
+
+    fn bootstrap_random_public(&mut self, per_view: usize) {
+        StaticRvpEngine::bootstrap_random_public(self, per_view);
+    }
+
+    fn start(&mut self) {
+        StaticRvpEngine::start(self);
+    }
+
+    fn run_for(&mut self, dur: SimDuration) {
+        StaticRvpEngine::run_for(self, dur);
+    }
+
+    fn run_rounds(&mut self, n: u64) {
+        StaticRvpEngine::run_rounds(self, n);
+    }
+
+    fn kill_peers(&mut self, peers: &[PeerId]) {
+        StaticRvpEngine::kill_peers(self, peers);
+    }
+
+    fn now(&self) -> SimTime {
+        StaticRvpEngine::now(self)
+    }
+
+    fn shuffle_period(&self) -> SimDuration {
+        self.config().shuffle_period
+    }
+
+    fn peer_count(&self) -> usize {
+        self.net().peer_count()
+    }
+
+    fn is_alive(&self, peer: PeerId) -> bool {
+        self.net().is_alive(peer)
+    }
+
+    fn class_of(&self, peer: PeerId) -> NatClass {
+        self.net().class_of(peer)
+    }
+
+    fn traffic_of(&self, peer: PeerId) -> TrafficStats {
+        self.net().stats_of(peer)
+    }
+
+    fn alive_peers(&self) -> Vec<PeerId> {
+        self.net().alive_peers().collect()
+    }
+
+    fn view_of(&self, peer: PeerId) -> &PartialView {
+        StaticRvpEngine::view_of(self, peer)
+    }
+
+    fn edge_usable(&self, holder: PeerId, d: &NodeDescriptor) -> bool {
+        StaticRvpEngine::edge_usable(self, holder, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nylon_net::NatType;
+
+    fn drive<C: SamplerConfig>(cfg: C, seed: u64) -> C::Sampler {
+        let mut eng = C::Sampler::with_seed(cfg, NetConfig::default(), seed);
+        for _ in 0..15 {
+            eng.add_peer(NatClass::Public);
+        }
+        for _ in 0..25 {
+            eng.add_peer(NatClass::Natted(NatType::PortRestrictedCone));
+        }
+        eng.bootstrap_random_public(8);
+        eng.start();
+        eng.run_rounds(25);
+        eng
+    }
+
+    #[test]
+    fn nylon_implements_the_lifecycle() {
+        let eng = drive(NylonConfig::default(), 5);
+        assert_eq!(PeerSampler::peer_count(&eng), 40);
+        assert!(eng.stats().punch_successes > 0, "holes must get punched");
+        let p = PeerSampler::alive_peers(&eng)[0];
+        assert!(!PeerSampler::view_of(&eng, p).is_empty());
+    }
+
+    #[test]
+    fn nylon_natted_edges_need_routes() {
+        let eng = drive(NylonConfig::default(), 9);
+        // Every usable natted edge must have a resolvable RVP.
+        for p in PeerSampler::alive_peers(&eng) {
+            for d in eng.view_of(p).iter() {
+                if d.class.is_natted() && PeerSampler::edge_usable(&eng, p, d) {
+                    assert!(eng.routing_of(p).next_rvp(d.id).is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn align_to_net_adopts_hole_timeout() {
+        let net_cfg =
+            NetConfig { hole_timeout: SimDuration::from_secs(30), ..NetConfig::default() };
+        let mut cfg = NylonConfig::default();
+        cfg.align_to_net(&net_cfg);
+        assert_eq!(cfg.hole_timeout, SimDuration::from_secs(30));
+        // And the engine's construction-time invariant holds.
+        let _ = NylonEngine::with_seed(cfg, net_cfg, 1);
+    }
+
+    #[test]
+    fn static_rvp_implements_the_lifecycle() {
+        let eng = drive(StaticRvpConfig::default(), 13);
+        assert_eq!(PeerSampler::peer_count(&eng), 40);
+        assert!(eng.stats().relays > 0, "natted shuffles must be relayed");
+        // Natted entries with a known, alive RVP binding are usable.
+        let usable: usize = PeerSampler::alive_peers(&eng)
+            .iter()
+            .map(|p| {
+                eng.view_of(*p).iter().filter(|d| PeerSampler::edge_usable(&eng, *p, d)).count()
+            })
+            .sum();
+        assert!(usable > 0, "static-RVP overlay has no usable edges");
+    }
+}

@@ -136,6 +136,11 @@ impl StaticRvpEngine {
         self.sim.now()
     }
 
+    /// The protocol configuration.
+    pub fn config(&self) -> &GossipConfig {
+        &self.cfg
+    }
+
     /// The underlying network.
     pub fn net(&self) -> &Network<StaticRvpMsg> {
         &self.net
@@ -160,6 +165,29 @@ impl StaticRvpEngine {
             bindings: HashMap::new(),
         });
         id
+    }
+
+    /// Enables a permanent UPnP/NAT-PMP port forwarding for a natted peer
+    /// (no-op for public peers). Call before bootstrapping so descriptors
+    /// advertise the forwarded endpoint.
+    pub fn enable_port_forwarding(&mut self, peer: PeerId) {
+        let _ = self.net.enable_port_forwarding(peer);
+    }
+
+    /// Whether `holder` could shuffle over this view entry right now: the
+    /// target is alive and either public or relayable through an RVP the
+    /// holder knows about (and which is itself still alive).
+    pub fn edge_usable(&self, holder: PeerId, d: &NodeDescriptor) -> bool {
+        if d.id.index() >= self.net.peer_count() || !self.net.is_alive(d.id) {
+            return false;
+        }
+        if d.class.is_public() {
+            return true;
+        }
+        match self.nodes[holder.index()].bindings.get(&d.id) {
+            Some(Some(rvp)) => self.net.is_alive(*rvp),
+            _ => false,
+        }
     }
 
     /// Fills views with random public peers, as in the paper's bootstrap.

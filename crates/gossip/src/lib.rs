@@ -48,9 +48,11 @@
 pub mod descriptor;
 pub mod engine;
 pub mod policy;
+pub mod sampler;
 pub mod view;
 
 pub use descriptor::NodeDescriptor;
 pub use engine::{BaselineEngine, BaselineMsg, ShuffleStats};
 pub use policy::{GossipConfig, MergePolicy, PropagationPolicy, SelectionPolicy};
+pub use sampler::{PeerSampler, SamplerConfig};
 pub use view::PartialView;

@@ -1,54 +1,87 @@
 //! Command-line reproduction harness.
 //!
 //! ```text
-//! repro [ARTIFACTS...] [--peers N] [--seeds K] [--rounds R] [--full]
-//!       [--csv] [--out DIR]
+//! repro [ARTIFACTS...] [--peers N] [--seeds K] [--rounds R] [--seed S]
+//!       [--full] [--jobs N] [--checkpoint DIR] [--resume] [--csv]
+//!       [--out DIR]
 //!
 //! ARTIFACTS: table1 fig2 fig3 fig4 fig7 fig8 fig9 fig10 correctness
-//!            ablation all          (default: all)
-//! --peers N    network size                 (default 400; paper 10000)
-//! --seeds K    seeds per data point         (default 3; paper 30)
-//! --rounds R   steady-state horizon, rounds (default 120)
-//! --full       paper scale: 10000 peers, 30 seeds, full churn horizons
-//! --csv        print CSV instead of markdown
-//! --out DIR    also write one .csv file per table into DIR
+//!            ablation extensions timeline all     (default: all)
+//! --peers N        network size             (default 400; paper 10000)
+//! --seeds K        seeds per data point     (default 3; paper 30)
+//! --rounds R       steady-state horizon, rounds (default 120)
+//! --seed S         base seed
+//! --full           paper scale: 10000 peers, 30 seeds, full churn
+//!                  horizons (explicit flags win regardless of order)
+//! --jobs N         worker threads / max concurrently live simulations
+//!                  (default: available parallelism)
+//! --checkpoint DIR append each completed cell to DIR/cells.jsonl
+//! --resume         restore already-computed cells from the checkpoint
+//! --csv            print CSV instead of markdown
+//! --out DIR        also write one .csv file per table into DIR
 //! ```
+//!
+//! All requested artifacts execute as **one** experiment: their sweeps
+//! merge (figures sharing simulations run them once) and every cell —
+//! across figures, sweep points and seeds — feeds the same bounded worker
+//! pool. Output is byte-identical for any `--jobs` value and for
+//! interrupted-then-resumed runs.
 
 use std::process::ExitCode;
 
+use nylon_workloads::experiment::{ExecOptions, Experiment};
 use nylon_workloads::figures::{self, FigureScale, FIGURES};
+
+/// Scale flags recorded as explicitly set, so they win over `--full`
+/// regardless of the order they appear in.
+#[derive(Default)]
+struct ScaleOverrides {
+    peers: Option<usize>,
+    seeds: Option<u64>,
+    rounds: Option<u64>,
+    base_seed: Option<u64>,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut scale = FigureScale::default();
+    let mut overrides = ScaleOverrides::default();
+    let mut full = false;
     let mut names: Vec<String> = Vec::new();
     let mut csv = false;
     let mut out_dir: Option<String> = None;
+    let mut jobs = 0usize;
+    let mut checkpoint: Option<String> = None;
+    let mut resume = false;
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--peers" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(v) => scale.peers = v,
+                Some(v) => overrides.peers = Some(v),
                 None => return usage("--peers needs an integer"),
             },
             "--seeds" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(v) => scale.seeds = v,
+                Some(v) => overrides.seeds = Some(v),
                 None => return usage("--seeds needs an integer"),
             },
             "--rounds" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(v) => scale.rounds = v,
+                Some(v) => overrides.rounds = Some(v),
                 None => return usage("--rounds needs an integer"),
             },
             "--seed" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(v) => scale.base_seed = v,
+                Some(v) => overrides.base_seed = Some(v),
                 None => return usage("--seed needs an integer"),
             },
-            "--full" => {
-                let base = scale.base_seed;
-                scale = FigureScale::paper();
-                scale.base_seed = base;
-            }
+            "--full" => full = true,
+            "--jobs" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) if v > 0 => jobs = v,
+                _ => return usage("--jobs needs a positive integer"),
+            },
+            "--checkpoint" => match it.next() {
+                Some(v) => checkpoint = Some(v.clone()),
+                None => return usage("--checkpoint needs a directory"),
+            },
+            "--resume" => resume = true,
             "--csv" => csv = true,
             "--out" => match it.next() {
                 Some(v) => out_dir = Some(v.clone()),
@@ -58,6 +91,9 @@ fn main() -> ExitCode {
             name if !name.starts_with('-') => names.push(name.to_string()),
             other => return usage(&format!("unknown flag {other}")),
         }
+    }
+    if resume && checkpoint.is_none() {
+        return usage("--resume needs --checkpoint DIR");
     }
     if names.is_empty() || names.iter().any(|n| n == "all") {
         names = FIGURES.iter().map(|s| s.to_string()).collect();
@@ -74,6 +110,23 @@ fn main() -> ExitCode {
         }
     }
 
+    // `--full` sets the base scale; explicitly-set flags always win, in
+    // any order ("repro --peers 100 --full" runs 100 peers at otherwise
+    // paper scale).
+    let mut scale = if full { FigureScale::paper() } else { FigureScale::default() };
+    if let Some(v) = overrides.peers {
+        scale.peers = v;
+    }
+    if let Some(v) = overrides.seeds {
+        scale.seeds = v;
+    }
+    if let Some(v) = overrides.rounds {
+        scale.rounds = v;
+    }
+    if let Some(v) = overrides.base_seed {
+        scale.base_seed = v;
+    }
+
     eprintln!(
         "[repro] scale: {} peers, {} seeds, {} rounds{}",
         scale.peers,
@@ -81,10 +134,33 @@ fn main() -> ExitCode {
         scale.rounds,
         if scale.full_churn_horizons { ", paper churn horizons" } else { "" }
     );
+
+    // One experiment for everything: sweeps shared between figures
+    // (fig3/fig4, fig7/fig8) merge into a single cell pool, and the pool
+    // parallelizes across figures and sweep points, not just seeds.
+    let mut experiment = Experiment::new();
+    let mut renders = Vec::new();
     for name in &names {
-        let started = std::time::Instant::now();
-        let tables = figures::generate(name, &scale).expect("names validated above");
-        eprintln!("[repro] {name} done in {:.1?}", started.elapsed());
+        let plan = figures::plan(name, &scale).expect("names validated above");
+        let (sweeps, render) = plan.into_parts();
+        for sweep in sweeps {
+            experiment.add_sweep(sweep);
+        }
+        renders.push((name.clone(), render));
+    }
+    let opts = ExecOptions {
+        jobs,
+        checkpoint: checkpoint.map(Into::into),
+        resume,
+        fingerprint: scale.fingerprint(),
+    };
+    eprintln!("[repro] {} cells across {} artifacts", experiment.cell_count(), renders.len());
+    let started = std::time::Instant::now();
+    let results = experiment.run(&opts);
+    eprintln!("[repro] all cells done in {:.1?}", started.elapsed());
+
+    for (name, render) in renders {
+        let tables = render(&results);
         for (i, table) in tables.iter().enumerate() {
             println!("## {}\n", table.title);
             if csv {
@@ -110,7 +186,7 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro [ARTIFACTS...] [--peers N] [--seeds K] [--rounds R] [--seed S] [--full] [--csv] [--out DIR]"
+        "usage: repro [ARTIFACTS...] [--peers N] [--seeds K] [--rounds R] [--seed S] [--full] [--jobs N] [--checkpoint DIR] [--resume] [--csv] [--out DIR]"
     );
     eprintln!("artifacts: {} all", FIGURES.join(" "));
     if err.is_empty() {

@@ -1,0 +1,383 @@
+//! JSON-lines checkpoint codec for the experiment executor.
+//!
+//! Hand-rolled: the vendored `serde` is a no-op derive stand-in (see
+//! `vendor/README.md`), so this module implements the tiny subset of JSON
+//! the checkpoint needs. One line per completed cell:
+//!
+//! ```text
+//! {"nylon_checkpoint":1,"fingerprint":"peers=400 seeds=3 ..."}
+//! {"sweep":"fig2","point":"v15/push/pull,rand,healer/40","seed":123,"values":[98.3]}
+//! ```
+//!
+//! Floats are written with Rust's shortest-roundtrip formatting (`{:?}`),
+//! so a value read back parses to the exact same bits — resumed runs stay
+//! byte-identical to uninterrupted ones. `NaN`/`inf` are written bare
+//! (not valid JSON, but this is a private format and the parser accepts
+//! them).
+//!
+//! The parser is deliberately tolerant: a malformed line — e.g. the tail
+//! of a file truncated by a killed run — is skipped, not fatal, so
+//! `--resume` recovers everything up to the cut.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use super::CellId;
+
+/// Name of the checkpoint file inside the `--checkpoint` directory.
+pub(crate) const FILE_NAME: &str = "cells.jsonl";
+
+/// Format version written in (and required from) the header. Bump this
+/// whenever the *meaning* of stored cells changes — e.g. a sample
+/// function reorders or extends its metric columns — so stale checkpoints
+/// are rejected instead of rendering wrong tables.
+const VERSION: u64 = 1;
+
+/// What [`load`] found on disk.
+pub(crate) enum LoadOutcome {
+    /// No readable checkpoint file.
+    Missing,
+    /// A checkpoint written under a different fingerprint (scale/seed
+    /// mismatch); its cells must not be reused.
+    Mismatch,
+    /// Restored cells.
+    Loaded(HashMap<CellId, Vec<f64>>),
+}
+
+/// The header line identifying a checkpoint and the run it belongs to.
+pub(crate) fn header_line(fingerprint: &str) -> String {
+    format!("{{\"nylon_checkpoint\":{VERSION},\"fingerprint\":\"{}\"}}", escape(fingerprint))
+}
+
+/// One completed cell as a JSON line (without trailing newline).
+pub(crate) fn cell_line(id: &CellId, values: &[f64]) -> String {
+    let mut out = String::new();
+    write!(
+        out,
+        "{{\"sweep\":\"{}\",\"point\":\"{}\",\"seed\":{},\"values\":[",
+        escape(&id.sweep),
+        escape(&id.point),
+        id.seed
+    )
+    .expect("writing to String cannot fail");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(out, "{v:?}").expect("writing to String cannot fail");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Loads a checkpoint file, returning its cells keyed for resume lookup.
+pub(crate) fn load(path: &Path, fingerprint: &str) -> LoadOutcome {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return LoadOutcome::Missing;
+    };
+    let mut lines = text.lines();
+    match lines.next().and_then(parse_header) {
+        // A recognizable checkpoint whose version or fingerprint differs
+        // is a Mismatch — the caller refuses to overwrite it. Missing is
+        // reserved for files that are not checkpoints at all.
+        Some((version, fp)) if version == VERSION && fp == fingerprint => {}
+        Some(_) => return LoadOutcome::Mismatch,
+        None => return LoadOutcome::Missing,
+    }
+    let mut cells = HashMap::new();
+    for line in lines {
+        if let Some((id, values)) = parse_cell_line(line) {
+            cells.insert(id, values);
+        }
+    }
+    LoadOutcome::Loaded(cells)
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("writing to String cannot fail");
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses the header line, returning its format version and fingerprint.
+fn parse_header(line: &str) -> Option<(u64, String)> {
+    let mut c = Cursor::new(line);
+    c.expect('{')?;
+    let mut version = None;
+    let mut fingerprint = None;
+    loop {
+        let key = c.parse_string()?;
+        c.expect(':')?;
+        match key.as_str() {
+            "nylon_checkpoint" => version = Some(c.parse_number_token()?.parse::<u64>().ok()?),
+            "fingerprint" => fingerprint = Some(c.parse_string()?),
+            _ => c.skip_value()?,
+        }
+        match c.next_char()? {
+            ',' => continue,
+            '}' => break,
+            _ => return None,
+        }
+    }
+    Some((version?, fingerprint?))
+}
+
+/// Parses one cell line; `None` for anything malformed (including the
+/// truncated tail of a killed run).
+pub(crate) fn parse_cell_line(line: &str) -> Option<(CellId, Vec<f64>)> {
+    let mut c = Cursor::new(line);
+    c.expect('{')?;
+    let mut sweep = None;
+    let mut point = None;
+    let mut seed = None;
+    let mut values = None;
+    loop {
+        let key = c.parse_string()?;
+        c.expect(':')?;
+        match key.as_str() {
+            "sweep" => sweep = Some(c.parse_string()?),
+            "point" => point = Some(c.parse_string()?),
+            "seed" => seed = Some(c.parse_number_token()?.parse::<u64>().ok()?),
+            "values" => values = Some(c.parse_float_array()?),
+            _ => c.skip_value()?,
+        }
+        match c.next_char()? {
+            ',' => continue,
+            '}' => break,
+            _ => return None,
+        }
+    }
+    Some((CellId { sweep: sweep?, point: point?, seed: seed? }, values?))
+}
+
+/// A minimal single-line JSON cursor over the subset this format uses.
+struct Cursor<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(line: &'a str) -> Self {
+        Cursor { rest: line }
+    }
+
+    fn skip_ws(&mut self) {
+        self.rest = self.rest.trim_start();
+    }
+
+    fn next_char(&mut self) -> Option<char> {
+        self.skip_ws();
+        let c = self.rest.chars().next()?;
+        self.rest = &self.rest[c.len_utf8()..];
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.rest.chars().next()
+    }
+
+    fn expect(&mut self, want: char) -> Option<()> {
+        (self.next_char()? == want).then_some(())
+    }
+
+    /// Parses a `"..."` string with the escapes [`escape`] produces.
+    fn parse_string(&mut self) -> Option<String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        let mut chars = self.rest.char_indices();
+        loop {
+            let (i, c) = chars.next()?;
+            match c {
+                '"' => {
+                    self.rest = &self.rest[i + 1..];
+                    return Some(out);
+                }
+                '\\' => {
+                    let (_, esc) = chars.next()?;
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        // Legal JSON that escape() never emits, but
+                        // external tools round-tripping the file may.
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        't' => out.push('\t'),
+                        'r' => out.push('\r'),
+                        'u' => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let (_, h) = chars.next()?;
+                                code = code * 16 + h.to_digit(16)?;
+                            }
+                            out.push(char::from_u32(code)?);
+                        }
+                        _ => return None,
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    /// Reads a bare number token (also accepts `NaN` / `inf` / `-inf`).
+    fn parse_number_token(&mut self) -> Option<String> {
+        self.skip_ws();
+        let end = self
+            .rest
+            .find(|c: char| matches!(c, ',' | '}' | ']') || c.is_whitespace())
+            .unwrap_or(self.rest.len());
+        if end == 0 {
+            return None;
+        }
+        let (tok, rest) = self.rest.split_at(end);
+        self.rest = rest;
+        Some(tok.to_string())
+    }
+
+    fn parse_float_array(&mut self) -> Option<Vec<f64>> {
+        self.expect('[')?;
+        let mut out = Vec::new();
+        if self.peek()? == ']' {
+            self.next_char();
+            return Some(out);
+        }
+        loop {
+            out.push(self.parse_number_token()?.parse::<f64>().ok()?);
+            match self.next_char()? {
+                ',' => continue,
+                ']' => return Some(out),
+                _ => return None,
+            }
+        }
+    }
+
+    /// Skips one value of any supported shape (forward compatibility).
+    fn skip_value(&mut self) -> Option<()> {
+        match self.peek()? {
+            '"' => {
+                self.parse_string()?;
+            }
+            '[' => {
+                self.parse_float_array()?;
+            }
+            _ => {
+                self.parse_number_token()?;
+            }
+        }
+        Some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(sweep: &str, point: &str, seed: u64) -> CellId {
+        CellId { sweep: sweep.to_string(), point: point.to_string(), seed }
+    }
+
+    #[test]
+    fn cell_line_roundtrips() {
+        let cell = id("fig2", "v15/push/pull,rand,healer/40", 0xDEAD);
+        let values = vec![98.25, -1.5e-9, 0.1 + 0.2];
+        let line = cell_line(&cell, &values);
+        let (back_id, back_values) = parse_cell_line(&line).expect("well-formed line");
+        assert_eq!(back_id, cell);
+        assert_eq!(back_values, values, "floats must roundtrip to the exact bits");
+    }
+
+    #[test]
+    fn non_finite_values_roundtrip() {
+        let line = cell_line(&id("s", "p", 1), &[f64::NAN, f64::INFINITY, f64::NEG_INFINITY]);
+        let (_, values) = parse_cell_line(&line).expect("well-formed line");
+        assert!(values[0].is_nan());
+        assert_eq!(values[1], f64::INFINITY);
+        assert_eq!(values[2], f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn escaped_keys_roundtrip() {
+        let cell = id("s\"weird\\", "p\nq\tr", 7);
+        let (back, _) = parse_cell_line(&cell_line(&cell, &[1.0])).expect("well-formed line");
+        assert_eq!(back, cell);
+    }
+
+    #[test]
+    fn truncated_lines_are_skipped() {
+        let full = cell_line(&id("s", "p", 1), &[1.0, 2.0]);
+        for cut in 1..full.len() {
+            // Any strict prefix either fails to parse or (never) parses to
+            // the full cell; it must not panic.
+            if let Some((cid, values)) = parse_cell_line(&full[..cut]) {
+                panic!("prefix of len {cut} parsed as {cid:?} {values:?}");
+            }
+        }
+        assert!(parse_cell_line("").is_none());
+        assert!(parse_cell_line("not json at all").is_none());
+    }
+
+    #[test]
+    fn header_roundtrips() {
+        let fp = "peers=400 seeds=3 rounds=120 full=false base_seed=659918";
+        assert_eq!(parse_header(&header_line(fp)), Some((VERSION, fp.to_string())));
+        assert!(parse_header("{\"something\":1}").is_none());
+    }
+
+    #[test]
+    fn other_header_versions_are_a_mismatch_not_missing() {
+        // A version bump means the cell layout may have changed; the file
+        // is still hours of computed cells, so resume must refuse to
+        // overwrite it (Mismatch), not treat it as absent (Missing).
+        let dir = std::env::temp_dir().join(format!("nylon-ckpt-ver-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(FILE_NAME);
+        std::fs::write(&path, "{\"nylon_checkpoint\":2,\"fingerprint\":\"fp\"}\n").unwrap();
+        assert!(matches!(load(&path, "fp"), LoadOutcome::Mismatch));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn solidus_escape_is_accepted() {
+        // escape() never writes \/, but it is legal JSON an external tool
+        // may produce when round-tripping the file.
+        let line = "{\"sweep\":\"s\",\"point\":\"a\\/b\",\"seed\":1,\"values\":[1.0]}";
+        let (id, _) = parse_cell_line(line).expect("solidus escape is legal");
+        assert_eq!(id.point, "a/b");
+    }
+
+    #[test]
+    fn load_distinguishes_missing_mismatch_loaded() {
+        let dir = std::env::temp_dir().join(format!("nylon-ckpt-codec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(FILE_NAME);
+        assert!(matches!(load(&path, "fp"), LoadOutcome::Missing));
+        let mut text = header_line("fp");
+        text.push('\n');
+        text.push_str(&cell_line(&id("s", "p", 3), &[4.0]));
+        text.push('\n');
+        text.push_str("{\"sweep\":\"s\",\"point\""); // truncated tail
+        std::fs::write(&path, &text).unwrap();
+        match load(&path, "fp") {
+            LoadOutcome::Loaded(cells) => {
+                assert_eq!(cells.len(), 1, "truncated tail must be skipped");
+                assert_eq!(cells[&id("s", "p", 3)], vec![4.0]);
+            }
+            _ => panic!("expected Loaded"),
+        }
+        assert!(matches!(load(&path, "other-fp"), LoadOutcome::Mismatch));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

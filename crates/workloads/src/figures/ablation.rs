@@ -7,44 +7,43 @@
 //! * `abl-push` — Section 3's remark that push propagation "consistently
 //!   exhibits significantly worse performances" than push/pull.
 
-use nylon::{NylonConfig, StaticRvpEngine};
+use nylon::{NylonConfig, StaticRvpConfig};
 use nylon_gossip::{GossipConfig, PropagationPolicy};
-use nylon_metrics::{BandwidthReport, Summary};
-use nylon_net::{NetConfig, TrafficStats};
+use nylon_metrics::Summary;
 
+use crate::experiment::{Results, Sweep};
 use crate::output::{fmt_f, Table};
-use crate::runner::{
-    biggest_cluster_pct_baseline, biggest_cluster_pct_nylon, build_baseline, build_nylon,
-    run_seeds, staleness_baseline, staleness_nylon,
-};
+use crate::runner::{biggest_cluster_pct, build, staleness};
 use crate::scenario::{NatMix, Scenario};
 
-use super::common::{point_seeds, progress, Sample4};
-use super::FigureScale;
+use super::common::{bandwidth_by_class, mean_finite, point_seeds};
+use super::{FigureScale, Plan};
 
-/// Generates all three ablation tables.
-pub fn generate(scale: &FigureScale) -> Vec<Table> {
-    vec![mix_ablation(scale), rvp_ablation(scale), push_ablation(scale)]
+const MIXES: [(&str, NatMix); 4] = [
+    ("paper 50/40/10 RC/PRC/SYM", NatMix::paper_default()),
+    ("cone-heavy 80/10/10", NatMix { fc: 0.0, rc: 0.8, prc: 0.1, sym: 0.1 }),
+    ("sym-heavy 30/30/40", NatMix { fc: 0.0, rc: 0.3, prc: 0.3, sym: 0.4 }),
+    ("PRC only", NatMix::prc_only()),
+];
+
+/// The ablation plan: three sweeps, three tables.
+pub fn plan(scale: &FigureScale) -> Plan {
+    let sweeps = vec![mix_sweep(scale), rvp_sweep(scale), push_sweep(scale)];
+    Plan::new("ablation", sweeps, |results| {
+        vec![render_mix(results), render_rvp(results), render_push(results)]
+    })
 }
 
-/// Nylon at 70 % NAT under different NAT-type mixes.
-fn mix_ablation(scale: &FigureScale) -> Table {
-    let mixes: [(&str, NatMix); 4] = [
-        ("paper 50/40/10 RC/PRC/SYM", NatMix::paper_default()),
-        ("cone-heavy 80/10/10", NatMix { fc: 0.0, rc: 0.8, prc: 0.1, sym: 0.1 }),
-        ("sym-heavy 30/30/40", NatMix { fc: 0.0, rc: 0.3, prc: 0.3, sym: 0.4 }),
-        ("PRC only", NatMix::prc_only()),
-    ];
-    let mut table = Table::new(
-        "Ablation (abl-dist) — Nylon at 70% NAT under alternative NAT mixes",
-        ["mix", "biggest cluster %", "stale refs %", "mean chain len", "punch success %"],
-    );
-    for (mi, (label, mix)) in mixes.iter().enumerate() {
-        progress(&format!("ablation mixes: {label}"));
-        let seed_list = point_seeds(scale, 0x00AB_0000 ^ (mi as u64));
-        let values = run_seeds(&seed_list, |seed| {
-            let scn = Scenario { mix: *mix, ..Scenario::new(scale.peers, 70.0, seed) };
-            let mut eng = build_nylon(&scn, NylonConfig::default());
+/// Nylon at 70 % NAT under different NAT-type mixes. Cells are
+/// `[cluster %, stale %, chain len, punch success %]`.
+fn mix_sweep(scale: &FigureScale) -> Sweep {
+    let mut sweep = Sweep::new("abl-dist");
+    for (mi, (label, mix)) in MIXES.iter().enumerate() {
+        let scale = scale.clone();
+        let mix = *mix;
+        sweep.point(*label, point_seeds(&scale, 0x00AB_0000 ^ (mi as u64)), move |seed| {
+            let scn = Scenario { mix, ..Scenario::new(scale.peers, 70.0, seed) };
+            let mut eng = build(&scn, NylonConfig::default());
             eng.run_rounds(scale.rounds);
             let stats = eng.stats();
             let punch_pct = if stats.hole_punches == 0 {
@@ -52,130 +51,122 @@ fn mix_ablation(scale: &FigureScale) -> Table {
             } else {
                 100.0 * stats.punch_successes as f64 / stats.hole_punches as f64
             };
-            (
-                biggest_cluster_pct_nylon(&eng),
-                staleness_nylon(&eng).stale_pct,
+            vec![
+                biggest_cluster_pct(&eng),
+                staleness(&eng).stale_pct,
                 stats.mean_chain_len().unwrap_or(f64::NAN),
                 punch_pct,
-            )
+            ]
         });
-        let col = |f: &dyn Fn(&Sample4) -> f64| -> f64 {
-            let v: Vec<f64> = values.iter().map(f).filter(|x| !x.is_nan()).collect();
-            if v.is_empty() {
-                f64::NAN
-            } else {
-                v.iter().sum::<f64>() / v.len() as f64
-            }
-        };
+    }
+    sweep
+}
+
+fn render_mix(results: &Results) -> Table {
+    let mut table = Table::new(
+        "Ablation (abl-dist) — Nylon at 70% NAT under alternative NAT mixes",
+        ["mix", "biggest cluster %", "stale refs %", "mean chain len", "punch success %"],
+    );
+    for (label, _) in MIXES {
+        let rows = results.point("abl-dist", label);
         table.push_row([
             label.to_string(),
-            fmt_f(col(&|v| v.0), 1),
-            fmt_f(col(&|v| v.1), 2),
-            fmt_f(col(&|v| v.2), 2),
-            fmt_f(col(&|v| v.3), 1),
+            fmt_f(mean_finite(rows, 0), 1),
+            fmt_f(mean_finite(rows, 1), 2),
+            fmt_f(mean_finite(rows, 2), 2),
+            fmt_f(mean_finite(rows, 3), 1),
         ]);
     }
     table
 }
 
 /// Nylon vs the static-public-RVP strawman at 70 % NAT: load split by
-/// class.
-fn rvp_ablation(scale: &FigureScale) -> Table {
+/// class. Cells are `[public B/s, natted B/s]` — the same generic
+/// bandwidth path over [`crate::runner::build`], with only the config
+/// (and therefore the engine) differing per point.
+fn rvp_sweep(scale: &FigureScale) -> Sweep {
+    let mut sweep = Sweep::new("abl-rvp");
+    let seed_list = point_seeds(scale, 0x00AB_1000);
+    {
+        let scale = scale.clone();
+        sweep.point("nylon", seed_list.clone(), move |seed| {
+            let scn = Scenario::new(scale.peers, 70.0, seed);
+            let mut eng = build(&scn, NylonConfig::default());
+            let (_, public, natted) = bandwidth_by_class(&mut eng, scale.rounds);
+            vec![public, natted]
+        });
+    }
+    {
+        let scale = scale.clone();
+        sweep.point("static", seed_list, move |seed| {
+            let scn = Scenario::new(scale.peers, 70.0, seed);
+            let mut eng = build(&scn, StaticRvpConfig::default());
+            let (_, public, natted) = bandwidth_by_class(&mut eng, scale.rounds);
+            vec![public, natted]
+        });
+    }
+    sweep
+}
+
+fn render_rvp(results: &Results) -> Table {
     let mut table = Table::new(
         "Ablation (abl-rvp) — load distribution at 70% NAT: Nylon vs static public RVPs",
         ["scheme", "public B/s", "natted B/s", "public/natted ratio"],
     );
-    // Nylon.
-    progress("ablation rvp: nylon");
-    let seed_list = point_seeds(scale, 0x00AB_1000);
-    let nylon_vals = run_seeds(&seed_list, |seed| {
-        let scn = Scenario::new(scale.peers, 70.0, seed);
-        let mut eng = build_nylon(&scn, NylonConfig::default());
-        bandwidth_by_class(scale, &mut eng)
-    });
-    push_bandwidth_row(&mut table, "Nylon", &nylon_vals);
-    // Static RVP.
-    progress("ablation rvp: static");
-    let static_vals = run_seeds(&seed_list, |seed| {
-        let scn = Scenario::new(scale.peers, 70.0, seed);
-        let mut eng = StaticRvpEngine::new(GossipConfig::default(), NetConfig::default(), scn.seed);
-        for class in scn.classes() {
-            eng.add_peer(class);
-        }
-        eng.bootstrap_random_public(scn.bootstrap_contacts);
-        eng.start();
-        let warmup = scale.rounds / 3;
-        eng.run_rounds(warmup);
-        let before: Vec<TrafficStats> = eng.alive_peers().map(|p| eng.net().stats_of(p)).collect();
-        let window_rounds = scale.rounds - warmup;
-        eng.run_rounds(window_rounds);
-        let window = nylon_sim::SimDuration::from_secs(5) * window_rounds;
-        let peers: Vec<_> = eng.alive_peers().collect();
-        let report = BandwidthReport::compute(
-            peers.iter().enumerate().map(|(i, p)| {
-                let delta = eng.net().stats_of(*p).since(&before[i]);
-                (eng.net().class_of(*p).is_public(), delta)
-            }),
-            window,
-        );
-        (report.public.mean(), report.natted.mean())
-    });
-    push_bandwidth_row(&mut table, "static public RVPs", &static_vals);
+    for (key, label) in [("nylon", "Nylon"), ("static", "static public RVPs")] {
+        let rows = results.point("abl-rvp", key);
+        let public: Summary = rows.iter().map(|r| r[0]).collect();
+        let natted: Summary = rows.iter().map(|r| r[1]).collect();
+        let ratio = public.mean() / natted.mean();
+        table.push_row([
+            label.to_string(),
+            fmt_f(public.mean(), 0),
+            fmt_f(natted.mean(), 0),
+            fmt_f(ratio, 2),
+        ]);
+    }
     table
 }
 
-fn bandwidth_by_class(scale: &FigureScale, eng: &mut nylon::NylonEngine) -> (f64, f64) {
-    let warmup = scale.rounds / 3;
-    eng.run_rounds(warmup);
-    let before: Vec<TrafficStats> = eng.alive_peers().map(|p| eng.net().stats_of(p)).collect();
-    let window_rounds = scale.rounds - warmup;
-    eng.run_rounds(window_rounds);
-    let window = eng.config().shuffle_period * window_rounds;
-    let peers: Vec<_> = eng.alive_peers().collect();
-    let report = BandwidthReport::compute(
-        peers.iter().enumerate().map(|(i, p)| {
-            let delta = eng.net().stats_of(*p).since(&before[i]);
-            (eng.net().class_of(*p).is_public(), delta)
-        }),
-        window,
-    );
-    (report.public.mean(), report.natted.mean())
-}
-
-fn push_bandwidth_row(table: &mut Table, label: &str, vals: &[(f64, f64)]) {
-    let public: Summary = vals.iter().map(|v| v.0).collect();
-    let natted: Summary = vals.iter().map(|v| v.1).collect();
-    let ratio = public.mean() / natted.mean();
-    table.push_row([
-        label.to_string(),
-        fmt_f(public.mean(), 0),
-        fmt_f(natted.mean(), 0),
-        fmt_f(ratio, 2),
-    ]);
-}
-
 /// Push vs push/pull propagation for the baseline under moderate NATs.
-fn push_ablation(scale: &FigureScale) -> Table {
-    let mut table = Table::new(
-        "Ablation (abl-push) — push vs push/pull baseline, PRC NATs",
-        ["propagation", "NAT %", "biggest cluster %", "stale refs %"],
-    );
+/// Cells are `[cluster %, stale %]`.
+fn push_sweep(scale: &FigureScale) -> Sweep {
+    let mut sweep = Sweep::new("abl-push");
     for (pi, propagation) in
         [PropagationPolicy::PushPull, PropagationPolicy::Push].iter().enumerate()
     {
         for (ni, pct) in [30.0f64, 50.0].iter().enumerate() {
-            progress(&format!("ablation push: {} {pct:.0}%", propagation.label()));
-            let seed_list = point_seeds(scale, 0x00AB_2000 ^ ((pi as u64) << 8) ^ (ni as u64));
-            let values = run_seeds(&seed_list, |seed| {
+            let salt = 0x00AB_2000 ^ ((pi as u64) << 8) ^ (ni as u64);
+            let scale = scale.clone();
+            let propagation = *propagation;
+            let pct = *pct;
+            sweep.point(push_key(propagation, pct), point_seeds(&scale, salt), move |seed| {
                 let scn =
-                    Scenario { mix: NatMix::prc_only(), ..Scenario::new(scale.peers, *pct, seed) };
-                let cfg = GossipConfig { propagation: *propagation, ..GossipConfig::default() };
-                let mut eng = build_baseline(&scn, cfg);
+                    Scenario { mix: NatMix::prc_only(), ..Scenario::new(scale.peers, pct, seed) };
+                let cfg = GossipConfig { propagation, ..GossipConfig::default() };
+                let mut eng = build(&scn, cfg);
                 eng.run_rounds(scale.rounds);
-                (biggest_cluster_pct_baseline(&eng), staleness_baseline(&eng).stale_pct)
+                vec![biggest_cluster_pct(&eng), staleness(&eng).stale_pct]
             });
-            let cluster: Summary = values.iter().map(|v| v.0).collect();
-            let stale: Summary = values.iter().map(|v| v.1).collect();
+        }
+    }
+    sweep
+}
+
+fn push_key(propagation: PropagationPolicy, pct: f64) -> String {
+    format!("{}/{pct:.0}", propagation.label())
+}
+
+fn render_push(results: &Results) -> Table {
+    let mut table = Table::new(
+        "Ablation (abl-push) — push vs push/pull baseline, PRC NATs",
+        ["propagation", "NAT %", "biggest cluster %", "stale refs %"],
+    );
+    for propagation in [PropagationPolicy::PushPull, PropagationPolicy::Push] {
+        for pct in [30.0f64, 50.0] {
+            let rows = results.point("abl-push", &push_key(propagation, pct));
+            let cluster: Summary = rows.iter().map(|r| r[0]).collect();
+            let stale: Summary = rows.iter().map(|r| r[1]).collect();
             table.push_row([
                 propagation.label().to_string(),
                 format!("{pct:.0}"),

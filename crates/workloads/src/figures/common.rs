@@ -1,29 +1,21 @@
-//! Shared sweep helpers for the figure generators.
+//! Shared per-seed cell computations and aggregation helpers for the
+//! figure plans.
+//!
+//! Each `*_sample` function computes one experiment cell — a pure function
+//! of `(scale, parameters, seed)` returning a small metric vector — which
+//! the figure plans register as sweep points with the executor. The
+//! aggregation helpers reduce the per-seed rows the executor hands back to
+//! the render step.
 
 use nylon::NylonConfig;
-use nylon_gossip::GossipConfig;
+use nylon_gossip::{GossipConfig, PeerSampler};
 use nylon_metrics::{BandwidthReport, Summary};
 use nylon_net::TrafficStats;
-use nylon_sim::SimDuration;
 
-use crate::runner::{
-    biggest_cluster_pct_baseline, build_baseline, build_nylon, run_seeds, seeds, staleness_baseline,
-};
+use crate::runner::{biggest_cluster_pct, build, seeds, staleness};
 use crate::scenario::{NatMix, Scenario};
 
 use super::FigureScale;
-
-/// A per-seed sample of four summary metrics, as collected by the sweep
-/// closures in the figure generators.
-pub type Sample4 = (f64, f64, f64, f64);
-
-/// A per-seed sample of five summary metrics.
-pub type Sample5 = (f64, f64, f64, f64, f64);
-
-/// Writes a progress line to stderr (the tables go to stdout).
-pub fn progress(msg: &str) {
-    eprintln!("[repro] {msg}");
-}
 
 /// Derives the seed list for a data point, mixing figure-specific salt so
 /// different figures do not share seeds.
@@ -31,148 +23,126 @@ pub fn point_seeds(scale: &FigureScale, salt: u64) -> Vec<u64> {
     seeds(scale.seeds, scale.base_seed ^ salt)
 }
 
-/// Mean biggest-cluster percentage for a baseline configuration at one NAT
-/// percentage (Figure 2 cell).
-pub fn baseline_cluster_point(
+/// Biggest-cluster percentage for a baseline configuration at one NAT
+/// percentage (a Figure 2 cell): `[cluster_pct]`.
+pub fn baseline_cluster_sample(
     scale: &FigureScale,
     cfg: &GossipConfig,
     nat_pct: f64,
-    salt: u64,
-) -> Summary {
-    let seed_list = point_seeds(scale, salt);
-    let values = run_seeds(&seed_list, |seed| {
-        let scn = Scenario {
-            mix: NatMix::prc_only(),
-            view_size: cfg.view_size,
-            ..Scenario::new(scale.peers, nat_pct, seed)
-        };
-        let mut eng = build_baseline(&scn, cfg.clone());
-        eng.run_rounds(scale.rounds);
-        biggest_cluster_pct_baseline(&eng)
-    });
-    values.into_iter().collect()
+    seed: u64,
+) -> Vec<f64> {
+    let scn = Scenario {
+        mix: NatMix::prc_only(),
+        view_size: cfg.view_size,
+        ..Scenario::new(scale.peers, nat_pct, seed)
+    };
+    let mut eng = build(&scn, cfg.clone());
+    eng.run_rounds(scale.rounds);
+    vec![biggest_cluster_pct(&eng)]
 }
 
 /// Staleness metrics for the (push/pull, rand, healer) baseline at one NAT
-/// percentage (Figures 3/4 cell): mean over seeds of
-/// `(stale %, natted non-stale %)`, each averaged over three end-of-run
-/// snapshots.
-pub fn baseline_staleness_point(
+/// percentage (a Figures 3/4 cell): `[stale %, natted non-stale %]`, each
+/// averaged over three end-of-run snapshots.
+pub fn baseline_staleness_sample(
     scale: &FigureScale,
     view_size: usize,
     nat_pct: f64,
-    salt: u64,
-) -> (Summary, Summary) {
-    let seed_list = point_seeds(scale, salt);
-    let values = run_seeds(&seed_list, |seed| {
-        let scn = Scenario {
-            mix: NatMix::prc_only(),
-            view_size,
-            ..Scenario::new(scale.peers, nat_pct, seed)
-        };
-        let cfg = GossipConfig { view_size, ..GossipConfig::default() };
-        let mut eng = build_baseline(&scn, cfg);
-        eng.run_rounds(scale.rounds.saturating_sub(10));
-        let mut stale = 0.0;
-        let mut natted = 0.0;
-        for _ in 0..3 {
-            eng.run_rounds(5);
-            let rep = staleness_baseline(&eng);
-            stale += rep.stale_pct / 3.0;
-            natted += rep.natted_nonstale_pct / 3.0;
-        }
-        (stale, natted)
-    });
-    let stale: Summary = values.iter().map(|(s, _)| *s).collect();
-    let natted: Summary = values.iter().map(|(_, n)| *n).collect();
-    (stale, natted)
+    seed: u64,
+) -> Vec<f64> {
+    let scn = Scenario {
+        mix: NatMix::prc_only(),
+        view_size,
+        ..Scenario::new(scale.peers, nat_pct, seed)
+    };
+    let cfg = GossipConfig { view_size, ..GossipConfig::default() };
+    let mut eng = build(&scn, cfg);
+    eng.run_rounds(scale.rounds.saturating_sub(10));
+    let mut stale = 0.0;
+    let mut natted = 0.0;
+    for _ in 0..3 {
+        eng.run_rounds(5);
+        let rep = staleness(&eng);
+        stale += rep.stale_pct / 3.0;
+        natted += rep.natted_nonstale_pct / 3.0;
+    }
+    vec![stale, natted]
 }
 
-/// Per-class bandwidth for Nylon at one NAT percentage, measured over the
-/// last two thirds of the horizon: mean over seeds of
-/// `(overall, public, natted)` B/s per peer. NaN for empty classes.
-pub fn nylon_bandwidth_point(
-    scale: &FigureScale,
-    nat_pct: f64,
-    salt: u64,
-) -> (Summary, Summary, Summary) {
-    let seed_list = point_seeds(scale, salt);
-    let values = run_seeds(&seed_list, |seed| {
-        let scn = Scenario::new(scale.peers, nat_pct, seed);
-        let mut eng = build_nylon(&scn, NylonConfig::default());
-        let warmup = scale.rounds / 3;
-        eng.run_rounds(warmup);
-        let before: Vec<TrafficStats> = eng.alive_peers().map(|p| eng.net().stats_of(p)).collect();
-        let window_rounds = scale.rounds - warmup;
-        eng.run_rounds(window_rounds);
-        let window = eng.config().shuffle_period * window_rounds;
-        let peers: Vec<_> = eng.alive_peers().collect();
-        let report = BandwidthReport::compute(
-            peers.iter().enumerate().map(|(i, p)| {
-                let delta = eng.net().stats_of(*p).since(&before[i]);
-                (eng.net().class_of(*p).is_public(), delta)
-            }),
-            window,
-        );
-        (report.overall.mean(), report.public.mean(), report.natted.mean())
-    });
-    let overall: Summary = values.iter().map(|v| v.0).collect();
-    let public: Summary = values.iter().map(|v| v.1).filter(|v| !v.is_nan() && *v > 0.0).collect();
-    let natted: Summary = values.iter().map(|v| v.2).filter(|v| !v.is_nan() && *v > 0.0).collect();
-    (overall, public, natted)
+/// Runs an engine through a warmup third of `rounds` and measures per-class
+/// bandwidth over the remaining window: `(overall, public, natted)` B/s per
+/// peer, NaN for empty classes. Works for any [`PeerSampler`].
+pub fn bandwidth_by_class<S: PeerSampler>(eng: &mut S, rounds: u64) -> (f64, f64, f64) {
+    let warmup = rounds / 3;
+    eng.run_rounds(warmup);
+    let peers = eng.alive_peers();
+    let before: Vec<TrafficStats> = peers.iter().map(|p| eng.traffic_of(*p)).collect();
+    let window_rounds = rounds - warmup;
+    eng.run_rounds(window_rounds);
+    let window = eng.shuffle_period() * window_rounds;
+    let report = BandwidthReport::compute(
+        peers
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (eng.class_of(*p).is_public(), eng.traffic_of(*p).since(&before[i]))),
+        window,
+    );
+    (report.overall.mean(), report.public.mean(), report.natted.mean())
+}
+
+/// Per-class bandwidth for Nylon at one NAT percentage (a Figures 7/8
+/// cell): `[overall, public, natted]` B/s per peer, NaN for empty classes.
+pub fn nylon_bandwidth_sample(scale: &FigureScale, nat_pct: f64, seed: u64) -> Vec<f64> {
+    let scn = Scenario::new(scale.peers, nat_pct, seed);
+    let mut eng = build(&scn, NylonConfig::default());
+    let (overall, public, natted) = bandwidth_by_class(&mut eng, scale.rounds);
+    vec![overall, public, natted]
 }
 
 /// Bandwidth of the NAT-oblivious reference, (push/pull, rand, healer), in
-/// a NAT-free population (Figure 7's flat "Reference" line).
-pub fn reference_bandwidth(scale: &FigureScale, salt: u64) -> Summary {
-    let seed_list = point_seeds(scale, salt);
-    let values = run_seeds(&seed_list, |seed| {
-        let scn = Scenario::new(scale.peers, 0.0, seed);
-        let mut eng = build_baseline(&scn, GossipConfig::default());
-        let warmup = scale.rounds / 3;
-        eng.run_rounds(warmup);
-        let before: Vec<TrafficStats> = eng.alive_peers().map(|p| eng.net().stats_of(p)).collect();
-        let window_rounds = scale.rounds - warmup;
-        eng.run_rounds(window_rounds);
-        let window: SimDuration = eng.config().shuffle_period * window_rounds;
-        let peers: Vec<_> = eng.alive_peers().collect();
-        let report = BandwidthReport::compute(
-            peers.iter().enumerate().map(|(i, p)| {
-                let delta = eng.net().stats_of(*p).since(&before[i]);
-                (true, delta)
-            }),
-            window,
-        );
-        report.overall.mean()
-    });
-    values.into_iter().collect()
+/// a NAT-free population (Figure 7's flat "Reference" line): `[overall]`.
+pub fn reference_bandwidth_sample(scale: &FigureScale, seed: u64) -> Vec<f64> {
+    let scn = Scenario::new(scale.peers, 0.0, seed);
+    let mut eng = build(&scn, GossipConfig::default());
+    let (overall, _, _) = bandwidth_by_class(&mut eng, scale.rounds);
+    vec![overall]
 }
 
 /// Mean RVP chain length for Nylon at one NAT percentage over the
-/// measurement window (Figure 9 cell). NaN when no chain was observed.
-pub fn nylon_chain_point(
+/// measurement window (a Figure 9 cell): `[chain_len]`, NaN when no chain
+/// was observed.
+pub fn nylon_chain_sample(
     scale: &FigureScale,
     view_size: usize,
     nat_pct: f64,
-    salt: u64,
-) -> Summary {
-    let seed_list = point_seeds(scale, salt);
-    let values = run_seeds(&seed_list, |seed| {
-        let scn = Scenario { view_size, ..Scenario::new(scale.peers, nat_pct, seed) };
-        let cfg = NylonConfig { view_size, ..NylonConfig::default() };
-        let mut eng = build_nylon(&scn, cfg);
-        let warmup = scale.rounds / 3;
-        eng.run_rounds(warmup);
-        let before = eng.stats();
-        eng.run_rounds(scale.rounds - warmup);
-        let after = eng.stats();
-        let hops = after.chain_hops_sum - before.chain_hops_sum;
-        let samples = after.chain_samples - before.chain_samples;
-        if samples == 0 {
-            f64::NAN
-        } else {
-            hops as f64 / samples as f64
-        }
-    });
-    values.into_iter().filter(|v| !v.is_nan()).collect()
+    seed: u64,
+) -> Vec<f64> {
+    let scn = Scenario { view_size, ..Scenario::new(scale.peers, nat_pct, seed) };
+    let cfg = NylonConfig { view_size, ..NylonConfig::default() };
+    let mut eng = build(&scn, cfg);
+    let warmup = scale.rounds / 3;
+    eng.run_rounds(warmup);
+    let before = eng.stats();
+    eng.run_rounds(scale.rounds - warmup);
+    let after = eng.stats();
+    let hops = after.chain_hops_sum - before.chain_hops_sum;
+    let samples = after.chain_samples - before.chain_samples;
+    vec![if samples == 0 { f64::NAN } else { hops as f64 / samples as f64 }]
+}
+
+/// One metric column of the per-seed rows, as a [`Summary`] (keeps every
+/// value, including NaN — use for columns that cannot produce NaN).
+pub fn summary_col(rows: &[Vec<f64>], idx: usize) -> Summary {
+    rows.iter().map(|row| row[idx]).collect()
+}
+
+/// NaN-filtered mean of one metric column; NaN when no seed produced a
+/// finite value (rendered as "-").
+pub fn mean_finite(rows: &[Vec<f64>], idx: usize) -> f64 {
+    let vals: Vec<f64> = rows.iter().map(|row| row[idx]).filter(|v| !v.is_nan()).collect();
+    if vals.is_empty() {
+        f64::NAN
+    } else {
+        vals.iter().sum::<f64>() / vals.len() as f64
+    }
 }

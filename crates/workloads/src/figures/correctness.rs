@@ -25,17 +25,66 @@
 use nylon::NylonConfig;
 use nylon_metrics::randomness::{dispersion_index, serial_correlation};
 
+use crate::experiment::{Results, Sweep};
 use crate::output::{fmt_f, Table};
-use crate::runner::{biggest_cluster_pct_nylon, build_nylon, run_seeds, staleness_nylon};
+use crate::runner::{biggest_cluster_pct, build, staleness};
 use crate::scenario::Scenario;
 
-use super::common::{point_seeds, progress, Sample5};
-use super::FigureScale;
+use super::common::{mean_finite, point_seeds};
+use super::{FigureScale, Plan};
+
+const SWEEP: &str = "correctness";
 
 const NAT_PCTS: [f64; 4] = [0.0, 30.0, 60.0, 90.0];
 
-/// Generates the correctness table.
-pub fn generate(scale: &FigureScale) -> Table {
+/// The correctness plan. Cells are
+/// `[cluster %, stale %, share ratio, dispersion, serial corr]`.
+pub fn plan(scale: &FigureScale) -> Plan {
+    let mut sweep = Sweep::new(SWEEP);
+    for (i, pct) in NAT_PCTS.iter().enumerate() {
+        let scale = scale.clone();
+        let pct = *pct;
+        sweep.point(
+            format!("{pct:.0}"),
+            point_seeds(&scale, 0x00C0_0000 ^ (i as u64)),
+            move |seed| sample(&scale, pct, seed),
+        );
+    }
+    Plan::new("correctness", vec![sweep], |results| vec![render(results)])
+}
+
+fn sample(scale: &FigureScale, pct: f64, seed: u64) -> Vec<f64> {
+    let scn = Scenario::new(scale.peers, pct, seed);
+    let natted_frac = scn.natted_count() as f64 / scn.peers as f64;
+    let mut eng = build(&scn, NylonConfig::default());
+    let warmup = scale.rounds / 3;
+    eng.run_rounds(warmup);
+    eng.enable_sample_log();
+    eng.run_rounds(scale.rounds - warmup);
+    let cluster = biggest_cluster_pct(&eng);
+    let stale = staleness(&eng).stale_pct;
+    let n = eng.net().peer_count();
+    let log = eng.sample_log().expect("logging enabled above");
+    let mut counts = vec![0u64; n];
+    let mut natted_hits = 0u64;
+    for s in log {
+        counts[*s as usize] += 1;
+        if eng.net().class_of(nylon_net::PeerId(*s)).is_natted() {
+            natted_hits += 1;
+        }
+    }
+    let share_ratio = if natted_frac == 0.0 || log.is_empty() {
+        f64::NAN
+    } else {
+        (natted_hits as f64 / log.len() as f64) / natted_frac
+    };
+    let dispersion = dispersion_index(&counts).unwrap_or(f64::NAN);
+    let normalized: Vec<f64> = log.iter().map(|s| *s as f64 / n as f64).collect();
+    let corr = serial_correlation(&normalized).unwrap_or(f64::NAN);
+    vec![cluster, stale, share_ratio, dispersion, corr]
+}
+
+fn render(results: &Results) -> Table {
     let mut table = Table::new(
         "Section 5 'Correctness' — Nylon: partitions, staleness, sampling randomness",
         [
@@ -47,54 +96,15 @@ pub fn generate(scale: &FigureScale) -> Table {
             "serial corr",
         ],
     );
-    for (i, pct) in NAT_PCTS.iter().enumerate() {
-        progress(&format!("correctness: {pct:.0}% NAT"));
-        let seed_list = point_seeds(scale, 0x00C0_0000 ^ (i as u64));
-        let values = run_seeds(&seed_list, |seed| {
-            let scn = Scenario::new(scale.peers, *pct, seed);
-            let natted_frac = scn.natted_count() as f64 / scn.peers as f64;
-            let mut eng = build_nylon(&scn, NylonConfig::default());
-            let warmup = scale.rounds / 3;
-            eng.run_rounds(warmup);
-            eng.enable_sample_log();
-            eng.run_rounds(scale.rounds - warmup);
-            let cluster = biggest_cluster_pct_nylon(&eng);
-            let stale = staleness_nylon(&eng).stale_pct;
-            let n = eng.net().peer_count();
-            let log = eng.sample_log().expect("logging enabled above");
-            let mut counts = vec![0u64; n];
-            let mut natted_hits = 0u64;
-            for s in log {
-                counts[*s as usize] += 1;
-                if eng.net().class_of(nylon_net::PeerId(*s)).is_natted() {
-                    natted_hits += 1;
-                }
-            }
-            let share_ratio = if natted_frac == 0.0 || log.is_empty() {
-                f64::NAN
-            } else {
-                (natted_hits as f64 / log.len() as f64) / natted_frac
-            };
-            let dispersion = dispersion_index(&counts).unwrap_or(f64::NAN);
-            let normalized: Vec<f64> = log.iter().map(|s| *s as f64 / n as f64).collect();
-            let corr = serial_correlation(&normalized).unwrap_or(f64::NAN);
-            (cluster, stale, share_ratio, dispersion, corr)
-        });
-        let mean = |f: &dyn Fn(&Sample5) -> f64| -> f64 {
-            let vals: Vec<f64> = values.iter().map(f).filter(|v| !v.is_nan()).collect();
-            if vals.is_empty() {
-                f64::NAN
-            } else {
-                vals.iter().sum::<f64>() / vals.len() as f64
-            }
-        };
+    for pct in NAT_PCTS {
+        let rows = results.point(SWEEP, &format!("{pct:.0}"));
         table.push_row([
             format!("{pct:.0}"),
-            fmt_f(mean(&|v| v.0), 1),
-            fmt_f(mean(&|v| v.1), 2),
-            fmt_f(mean(&|v| v.2), 3),
-            fmt_f(mean(&|v| v.3), 1),
-            fmt_f(mean(&|v| v.4), 4),
+            fmt_f(mean_finite(rows, 0), 1),
+            fmt_f(mean_finite(rows, 1), 2),
+            fmt_f(mean_finite(rows, 2), 3),
+            fmt_f(mean_finite(rows, 3), 1),
+            fmt_f(mean_finite(rows, 4), 4),
         ]);
     }
     table

@@ -1,7 +1,7 @@
 //! Extension experiments beyond the paper's figures.
 //!
 //! The paper motivates, but does not plot, several sensitivities; these
-//! generators fill them in:
+//! sweeps fill them in:
 //!
 //! * `ext-loss` — message loss. Footnote 3 argues the TTL mechanism
 //!   tolerates late/lost messages ("the protocol resists the simultaneous
@@ -30,127 +30,146 @@ use nylon_metrics::Summary;
 use nylon_net::{NatClass, NatType, NetConfig, PeerId};
 use nylon_sim::{SimDuration, SimRng};
 
+use crate::experiment::{Results, Sweep};
 use crate::output::{fmt_f, Table};
-use crate::runner::{
-    biggest_cluster_pct_baseline, biggest_cluster_pct_nylon, build_baseline, build_nylon,
-    overlay_graph_baseline, overlay_graph_nylon, run_seeds, staleness_baseline, staleness_nylon,
-};
+use crate::runner::{biggest_cluster_pct, build, build_with_net, overlay_graph, staleness};
 use crate::scenario::{NatMix, Scenario};
 
-use super::common::{point_seeds, progress, Sample4, Sample5};
-use super::FigureScale;
+use super::common::{mean_finite, point_seeds};
+use super::{FigureScale, Plan};
 
-/// Generates all extension tables.
-pub fn generate(scale: &FigureScale) -> Vec<Table> {
-    vec![
-        loss_sensitivity(scale),
-        timeout_sensitivity(scale),
-        view_size_sweep(scale),
-        full_cone_equivalence(scale),
-        indegree_distribution(scale),
-        continuous_churn(scale),
-        upnp_adoption(scale),
-    ]
+const LOSSES: [f64; 5] = [0.0, 0.01, 0.05, 0.10, 0.20];
+const TIMEOUTS: [u64; 4] = [30, 60, 90, 180];
+const VIEWS: [usize; 4] = [8, 15, 27, 40];
+const FC_CASES: [(&str, NatMix, f64); 3] = [
+    ("all public (0% NAT)", NatMix::prc_only(), 0.0),
+    ("70% FC NATs", NatMix { fc: 1.0, rc: 0.0, prc: 0.0, sym: 0.0 }, 70.0),
+    ("70% PRC NATs", NatMix::prc_only(), 70.0),
+];
+const INDEGREE_CASES: [(&str, f64, bool); 4] = [
+    ("baseline", 0.0, false),
+    ("baseline", 60.0, false),
+    ("nylon", 60.0, true),
+    ("nylon", 90.0, true),
+];
+const CHURNS: [f64; 5] = [0.0, 0.5, 1.0, 2.0, 5.0];
+const ADOPTIONS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+/// The extensions plan: seven sweeps, seven tables.
+pub fn plan(scale: &FigureScale) -> Plan {
+    let sweeps = vec![
+        loss_sweep(scale),
+        timeout_sweep(scale),
+        view_sweep(scale),
+        fc_sweep(scale),
+        indegree_sweep(scale),
+        churn_sweep(scale),
+        upnp_sweep(scale),
+    ];
+    Plan::new("extensions", sweeps, |results| {
+        vec![
+            render_loss(results),
+            render_timeout(results),
+            render_view(results),
+            render_fc(results),
+            render_indegree(results),
+            render_churn(results),
+            render_upnp(results),
+        ]
+    })
 }
 
-/// Builds a Nylon engine with a custom network configuration.
-fn build_nylon_with_net(
-    scn: &Scenario,
-    mut cfg: NylonConfig,
-    net: NetConfig,
-) -> nylon::NylonEngine {
-    cfg.view_size = scn.view_size;
-    cfg.hole_timeout = net.hole_timeout;
-    let mut eng = nylon::NylonEngine::new(cfg, net, scn.seed);
-    for class in scn.classes() {
-        eng.add_peer(class);
+/// Cells: `[cluster %, stale %, punch success %, shuffle completion %]`.
+fn loss_sweep(scale: &FigureScale) -> Sweep {
+    let mut sweep = Sweep::new("ext-loss");
+    for (i, loss) in LOSSES.iter().enumerate() {
+        let scale = scale.clone();
+        let loss = *loss;
+        sweep.point(
+            format!("{:.0}", loss * 100.0),
+            point_seeds(&scale, 0x00E0_0000 ^ (i as u64)),
+            move |seed| {
+                let scn = Scenario::new(scale.peers, 70.0, seed);
+                let net = NetConfig { loss_probability: loss, ..NetConfig::default() };
+                let mut eng = build_with_net(&scn, NylonConfig::default(), net);
+                eng.run_rounds(scale.rounds);
+                let s = eng.stats();
+                let punch = 100.0 * s.punch_successes as f64 / s.hole_punches.max(1) as f64;
+                let completion =
+                    100.0 * s.responses_completed as f64 / s.shuffles_initiated.max(1) as f64;
+                vec![biggest_cluster_pct(&eng), staleness(&eng).stale_pct, punch, completion]
+            },
+        );
     }
-    eng.bootstrap_random_public(scn.bootstrap_contacts);
-    eng.start();
-    eng
+    sweep
 }
 
-fn loss_sensitivity(scale: &FigureScale) -> Table {
+fn render_loss(results: &Results) -> Table {
     let mut table = Table::new(
         "Extension (ext-loss) — Nylon at 70% NAT under message loss",
         ["loss %", "biggest cluster %", "stale refs %", "punch success %", "shuffle completion %"],
     );
-    for (i, loss) in [0.0f64, 0.01, 0.05, 0.10, 0.20].iter().enumerate() {
-        progress(&format!("ext-loss: {:.0}%", loss * 100.0));
-        let seed_list = point_seeds(scale, 0x00E0_0000 ^ (i as u64));
-        let values = run_seeds(&seed_list, |seed| {
-            let scn = Scenario::new(scale.peers, 70.0, seed);
-            let net = NetConfig { loss_probability: *loss, ..NetConfig::default() };
-            let mut eng = build_nylon_with_net(&scn, NylonConfig::default(), net);
-            eng.run_rounds(scale.rounds);
-            let s = eng.stats();
-            let punch = 100.0 * s.punch_successes as f64 / s.hole_punches.max(1) as f64;
-            let completion =
-                100.0 * s.responses_completed as f64 / s.shuffles_initiated.max(1) as f64;
-            (biggest_cluster_pct_nylon(&eng), staleness_nylon(&eng).stale_pct, punch, completion)
-        });
-        let mean =
-            |f: &dyn Fn(&Sample4) -> f64| values.iter().map(f).sum::<f64>() / values.len() as f64;
+    for loss in LOSSES {
+        let rows = results.point("ext-loss", &format!("{:.0}", loss * 100.0));
         table.push_row([
             format!("{:.0}", loss * 100.0),
-            fmt_f(mean(&|v| v.0), 1),
-            fmt_f(mean(&|v| v.1), 2),
-            fmt_f(mean(&|v| v.2), 1),
-            fmt_f(mean(&|v| v.3), 1),
+            fmt_f(mean_finite(rows, 0), 1),
+            fmt_f(mean_finite(rows, 1), 2),
+            fmt_f(mean_finite(rows, 2), 1),
+            fmt_f(mean_finite(rows, 3), 1),
         ]);
     }
     table
 }
 
-fn timeout_sensitivity(scale: &FigureScale) -> Table {
-    let mut table = Table::new(
-        "Extension (ext-timeout) — Nylon at 70% NAT vs NAT rule lifetime (paper default: 90 s)",
-        ["hole timeout s", "stale refs %", "rounds lost to missing routes %", "mean chain len"],
-    );
-    for (i, secs) in [30u64, 60, 90, 180].iter().enumerate() {
-        progress(&format!("ext-timeout: {secs}s"));
-        let seed_list = point_seeds(scale, 0x00E1_0000 ^ (i as u64));
-        let values = run_seeds(&seed_list, |seed| {
+/// Cells: `[stale %, rounds lost %, chain len]`.
+fn timeout_sweep(scale: &FigureScale) -> Sweep {
+    let mut sweep = Sweep::new("ext-timeout");
+    for (i, secs) in TIMEOUTS.iter().enumerate() {
+        let scale = scale.clone();
+        let secs = *secs;
+        sweep.point(secs.to_string(), point_seeds(&scale, 0x00E1_0000 ^ (i as u64)), move |seed| {
             let scn = Scenario::new(scale.peers, 70.0, seed);
             let net =
-                NetConfig { hole_timeout: SimDuration::from_secs(*secs), ..NetConfig::default() };
-            let mut eng = build_nylon_with_net(&scn, NylonConfig::default(), net);
+                NetConfig { hole_timeout: SimDuration::from_secs(secs), ..NetConfig::default() };
+            let mut eng = build_with_net(&scn, NylonConfig::default(), net);
             eng.run_rounds(scale.rounds);
             let s = eng.stats();
             let missing = 100.0 * s.routes_missing as f64
                 / (s.shuffles_initiated + s.routes_missing).max(1) as f64;
-            (staleness_nylon(&eng).stale_pct, missing, s.mean_chain_len().unwrap_or(f64::NAN))
+            vec![staleness(&eng).stale_pct, missing, s.mean_chain_len().unwrap_or(f64::NAN)]
         });
-        let mean = |f: &dyn Fn(&(f64, f64, f64)) -> f64| {
-            let v: Vec<f64> = values.iter().map(f).filter(|x| !x.is_nan()).collect();
-            if v.is_empty() {
-                f64::NAN
-            } else {
-                v.iter().sum::<f64>() / v.len() as f64
-            }
-        };
+    }
+    sweep
+}
+
+fn render_timeout(results: &Results) -> Table {
+    let mut table = Table::new(
+        "Extension (ext-timeout) — Nylon at 70% NAT vs NAT rule lifetime (paper default: 90 s)",
+        ["hole timeout s", "stale refs %", "rounds lost to missing routes %", "mean chain len"],
+    );
+    for secs in TIMEOUTS {
+        let rows = results.point("ext-timeout", &secs.to_string());
         table.push_row([
             secs.to_string(),
-            fmt_f(mean(&|v| v.0), 2),
-            fmt_f(mean(&|v| v.1), 2),
-            fmt_f(mean(&|v| v.2), 2),
+            fmt_f(mean_finite(rows, 0), 2),
+            fmt_f(mean_finite(rows, 1), 2),
+            fmt_f(mean_finite(rows, 2), 2),
         ]);
     }
     table
 }
 
-fn view_size_sweep(scale: &FigureScale) -> Table {
-    let mut table = Table::new(
-        "Extension (ext-view) — Nylon at 80% NAT vs view size",
-        ["view size", "biggest cluster %", "mean chain len", "B/s per peer"],
-    );
-    for (i, view) in [8usize, 15, 27, 40].iter().enumerate() {
-        progress(&format!("ext-view: {view}"));
-        let seed_list = point_seeds(scale, 0x00E2_0000 ^ (i as u64));
-        let values = run_seeds(&seed_list, |seed| {
-            let scn = Scenario { view_size: *view, ..Scenario::new(scale.peers, 80.0, seed) };
-            let cfg = NylonConfig { view_size: *view, ..NylonConfig::default() };
-            let mut eng = build_nylon(&scn, cfg);
+/// Cells: `[cluster %, chain len, B/s per peer]`.
+fn view_sweep(scale: &FigureScale) -> Sweep {
+    let mut sweep = Sweep::new("ext-view");
+    for (i, view) in VIEWS.iter().enumerate() {
+        let scale = scale.clone();
+        let view = *view;
+        sweep.point(view.to_string(), point_seeds(&scale, 0x00E2_0000 ^ (i as u64)), move |seed| {
+            let scn = Scenario { view_size: view, ..Scenario::new(scale.peers, 80.0, seed) };
+            let cfg = NylonConfig { view_size: view, ..NylonConfig::default() };
+            let mut eng = build(&scn, cfg);
             eng.run_rounds(scale.rounds);
             let bytes: u64 = eng
                 .alive_peers()
@@ -159,53 +178,98 @@ fn view_size_sweep(scale: &FigureScale) -> Table {
                 .map(|p| eng.net().stats_of(*p).bytes_total())
                 .sum();
             let bps = bytes as f64 / eng.alive_peers().count() as f64 / eng.now().as_secs_f64();
-            (biggest_cluster_pct_nylon(&eng), eng.stats().mean_chain_len().unwrap_or(f64::NAN), bps)
+            vec![biggest_cluster_pct(&eng), eng.stats().mean_chain_len().unwrap_or(f64::NAN), bps]
         });
-        let mean = |f: &dyn Fn(&(f64, f64, f64)) -> f64| {
-            let v: Vec<f64> = values.iter().map(f).filter(|x| !x.is_nan()).collect();
-            if v.is_empty() {
-                f64::NAN
-            } else {
-                v.iter().sum::<f64>() / v.len() as f64
-            }
-        };
+    }
+    sweep
+}
+
+fn render_view(results: &Results) -> Table {
+    let mut table = Table::new(
+        "Extension (ext-view) — Nylon at 80% NAT vs view size",
+        ["view size", "biggest cluster %", "mean chain len", "B/s per peer"],
+    );
+    for view in VIEWS {
+        let rows = results.point("ext-view", &view.to_string());
         table.push_row([
             view.to_string(),
-            fmt_f(mean(&|v| v.0), 1),
-            fmt_f(mean(&|v| v.1), 2),
-            fmt_f(mean(&|v| v.2), 0),
+            fmt_f(mean_finite(rows, 0), 1),
+            fmt_f(mean_finite(rows, 1), 2),
+            fmt_f(mean_finite(rows, 2), 0),
         ]);
     }
     table
 }
 
-fn full_cone_equivalence(scale: &FigureScale) -> Table {
+/// Cells: `[cluster %, stale %]`.
+fn fc_sweep(scale: &FigureScale) -> Sweep {
+    let mut sweep = Sweep::new("ext-fc");
+    for (i, (label, mix, pct)) in FC_CASES.iter().enumerate() {
+        let scale = scale.clone();
+        let (mix, pct) = (*mix, *pct);
+        sweep.point(*label, point_seeds(&scale, 0x00E3_0000 ^ (i as u64)), move |seed| {
+            let scn = Scenario { mix, ..Scenario::new(scale.peers, pct, seed) };
+            let mut eng = build(&scn, GossipConfig::default());
+            eng.run_rounds(scale.rounds);
+            vec![biggest_cluster_pct(&eng), staleness(&eng).stale_pct]
+        });
+    }
+    sweep
+}
+
+fn render_fc(results: &Results) -> Table {
     let mut table = Table::new(
         "Extension (ext-fc) — full-cone NATs behave like public peers (baseline protocol, 70% natted)",
         ["population", "biggest cluster %", "stale refs %"],
     );
-    let cases: [(&str, NatMix, f64); 3] = [
-        ("all public (0% NAT)", NatMix::prc_only(), 0.0),
-        ("70% FC NATs", NatMix { fc: 1.0, rc: 0.0, prc: 0.0, sym: 0.0 }, 70.0),
-        ("70% PRC NATs", NatMix::prc_only(), 70.0),
-    ];
-    for (i, (label, mix, pct)) in cases.iter().enumerate() {
-        progress(&format!("ext-fc: {label}"));
-        let seed_list = point_seeds(scale, 0x00E3_0000 ^ (i as u64));
-        let values = run_seeds(&seed_list, |seed| {
-            let scn = Scenario { mix: *mix, ..Scenario::new(scale.peers, *pct, seed) };
-            let mut eng = build_baseline(&scn, GossipConfig::default());
-            eng.run_rounds(scale.rounds);
-            (biggest_cluster_pct_baseline(&eng), staleness_baseline(&eng).stale_pct)
-        });
-        let cluster: Summary = values.iter().map(|v| v.0).collect();
-        let stale: Summary = values.iter().map(|v| v.1).collect();
+    for (label, _, _) in FC_CASES {
+        let rows = results.point("ext-fc", label);
+        let cluster: Summary = rows.iter().map(|r| r[0]).collect();
+        let stale: Summary = rows.iter().map(|r| r[1]).collect();
         table.push_row([label.to_string(), fmt_f(cluster.mean(), 1), fmt_f(stale.mean(), 2)]);
     }
     table
 }
 
-fn indegree_distribution(scale: &FigureScale) -> Table {
+/// Cells: `[mean in-degree, std dev, max, clustering coeff, mean path len]`.
+fn indegree_sweep(scale: &FigureScale) -> Sweep {
+    let mut sweep = Sweep::new("ext-indegree");
+    for (i, (label, pct, is_nylon)) in INDEGREE_CASES.iter().enumerate() {
+        let scale = scale.clone();
+        let (pct, is_nylon) = (*pct, *is_nylon);
+        sweep.point(
+            indegree_key(label, pct),
+            point_seeds(&scale, 0x00E4_0000 ^ (i as u64)),
+            move |seed| {
+                let scn = Scenario::new(scale.peers, pct, seed);
+                let graph = if is_nylon {
+                    let mut eng = build(&scn, NylonConfig::default());
+                    eng.run_rounds(scale.rounds);
+                    overlay_graph(&eng).0
+                } else {
+                    let mut eng = build(&scn, GossipConfig::default());
+                    eng.run_rounds(scale.rounds);
+                    overlay_graph(&eng).0
+                };
+                let s: Summary = graph.in_degrees().iter().map(|d| *d as f64).collect();
+                vec![
+                    s.mean(),
+                    s.std_dev(),
+                    s.max().unwrap_or(0.0),
+                    graph.clustering_coefficient(),
+                    graph.mean_path_length(16).unwrap_or(f64::NAN),
+                ]
+            },
+        );
+    }
+    sweep
+}
+
+fn indegree_key(label: &str, pct: f64) -> String {
+    format!("{label}/{pct:.0}")
+}
+
+fn render_indegree(results: &Results) -> Table {
     let mut table = Table::new(
         "Extension (ext-indegree) — health of the usable overlay graph (randomness evidence)",
         [
@@ -218,141 +282,126 @@ fn indegree_distribution(scale: &FigureScale) -> Table {
             "mean path len",
         ],
     );
-    let cases: [(&str, f64, bool); 4] = [
-        ("baseline", 0.0, false),
-        ("baseline", 60.0, false),
-        ("nylon", 60.0, true),
-        ("nylon", 90.0, true),
-    ];
-    for (i, (label, pct, is_nylon)) in cases.iter().enumerate() {
-        progress(&format!("ext-indegree: {label} {pct:.0}%"));
-        let seed_list = point_seeds(scale, 0x00E4_0000 ^ (i as u64));
-        let values = run_seeds(&seed_list, |seed| {
-            let scn = Scenario::new(scale.peers, *pct, seed);
-            let graph = if *is_nylon {
-                let mut eng = build_nylon(&scn, NylonConfig::default());
-                eng.run_rounds(scale.rounds);
-                overlay_graph_nylon(&eng).0
-            } else {
-                let mut eng = build_baseline(&scn, GossipConfig::default());
-                eng.run_rounds(scale.rounds);
-                overlay_graph_baseline(&eng).0
-            };
-            let s: Summary = graph.in_degrees().iter().map(|d| *d as f64).collect();
-            (
-                s.mean(),
-                s.std_dev(),
-                s.max().unwrap_or(0.0),
-                graph.clustering_coefficient(),
-                graph.mean_path_length(16).unwrap_or(f64::NAN),
-            )
-        });
-        let mean = |f: &dyn Fn(&Sample5) -> f64| {
-            let v: Vec<f64> = values.iter().map(f).filter(|x| !x.is_nan()).collect();
-            if v.is_empty() {
-                f64::NAN
-            } else {
-                v.iter().sum::<f64>() / v.len() as f64
-            }
-        };
+    for (label, pct, _) in INDEGREE_CASES {
+        let rows = results.point("ext-indegree", &indegree_key(label, pct));
         table.push_row([
             label.to_string(),
             format!("{pct:.0}"),
-            fmt_f(mean(&|v| v.0), 1),
-            fmt_f(mean(&|v| v.1), 1),
-            fmt_f(mean(&|v| v.2), 0),
-            fmt_f(mean(&|v| v.3), 4),
-            fmt_f(mean(&|v| v.4), 2),
+            fmt_f(mean_finite(rows, 0), 1),
+            fmt_f(mean_finite(rows, 1), 1),
+            fmt_f(mean_finite(rows, 2), 0),
+            fmt_f(mean_finite(rows, 3), 4),
+            fmt_f(mean_finite(rows, 4), 2),
         ]);
     }
     table
 }
 
-fn continuous_churn(scale: &FigureScale) -> Table {
+/// Cells: `[cluster %, stale %, shuffle completion %]`.
+fn churn_sweep(scale: &FigureScale) -> Sweep {
+    let mut sweep = Sweep::new("ext-churn");
+    for (i, churn) in CHURNS.iter().enumerate() {
+        let scale = scale.clone();
+        let churn = *churn;
+        sweep.point(
+            format!("{churn}"),
+            point_seeds(&scale, 0x00E5_0000 ^ (i as u64)),
+            move |seed| {
+                let scn = Scenario::new(scale.peers, 70.0, seed);
+                let mut eng = build(&scn, NylonConfig::default());
+                let mut rng = SimRng::new(seed).fork(0x6363_6875_726E);
+                eng.run_rounds(scale.rounds / 3);
+                let churn_rounds = scale.rounds - scale.rounds / 3;
+                let per_round = ((churn / 100.0) * scale.peers as f64).round() as usize;
+                for _ in 0..churn_rounds {
+                    // Replace peers: kill `per_round`, admit `per_round` new
+                    // ones via a surviving contact (70% of newcomers natted).
+                    let alive: Vec<PeerId> = eng.alive_peers().collect();
+                    if alive.len() > per_round + 2 {
+                        let victims = rng.sample_without_replacement(&alive, per_round);
+                        eng.kill_peers(&victims);
+                    }
+                    let contact = eng.alive_peers().next();
+                    if let Some(contact) = contact {
+                        for _ in 0..per_round {
+                            let class = if rng.chance(0.7) {
+                                match rng.gen_range(0..10u32) {
+                                    0 => NatClass::Natted(NatType::Symmetric),
+                                    1..=4 => NatClass::Natted(NatType::PortRestrictedCone),
+                                    _ => NatClass::Natted(NatType::RestrictedCone),
+                                }
+                            } else {
+                                NatClass::Public
+                            };
+                            eng.add_peer_with_bootstrap(class, &[contact]);
+                        }
+                    }
+                    eng.run_rounds(1);
+                }
+                let s = eng.stats();
+                let completion =
+                    100.0 * s.responses_completed as f64 / s.shuffles_initiated.max(1) as f64;
+                vec![biggest_cluster_pct(&eng), staleness(&eng).stale_pct, completion]
+            },
+        );
+    }
+    sweep
+}
+
+fn render_churn(results: &Results) -> Table {
     let mut table = Table::new(
         "Extension (ext-churn) — Nylon at 70% NAT under continuous churn (replacement per round)",
         ["churn %/round", "biggest cluster %", "stale refs %", "shuffle completion %"],
     );
-    for (i, churn) in [0.0f64, 0.5, 1.0, 2.0, 5.0].iter().enumerate() {
-        progress(&format!("ext-churn: {churn}%/round"));
-        let seed_list = point_seeds(scale, 0x00E5_0000 ^ (i as u64));
-        let values = run_seeds(&seed_list, |seed| {
-            let scn = Scenario::new(scale.peers, 70.0, seed);
-            let mut eng = build_nylon(&scn, NylonConfig::default());
-            let mut rng = SimRng::new(seed).fork(0x6363_6875_726E);
-            eng.run_rounds(scale.rounds / 3);
-            let churn_rounds = scale.rounds - scale.rounds / 3;
-            let per_round = ((churn / 100.0) * scale.peers as f64).round() as usize;
-            for _ in 0..churn_rounds {
-                // Replace peers: kill `per_round`, admit `per_round` new
-                // ones via a surviving contact (70% of newcomers natted).
-                let alive: Vec<PeerId> = eng.alive_peers().collect();
-                if alive.len() > per_round + 2 {
-                    let victims = rng.sample_without_replacement(&alive, per_round);
-                    eng.kill_peers(&victims);
-                }
-                let contact = eng.alive_peers().next();
-                if let Some(contact) = contact {
-                    for _ in 0..per_round {
-                        let class = if rng.chance(0.7) {
-                            match rng.gen_range(0..10u32) {
-                                0 => NatClass::Natted(NatType::Symmetric),
-                                1..=4 => NatClass::Natted(NatType::PortRestrictedCone),
-                                _ => NatClass::Natted(NatType::RestrictedCone),
-                            }
-                        } else {
-                            NatClass::Public
-                        };
-                        eng.add_peer_with_bootstrap(class, &[contact]);
-                    }
-                }
-                eng.run_rounds(1);
-            }
-            let s = eng.stats();
-            let completion =
-                100.0 * s.responses_completed as f64 / s.shuffles_initiated.max(1) as f64;
-            (biggest_cluster_pct_nylon(&eng), staleness_nylon(&eng).stale_pct, completion)
-        });
-        let mean = |f: &dyn Fn(&(f64, f64, f64)) -> f64| {
-            values.iter().map(f).sum::<f64>() / values.len() as f64
-        };
+    for churn in CHURNS {
+        let rows = results.point("ext-churn", &format!("{churn}"));
         table.push_row([
             format!("{churn}"),
-            fmt_f(mean(&|v| v.0), 1),
-            fmt_f(mean(&|v| v.1), 2),
-            fmt_f(mean(&|v| v.2), 1),
+            fmt_f(mean_finite(rows, 0), 1),
+            fmt_f(mean_finite(rows, 1), 2),
+            fmt_f(mean_finite(rows, 2), 1),
         ]);
     }
     table
 }
 
-fn upnp_adoption(scale: &FigureScale) -> Table {
+/// Cells: `[cluster %, stale %, natted share of usable refs %]`.
+fn upnp_sweep(scale: &FigureScale) -> Sweep {
+    let mut sweep = Sweep::new("ext-upnp");
+    for (i, adoption) in ADOPTIONS.iter().enumerate() {
+        let scale = scale.clone();
+        let adoption = *adoption;
+        sweep.point(
+            format!("{:.0}", adoption * 100.0),
+            point_seeds(&scale, 0x00E6_0000 ^ (i as u64)),
+            move |seed| {
+                let scn = Scenario {
+                    mix: NatMix::prc_only(),
+                    upnp_adoption: adoption,
+                    ..Scenario::new(scale.peers, 70.0, seed)
+                };
+                let mut eng = build(&scn, GossipConfig::default());
+                eng.run_rounds(scale.rounds);
+                let stale = staleness(&eng);
+                vec![biggest_cluster_pct(&eng), stale.stale_pct, stale.natted_nonstale_pct]
+            },
+        );
+    }
+    sweep
+}
+
+fn render_upnp(results: &Results) -> Table {
     let mut table = Table::new(
         "Extension (ext-upnp) — baseline protocol at 70% PRC NAT vs UPnP port-forwarding adoption",
         ["UPnP adoption %", "biggest cluster %", "stale refs %", "natted share of usable refs %"],
     );
-    for (i, adoption) in [0.0f64, 0.25, 0.5, 0.75, 1.0].iter().enumerate() {
-        progress(&format!("ext-upnp: {:.0}%", adoption * 100.0));
-        let seed_list = point_seeds(scale, 0x00E6_0000 ^ (i as u64));
-        let values = run_seeds(&seed_list, |seed| {
-            let scn = Scenario {
-                mix: NatMix::prc_only(),
-                upnp_adoption: *adoption,
-                ..Scenario::new(scale.peers, 70.0, seed)
-            };
-            let mut eng = build_baseline(&scn, GossipConfig::default());
-            eng.run_rounds(scale.rounds);
-            let stale = staleness_baseline(&eng);
-            (biggest_cluster_pct_baseline(&eng), stale.stale_pct, stale.natted_nonstale_pct)
-        });
-        let mean = |f: &dyn Fn(&(f64, f64, f64)) -> f64| {
-            values.iter().map(f).sum::<f64>() / values.len() as f64
-        };
+    for adoption in ADOPTIONS {
+        let rows = results.point("ext-upnp", &format!("{:.0}", adoption * 100.0));
         table.push_row([
             format!("{:.0}", adoption * 100.0),
-            fmt_f(mean(&|v| v.0), 1),
-            fmt_f(mean(&|v| v.1), 2),
-            fmt_f(mean(&|v| v.2), 1),
+            fmt_f(mean_finite(rows, 0), 1),
+            fmt_f(mean_finite(rows, 1), 2),
+            fmt_f(mean_finite(rows, 2), 1),
         ]);
     }
     table

@@ -4,29 +4,65 @@
 //! partition at all and stays above ~80 % of survivors in one cluster even
 //! at 80 % departures, across NAT percentages.
 
-use nylon::NylonConfig;
+use nylon::{NylonConfig, NylonEngine};
 use nylon_net::PeerId;
 use nylon_sim::SimRng;
 
+use crate::experiment::{Results, Sweep};
 use crate::output::{fmt_f, Table};
-use crate::runner::{biggest_cluster_pct_nylon, build_nylon, run_seeds};
+use crate::runner::{biggest_cluster_pct, build};
 use crate::scenario::Scenario;
 
-use super::common::{point_seeds, progress};
-use super::FigureScale;
+use super::common::point_seeds;
+use super::{FigureScale, Plan};
+
+const SWEEP: &str = "fig10";
 
 /// Percentages of peers leaving simultaneously (the paper's x-axis).
 const DEPARTURES: [f64; 5] = [50.0, 60.0, 70.0, 75.0, 80.0];
 /// NAT percentages (the paper's bar series).
 const NAT_PCTS: [f64; 5] = [40.0, 50.0, 60.0, 70.0, 80.0];
 
-/// Generates the Figure 10 table. Rows are departure percentages, columns
-/// NAT percentages; cells are the biggest cluster among survivors,
-/// measured `post` shuffles after the churn event.
-pub fn generate(scale: &FigureScale) -> Table {
-    // Paper horizons: churn after 500 shuffles, measure 1500 later.
-    let (warmup, post) =
-        if scale.full_churn_horizons { (500u64, 1500u64) } else { (120u64, 240u64) };
+/// Paper horizons: churn after 500 shuffles, measure 1500 later.
+fn horizons(scale: &FigureScale) -> (u64, u64) {
+    if scale.full_churn_horizons {
+        (500, 1500)
+    } else {
+        (120, 240)
+    }
+}
+
+/// The Figure 10 plan. Cells are the biggest cluster among survivors,
+/// measured `post` shuffles after a mass departure at `warmup` shuffles.
+pub fn plan(scale: &FigureScale) -> Plan {
+    let (warmup, post) = horizons(scale);
+    let mut sweep = Sweep::new(SWEEP);
+    for (di, dep) in DEPARTURES.iter().enumerate() {
+        for (ni, pct) in NAT_PCTS.iter().enumerate() {
+            let salt = 0x0010_0000 ^ ((di as u64) << 8) ^ (ni as u64);
+            let scale_c = scale.clone();
+            let (dep, pct) = (*dep, *pct);
+            sweep.point(point_key(dep, pct), point_seeds(scale, salt), move |seed| {
+                let scn = Scenario::new(scale_c.peers, pct, seed);
+                let mut eng = build(&scn, NylonConfig::default());
+                eng.run_rounds(warmup);
+                let victims = pick_victims(&eng, dep, seed);
+                eng.kill_peers(&victims);
+                eng.run_rounds(post);
+                vec![biggest_cluster_pct(&eng)]
+            });
+        }
+    }
+    let scale = scale.clone();
+    Plan::new("fig10", vec![sweep], move |results| vec![render(results, &scale)])
+}
+
+fn point_key(dep: f64, pct: f64) -> String {
+    format!("d{dep:.0}/n{pct:.0}")
+}
+
+fn render(results: &Results, scale: &FigureScale) -> Table {
+    let (warmup, post) = horizons(scale);
     let mut columns = vec!["departures %".to_string()];
     columns.extend(NAT_PCTS.iter().map(|p| format!("{p:.0}% NAT")));
     let mut table = Table::new(
@@ -35,22 +71,11 @@ pub fn generate(scale: &FigureScale) -> Table {
         ),
         columns,
     );
-    for (di, dep) in DEPARTURES.iter().enumerate() {
+    for dep in DEPARTURES {
         let mut row = vec![format!("{dep:.0}")];
-        for (ni, pct) in NAT_PCTS.iter().enumerate() {
-            progress(&format!("fig10: departures={dep:.0}% nat={pct:.0}%"));
-            let salt = 0x0010_0000 ^ ((di as u64) << 8) ^ (ni as u64);
-            let seed_list = point_seeds(scale, salt);
-            let values = run_seeds(&seed_list, |seed| {
-                let scn = Scenario::new(scale.peers, *pct, seed);
-                let mut eng = build_nylon(&scn, NylonConfig::default());
-                eng.run_rounds(warmup);
-                let victims = pick_victims(&eng, *dep, seed);
-                eng.kill_peers(&victims);
-                eng.run_rounds(post);
-                biggest_cluster_pct_nylon(&eng)
-            });
-            let s: nylon_metrics::Summary = values.into_iter().collect();
+        for pct in NAT_PCTS {
+            let s: nylon_metrics::Summary =
+                results.col(SWEEP, &point_key(dep, pct), 0).into_iter().collect();
             // The paper: "any non negligible observed variance is
             // indicated in the graphs" — churn is the noisy experiment.
             if s.count() > 1 && s.std_dev() > 1.0 {
@@ -67,7 +92,7 @@ pub fn generate(scale: &FigureScale) -> Table {
 /// Picks `pct`% of the alive peers, public and natted proportionally to
 /// their numbers (the paper: "public and natted peers were removed
 /// proportionally to their number in the system").
-fn pick_victims(eng: &nylon::NylonEngine, pct: f64, seed: u64) -> Vec<PeerId> {
+fn pick_victims(eng: &NylonEngine, pct: f64, seed: u64) -> Vec<PeerId> {
     let mut rng = SimRng::new(seed).fork(0x6368_7572_6E00); // "churn"
     let mut publics: Vec<PeerId> = Vec::new();
     let mut natted: Vec<PeerId> = Vec::new();

@@ -7,36 +7,62 @@
 
 use nylon_gossip::GossipConfig;
 
+use crate::experiment::{Results, Sweep};
 use crate::output::{fmt_f, Table};
 
-use super::common::{baseline_cluster_point, progress};
-use super::FigureScale;
+use super::common::{baseline_cluster_sample, point_seeds, summary_col};
+use super::{FigureScale, Plan};
+
+const SWEEP: &str = "fig2";
 
 /// NAT percentages on the x-axis, as in the paper.
 const NAT_PCTS: [f64; 7] = [40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0];
 
-/// Generates the Figure 2 table (both panels: view 15 and view 27).
-pub fn generate(scale: &FigureScale) -> Table {
+/// The Figure 2 plan: one sweep cell per (view, configuration, NAT %,
+/// seed); the render collects both panels (view 15 and 27) into one table.
+pub fn plan(scale: &FigureScale) -> Plan {
+    let mut sweep = Sweep::new(SWEEP);
+    for view_size in [15usize, 27] {
+        for cfg in GossipConfig::paper_configurations(view_size) {
+            for (i, pct) in NAT_PCTS.iter().enumerate() {
+                let salt = 0x0002_0000
+                    ^ ((view_size as u64) << 20)
+                    ^ ((i as u64) << 8)
+                    ^ config_salt(&cfg);
+                let scale = scale.clone();
+                let cfg = cfg.clone();
+                let pct = *pct;
+                sweep.point(
+                    point_key(view_size, &cfg, pct),
+                    point_seeds(&scale, salt),
+                    move |seed| baseline_cluster_sample(&scale, &cfg, pct, seed),
+                );
+            }
+        }
+    }
+    Plan::new("fig2", vec![sweep], |results| vec![render(results)])
+}
+
+fn render(results: &Results) -> Table {
     let mut columns = vec!["view".to_string(), "configuration".to_string()];
     columns.extend(NAT_PCTS.iter().map(|p| format!("{p:.0}% NAT")));
     let mut table =
         Table::new("Figure 2 — biggest cluster (% of peers), PRC NATs, no churn", columns);
     for view_size in [15usize, 27] {
         for cfg in GossipConfig::paper_configurations(view_size) {
-            progress(&format!("fig2: view={view_size} config={}", cfg.label()));
             let mut row = vec![view_size.to_string(), cfg.label()];
-            for (i, pct) in NAT_PCTS.iter().enumerate() {
-                let salt = 0x0002_0000
-                    ^ ((view_size as u64) << 20)
-                    ^ ((i as u64) << 8)
-                    ^ config_salt(&cfg);
-                let s = baseline_cluster_point(scale, &cfg, *pct, salt);
-                row.push(fmt_f(s.mean(), 1));
+            for pct in NAT_PCTS {
+                let rows = results.point(SWEEP, &point_key(view_size, &cfg, pct));
+                row.push(fmt_f(summary_col(rows, 0).mean(), 1));
             }
             table.push_row(row);
         }
     }
     table
+}
+
+fn point_key(view_size: usize, cfg: &GossipConfig, pct: f64) -> String {
+    format!("v{view_size}/{}/{pct:.0}", cfg.label())
 }
 
 fn config_salt(cfg: &GossipConfig) -> u64 {

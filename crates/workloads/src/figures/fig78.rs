@@ -5,43 +5,95 @@
 //! linearly), and sits above the NAT-oblivious reference; Figure 8 — the
 //! load is nearly even, with public peers 10–20 % *below* natted peers
 //! (they receive no OPEN_HOLE for themselves and send no PONGs).
+//!
+//! Both figures read different columns of the same Nylon bandwidth
+//! simulations, so they register one shared sweep (the reference baseline
+//! cell is only rendered by Figure 7).
 
+use crate::experiment::Sweep;
 use crate::output::{fmt_f, Table};
 
-use super::common::{nylon_bandwidth_point, progress, reference_bandwidth};
-use super::FigureScale;
+use super::common::{nylon_bandwidth_sample, point_seeds, reference_bandwidth_sample, summary_col};
+use super::{FigureScale, Plan};
+
+const SWEEP: &str = "fig78";
 
 const NAT_PCTS: [f64; 11] = [0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0];
 
-/// Generates the Figure 7 table: total B/s per peer, Nylon vs reference.
-pub fn generate_fig7(scale: &FigureScale) -> Table {
-    let mut table = Table::new(
-        "Figure 7 — bytes/s sent+received per peer, Nylon vs NAT-oblivious reference (RC/PRC/SYM mix 50/40/10)",
-        ["NAT %", "Nylon B/s", "Reference B/s"],
-    );
-    progress("fig7: reference baseline");
-    let reference = reference_bandwidth(scale, 0x0007_0F00);
-    for (i, pct) in NAT_PCTS.iter().enumerate() {
-        progress(&format!("fig7: {pct:.0}% NAT"));
-        let (overall, _, _) = nylon_bandwidth_point(scale, *pct, 0x0007_0000 ^ (i as u64));
-        table.push_row([format!("{pct:.0}"), fmt_f(overall.mean(), 0), fmt_f(reference.mean(), 0)]);
+/// The sweep both figures share: per NAT percentage, cells are
+/// `[overall, public, natted]` B/s per peer (NaN for empty classes). The
+/// NAT-free reference point is registered only when requested — Figure 8
+/// never renders it, so a `fig8`-only run must not pay for it (the
+/// Experiment merge dedups the shared points when both figures run).
+fn sweep(scale: &FigureScale, with_reference: bool) -> Sweep {
+    let mut sweep = Sweep::new(SWEEP);
+    if with_reference {
+        let scale = scale.clone();
+        sweep.point("reference", point_seeds(&scale, 0x0007_0F00), move |seed| {
+            reference_bandwidth_sample(&scale, seed)
+        });
     }
-    table
+    for (i, pct) in NAT_PCTS.iter().enumerate() {
+        let scale = scale.clone();
+        let pct = *pct;
+        sweep.point(nylon_key(pct), point_seeds(&scale, 0x0007_0000 ^ (i as u64)), move |seed| {
+            nylon_bandwidth_sample(&scale, pct, seed)
+        });
+    }
+    sweep
 }
 
-/// Generates the Figure 8 table: B/s per peer for public vs natted peers
-/// under Nylon.
-pub fn generate_fig8(scale: &FigureScale) -> Table {
-    let mut table = Table::new(
-        "Figure 8 — bytes/s sent+received per peer by class, Nylon (RC/PRC/SYM mix 50/40/10)",
-        ["NAT %", "public peers B/s", "natted peers B/s"],
-    );
-    for (i, pct) in NAT_PCTS.iter().enumerate() {
-        progress(&format!("fig8: {pct:.0}% NAT"));
-        let (_, public, natted) = nylon_bandwidth_point(scale, *pct, 0x0008_0000 ^ (i as u64));
-        let pub_mean = if public.count() == 0 { f64::NAN } else { public.mean() };
-        let nat_mean = if natted.count() == 0 { f64::NAN } else { natted.mean() };
-        table.push_row([format!("{pct:.0}"), fmt_f(pub_mean, 0), fmt_f(nat_mean, 0)]);
+fn nylon_key(pct: f64) -> String {
+    format!("nylon/{pct:.0}")
+}
+
+/// Mean over seeds of one class column, excluding runs where the class was
+/// empty (NaN or zero bandwidth); NaN when every run lacked the class.
+fn class_mean(rows: &[Vec<f64>], col: usize) -> f64 {
+    let vals: Vec<f64> =
+        rows.iter().map(|row| row[col]).filter(|v| !v.is_nan() && *v > 0.0).collect();
+    if vals.is_empty() {
+        f64::NAN
+    } else {
+        vals.iter().sum::<f64>() / vals.len() as f64
     }
-    table
+}
+
+/// The Figure 7 plan: total B/s per peer, Nylon vs reference.
+pub fn plan_fig7(scale: &FigureScale) -> Plan {
+    Plan::new("fig7", vec![sweep(scale, true)], |results| {
+        let mut table = Table::new(
+            "Figure 7 — bytes/s sent+received per peer, Nylon vs NAT-oblivious reference (RC/PRC/SYM mix 50/40/10)",
+            ["NAT %", "Nylon B/s", "Reference B/s"],
+        );
+        let reference = summary_col(results.point(SWEEP, "reference"), 0);
+        for pct in NAT_PCTS {
+            let overall = summary_col(results.point(SWEEP, &nylon_key(pct)), 0);
+            table.push_row([
+                format!("{pct:.0}"),
+                fmt_f(overall.mean(), 0),
+                fmt_f(reference.mean(), 0),
+            ]);
+        }
+        vec![table]
+    })
+}
+
+/// The Figure 8 plan: B/s per peer for public vs natted peers under Nylon.
+pub fn plan_fig8(scale: &FigureScale) -> Plan {
+    Plan::new("fig8", vec![sweep(scale, false)], |results| {
+        let mut table = Table::new(
+            "Figure 8 — bytes/s sent+received per peer by class, Nylon (RC/PRC/SYM mix 50/40/10)",
+            ["NAT %", "public peers B/s", "natted peers B/s"],
+        );
+        for pct in NAT_PCTS {
+            let rows = results.point(SWEEP, &nylon_key(pct));
+            table.push_row([
+                format!("{pct:.0}"),
+                fmt_f(class_mean(rows, 1), 0),
+                fmt_f(class_mean(rows, 2), 0),
+            ]);
+        }
+        vec![table]
+    })
 }

@@ -4,30 +4,47 @@
 //! sub-linearly with the NAT percentage, and are *shorter* for the larger
 //! view size (consistent with random-graph distance results).
 
+use crate::experiment::{Results, Sweep};
 use crate::output::{fmt_f, Table};
 
-use super::common::{nylon_chain_point, progress};
-use super::FigureScale;
+use super::common::{mean_finite, nylon_chain_sample, point_seeds};
+use super::{FigureScale, Plan};
+
+const SWEEP: &str = "fig9";
 
 const NAT_PCTS: [f64; 10] = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0];
 
-/// Generates the Figure 9 table.
-pub fn generate(scale: &FigureScale) -> Table {
+/// The Figure 9 plan.
+pub fn plan(scale: &FigureScale) -> Plan {
+    let mut sweep = Sweep::new(SWEEP);
+    for view_size in [15usize, 27] {
+        for (i, pct) in NAT_PCTS.iter().enumerate() {
+            let salt = 0x0009_0000 ^ ((view_size as u64) << 20) ^ (i as u64);
+            let scale = scale.clone();
+            let pct = *pct;
+            sweep.point(point_key(view_size, pct), point_seeds(&scale, salt), move |seed| {
+                nylon_chain_sample(&scale, view_size, pct, seed)
+            });
+        }
+    }
+    Plan::new("fig9", vec![sweep], |results| vec![render(results)])
+}
+
+fn point_key(view_size: usize, pct: f64) -> String {
+    format!("v{view_size}/{pct:.0}")
+}
+
+fn render(results: &Results) -> Table {
     let mut table = Table::new(
         "Figure 9 — average number of RVPs towards a natted destination (RC/PRC/SYM mix 50/40/10)",
         ["NAT %", "view 15", "view 27"],
     );
-    let mut cells: Vec<Vec<String>> = NAT_PCTS.iter().map(|p| vec![format!("{p:.0}")]).collect();
-    for view_size in [15usize, 27] {
-        progress(&format!("fig9: view={view_size}"));
-        for (i, pct) in NAT_PCTS.iter().enumerate() {
-            let salt = 0x0009_0000 ^ ((view_size as u64) << 20) ^ (i as u64);
-            let s = nylon_chain_point(scale, view_size, *pct, salt);
-            let mean = if s.count() == 0 { f64::NAN } else { s.mean() };
-            cells[i].push(fmt_f(mean, 2));
+    for pct in NAT_PCTS {
+        let mut row = vec![format!("{pct:.0}")];
+        for view_size in [15usize, 27] {
+            let rows = results.point(SWEEP, &point_key(view_size, pct));
+            row.push(fmt_f(mean_finite(rows, 0), 2));
         }
-    }
-    for row in cells {
         table.push_row(row);
     }
     table

@@ -1,11 +1,21 @@
-//! One generator per paper artifact.
+//! One generator per paper artifact, as declarative experiment plans.
 //!
-//! Every module regenerates one table or figure of the paper as a
-//! [`Table`]: the same series the paper plots, with mean (and where
-//! meaningful, standard deviation) over seeds. Absolute numbers are not
-//! expected to match the authors' testbed — the *shapes* (who wins, where
-//! thresholds fall) are; see EXPERIMENTS.md for the side-by-side reading.
+//! Every module describes one table or figure of the paper as a
+//! [`Plan`]: the sweeps to execute (named grids of `(point, seed)` cells
+//! for the [`crate::experiment`] executor) plus a render step turning the
+//! collected cell values into [`Table`]s — the same series the paper
+//! plots, with mean (and where meaningful, standard deviation) over
+//! seeds. Absolute numbers are not expected to match the authors' testbed
+//! — the *shapes* (who wins, where thresholds fall) are; see
+//! EXPERIMENTS.md for the side-by-side reading.
+//!
+//! Splitting plan from render is what buys the executor its leverage:
+//! sweeps from several artifacts merge into one cell pool (figures that
+//! read different columns of the same simulations — 3/4 and 7/8 — run
+//! them once), the pool parallelizes across everything at once, and each
+//! completed cell checkpoints for `--resume`.
 
+use crate::experiment::{ExecOptions, Experiment, Results, Sweep};
 use crate::output::Table;
 
 mod ablation;
@@ -63,9 +73,18 @@ impl FigureScale {
             base_seed: 0xA11CE,
         }
     }
+
+    /// Identity of the runs this scale produces, for checkpoint matching:
+    /// cells computed at a different scale answer different questions.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "peers={} seeds={} rounds={} full_churn={} base_seed={}",
+            self.peers, self.seeds, self.rounds, self.full_churn_horizons, self.base_seed
+        )
+    }
 }
 
-/// Names accepted by [`generate`], in presentation order.
+/// Names accepted by [`plan`]/[`generate`], in presentation order.
 pub const FIGURES: &[&str] = [
     "table1",
     "fig2",
@@ -82,27 +101,93 @@ pub const FIGURES: &[&str] = [
 ]
 .as_slice();
 
-/// Generates the table(s) for one named artifact.
+/// Renders collected cell values into an artifact's tables.
+type RenderFn = Box<dyn Fn(&Results) -> Vec<Table> + Send + Sync>;
+
+/// One artifact as a declarative unit: the sweeps it needs executed and
+/// the render step producing its tables from the results.
+pub struct Plan {
+    name: &'static str,
+    sweeps: Vec<Sweep>,
+    render: RenderFn,
+}
+
+impl Plan {
+    pub(crate) fn new(
+        name: &'static str,
+        sweeps: Vec<Sweep>,
+        render: impl Fn(&Results) -> Vec<Table> + Send + Sync + 'static,
+    ) -> Self {
+        Plan { name, sweeps, render: Box::new(render) }
+    }
+
+    /// The artifact this plan regenerates.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of simulation cells the plan registers (before cross-plan
+    /// dedup).
+    pub fn cell_count(&self) -> usize {
+        self.sweeps.iter().map(Sweep::cell_count).sum()
+    }
+
+    /// Splits the plan into its sweeps (for [`Experiment::add_sweep`]) and
+    /// render step.
+    pub fn into_parts(self) -> (Vec<Sweep>, RenderFn) {
+        (self.sweeps, self.render)
+    }
+}
+
+impl std::fmt::Debug for Plan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Plan").field("name", &self.name).field("sweeps", &self.sweeps).finish()
+    }
+}
+
+/// Builds the experiment plan for one named artifact.
 ///
 /// Returns `None` for an unknown name. Some artifacts (fig7/fig8, the
-/// ablations) produce multiple tables.
-pub fn generate(name: &str, scale: &FigureScale) -> Option<Vec<Table>> {
-    let tables = match name {
-        "table1" => vec![table1::generate()],
-        "fig2" => vec![fig2::generate(scale)],
-        "fig3" => vec![fig34::generate_fig3(scale)],
-        "fig4" => vec![fig34::generate_fig4(scale)],
-        "fig7" => vec![fig78::generate_fig7(scale)],
-        "fig8" => vec![fig78::generate_fig8(scale)],
-        "fig9" => vec![fig9::generate(scale)],
-        "fig10" => vec![fig10::generate(scale)],
-        "correctness" => vec![correctness::generate(scale)],
-        "ablation" => ablation::generate(scale),
-        "extensions" => extensions::generate(scale),
-        "timeline" => vec![timeline::generate(scale)],
+/// ablations) produce multiple tables; some (fig3/fig4, fig7/fig8) share
+/// their sweeps, so executing several plans through one [`Experiment`]
+/// runs the shared simulations once.
+pub fn plan(name: &str, scale: &FigureScale) -> Option<Plan> {
+    let plan = match name {
+        "table1" => Plan::new("table1", Vec::new(), |_| vec![table1::generate()]),
+        "fig2" => fig2::plan(scale),
+        "fig3" => fig34::plan_fig3(scale),
+        "fig4" => fig34::plan_fig4(scale),
+        "fig7" => fig78::plan_fig7(scale),
+        "fig8" => fig78::plan_fig8(scale),
+        "fig9" => fig9::plan(scale),
+        "fig10" => fig10::plan(scale),
+        "correctness" => correctness::plan(scale),
+        "ablation" => ablation::plan(scale),
+        "extensions" => extensions::plan(scale),
+        "timeline" => timeline::plan(scale),
         _ => return None,
     };
-    Some(tables)
+    Some(plan)
+}
+
+/// Generates the table(s) for one named artifact by executing its plan on
+/// a default-configured executor (no checkpoint, auto `--jobs`).
+///
+/// Returns `None` for an unknown name.
+pub fn generate(name: &str, scale: &FigureScale) -> Option<Vec<Table>> {
+    generate_with(name, scale, &ExecOptions::default())
+}
+
+/// [`generate`] with explicit execution options.
+pub fn generate_with(name: &str, scale: &FigureScale, opts: &ExecOptions) -> Option<Vec<Table>> {
+    let plan = plan(name, scale)?;
+    let (sweeps, render) = plan.into_parts();
+    let mut experiment = Experiment::new();
+    for sweep in sweeps {
+        experiment.add_sweep(sweep);
+    }
+    let results = experiment.run(opts);
+    Some(render(&results))
 }
 
 #[cfg(test)]
@@ -112,22 +197,50 @@ mod tests {
     #[test]
     fn unknown_figure_is_none() {
         assert!(generate("fig99", &FigureScale::default()).is_none());
+        assert!(plan("fig99", &FigureScale::default()).is_none());
     }
 
     #[test]
     fn table1_needs_no_simulation() {
+        let p = plan("table1", &FigureScale::default()).unwrap();
+        assert_eq!(p.cell_count(), 0);
         let tables = generate("table1", &FigureScale::default()).unwrap();
         assert_eq!(tables.len(), 1);
         assert_eq!(tables[0].rows.len(), 4);
     }
 
     #[test]
-    fn figure_names_are_known() {
+    fn every_figure_has_a_plan() {
+        let scale = FigureScale::default();
         for name in FIGURES {
-            // Generation itself is exercised by the integration tests at a
-            // tiny scale; here we only guard the registry.
-            assert!(!name.is_empty());
+            let p = plan(name, &scale).unwrap_or_else(|| panic!("no plan for {name}"));
+            assert_eq!(p.name(), *name);
         }
+    }
+
+    #[test]
+    fn shared_sweeps_dedup_across_plans() {
+        let scale = FigureScale::default();
+        let mut pairs = 0;
+        for (a, b) in [("fig3", "fig4"), ("fig7", "fig8")] {
+            let pa = plan(a, &scale).unwrap();
+            let pb = plan(b, &scale).unwrap();
+            let solo = pa.cell_count();
+            let mut exp = Experiment::new();
+            for s in pa.into_parts().0 {
+                exp.add_sweep(s);
+            }
+            for s in pb.into_parts().0 {
+                exp.add_sweep(s);
+            }
+            assert!(
+                exp.cell_count() <= solo.max(plan(b, &scale).unwrap().cell_count()),
+                "{a}+{b} must share cells: {} vs {solo} alone",
+                exp.cell_count()
+            );
+            pairs += 1;
+        }
+        assert_eq!(pairs, 2);
     }
 
     #[test]
@@ -136,5 +249,13 @@ mod tests {
         assert_eq!(s.peers, 10_000);
         assert_eq!(s.seeds, 30);
         assert!(s.full_churn_horizons);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_scales() {
+        assert_ne!(FigureScale::default().fingerprint(), FigureScale::paper().fingerprint());
+        let mut reseeded = FigureScale::default();
+        reseeded.base_seed ^= 1;
+        assert_ne!(FigureScale::default().fingerprint(), reseeded.fingerprint());
     }
 }

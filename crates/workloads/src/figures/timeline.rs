@@ -11,61 +11,71 @@
 use nylon::NylonConfig;
 use nylon_gossip::GossipConfig;
 
+use crate::experiment::{Results, Sweep};
 use crate::output::{fmt_f, Table};
-use crate::runner::{
-    biggest_cluster_pct_baseline, biggest_cluster_pct_nylon, build_baseline, build_nylon,
-    run_seeds, staleness_baseline, staleness_nylon,
-};
+use crate::runner::{biggest_cluster_pct, build, staleness};
 use crate::scenario::{NatMix, Scenario};
 
-use super::common::{point_seeds, progress, Sample4};
-use super::FigureScale;
+use super::common::point_seeds;
+use super::{FigureScale, Plan};
+
+const SWEEP: &str = "timeline";
+const POINT: &str = "70";
 
 const NAT_PCT: f64 = 70.0;
 
 /// Round checkpoints at which the overlays are measured.
 const CHECKPOINTS: [u64; 8] = [0, 2, 5, 10, 18, 30, 60, 120];
 
-/// Generates the timeline table: per checkpoint, biggest usable cluster
-/// and staleness for the baseline and for Nylon at 70 % PRC NAT.
-pub fn generate(scale: &FigureScale) -> Table {
-    let mut table = Table::new(
-        "Timeline — convergence at 70% PRC NAT: usable cluster and staleness per round",
-        ["round", "baseline cluster %", "baseline stale %", "nylon cluster %", "nylon stale %"],
-    );
-    progress("timeline: running checkpoints");
-    let seed_list = point_seeds(scale, 0x0011_0000);
-    // Each seed walks both engines through the checkpoints.
-    let per_seed = run_seeds(&seed_list, |seed| {
-        let scn = Scenario { mix: NatMix::prc_only(), ..Scenario::new(scale.peers, NAT_PCT, seed) };
-        let mut base = build_baseline(&scn, GossipConfig::default());
-        let mut nyl = build_nylon(&scn, NylonConfig::default());
-        let mut rows = Vec::with_capacity(CHECKPOINTS.len());
+/// Metrics recorded per checkpoint, in cell-vector order.
+const METRICS: usize = 4;
+
+/// The timeline plan: each cell walks both engines through the round
+/// checkpoints and returns the four metrics per checkpoint, flattened
+/// checkpoint-major.
+pub fn plan(scale: &FigureScale) -> Plan {
+    let mut sweep = Sweep::new(SWEEP);
+    let scale_c = scale.clone();
+    sweep.point(POINT, point_seeds(scale, 0x0011_0000), move |seed| {
+        let scn =
+            Scenario { mix: NatMix::prc_only(), ..Scenario::new(scale_c.peers, NAT_PCT, seed) };
+        let mut base = build(&scn, GossipConfig::default());
+        let mut nyl = build(&scn, NylonConfig::default());
+        let mut out = Vec::with_capacity(CHECKPOINTS.len() * METRICS);
         let mut done = 0u64;
         for cp in CHECKPOINTS {
             let advance = cp - done;
             base.run_rounds(advance);
             nyl.run_rounds(advance);
             done = cp;
-            rows.push((
-                biggest_cluster_pct_baseline(&base),
-                staleness_baseline(&base).stale_pct,
-                biggest_cluster_pct_nylon(&nyl),
-                staleness_nylon(&nyl).stale_pct,
-            ));
+            out.extend([
+                biggest_cluster_pct(&base),
+                staleness(&base).stale_pct,
+                biggest_cluster_pct(&nyl),
+                staleness(&nyl).stale_pct,
+            ]);
         }
-        rows
+        out
     });
+    Plan::new("timeline", vec![sweep], |results| vec![render(results)])
+}
+
+fn render(results: &Results) -> Table {
+    let mut table = Table::new(
+        "Timeline — convergence at 70% PRC NAT: usable cluster and staleness per round",
+        ["round", "baseline cluster %", "baseline stale %", "nylon cluster %", "nylon stale %"],
+    );
+    let rows = results.point(SWEEP, POINT);
     for (i, cp) in CHECKPOINTS.iter().enumerate() {
-        let mean = |f: &dyn Fn(&Sample4) -> f64| -> f64 {
-            per_seed.iter().map(|rows| f(&rows[i])).sum::<f64>() / per_seed.len() as f64
+        let mean = |j: usize| -> f64 {
+            rows.iter().map(|r| r[i * METRICS + j]).sum::<f64>() / rows.len() as f64
         };
         table.push_row([
             cp.to_string(),
-            fmt_f(mean(&|r| r.0), 1),
-            fmt_f(mean(&|r| r.1), 1),
-            fmt_f(mean(&|r| r.2), 1),
-            fmt_f(mean(&|r| r.3), 1),
+            fmt_f(mean(0), 1),
+            fmt_f(mean(1), 1),
+            fmt_f(mean(2), 1),
+            fmt_f(mean(3), 1),
         ]);
     }
     table

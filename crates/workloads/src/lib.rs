@@ -4,29 +4,37 @@
 //!
 //! * [`scenario`] — populations: network size, NAT percentage, NAT-type
 //!   mix ([`scenario::NatMix`]), deterministic class assignment.
-//! * [`runner`] — building and driving engines, snapshot extraction,
-//!   multi-seed fan-out over threads.
+//! * [`runner`] — one generic path over
+//!   [`nylon_gossip::PeerSampler`] building and driving any engine
+//!   (baseline, Nylon, static-RVP) plus the shared overlay/staleness
+//!   metric extraction.
+//! * [`experiment`] — the declarative, checkpointable executor: sweeps of
+//!   `(point, seed)` cells on a bounded worker pool, JSONL checkpoints,
+//!   `--resume`.
 //! * [`output`] — result tables rendered as markdown or CSV.
-//! * [`figures`] — one generator per paper artifact (Figures 2–4, 7–10,
-//!   the Section 2 traversal table, the Section 5 correctness checks, and
-//!   the DESIGN.md ablations).
+//! * [`figures`] — one experiment plan per paper artifact (Figures 2–4,
+//!   7–10, the Section 2 traversal table, the Section 5 correctness
+//!   checks, and the DESIGN.md ablations).
 //!
 //! The `repro` binary exposes all of it:
 //!
 //! ```text
-//! repro fig2 fig9 --peers 1000 --seeds 5
-//! repro all --full          # paper-scale (10,000 peers, 30 seeds)
+//! repro fig2 fig9 --peers 1000 --seeds 5 --jobs 8
+//! repro all --full --checkpoint ckpt/     # paper scale, interruptible
+//! repro all --full --checkpoint ckpt/ --resume
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod experiment;
 pub mod figures;
 pub mod output;
 pub mod runner;
 pub mod scenario;
 
-pub use figures::FigureScale;
+pub use experiment::{ExecOptions, Experiment, Results, Sweep};
+pub use figures::{FigureScale, Plan};
 pub use output::Table;
 pub use scenario::{NatMix, Scenario};

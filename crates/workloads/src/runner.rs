@@ -1,7 +1,14 @@
-//! Engine construction, snapshot extraction and multi-seed fan-out.
+//! Engine construction, snapshot extraction and multi-seed fan-out —
+//! one generic code path over [`PeerSampler`] for every engine.
+//!
+//! `build(&scenario, GossipConfig::default())` yields a baseline engine,
+//! `build(&scenario, NylonConfig::default())` a Nylon one, and any future
+//! sampler joins the whole pipeline by implementing the trait. The
+//! overlay/staleness metrics ask the engine's
+//! [`edge_usable`](PeerSampler::edge_usable) oracle, which is where the
+//! baseline-vs-Nylon reachability difference lives.
 
-use nylon::{NylonConfig, NylonEngine};
-use nylon_gossip::{BaselineEngine, GossipConfig};
+use nylon_gossip::{PeerSampler, SamplerConfig};
 use nylon_metrics::graph::DiGraph;
 use nylon_metrics::staleness::StalenessReport;
 use nylon_net::{NetConfig, PeerId};
@@ -16,10 +23,37 @@ fn upnp_peers(scn: &Scenario) -> Vec<bool> {
     scn.classes().iter().map(|c| c.is_natted() && rng.chance(scn.upnp_adoption)).collect()
 }
 
-/// Builds, bootstraps and starts a baseline engine for a scenario.
-pub fn build_baseline(scn: &Scenario, mut cfg: GossipConfig) -> BaselineEngine {
-    cfg.view_size = scn.view_size;
-    let mut eng = BaselineEngine::new(cfg, NetConfig::default(), scn.seed);
+/// Builds, bootstraps and starts an engine for a scenario over the default
+/// network fabric. The engine type follows from the config:
+/// [`nylon_gossip::GossipConfig`] builds the baseline,
+/// [`nylon::NylonConfig`] builds Nylon, [`nylon::StaticRvpConfig`] the
+/// static-RVP strawman.
+///
+/// # Panics
+///
+/// Panics if the scenario fails [`Scenario::validate`].
+pub fn build<C: SamplerConfig>(scn: &Scenario, cfg: C) -> C::Sampler {
+    build_with_net(scn, cfg, NetConfig::default())
+}
+
+/// [`build`] over a custom network fabric (loss injection, alternative NAT
+/// rule lifetimes). Protocol parameters tied to the fabric's are aligned
+/// first via [`SamplerConfig::align_to_net`].
+///
+/// # Panics
+///
+/// Panics if the scenario fails [`Scenario::validate`].
+pub fn build_with_net<C: SamplerConfig>(
+    scn: &Scenario,
+    mut cfg: C,
+    net_cfg: NetConfig,
+) -> C::Sampler {
+    if let Err(e) = scn.validate() {
+        panic!("invalid scenario: {e}");
+    }
+    cfg.set_view_size(scn.view_size);
+    cfg.align_to_net(&net_cfg);
+    let mut eng = C::Sampler::with_seed(cfg, net_cfg, scn.seed);
     for class in scn.classes() {
         eng.add_peer(class);
     }
@@ -35,65 +69,22 @@ pub fn build_baseline(scn: &Scenario, mut cfg: GossipConfig) -> BaselineEngine {
     eng
 }
 
-/// Builds, bootstraps and starts a Nylon engine for a scenario.
-pub fn build_nylon(scn: &Scenario, mut cfg: NylonConfig) -> NylonEngine {
-    cfg.view_size = scn.view_size;
-    let mut eng = NylonEngine::new(cfg, NetConfig::default(), scn.seed);
-    for class in scn.classes() {
-        eng.add_peer(class);
-    }
-    if scn.upnp_adoption > 0.0 {
-        for (i, enabled) in upnp_peers(scn).iter().enumerate() {
-            if *enabled {
-                eng.enable_port_forwarding(PeerId(i as u32));
-            }
-        }
-    }
-    eng.bootstrap_random_public(scn.bootstrap_contacts);
-    eng.start();
-    eng
-}
-
-/// The *usable* overlay graph of a baseline engine: one edge per view
-/// entry over which the holder could communicate right now (alive target,
-/// NAT admits the holder), plus the alive mask.
+/// The *usable* overlay graph of an engine: one edge per view entry over
+/// which the holder could communicate right now (per the engine's
+/// [`edge_usable`](PeerSampler::edge_usable) oracle), plus the alive mask.
 ///
 /// Stale entries are excluded: a reference the holder cannot use does not
 /// keep the overlay connected. This matches the paper's reading of
 /// "network partitions" — its Section 3 explains the surviving clusters as
 /// groups of peers that keep their mutual NAT holes alive by shuffling
 /// with each other within the filter-rule lifetime.
-pub fn overlay_graph_baseline(eng: &BaselineEngine) -> (DiGraph, Vec<bool>) {
-    let n = eng.net().peer_count();
-    let now = eng.now();
-    let net = eng.net();
-    let alive: Vec<bool> = (0..n).map(|i| net.is_alive(nylon_net::PeerId(i as u32))).collect();
+pub fn overlay_graph<S: PeerSampler>(eng: &S) -> (DiGraph, Vec<bool>) {
+    let n = eng.peer_count();
+    let alive: Vec<bool> = (0..n).map(|i| eng.is_alive(PeerId(i as u32))).collect();
     let mut edges = Vec::new();
     for p in eng.alive_peers() {
         for d in eng.view_of(p).iter() {
-            if d.id.index() < n && alive[d.id.index()] && net.reachable(now, p, d.id, d.addr) {
-                edges.push((p.0, d.id.0));
-            }
-        }
-    }
-    (DiGraph::from_edges(n, edges), alive)
-}
-
-/// The *usable* overlay graph of a Nylon engine: an entry is usable when
-/// the target is alive and either public or reachable through a live
-/// route (direct hole or RVP chain) — traversal through relays is the
-/// protocol's point, so usability asks the routing table.
-pub fn overlay_graph_nylon(eng: &NylonEngine) -> (DiGraph, Vec<bool>) {
-    let n = eng.net().peer_count();
-    let net = eng.net();
-    let alive: Vec<bool> = (0..n).map(|i| net.is_alive(nylon_net::PeerId(i as u32))).collect();
-    let mut edges = Vec::new();
-    for p in eng.alive_peers() {
-        for d in eng.view_of(p).iter() {
-            let usable = d.id.index() < n
-                && alive[d.id.index()]
-                && (d.class.is_public() || eng.routing_of(p).next_rvp(d.id).is_some());
-            if usable {
+            if eng.edge_usable(p, d) {
                 edges.push((p.0, d.id.0));
             }
         }
@@ -102,47 +93,21 @@ pub fn overlay_graph_nylon(eng: &NylonEngine) -> (DiGraph, Vec<bool>) {
 }
 
 /// Biggest weakly-connected cluster as a percentage of alive peers
-/// (Figure 2 / Figure 10 y-axis) for a baseline engine.
-pub fn biggest_cluster_pct_baseline(eng: &BaselineEngine) -> f64 {
-    let (graph, alive) = overlay_graph_baseline(eng);
+/// (Figure 2 / Figure 10 y-axis).
+pub fn biggest_cluster_pct<S: PeerSampler>(eng: &S) -> f64 {
+    let (graph, alive) = overlay_graph(eng);
     100.0 * graph.biggest_wcc_fraction(&alive)
 }
 
-/// Biggest weakly-connected cluster as a percentage of alive peers for a
-/// Nylon engine.
-pub fn biggest_cluster_pct_nylon(eng: &NylonEngine) -> f64 {
-    let (graph, alive) = overlay_graph_nylon(eng);
-    100.0 * graph.biggest_wcc_fraction(&alive)
-}
-
-/// Staleness report for a baseline engine, using the network's packet-level
-/// reachability oracle.
-pub fn staleness_baseline(eng: &BaselineEngine) -> StalenessReport {
-    let now = eng.now();
-    let net = eng.net();
-    let peers: Vec<nylon_net::PeerId> = eng.alive_peers().collect();
+/// Staleness report for an engine, using its
+/// [`edge_usable`](PeerSampler::edge_usable) oracle: for the baseline that
+/// is the network's packet-level reachability, for Nylon the routing table
+/// (a natted reference is usable when a live route towards it exists —
+/// reachability through relays is the protocol's whole point).
+pub fn staleness<S: PeerSampler>(eng: &S) -> StalenessReport {
+    let peers = eng.alive_peers();
     StalenessReport::compute(peers.iter().map(|p| (*p, eng.view_of(*p).as_slice())), |holder, d| {
-        net.is_alive(d.id) && net.reachable(now, holder, d.id, d.addr)
-    })
-}
-
-/// Staleness report for a Nylon engine.
-///
-/// For Nylon, a natted reference is usable when a live *route* towards it
-/// exists (direct hole or RVP chain) — reachability through relays is the
-/// protocol's whole point, so the oracle asks the routing table, not the
-/// raw NAT state.
-pub fn staleness_nylon(eng: &NylonEngine) -> StalenessReport {
-    let net = eng.net();
-    let peers: Vec<nylon_net::PeerId> = eng.alive_peers().collect();
-    StalenessReport::compute(peers.iter().map(|p| (*p, eng.view_of(*p).as_slice())), |holder, d| {
-        if !net.is_alive(d.id) {
-            return false;
-        }
-        if d.class.is_public() {
-            return true;
-        }
-        eng.routing_of(holder).next_rvp(d.id).is_some()
+        eng.edge_usable(holder, d)
     })
 }
 
@@ -153,29 +118,54 @@ pub fn seeds(count: u64, base: u64) -> Vec<u64> {
         .collect()
 }
 
+/// Renders a panic payload (as caught by `catch_unwind` / `join`) for
+/// error messages.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Runs `f` once per seed, in parallel over OS threads, returning results
 /// in seed order.
+///
+/// # Panics
+///
+/// Propagates a worker panic, naming the seed that died.
 pub fn run_seeds<T, F>(seed_list: &[u64], f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(u64) -> T + Sync,
 {
     std::thread::scope(|scope| {
-        let handles: Vec<_> = seed_list
+        let handles: Vec<(u64, _)> = seed_list
             .iter()
             .map(|s| {
                 let f = &f;
                 let s = *s;
-                scope.spawn(move || f(s))
+                (s, scope.spawn(move || f(s)))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("seed worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|(s, h)| {
+                h.join().unwrap_or_else(|e| {
+                    panic!("seed worker for seed {s} panicked: {}", panic_message(&*e))
+                })
+            })
+            .collect()
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nylon::{NylonConfig, NylonEngine};
+    use nylon_gossip::{BaselineEngine, GossipConfig};
     use nylon_metrics::Summary;
 
     fn scn(peers: usize, nat_pct: f64, seed: u64) -> Scenario {
@@ -184,19 +174,19 @@ mod tests {
 
     #[test]
     fn baseline_cluster_healthy_without_nats() {
-        let mut eng = build_baseline(&scn(80, 0.0, 1), GossipConfig::default());
+        let mut eng: BaselineEngine = build(&scn(80, 0.0, 1), GossipConfig::default());
         eng.run_rounds(30);
-        let pct = biggest_cluster_pct_baseline(&eng);
+        let pct = biggest_cluster_pct(&eng);
         assert!(pct > 99.0, "all-public overlay must stay connected, got {pct}");
-        let stale = staleness_baseline(&eng);
+        let stale = staleness(&eng);
         assert!(stale.stale_pct < 1.0, "no NATs, no staleness, got {}", stale.stale_pct);
     }
 
     #[test]
     fn baseline_degrades_with_nats() {
-        let mut eng = build_baseline(&scn(80, 80.0, 1), GossipConfig::default());
+        let mut eng: BaselineEngine = build(&scn(80, 80.0, 1), GossipConfig::default());
         eng.run_rounds(60);
-        let stale = staleness_baseline(&eng);
+        let stale = staleness(&eng);
         assert!(
             stale.stale_pct > 10.0,
             "80% PRC NATs must produce stale references, got {}",
@@ -206,12 +196,19 @@ mod tests {
 
     #[test]
     fn nylon_stays_clean_with_nats() {
-        let mut eng = build_nylon(&scn(80, 80.0, 1), NylonConfig::default());
+        let mut eng: NylonEngine = build(&scn(80, 80.0, 1), NylonConfig::default());
         eng.run_rounds(60);
-        let pct = biggest_cluster_pct_nylon(&eng);
+        let pct = biggest_cluster_pct(&eng);
         assert!(pct > 95.0, "Nylon must stay connected under NATs, got {pct}");
-        let stale = staleness_nylon(&eng);
+        let stale = staleness(&eng);
         assert!(stale.stale_pct < 5.0, "Nylon views must stay fresh, got {}", stale.stale_pct);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scenario")]
+    fn build_rejects_invalid_scenarios() {
+        let bad = Scenario { view_size: 0, ..scn(40, 50.0, 1) };
+        let _: BaselineEngine = build(&bad, GossipConfig::default());
     }
 
     #[test]
@@ -232,12 +229,29 @@ mod tests {
     }
 
     #[test]
+    fn run_seeds_panic_names_the_seed() {
+        let s = [7u64, 1234];
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_seeds(&s, |seed| {
+                if seed == 1234 {
+                    panic!("boom");
+                }
+                seed
+            })
+        }))
+        .expect_err("worker panic must propagate");
+        let msg = panic_message(&*caught);
+        assert!(msg.contains("1234"), "panic message must name the seed: {msg}");
+        assert!(msg.contains("boom"), "panic message must keep the cause: {msg}");
+    }
+
+    #[test]
     fn run_seeds_aggregates_into_summary() {
         let s = seeds(3, 7);
         let values = run_seeds(&s, |seed| {
-            let mut eng = build_baseline(&scn(40, 0.0, seed), GossipConfig::default());
+            let mut eng: BaselineEngine = build(&scn(40, 0.0, seed), GossipConfig::default());
             eng.run_rounds(10);
-            biggest_cluster_pct_baseline(&eng)
+            biggest_cluster_pct(&eng)
         });
         let summary: Summary = values.into_iter().collect();
         assert_eq!(summary.count(), 3);

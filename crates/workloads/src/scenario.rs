@@ -23,12 +23,12 @@ pub struct NatMix {
 
 impl NatMix {
     /// The paper's evaluation mix: 50 % RC, 40 % PRC, 10 % SYM.
-    pub fn paper_default() -> Self {
+    pub const fn paper_default() -> Self {
         NatMix { fc: 0.0, rc: 0.5, prc: 0.4, sym: 0.1 }
     }
 
     /// PRC only, as in the Section 3 baseline study.
-    pub fn prc_only() -> Self {
+    pub const fn prc_only() -> Self {
         NatMix { fc: 0.0, rc: 0.0, prc: 1.0, sym: 0.0 }
     }
 
@@ -127,6 +127,29 @@ impl Scenario {
         }
     }
 
+    /// Checks the scenario's fields for consistency, returning a message
+    /// naming the offending field instead of letting nonsense values
+    /// (negative NAT percentages, empty views, adoption fractions above 1)
+    /// silently skew a simulation downstream.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.peers == 0 {
+            return Err("peers must be nonzero".to_string());
+        }
+        if !self.nat_pct.is_finite() || !(0.0..=100.0).contains(&self.nat_pct) {
+            return Err(format!("nat_pct must be within [0, 100], got {}", self.nat_pct));
+        }
+        if !self.upnp_adoption.is_finite() || !(0.0..=1.0).contains(&self.upnp_adoption) {
+            return Err(format!("upnp_adoption must be within [0, 1], got {}", self.upnp_adoption));
+        }
+        if self.view_size == 0 {
+            return Err("view_size must be nonzero".to_string());
+        }
+        if self.bootstrap_contacts == 0 {
+            return Err("bootstrap_contacts must be nonzero (views would start empty)".to_string());
+        }
+        Ok(())
+    }
+
     /// Number of natted peers implied by `nat_pct` (rounded to nearest).
     pub fn natted_count(&self) -> usize {
         ((self.nat_pct / 100.0) * self.peers as f64).round() as usize
@@ -219,6 +242,29 @@ mod tests {
         assert!(all_pub.classes().iter().all(|c| c.is_public()));
         let all_nat = Scenario::new(50, 100.0, 1);
         assert!(all_nat.classes().iter().all(|c| c.is_natted()));
+    }
+
+    #[test]
+    fn validate_accepts_defaults() {
+        assert_eq!(Scenario::new(100, 70.0, 1).validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_names_the_offending_field() {
+        let base = Scenario::new(100, 70.0, 1);
+        let cases: [(Scenario, &str); 5] = [
+            (Scenario { peers: 0, ..base.clone() }, "peers"),
+            (Scenario { nat_pct: 120.0, ..base.clone() }, "nat_pct"),
+            (Scenario { nat_pct: f64::NAN, ..base.clone() }, "nat_pct"),
+            (Scenario { upnp_adoption: 1.5, ..base.clone() }, "upnp_adoption"),
+            (Scenario { view_size: 0, ..base.clone() }, "view_size"),
+        ];
+        for (scn, field) in cases {
+            let err = scn.validate().expect_err("invalid scenario must be rejected");
+            assert!(err.contains(field), "error '{err}' does not name {field}");
+        }
+        let no_contacts = Scenario { bootstrap_contacts: 0, ..base };
+        assert!(no_contacts.validate().is_err());
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use nylon::NylonConfig;
 use nylon_gossip::GossipConfig;
 use nylon_net::PeerId;
-use nylon_workloads::runner::{build_baseline, build_nylon};
+use nylon_workloads::runner::build;
 use nylon_workloads::{NatMix, Scenario};
 
 const PEERS: usize = 300;
@@ -32,9 +32,9 @@ fn main() {
     // Local values: natted peers hold 100, public peers hold 0. The true
     // mean is therefore 100 * nat_fraction = 80. A sampling service that
     // under-represents natted peers under-estimates the mean.
-    let mut base = build_baseline(&scn, GossipConfig::default());
+    let mut base = build(&scn, GossipConfig::default());
     base.run_rounds(80);
-    let mut nyl = build_nylon(&scn, NylonConfig::default());
+    let mut nyl = build(&scn, NylonConfig::default());
     nyl.run_rounds(80);
 
     let initial = |p: PeerId, is_natted: bool| -> f64 {

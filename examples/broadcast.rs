@@ -13,7 +13,7 @@ use std::collections::HashSet;
 use nylon::NylonConfig;
 use nylon_gossip::GossipConfig;
 use nylon_net::PeerId;
-use nylon_workloads::runner::{build_baseline, build_nylon};
+use nylon_workloads::runner::build;
 use nylon_workloads::{NatMix, Scenario};
 
 const PEERS: usize = 300;
@@ -27,9 +27,9 @@ fn main() {
     );
 
     // Steady-state overlays.
-    let mut base = build_baseline(&scn, GossipConfig::default());
+    let mut base = build(&scn, GossipConfig::default());
     base.run_rounds(80);
-    let mut nyl = build_nylon(&scn, NylonConfig::default());
+    let mut nyl = build(&scn, NylonConfig::default());
     nyl.run_rounds(80);
 
     // Deliverable edges right now.

@@ -5,12 +5,12 @@
 
 use nylon::{NylonConfig, NylonEngine};
 use nylon_net::{NatClass, NatType, PeerId};
-use nylon_workloads::runner::{biggest_cluster_pct_nylon, build_nylon};
+use nylon_workloads::runner::{biggest_cluster_pct, build};
 use nylon_workloads::Scenario;
 
 fn main() {
     let scn = Scenario::new(400, 70.0, 11);
-    let mut eng = build_nylon(&scn, NylonConfig::default());
+    let mut eng = build(&scn, NylonConfig::default());
 
     println!("400 peers, 70% NATs (50/40/10 RC/PRC/SYM), shuffle every 5s\n");
     eng.run_rounds(100);
@@ -53,7 +53,7 @@ fn main() {
 }
 
 fn report(eng: &NylonEngine, label: &str) {
-    let cluster = biggest_cluster_pct_nylon(eng);
+    let cluster = biggest_cluster_pct(eng);
     let alive = eng.alive_peers().count();
     let full_views = eng.alive_peers().filter(|p| !eng.view_of(*p).is_empty()).count();
     println!(

@@ -4,11 +4,10 @@
 //!
 //! Run with: `cargo run --release --example load_balance`
 
-use nylon::{NylonConfig, StaticRvpEngine};
-use nylon_gossip::GossipConfig;
-use nylon_net::{NetConfig, TrafficStats};
+use nylon::{NylonConfig, StaticRvpConfig};
+use nylon_net::TrafficStats;
 use nylon_sim::SimDuration;
-use nylon_workloads::runner::build_nylon;
+use nylon_workloads::runner::build;
 use nylon_workloads::Scenario;
 
 const ROUNDS: u64 = 120;
@@ -18,7 +17,7 @@ fn main() {
     println!("300 peers, 70% NATs, measuring B/s per peer over {ROUNDS} rounds\n");
 
     // Nylon: every peer is an RVP.
-    let mut nylon = build_nylon(&scn, NylonConfig::default());
+    let mut nylon = build(&scn, NylonConfig::default());
     nylon.run_rounds(ROUNDS);
     let window = SimDuration::from_secs(5) * ROUNDS;
     let nylon_stats: Vec<(bool, TrafficStats, u32)> = nylon
@@ -27,14 +26,9 @@ fn main() {
         .collect();
     summarize("Nylon (reactive RVP chains)", &nylon_stats, window);
 
-    // The strawman: natted peers bound to static public RVPs.
-    let mut strawman =
-        StaticRvpEngine::new(GossipConfig::default(), NetConfig::default(), scn.seed);
-    for class in scn.classes() {
-        strawman.add_peer(class);
-    }
-    strawman.bootstrap_random_public(scn.bootstrap_contacts);
-    strawman.start();
+    // The strawman: natted peers bound to static public RVPs. The same
+    // generic builder, a different config type.
+    let mut strawman = build(&scn, StaticRvpConfig::default());
     strawman.run_rounds(ROUNDS);
     let straw_stats: Vec<(bool, TrafficStats, u32)> = strawman
         .alive_peers()

@@ -9,10 +9,7 @@
 
 use nylon::NylonConfig;
 use nylon_gossip::GossipConfig;
-use nylon_workloads::runner::{
-    biggest_cluster_pct_baseline, biggest_cluster_pct_nylon, build_baseline, build_nylon,
-    staleness_baseline, staleness_nylon,
-};
+use nylon_workloads::runner::{biggest_cluster_pct, build, staleness};
 use nylon_workloads::{NatMix, Scenario};
 
 const PEERS: usize = 300;
@@ -32,15 +29,15 @@ fn main() {
     for nat_pct in [0.0f64, 40.0, 60.0, 80.0, 95.0] {
         let scn = Scenario { mix: NatMix::prc_only(), ..Scenario::new(PEERS, nat_pct, 7) };
 
-        let mut base = build_baseline(&scn, GossipConfig::default());
+        let mut base = build(&scn, GossipConfig::default());
         base.run_rounds(ROUNDS);
-        let base_cluster = biggest_cluster_pct_baseline(&base);
-        let base_stale = staleness_baseline(&base);
+        let base_cluster = biggest_cluster_pct(&base);
+        let base_stale = staleness(&base);
 
-        let mut nyl = build_nylon(&scn, NylonConfig::default());
+        let mut nyl = build(&scn, NylonConfig::default());
         nyl.run_rounds(ROUNDS);
-        let nyl_cluster = biggest_cluster_pct_nylon(&nyl);
-        let nyl_stale = staleness_nylon(&nyl);
+        let nyl_cluster = biggest_cluster_pct(&nyl);
+        let nyl_stale = staleness(&nyl);
 
         println!(
             "{:>6.0} | {:>10.1} {:>11.1} | {:>10.1} {:>11.1} | {:>12.1} {:>13.1}",

@@ -3,10 +3,7 @@
 use nylon::NylonConfig;
 use nylon_gossip::GossipConfig;
 use nylon_net::PeerId;
-use nylon_workloads::runner::{
-    biggest_cluster_pct_baseline, biggest_cluster_pct_nylon, build_baseline, build_nylon,
-    staleness_baseline, staleness_nylon,
-};
+use nylon_workloads::runner::{biggest_cluster_pct, build, staleness};
 use nylon_workloads::{NatMix, Scenario};
 
 fn prc_scenario(peers: usize, nat_pct: f64, seed: u64) -> Scenario {
@@ -18,14 +15,14 @@ fn prc_scenario(peers: usize, nat_pct: f64, seed: u64) -> Scenario {
 #[test]
 fn staleness_baseline_vs_nylon() {
     let scn = prc_scenario(150, 70.0, 42);
-    let mut base = build_baseline(&scn, GossipConfig::default());
+    let mut base = build(&scn, GossipConfig::default());
     base.run_rounds(60);
-    let b = staleness_baseline(&base);
+    let b = staleness(&base);
     assert!(b.stale_pct > 20.0, "baseline staleness too low: {}", b.stale_pct);
 
-    let mut nyl = build_nylon(&scn, NylonConfig::default());
+    let mut nyl = build(&scn, NylonConfig::default());
     nyl.run_rounds(60);
-    let n = staleness_nylon(&nyl);
+    let n = staleness(&nyl);
     assert!(n.stale_pct < 2.0, "nylon staleness too high: {}", n.stale_pct);
 }
 
@@ -34,9 +31,9 @@ fn staleness_baseline_vs_nylon() {
 #[test]
 fn natted_representation() {
     let scn = prc_scenario(150, 60.0, 7);
-    let mut base = build_baseline(&scn, GossipConfig::default());
+    let mut base = build(&scn, GossipConfig::default());
     base.run_rounds(60);
-    let b = staleness_baseline(&base);
+    let b = staleness(&base);
     // 60% of peers are natted; usable baseline references to them are far
     // below that share.
     assert!(
@@ -44,9 +41,9 @@ fn natted_representation() {
         "baseline natted share unexpectedly fair: {}",
         b.natted_nonstale_pct
     );
-    let mut nyl = build_nylon(&scn, NylonConfig::default());
+    let mut nyl = build(&scn, NylonConfig::default());
     nyl.run_rounds(60);
-    let n = staleness_nylon(&nyl);
+    let n = staleness(&nyl);
     assert!(n.natted_nonstale_pct > 45.0, "nylon natted share too low: {}", n.natted_nonstale_pct);
 }
 
@@ -55,13 +52,13 @@ fn natted_representation() {
 #[test]
 fn connectivity_under_extreme_nats() {
     let scn = prc_scenario(150, 95.0, 3);
-    let mut base = build_baseline(&scn, GossipConfig::default());
+    let mut base = build(&scn, GossipConfig::default());
     base.run_rounds(80);
-    let b = biggest_cluster_pct_baseline(&base);
+    let b = biggest_cluster_pct(&base);
 
-    let mut nyl = build_nylon(&scn, NylonConfig::default());
+    let mut nyl = build(&scn, NylonConfig::default());
     nyl.run_rounds(80);
-    let n = biggest_cluster_pct_nylon(&nyl);
+    let n = biggest_cluster_pct(&nyl);
 
     assert!(n > 97.0, "nylon partitioned: {n}");
     assert!(n > b, "nylon ({n}) must beat the baseline ({b})");
@@ -71,7 +68,7 @@ fn connectivity_under_extreme_nats() {
 #[test]
 fn nylon_survives_mass_departure() {
     let scn = Scenario::new(160, 70.0, 11);
-    let mut eng = build_nylon(&scn, NylonConfig::default());
+    let mut eng = build(&scn, NylonConfig::default());
     eng.run_rounds(50);
     // Remove half of the peers, public and natted proportionally (here:
     // every second peer, which preserves the class ratio in expectation).
@@ -79,7 +76,7 @@ fn nylon_survives_mass_departure() {
         eng.alive_peers().enumerate().filter(|(i, _)| i % 2 == 0).map(|(_, p)| p).collect();
     eng.kill_peers(&victims);
     eng.run_rounds(60);
-    let cluster = biggest_cluster_pct_nylon(&eng);
+    let cluster = biggest_cluster_pct(&eng);
     assert!(cluster > 90.0, "survivors partitioned: {cluster}");
     // And gossip keeps making progress.
     let before = eng.stats().requests_completed;
@@ -92,7 +89,7 @@ fn nylon_survives_mass_departure() {
 fn whole_stack_determinism() {
     let run = |seed: u64| {
         let scn = Scenario::new(120, 70.0, seed);
-        let mut eng = build_nylon(&scn, NylonConfig::default());
+        let mut eng = build(&scn, NylonConfig::default());
         eng.run_rounds(40);
         let views: Vec<Vec<u32>> = eng
             .alive_peers()
@@ -113,7 +110,7 @@ fn whole_stack_determinism() {
 #[test]
 fn bandwidth_is_modest() {
     let scn = Scenario::new(150, 70.0, 13);
-    let mut eng = build_nylon(&scn, NylonConfig::default());
+    let mut eng = build(&scn, NylonConfig::default());
     eng.run_rounds(60);
     let total: u64 = eng
         .alive_peers()
@@ -133,7 +130,7 @@ fn bandwidth_is_modest() {
 #[test]
 fn chains_stay_short() {
     let scn = Scenario::new(150, 80.0, 17);
-    let mut eng = build_nylon(&scn, NylonConfig::default());
+    let mut eng = build(&scn, NylonConfig::default());
     eng.run_rounds(60);
     let mean = eng.stats().mean_chain_len().expect("punches happened");
     assert!(mean < 4.0, "mean chain length {mean} exceeds the paper's ballpark");
@@ -144,7 +141,7 @@ fn chains_stay_short() {
 #[test]
 fn load_is_balanced() {
     let scn = Scenario::new(150, 70.0, 19);
-    let mut eng = build_nylon(&scn, NylonConfig::default());
+    let mut eng = build(&scn, NylonConfig::default());
     eng.run_rounds(80);
     let (mut pub_sum, mut pub_n, mut nat_sum, mut nat_n) = (0u64, 0u64, 0u64, 0u64);
     for p in eng.alive_peers().collect::<Vec<_>>() {
@@ -171,15 +168,15 @@ fn load_is_balanced() {
 fn upnp_heals_the_baseline() {
     let without = {
         let scn = prc_scenario(120, 70.0, 23);
-        let mut eng = build_baseline(&scn, GossipConfig::default());
+        let mut eng = build(&scn, GossipConfig::default());
         eng.run_rounds(50);
-        staleness_baseline(&eng).stale_pct
+        staleness(&eng).stale_pct
     };
     let with = {
         let scn = Scenario { upnp_adoption: 1.0, ..prc_scenario(120, 70.0, 23) };
-        let mut eng = build_baseline(&scn, GossipConfig::default());
+        let mut eng = build(&scn, GossipConfig::default());
         eng.run_rounds(50);
-        staleness_baseline(&eng).stale_pct
+        staleness(&eng).stale_pct
     };
     assert!(without > 20.0, "un-forwarded baseline must degrade: {without}");
     assert!(with < 1.0, "universal UPnP must eliminate staleness: {with}");

@@ -4,9 +4,7 @@ use proptest::prelude::*;
 
 use nylon::NylonConfig;
 use nylon_gossip::GossipConfig;
-use nylon_workloads::runner::{
-    biggest_cluster_pct_nylon, build_baseline, build_nylon, staleness_nylon,
-};
+use nylon_workloads::runner::{biggest_cluster_pct, build, staleness};
 use nylon_workloads::Scenario;
 
 proptest! {
@@ -22,7 +20,7 @@ proptest! {
         rounds in 5u64..40,
     ) {
         let scn = Scenario::new(peers, nat_pct, seed);
-        let mut eng = build_nylon(&scn, NylonConfig::default());
+        let mut eng = build(&scn, NylonConfig::default());
         eng.run_rounds(rounds);
         for p in eng.alive_peers().collect::<Vec<_>>() {
             let view = eng.view_of(p);
@@ -36,9 +34,9 @@ proptest! {
             prop_assert_eq!(ids.len(), before, "duplicate view entry");
         }
         // Metrics stay within their domains.
-        let cluster = biggest_cluster_pct_nylon(&eng);
+        let cluster = biggest_cluster_pct(&eng);
         prop_assert!((0.0..=100.0).contains(&cluster));
-        let stale = staleness_nylon(&eng);
+        let stale = staleness(&eng);
         prop_assert!((0.0..=100.0).contains(&stale.stale_pct));
         prop_assert!((0.0..=100.0).contains(&stale.natted_nonstale_pct));
     }
@@ -52,7 +50,7 @@ proptest! {
         rounds in 5u64..40,
     ) {
         let scn = Scenario::new(peers, nat_pct, seed);
-        let mut eng = build_baseline(&scn, GossipConfig::default());
+        let mut eng = build(&scn, GossipConfig::default());
         eng.run_rounds(rounds);
         for p in eng.alive_peers().collect::<Vec<_>>() {
             let view = eng.view_of(p);
@@ -75,7 +73,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let scn = Scenario::new(peers, nat_pct, seed);
-        let mut eng = build_nylon(&scn, NylonConfig::default());
+        let mut eng = build(&scn, NylonConfig::default());
         eng.run_rounds(25);
         for p in eng.alive_peers().collect::<Vec<_>>() {
             let rt = eng.routing_of(p);
@@ -98,7 +96,7 @@ proptest! {
     fn replay_determinism(peers in 30usize..70, nat_pct in 0.0f64..100.0, seed in any::<u64>()) {
         let run = || {
             let scn = Scenario::new(peers, nat_pct, seed);
-            let mut eng = build_nylon(&scn, NylonConfig::default());
+            let mut eng = build(&scn, NylonConfig::default());
             eng.run_rounds(15);
             eng.stats()
         };
