@@ -123,12 +123,51 @@ fn bench_protocol_round(c: &mut Criterion) {
     });
 }
 
+fn bench_codec(c: &mut Criterion) {
+    use nylon::message::{NylonMsg, WireEntry};
+    use nylon_transport::codec::{decode_frame, encode_frame, Frame};
+
+    // A full default-sized view exchange — fresh self-descriptor plus the
+    // 15 view entries, 16 wire entries total — the datagram a live node
+    // ships every shuffle.
+    let entry = |i: u32| {
+        let mut d = NodeDescriptor::new(
+            PeerId(i),
+            Endpoint::new(Ip(0x4000_0000 + i), Port(1024 + i as u16)),
+            NatClass::Natted(NatType::PortRestrictedCone),
+        );
+        d.age = (i % 7) as u16;
+        WireEntry::new(d, SimDuration::from_secs(60), (i % 3) as u8)
+    };
+    let msg = NylonMsg::Request {
+        src: entry(0).descriptor,
+        dest: PeerId(99),
+        via: PeerId(0),
+        hops: 0,
+        entries: (0..16).map(entry).collect(),
+    };
+    let src = Endpoint::new(Ip(0x0A00_0001), Port(5000));
+    let dst = Endpoint::new(Ip(0x0100_0002), Port(9000));
+
+    c.bench_function("codec_encode_view_exchange_16", |b| {
+        b.iter(|| black_box(encode_frame(src, dst, &msg)))
+    });
+
+    let encoded = encode_frame(src, dst, &msg);
+    c.bench_function("codec_decode_view_exchange_16", |b| {
+        b.iter(|| {
+            let frame: Frame<NylonMsg> = decode_frame(black_box(&encoded)).expect("valid frame");
+            black_box(frame.dst)
+        })
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(20)
         .warm_up_time(Duration::from_millis(500))
         .measurement_time(Duration::from_secs(5));
-    targets = bench_event_queue, bench_natbox, bench_view_merge, bench_routing_table, bench_protocol_round
+    targets = bench_event_queue, bench_natbox, bench_view_merge, bench_routing_table, bench_protocol_round, bench_codec
 }
 criterion_main!(benches);

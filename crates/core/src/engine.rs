@@ -15,7 +15,9 @@
 use std::collections::HashMap;
 
 use nylon_gossip::{NodeDescriptor, PartialView};
-use nylon_net::{Delivery, Endpoint, InFlight, NatClass, NatType, NetConfig, Network, PeerId};
+use nylon_net::{
+    Delivery, Endpoint, InFlight, NatClass, NatType, NetConfig, Network, Outbound, PeerId,
+};
 use nylon_sim::{Sim, SimDuration, SimRng, SimTime};
 
 use crate::config::NylonConfig;
@@ -129,6 +131,7 @@ pub struct NylonEngine {
     stats: NylonStats,
     started: bool,
     sample_log: Option<Vec<u32>>,
+    wire_tap: Option<Vec<Outbound<NylonMsg>>>,
 }
 
 impl NylonEngine {
@@ -153,7 +156,35 @@ impl NylonEngine {
             stats: NylonStats::default(),
             started: false,
             sample_log: None,
+            wire_tap: None,
         }
+    }
+
+    /// Switches the engine to wire-tap mode: datagrams are no longer routed
+    /// through the simulated fabric but collected for an external transport
+    /// (see [`NylonEngine::take_outbound`]), and inbound datagrams enter
+    /// via [`NylonEngine::deliver_wire`]. Protocol behaviour — shuffling,
+    /// hole punching, relaying, routing — is untouched; only the carriage
+    /// substrate changes. The NAT behaviour then lives on the wire (the
+    /// user-space NAT emulator), not in the internal fabric.
+    pub fn enable_wire_tap(&mut self) {
+        self.wire_tap = Some(Vec::new());
+    }
+
+    /// Drains the datagrams queued since the last call (wire-tap mode).
+    pub fn take_outbound(&mut self) -> Vec<Outbound<NylonMsg>> {
+        self.wire_tap.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Injects a datagram received from an external transport, addressed to
+    /// `to` and observed as coming from `from_ep` (post-NAT). The protocol
+    /// handling is identical to a simulated delivery.
+    pub fn deliver_wire(&mut self, to: PeerId, from_ep: Endpoint, msg: NylonMsg) {
+        if !self.net.is_alive(to) {
+            return;
+        }
+        self.net.note_received(to, self.cfg.wire.bytes_of(&msg));
+        self.on_msg(to, from_ep, msg);
     }
 
     /// Starts recording every gossip-target selection (peer ids, in
@@ -373,8 +404,13 @@ impl NylonEngine {
     }
 
     fn send_msg(&mut self, from: PeerId, to_ep: Endpoint, msg: NylonMsg) {
-        let now = self.sim.now();
         let bytes = self.cfg.wire.bytes_of(&msg);
+        if let Some(tap) = &mut self.wire_tap {
+            tap.push(Outbound { from, dst: to_ep, payload_bytes: bytes, payload: msg });
+            self.net.note_sent(from, bytes);
+            return;
+        }
+        let now = self.sim.now();
         if let Some(flight) = self.net.send(now, from, to_ep, msg, bytes) {
             self.sim.schedule_at(flight.arrive_at, Ev::Deliver(flight));
         }
@@ -530,6 +566,13 @@ impl NylonEngine {
             Delivery::ToPeer { to, from_ep, payload } => (to, from_ep, payload),
             Delivery::Dropped { .. } => return,
         };
+        self.on_msg(to, from_ep, msg);
+    }
+
+    /// Protocol handling of a delivered message (Figure 6's `on receive`),
+    /// independent of the carriage substrate (simulated fabric or live
+    /// transport).
+    fn on_msg(&mut self, to: PeerId, from_ep: Endpoint, msg: NylonMsg) {
         match msg {
             NylonMsg::Request { src, dest, via, hops, entries } => {
                 self.touch(to, via, from_ep);

@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 
-use nylon_net::{Delivery, InFlight, NatClass, NetConfig, Network, PeerId};
+use nylon_net::{Delivery, Endpoint, InFlight, NatClass, NetConfig, Network, Outbound, PeerId};
 use nylon_sim::{Sim, SimDuration, SimRng, SimTime};
 
 use crate::descriptor::NodeDescriptor;
@@ -84,6 +84,7 @@ pub struct BaselineEngine {
     stats: ShuffleStats,
     started: bool,
     sample_log: Option<Vec<u32>>,
+    wire_tap: Option<Vec<Outbound<BaselineMsg>>>,
 }
 
 impl BaselineEngine {
@@ -100,6 +101,61 @@ impl BaselineEngine {
             stats: ShuffleStats::default(),
             started: false,
             sample_log: None,
+            wire_tap: None,
+        }
+    }
+
+    /// Switches the engine to wire-tap mode: datagrams are no longer routed
+    /// through the simulated fabric but collected for an external transport
+    /// (see [`BaselineEngine::take_outbound`]), and inbound datagrams enter
+    /// via [`BaselineEngine::deliver_wire`]. Protocol behaviour is
+    /// untouched — only the carriage substrate changes.
+    ///
+    /// Note: in this mode the fabric's NAT state sees no traffic, so the
+    /// packet-level `reachable` oracle (and therefore this engine's
+    /// `edge_usable`) reflects the wire's NAT emulation, not the internal
+    /// one.
+    pub fn enable_wire_tap(&mut self) {
+        self.wire_tap = Some(Vec::new());
+    }
+
+    /// Drains the datagrams queued since the last call (wire-tap mode).
+    pub fn take_outbound(&mut self) -> Vec<Outbound<BaselineMsg>> {
+        self.wire_tap.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Injects a datagram received from an external transport, addressed to
+    /// `to` and observed as coming from `from_ep` (post-NAT). The protocol
+    /// handling is identical to a simulated delivery.
+    pub fn deliver_wire(&mut self, to: PeerId, from_ep: Endpoint, msg: BaselineMsg) {
+        if !self.net.is_alive(to) {
+            return;
+        }
+        self.net.note_received(to, self.payload_bytes(&msg));
+        self.on_msg(to, from_ep, msg);
+    }
+
+    /// Modeled payload size of a message, per the config's wire-size model.
+    fn payload_bytes(&self, msg: &BaselineMsg) -> u32 {
+        match msg {
+            BaselineMsg::Request { entries, .. } | BaselineMsg::Response { entries, .. } => {
+                self.cfg.message_bytes(entries.len())
+            }
+        }
+    }
+
+    /// Sends `msg` to `to_ep`: through the fabric normally, or onto the
+    /// wire-tap queue when an external transport carries the datagrams.
+    fn send_msg(&mut self, from: PeerId, to_ep: Endpoint, msg: BaselineMsg) {
+        let bytes = self.payload_bytes(&msg);
+        if let Some(tap) = &mut self.wire_tap {
+            tap.push(Outbound { from, dst: to_ep, payload_bytes: bytes, payload: msg });
+            self.net.note_sent(from, bytes);
+            return;
+        }
+        let now = self.sim.now();
+        if let Some(flight) = self.net.send(now, from, to_ep, msg, bytes) {
+            self.sim.schedule_at(flight.arrive_at, Ev::Deliver(flight));
         }
     }
 
@@ -284,7 +340,6 @@ impl BaselineEngine {
         if !self.net.is_alive(p) {
             return; // dead peers stop shuffling; timer chain ends here
         }
-        let now = self.sim.now();
         let self_d = self.self_descriptor(p);
         let target = {
             let node = &mut self.nodes[p.index()];
@@ -299,11 +354,8 @@ impl BaselineEngine {
                 let payload = self.nodes[p.index()].view.shuffle_payload(self_d);
                 let sent_ids: Vec<PeerId> = payload.iter().map(|d| d.id).collect();
                 self.nodes[p.index()].pending_sent.insert(target.id, sent_ids);
-                let bytes = self.cfg.message_bytes(payload.len());
                 let msg = BaselineMsg::Request { from: p, entries: payload };
-                if let Some(flight) = self.net.send(now, p, target.addr, msg, bytes) {
-                    self.sim.schedule_at(flight.arrive_at, Ev::Deliver(flight));
-                }
+                self.send_msg(p, target.addr, msg);
                 self.stats.initiated += 1;
             }
         }
@@ -317,6 +369,12 @@ impl BaselineEngine {
             Delivery::ToPeer { to, from_ep, payload } => (to, from_ep, payload),
             Delivery::Dropped { .. } => return, // counted by the fabric
         };
+        self.on_msg(to, from_ep, msg);
+    }
+
+    /// Protocol handling of a delivered message, independent of the
+    /// carriage substrate (simulated fabric or live transport).
+    fn on_msg(&mut self, to: PeerId, from_ep: Endpoint, msg: BaselineMsg) {
         match msg {
             // Figure 1, lines 8–12: answer (push/pull), then merge.
             BaselineMsg::Request { from, entries } => {
@@ -326,13 +384,10 @@ impl BaselineEngine {
                 if self.cfg.propagation == PropagationPolicy::PushPull {
                     let payload = self.nodes[to.index()].view.shuffle_payload(self_d);
                     sent_ids = payload.iter().map(|d| d.id).collect();
-                    let bytes = self.cfg.message_bytes(payload.len());
                     let msg = BaselineMsg::Response { from: to, entries: payload };
                     // Reply to the *observed* source endpoint: travels back
                     // through whatever hole the request opened.
-                    if let Some(flight) = self.net.send(now, to, from_ep, msg, bytes) {
-                        self.sim.schedule_at(flight.arrive_at, Ev::Deliver(flight));
-                    }
+                    self.send_msg(to, from_ep, msg);
                 }
                 let node = &mut self.nodes[to.index()];
                 node.view.merge_and_truncate(&entries, &sent_ids, self.cfg.merge, &mut node.rng);

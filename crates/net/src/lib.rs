@@ -57,5 +57,8 @@ pub mod traversal;
 
 pub use addr::{Endpoint, Ip, PeerId, Port};
 pub use nat::{NatClass, NatType};
-pub use network::{Delivery, DropReason, InFlight, NetConfig, Network, TrafficStats};
+pub use network::{
+    private_endpoint, Delivery, DropCounters, DropReason, InFlight, NetConfig, Network, Outbound,
+    TrafficStats,
+};
 pub use traversal::ContactMethod;

@@ -207,6 +207,33 @@ const PUBLIC_PEER_PORT: u16 = 9000;
 /// Private port every peer binds.
 const PRIVATE_PORT: u16 = 5000;
 
+/// The private endpoint assigned to a peer by the fabric's address plan.
+///
+/// The plan is deterministic in the peer id, so live transports (which
+/// carry these virtual endpoints in their frames) and the simulated fabric
+/// agree on it without coordination.
+pub const fn private_endpoint(peer: PeerId) -> Endpoint {
+    Endpoint::new(Ip(Ip::PRIVATE_BASE + peer.0), Port(PRIVATE_PORT))
+}
+
+/// A datagram an engine wants on the wire, captured by the engines'
+/// wire-tap mode instead of being routed through the simulated fabric.
+///
+/// A live transport ships the payload to `dst` and lets whatever sits on
+/// the path (a real network, or the user-space NAT emulator) decide
+/// delivery and source-address rewriting.
+#[derive(Debug, Clone)]
+pub struct Outbound<P> {
+    /// Sending peer.
+    pub from: PeerId,
+    /// Destination (virtual) endpoint the sender addressed.
+    pub dst: Endpoint,
+    /// Modeled payload size in bytes (excluding per-datagram headers).
+    pub payload_bytes: u32,
+    /// Protocol payload.
+    pub payload: P,
+}
+
 /// The simulated network: peers, NAT boxes, latency, loss and accounting.
 ///
 /// Payload-generic: `P` is the protocol message type. See the crate-level
@@ -515,6 +542,27 @@ impl<P> Network<P> {
     /// Traffic counters for one peer.
     pub fn stats_of(&self, peer: PeerId) -> TrafficStats {
         self.stats[peer.index()]
+    }
+
+    /// Accounts one sent datagram of `payload_bytes` for `peer` without
+    /// routing it through the fabric. Used by the engines' wire-tap mode,
+    /// where a live transport carries the datagram but this registry still
+    /// owns the per-peer traffic counters.
+    pub fn note_sent(&mut self, peer: PeerId, payload_bytes: u32) {
+        let wire = (payload_bytes + self.cfg.header_bytes) as u64;
+        let st = &mut self.stats[peer.index()];
+        st.bytes_sent += wire;
+        st.msgs_sent += 1;
+    }
+
+    /// Accounts one received datagram of `payload_bytes` for `peer` without
+    /// routing it through the fabric (wire-tap mode counterpart of
+    /// [`Network::note_sent`]).
+    pub fn note_received(&mut self, peer: PeerId, payload_bytes: u32) {
+        let wire = (payload_bytes + self.cfg.header_bytes) as u64;
+        let st = &mut self.stats[peer.index()];
+        st.bytes_received += wire;
+        st.msgs_received += 1;
     }
 
     /// Drop counters by cause.
@@ -937,6 +985,31 @@ mod tests {
         net.kill_peer(a);
         net.kill_peer(a);
         assert_eq!(net.alive_count(), 0);
+    }
+
+    #[test]
+    fn private_endpoint_plan_matches_fabric() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        for i in 0..8u32 {
+            let class =
+                if i % 2 == 0 { NatClass::Public } else { NatClass::Natted(NatType::Symmetric) };
+            let p = net.add_peer(class);
+            assert_eq!(private_endpoint(p), net.peers[p.index()].private_ep);
+        }
+    }
+
+    #[test]
+    fn note_counters_match_fabric_accounting() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let a = net.add_peer(NatClass::Public);
+        let b = net.add_peer(NatClass::Public);
+        net.note_sent(a, 100);
+        net.note_received(b, 100);
+        // Same totals the fabric's own send/deliver path accounts.
+        assert_eq!(net.stats_of(a).bytes_sent, 128);
+        assert_eq!(net.stats_of(a).msgs_sent, 1);
+        assert_eq!(net.stats_of(b).bytes_received, 128);
+        assert_eq!(net.stats_of(b).msgs_received, 1);
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! Wall-clock ↔ virtual-time mapping for live transports.
+
+use std::time::{Duration, Instant};
+
+use nylon_sim::SimTime;
+
+/// Maps the wall clock onto the protocol's virtual millisecond clock,
+/// 1 ms of wall time per [`SimTime`] millisecond, anchored at creation.
+///
+/// Every component of a live run (the runner pacing ticks, the UDP
+/// transport's poll deadlines, the NAT emulator's rule-expiry clock) must
+/// share one clock, cloned from the same anchor, so NAT timeouts and
+/// protocol timers agree on "now" — exactly like the single `Sim` clock of
+/// a simulated run.
+#[derive(Debug, Clone)]
+pub struct LiveClock {
+    start: Instant,
+}
+
+impl LiveClock {
+    /// A clock anchored at the current instant.
+    pub fn start_now() -> Self {
+        LiveClock { start: Instant::now() }
+    }
+
+    /// The current virtual time.
+    pub fn now_sim(&self) -> SimTime {
+        SimTime::from_millis(self.start.elapsed().as_millis() as u64)
+    }
+
+    /// Wall-clock wait until virtual instant `t`, or `None` if `t` has
+    /// already passed.
+    pub fn wall_until(&self, t: SimTime) -> Option<Duration> {
+        let now = self.start.elapsed();
+        let target = Duration::from_millis(t.as_millis());
+        target.checked_sub(now).filter(|d| !d.is_zero())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_and_deadlines_resolve() {
+        let clock = LiveClock::start_now();
+        let immediately_past = clock.now_sim();
+        assert!(clock.wall_until(immediately_past).is_none());
+        let future = SimTime::from_millis(immediately_past.as_millis() + 60_000);
+        let wait = clock.wall_until(future).expect("a minute ahead is in the future");
+        assert!(wait <= Duration::from_secs(60));
+        assert!(wait > Duration::from_secs(50));
+    }
+}

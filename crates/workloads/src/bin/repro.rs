@@ -7,6 +7,15 @@
 //!
 //! ARTIFACTS: table1 fig2 fig3 fig4 fig7 fig8 fig9 fig10 correctness
 //!            ablation extensions timeline all     (default: all)
+//!
+//! repro live [--peers N] [--nat-pct PCT] [--rounds R] [--period-ms MS]
+//!            [--seed S] [--no-compare] [--min-cluster PCT]
+//!
+//! The `live` subcommand runs the on-wire demo instead: N in-process
+//! nodes over real loopback UDP behind the user-space NAT emulator,
+//! driven by the unmodified Nylon engine, then (unless --no-compare)
+//! the simulated twin of the same scenario for a side-by-side.
+//!
 //! --peers N        network size             (default 400; paper 10000)
 //! --seeds K        seeds per data point     (default 3; paper 30)
 //! --rounds R       steady-state horizon, rounds (default 120)
@@ -44,6 +53,9 @@ struct ScaleOverrides {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("live") {
+        return live_main(&args[1..]);
+    }
     let mut overrides = ScaleOverrides::default();
     let mut full = false;
     let mut names: Vec<String> = Vec::new();
@@ -179,6 +191,116 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// The `repro live` subcommand: the on-wire loopback-UDP demo.
+fn live_main(args: &[String]) -> ExitCode {
+    use nylon_workloads::live::{run_live, run_sim_twin, LiveScale, OverlaySnapshot};
+
+    let mut scale = LiveScale::default();
+    let mut compare = true;
+    let mut min_cluster = 50.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--peers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => scale.peers = v,
+                None => return live_usage("--peers needs an integer"),
+            },
+            "--nat-pct" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => scale.nat_pct = v,
+                None => return live_usage("--nat-pct needs a number"),
+            },
+            "--rounds" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => scale.rounds = v,
+                None => return live_usage("--rounds needs an integer"),
+            },
+            "--period-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => scale.period_ms = v,
+                None => return live_usage("--period-ms needs an integer"),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => scale.seed = v,
+                None => return live_usage("--seed needs an integer"),
+            },
+            "--min-cluster" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => min_cluster = v,
+                None => return live_usage("--min-cluster needs a number"),
+            },
+            "--no-compare" => compare = false,
+            "--help" | "-h" => return live_usage(""),
+            other => return live_usage(&format!("unknown flag {other}")),
+        }
+    }
+    if let Err(e) = scale.validate() {
+        return live_usage(&e);
+    }
+
+    eprintln!(
+        "[repro] live: {} nodes over loopback UDP, {}% NAT, {} rounds at {} ms/round (~{:.1} s)",
+        scale.peers,
+        scale.nat_pct,
+        scale.rounds,
+        scale.period_ms,
+        (scale.rounds * scale.period_ms) as f64 / 1000.0
+    );
+    let live = match run_live(&scale) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("error: live run failed to set up sockets: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let print_snapshot = |label: &str, s: &OverlaySnapshot| {
+        println!(
+            "{label:<10} cluster {:6.1} %   stale {:5.1} %   indegree {:5.1} ± {:4.1}   \
+             shuffles {}   punches {}   relayed {}",
+            s.cluster_pct,
+            s.stale_pct,
+            s.indegree_mean,
+            s.indegree_std,
+            s.requests_completed,
+            s.punch_successes,
+            s.relayed_requests
+        );
+    };
+    println!("## live loopback-UDP overlay\n");
+    print_snapshot("live", &live.overlay);
+    println!(
+        "{:<10} forwarded {}   NAT-dropped {}   decode errors {}   wall {:.1?}",
+        "emulator", live.emulator_forwarded, live.emulator_dropped, live.decode_errors, live.wall
+    );
+    if compare {
+        let sim = run_sim_twin(&scale);
+        print_snapshot("simulated", &sim);
+        println!(
+            "{:<10} cluster delta {:+.1} pts (live - simulated)",
+            "delta",
+            live.overlay.cluster_pct - sim.cluster_pct
+        );
+    }
+    if live.overlay.cluster_pct < min_cluster {
+        eprintln!(
+            "error: live overlay cluster {:.1}% is below the {min_cluster}% floor",
+            live.overlay.cluster_pct
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn live_usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: repro live [--peers N] [--nat-pct PCT] [--rounds R] [--period-ms MS] [--seed S] [--no-compare] [--min-cluster PCT]"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn usage(err: &str) -> ExitCode {

@@ -320,6 +320,7 @@ impl Experiment {
         let cursor = AtomicUsize::new(0);
         let failure: Mutex<Option<(CellId, String)>> = Mutex::new(None);
         let workers = opts.effective_jobs().min(pending.len()).max(1);
+        let rate_limiter = ProgressRateLimiter::new();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -328,8 +329,10 @@ impl Experiment {
                         break;
                     }
                     let cell = &cells[pending[k]];
+                    let cell_started = std::time::Instant::now();
                     match catch_unwind(AssertUnwindSafe(|| (cell.point.run)(cell.seed))) {
                         Ok(values) => {
+                            let elapsed = cell_started.elapsed();
                             if let Some(w) = &writer {
                                 let line = checkpoint::cell_line(&cell.id(), &values);
                                 let mut file = w.lock().expect("checkpoint lock poisoned");
@@ -339,11 +342,23 @@ impl Experiment {
                             }
                             let _ = slots[pending[k]].set(values);
                             let d = done.fetch_add(1, Ordering::Relaxed) + 1;
-                            if point_remaining[cell.point_idx].fetch_sub(1, Ordering::Relaxed) == 1
-                            {
+                            let point_done = point_remaining[cell.point_idx]
+                                .fetch_sub(1, Ordering::Relaxed)
+                                == 1;
+                            // Per-cell completion (seed + elapsed), rate
+                            // limited so `--full` runs (thousands of cells)
+                            // keep readable logs; the per-point summary
+                            // below always prints.
+                            if !point_done && rate_limiter.allow() {
                                 progress(&format!(
-                                    "{}::{} done ({d}/{total} cells)",
-                                    cell.sweep, cell.point.key
+                                    "cell {}::{} seed={} done in {:.1?} ({d}/{total})",
+                                    cell.sweep, cell.point.key, cell.seed, elapsed
+                                ));
+                            }
+                            if point_done {
+                                progress(&format!(
+                                    "{}::{} done ({d}/{total} cells, last seed {} took {:.1?})",
+                                    cell.sweep, cell.point.key, cell.seed, elapsed
                                 ));
                             }
                         }
@@ -387,6 +402,38 @@ impl Experiment {
 /// Writes a progress line to stderr (the tables go to stdout).
 pub(crate) fn progress(msg: &str) {
     eprintln!("[repro] {msg}");
+}
+
+/// Minimum interval between rate-limited per-cell progress lines.
+const PROGRESS_INTERVAL: std::time::Duration = std::time::Duration::from_millis(250);
+
+/// Lock-free rate limiter for per-cell progress lines: at most one line
+/// per [`PROGRESS_INTERVAL`] across all workers, so a `--full` run's log
+/// stays a heartbeat instead of a firehose.
+struct ProgressRateLimiter {
+    started: std::time::Instant,
+    last_emit_ms: AtomicUsize,
+}
+
+impl ProgressRateLimiter {
+    fn new() -> Self {
+        ProgressRateLimiter {
+            started: std::time::Instant::now(),
+            last_emit_ms: AtomicUsize::new(0),
+        }
+    }
+
+    /// `true` if the caller won the right to emit one line now (at most
+    /// one winner per interval, races resolved by the compare-exchange).
+    fn allow(&self) -> bool {
+        let now = self.started.elapsed().as_millis() as usize;
+        let last = self.last_emit_ms.load(Ordering::Relaxed);
+        now.saturating_sub(last) >= PROGRESS_INTERVAL.as_millis() as usize
+            && self
+                .last_emit_ms
+                .compare_exchange(last, now.max(1), Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+    }
 }
 
 #[cfg(test)]
@@ -538,6 +585,17 @@ mod tests {
         let after = std::fs::read_to_string(dir.join("cells.jsonl")).unwrap();
         assert_eq!(before, after, "mismatched resume must not touch the checkpoint");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn progress_rate_limiter_emits_at_most_once_per_interval() {
+        let limiter = ProgressRateLimiter::new();
+        // Let one interval pass so the first allow() can win.
+        std::thread::sleep(PROGRESS_INTERVAL);
+        let wins: usize = (0..100).filter(|_| limiter.allow()).count();
+        assert_eq!(wins, 1, "one interval, one line");
+        std::thread::sleep(PROGRESS_INTERVAL);
+        assert!(limiter.allow(), "a new interval allows a new line");
     }
 
     #[test]

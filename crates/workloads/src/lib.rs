@@ -15,6 +15,9 @@
 //! * [`figures`] — one experiment plan per paper artifact (Figures 2–4,
 //!   7–10, the Section 2 traversal table, the Section 5 correctness
 //!   checks, and the DESIGN.md ablations).
+//! * [`live`] — the `repro live` demo: the same engine on real loopback
+//!   UDP sockets behind emulated NATs, compared against its simulated
+//!   twin.
 //!
 //! The `repro` binary exposes all of it:
 //!
@@ -30,6 +33,7 @@
 
 pub mod experiment;
 pub mod figures;
+pub mod live;
 pub mod output;
 pub mod runner;
 pub mod scenario;

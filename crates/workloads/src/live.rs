@@ -1,0 +1,203 @@
+//! The `live` demo: N in-process Nylon nodes over real loopback UDP
+//! behind emulated NATs, compared against the simulated twin.
+//!
+//! Both runs build the *same engine from the same scenario through the
+//! same [`crate::runner::build_with_net`] path*; the only difference is
+//! who carries the datagrams — the discrete-event fabric, or
+//! [`nylon_transport::UdpTransport`] through the user-space
+//! [`nylon_transport::NatEmulator`]. The paper's timing constants are
+//! scaled down (ratios preserved: hole timeout = 18 shuffle periods, as
+//! 90 s / 5 s) so a demo converges in seconds of wall time.
+
+use std::time::Duration;
+
+use nylon::{NylonEngine, NylonMsg};
+use nylon_metrics::Summary;
+use nylon_sim::SimDuration;
+use nylon_transport::{udp_over_emulated_nat, LiveClock, LiveRunner};
+
+use crate::runner::{biggest_cluster_pct, build_with_net, overlay_graph, staleness};
+use crate::scenario::Scenario;
+
+/// Scale knobs of a live run.
+#[derive(Debug, Clone)]
+pub struct LiveScale {
+    /// Number of in-process nodes (each with its own UDP socket).
+    pub peers: usize,
+    /// Percentage of peers behind NATs (paper mix: RC/PRC/SYM).
+    pub nat_pct: f64,
+    /// Shuffle rounds to run (wall time ≈ `rounds × period_ms`).
+    pub rounds: u64,
+    /// Shuffle period in milliseconds (paper: 5000; scaled default 150).
+    pub period_ms: u64,
+    /// Seed for the scenario and every engine choice.
+    pub seed: u64,
+}
+
+impl Default for LiveScale {
+    fn default() -> Self {
+        LiveScale { peers: 32, nat_pct: 60.0, rounds: 30, period_ms: 150, seed: 0xA11CE }
+    }
+}
+
+impl LiveScale {
+    /// Sanity-checks the knobs, naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.peers < 2 {
+            return Err("peers must be at least 2".to_string());
+        }
+        if self.period_ms < 20 {
+            return Err("period-ms below 20 leaves no room for scheduling jitter".to_string());
+        }
+        if self.rounds == 0 {
+            return Err("rounds must be nonzero".to_string());
+        }
+        if !self.nat_pct.is_finite() || !(0.0..=100.0).contains(&self.nat_pct) {
+            return Err(format!("nat-pct must be within [0, 100], got {}", self.nat_pct));
+        }
+        Ok(())
+    }
+
+    fn scenario(&self) -> Scenario {
+        Scenario::new(self.peers, self.nat_pct, self.seed)
+    }
+}
+
+/// The paper's protocol/fabric constants scaled to `period_ms` — a re-export
+/// of [`nylon_transport::scaled_configs`], the single place the ratios live.
+pub use nylon_transport::scaled_configs as live_configs;
+
+/// Overlay health extracted from a finished engine — the same numbers for
+/// the live and the simulated run, from the same metric code.
+#[derive(Debug, Clone, Copy)]
+pub struct OverlaySnapshot {
+    /// Biggest weakly-connected cluster, % of alive peers.
+    pub cluster_pct: f64,
+    /// Stale view references, %.
+    pub stale_pct: f64,
+    /// Mean usable in-degree over alive peers.
+    pub indegree_mean: f64,
+    /// In-degree standard deviation (the "spread").
+    pub indegree_std: f64,
+    /// Shuffles answered end-to-end.
+    pub requests_completed: u64,
+    /// Hole punches that completed.
+    pub punch_successes: u64,
+    /// Shuffles relayed end-to-end (symmetric combinations).
+    pub relayed_requests: u64,
+}
+
+/// Extracts the overlay snapshot from a finished Nylon engine.
+pub fn snapshot(eng: &NylonEngine) -> OverlaySnapshot {
+    let (graph, alive) = overlay_graph(eng);
+    let indegrees: Summary = graph
+        .in_degrees()
+        .iter()
+        .zip(&alive)
+        .filter(|(_, a)| **a)
+        .map(|(d, _)| *d as f64)
+        .collect();
+    let stats = eng.stats();
+    OverlaySnapshot {
+        cluster_pct: biggest_cluster_pct(eng),
+        stale_pct: staleness(eng).stale_pct,
+        indegree_mean: indegrees.mean(),
+        indegree_std: indegrees.std_dev(),
+        requests_completed: stats.requests_completed,
+        punch_successes: stats.punch_successes,
+        relayed_requests: stats.relayed_requests,
+    }
+}
+
+/// Outcome of a live run, with the on-wire bookkeeping no simulation has.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveOutcome {
+    /// Overlay health at the end of the run.
+    pub overlay: OverlaySnapshot,
+    /// Frames the NAT emulator forwarded end-to-end.
+    pub emulator_forwarded: u64,
+    /// Datagrams the emulator's NAT machinery dropped (filtering, expired
+    /// mappings, unroutable endpoints).
+    pub emulator_dropped: u64,
+    /// Datagrams discarded because their frame failed to decode.
+    pub decode_errors: u64,
+    /// Wall time the run took.
+    pub wall: Duration,
+}
+
+/// Runs the live demo: builds the engine through the generic
+/// [`PeerSampler`] path, binds one loopback socket per node, spawns the
+/// NAT emulator, and drives the unmodified engine over real UDP.
+///
+/// # Panics
+///
+/// Panics if the scale fails [`LiveScale::validate`].
+pub fn run_live(scale: &LiveScale) -> std::io::Result<LiveOutcome> {
+    if let Err(e) = scale.validate() {
+        panic!("invalid live scale: {e}");
+    }
+    let scn = scale.scenario();
+    let (cfg, net_cfg) = live_configs(scale.period_ms);
+    let classes = scn.classes();
+    let engine: NylonEngine = build_with_net(&scn, cfg, net_cfg.clone());
+
+    let started = std::time::Instant::now();
+    let clock = LiveClock::start_now();
+    let (transport, emulator) = udp_over_emulated_nat::<NylonMsg>(&classes, &net_cfg, clock)?;
+    let tick = SimDuration::from_millis((scale.period_ms / 10).max(5));
+    let mut runner = LiveRunner::new(engine, transport, tick);
+    runner.run_rounds(scale.rounds);
+    let decode_errors = runner.transport().decode_errors();
+    let engine = runner.into_engine();
+    Ok(LiveOutcome {
+        overlay: snapshot(&engine),
+        emulator_forwarded: emulator.forwarded(),
+        emulator_dropped: emulator.drop_counters().total(),
+        decode_errors,
+        wall: started.elapsed(),
+    })
+}
+
+/// Runs the simulated twin — same scenario, same scaled configuration,
+/// same build path, same metrics — on the discrete-event fabric.
+///
+/// # Panics
+///
+/// Panics if the scale fails [`LiveScale::validate`].
+pub fn run_sim_twin(scale: &LiveScale) -> OverlaySnapshot {
+    if let Err(e) = scale.validate() {
+        panic!("invalid live scale: {e}");
+    }
+    let scn = scale.scenario();
+    let (cfg, net_cfg) = live_configs(scale.period_ms);
+    let mut engine: NylonEngine = build_with_net(&scn, cfg, net_cfg);
+    engine.run_rounds(scale.rounds);
+    snapshot(&engine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_configs_preserve_paper_ratios() {
+        let (cfg, net) = live_configs(150);
+        assert_eq!(cfg.shuffle_period, SimDuration::from_millis(150));
+        assert_eq!(cfg.hole_timeout, net.hole_timeout);
+        assert_eq!(cfg.hole_timeout, SimDuration::from_millis(150 * 18));
+        assert!(cfg.punch_timeout < cfg.shuffle_period);
+    }
+
+    #[test]
+    fn sim_twin_converges_at_demo_scale() {
+        let snap = run_sim_twin(&LiveScale { rounds: 25, ..LiveScale::default() });
+        assert!(snap.cluster_pct > 90.0, "sim twin must converge, got {}", snap.cluster_pct);
+        assert!(snap.punch_successes > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid live scale")]
+    fn invalid_scale_is_rejected() {
+        let _ = run_sim_twin(&LiveScale { peers: 1, ..LiveScale::default() });
+    }
+}
