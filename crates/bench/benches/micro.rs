@@ -1,5 +1,12 @@
-//! Micro-benchmarks of the simulator's hot paths: event queue, NAT box,
-//! view merging, routing table, and one full protocol round.
+//! Micro-benchmarks of the simulator's hot paths: event queue (timer
+//! wheel vs. the reference heap), NAT box, view merging, routing table,
+//! and one full protocol round.
+//!
+//! Built with `--features bench-alloc`, a counting global allocator is
+//! registered and the key benches report allocations/op next to their
+//! timings, so the zero-alloc claims of the pooled message path are
+//! measured rather than asserted. `scripts/bench_snapshot.sh` records the
+//! same numbers as JSON for the perf trajectory.
 
 use std::time::Duration;
 
@@ -9,7 +16,34 @@ use nylon::{NylonConfig, NylonEngine};
 use nylon_gossip::{MergePolicy, NodeDescriptor, PartialView};
 use nylon_net::natbox::NatBox;
 use nylon_net::{Endpoint, Ip, NatClass, NatType, NetConfig, PeerId, Port};
-use nylon_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use nylon_sim::{EventQueue, ReferenceQueue, SimDuration, SimRng, SimTime};
+
+#[cfg(feature = "bench-alloc")]
+#[global_allocator]
+static ALLOC: nylon_bench::counting_alloc::CountingAlloc =
+    nylon_bench::counting_alloc::CountingAlloc;
+
+/// Runs `f` `iters` times and reports mean allocations per call when the
+/// `bench-alloc` counting allocator is registered; a no-op otherwise.
+fn report_allocs(label: &str, iters: u64, mut f: impl FnMut()) {
+    #[cfg(feature = "bench-alloc")]
+    {
+        let (_, allocs, bytes) = nylon_bench::counting_alloc::counting(|| {
+            for _ in 0..iters {
+                f();
+            }
+        });
+        eprintln!(
+            "{label}: {:.1} allocations/op, {:.0} bytes/op (over {iters} ops)",
+            allocs as f64 / iters as f64,
+            bytes as f64 / iters as f64,
+        );
+    }
+    #[cfg(not(feature = "bench-alloc"))]
+    {
+        let _ = (label, iters, &mut f);
+    }
+}
 
 fn bench_event_queue(c: &mut Criterion) {
     c.bench_function("event_queue_push_pop_10k", |b| {
@@ -24,6 +58,47 @@ fn bench_event_queue(c: &mut Criterion) {
             }
             black_box(sum)
         })
+    });
+    // Steady state: one long-lived queue (as in a real simulation), the
+    // same 10k-event cycle per iteration. `clear()` resets the floor, so
+    // every iteration replays the identical workload; bucket capacity is
+    // retained, so this path allocates nothing after warm-up.
+    c.bench_function("event_queue_steady_state_10k", |b| {
+        let mut q = EventQueue::with_capacity(10_000);
+        b.iter(|| {
+            q.clear();
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_millis((i * 7919) % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        })
+    });
+    // The retained reference heap, same workload: the A/B the timer wheel
+    // is judged against (and proven equivalent to by the proptest oracle).
+    c.bench_function("event_queue_reference_heap_10k", |b| {
+        b.iter(|| {
+            let mut q = ReferenceQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_millis((i * 7919) % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        })
+    });
+    let mut q = EventQueue::with_capacity(10_000);
+    report_allocs("event_queue_steady_state_10k", 20, || {
+        q.clear();
+        for i in 0..10_000u64 {
+            q.schedule(SimTime::from_millis((i * 7919) % 100_000), i);
+        }
+        while q.pop().is_some() {}
     });
 }
 
@@ -119,7 +194,10 @@ fn bench_protocol_round(c: &mut Criterion) {
         b.iter(|| {
             eng.run_rounds(1);
             black_box(eng.stats().shuffles_initiated)
-        })
+        });
+        report_allocs("nylon_round_200_peers_70pct_nat", 20, || {
+            eng.run_rounds(1);
+        });
     });
 }
 

@@ -1,0 +1,276 @@
+//! Machine-readable micro-bench snapshot: hand-rolled timing loops over
+//! the simulator's hot paths, written as JSON so the perf trajectory of
+//! the repo is recorded instead of scrolling away in bench logs.
+//!
+//! Run via `scripts/bench_snapshot.sh` (which enables the `bench-alloc`
+//! feature so allocations/op is captured too), or directly:
+//!
+//! ```text
+//! cargo bench -p nylon-bench --bench snapshot -- --out BENCH_pr4.json
+//! ```
+//!
+//! `--quick` runs one sample per bench (CI smoke: proves the bench binary
+//! and the 200-peer round still execute, without making CI wall-clock
+//! bound). Unknown flags (cargo passes `--bench`) are ignored.
+
+use std::time::Instant;
+
+use nylon::{NylonConfig, NylonEngine};
+use nylon_gossip::{MergePolicy, NodeDescriptor, PartialView};
+use nylon_net::natbox::NatBox;
+use nylon_net::{Endpoint, Ip, NatClass, NatType, NetConfig, PeerId, Port};
+use nylon_sim::{EventQueue, ReferenceQueue, SimDuration, SimRng, SimTime};
+
+#[cfg(feature = "bench-alloc")]
+#[global_allocator]
+static ALLOC: nylon_bench::counting_alloc::CountingAlloc =
+    nylon_bench::counting_alloc::CountingAlloc;
+
+/// One measured bench: timing samples plus optional allocation counters.
+struct Result {
+    name: &'static str,
+    samples_ns: Vec<u64>,
+    allocs_per_iter: Option<f64>,
+    bytes_per_iter: Option<f64>,
+}
+
+fn median(samples: &mut [u64]) -> u64 {
+    assert!(!samples.is_empty());
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Times `iter` `samples` times; under `bench-alloc`, also attributes
+/// allocations to the measured iterations (mean over all samples).
+fn measure(name: &'static str, samples: usize, mut iter: impl FnMut() -> u64) -> Result {
+    // One untimed warm-up iteration populates caches and lazy state.
+    std::hint::black_box(iter());
+    #[cfg(feature = "bench-alloc")]
+    let (a0, b0) = (
+        nylon_bench::counting_alloc::allocations(),
+        nylon_bench::counting_alloc::bytes_allocated(),
+    );
+    let mut samples_ns = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        std::hint::black_box(iter());
+        samples_ns.push(t.elapsed().as_nanos() as u64);
+    }
+    #[cfg(feature = "bench-alloc")]
+    let (allocs_per_iter, bytes_per_iter) = {
+        let da = nylon_bench::counting_alloc::allocations() - a0;
+        let db = nylon_bench::counting_alloc::bytes_allocated() - b0;
+        (Some(da as f64 / samples as f64), Some(db as f64 / samples as f64))
+    };
+    #[cfg(not(feature = "bench-alloc"))]
+    let (allocs_per_iter, bytes_per_iter) = (None, None);
+    Result { name, samples_ns, allocs_per_iter, bytes_per_iter }
+}
+
+fn bench_event_queue(samples: usize) -> Result {
+    measure("event_queue_push_pop_10k", samples, || {
+        let mut q = EventQueue::with_capacity(10_000);
+        for i in 0..10_000u64 {
+            q.schedule(SimTime::from_millis((i * 7919) % 100_000), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, e)) = q.pop() {
+            sum = sum.wrapping_add(e);
+        }
+        sum
+    })
+}
+
+fn bench_event_queue_steady(samples: usize) -> Result {
+    // One long-lived queue, cleared between iterations (clear resets the
+    // floor and keeps bucket capacity): the allocation-free steady state a
+    // real simulation runs in, vs. the fresh-queue build-up above.
+    let mut q = EventQueue::with_capacity(10_000);
+    measure("event_queue_steady_state_10k", samples, move || {
+        q.clear();
+        for i in 0..10_000u64 {
+            q.schedule(SimTime::from_millis((i * 7919) % 100_000), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, e)) = q.pop() {
+            sum = sum.wrapping_add(e);
+        }
+        sum
+    })
+}
+
+fn bench_event_queue_reference(samples: usize) -> Result {
+    // The retained pre-wheel BinaryHeap implementation, same workload:
+    // the A/B baseline the wheel is judged against.
+    measure("event_queue_reference_heap_10k", samples, || {
+        let mut q = ReferenceQueue::new();
+        for i in 0..10_000u64 {
+            q.schedule(SimTime::from_millis((i * 7919) % 100_000), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, e)) = q.pop() {
+            sum = sum.wrapping_add(e);
+        }
+        sum
+    })
+}
+
+fn bench_natbox(samples: usize) -> Result {
+    let private = Endpoint::new(Ip(Ip::PRIVATE_BASE + 1), Port(5000));
+    measure("natbox_outbound_inbound_1k", samples, || {
+        let mut nat =
+            NatBox::new(Ip(0x0100_0001), NatType::PortRestrictedCone, SimDuration::from_secs(90));
+        for i in 0..1_000u32 {
+            let remote = Endpoint::new(Ip(0x0200_0000 + i), Port(9000));
+            let pub_ep = nat.on_outbound(SimTime::from_millis(i as u64), private, remote);
+            let _ = std::hint::black_box(nat.on_inbound(
+                SimTime::from_millis(i as u64 + 1),
+                pub_ep.port,
+                remote,
+            ));
+        }
+        nat.live_rule_count(SimTime::from_millis(1_500)) as u64
+    })
+}
+
+fn bench_view_merge(samples: usize) -> Result {
+    let mk = |id: u32, age: u16| {
+        let mut d = NodeDescriptor::new(
+            PeerId(id),
+            Endpoint::new(Ip(0x0100_0000 + id), Port(9000)),
+            NatClass::Public,
+        );
+        d.age = age;
+        d
+    };
+    let mut rng = SimRng::new(3);
+    let mut view = PartialView::new(PeerId(0), 15);
+    for i in 1..16 {
+        view.insert(mk(i, i as u16));
+    }
+    let received: Vec<NodeDescriptor> = (20..36).map(|i| mk(i, (i % 7) as u16)).collect();
+    let sent: Vec<PeerId> = view.ids();
+    measure("view_merge_healer_16_x100", samples, || {
+        let mut n = 0u64;
+        for _ in 0..100 {
+            let mut v = view.clone();
+            v.merge_and_truncate(&received, &sent, MergePolicy::Healer, &mut rng);
+            n += v.len() as u64;
+        }
+        n
+    })
+}
+
+fn bench_routing(samples: usize) -> Result {
+    measure("routing_install_and_resolve_256", samples, || {
+        let mut rt = nylon::routing::RoutingTable::new(PeerId(0));
+        rt.update_direct(PeerId(1), SimDuration::from_secs(90));
+        rt.install_from_shuffle(
+            PeerId(1),
+            (2..258u32).map(|i| (PeerId(i), SimDuration::from_secs(60), 1u8)),
+        );
+        let mut hits = 0u64;
+        for i in 2..258u32 {
+            if rt.resolve_first_hop(PeerId(i), 32).is_some() {
+                hits += 1;
+            }
+        }
+        hits
+    })
+}
+
+fn bench_protocol_round(samples: usize) -> Result {
+    // Same population and warm-up as micro.rs's
+    // `nylon_round_200_peers_70pct_nat`: the acceptance metric of the
+    // timer-wheel/pooling work is the per-round median of this engine.
+    let mut eng = NylonEngine::new(NylonConfig::default(), NetConfig::default(), 5);
+    for i in 0..200u32 {
+        let class = if i % 10 < 3 {
+            NatClass::Public
+        } else if i % 10 < 6 {
+            NatClass::Natted(NatType::RestrictedCone)
+        } else if i % 10 < 9 {
+            NatClass::Natted(NatType::PortRestrictedCone)
+        } else {
+            NatClass::Natted(NatType::Symmetric)
+        };
+        eng.add_peer(class);
+    }
+    eng.bootstrap_random_public(8);
+    eng.start();
+    eng.run_rounds(30);
+    measure("nylon_round_200_peers_70pct_nat", samples, || {
+        eng.run_rounds(1);
+        eng.stats().shuffles_initiated
+    })
+}
+
+fn json_escape_free(s: &str) -> &str {
+    // All names/keys in this file are ASCII identifiers; keep the writer
+    // honest anyway.
+    assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'));
+    s
+}
+
+fn write_json(path: &str, quick: bool, results: &[Result]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"nylon-bench-snapshot/1\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"bench_alloc\": {},\n", cfg!(feature = "bench-alloc")));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let mut samples = r.samples_ns.clone();
+        let med = median(&mut samples);
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {}, \"samples\": {}",
+            json_escape_free(r.name),
+            med,
+            r.samples_ns.len()
+        ));
+        if let (Some(a), Some(b)) = (r.allocs_per_iter, r.bytes_per_iter) {
+            out.push_str(&format!(", \"allocs_per_iter\": {a:.1}, \"bytes_per_iter\": {b:.1}"));
+        }
+        out.push_str(if i + 1 == results.len() { "}\n" } else { "},\n" });
+    }
+    out.push_str("  ]\n}\n");
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(out.as_bytes())
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_snapshot.json");
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out requires a path"),
+            "--quick" => quick = true,
+            // cargo bench forwards its own flags (e.g. `--bench`); ignore.
+            _ => {}
+        }
+    }
+    let samples = if quick { 1 } else { 15 };
+    let results = vec![
+        bench_event_queue(samples),
+        bench_event_queue_steady(samples),
+        bench_event_queue_reference(samples),
+        bench_natbox(samples),
+        bench_view_merge(samples),
+        bench_routing(samples),
+        bench_protocol_round(samples),
+    ];
+    for r in &results {
+        let mut s = r.samples_ns.clone();
+        let med = median(&mut s);
+        match r.allocs_per_iter {
+            Some(a) => {
+                eprintln!("{:<34} median {:>12} ns/iter  {:>10.1} allocs/iter", r.name, med, a)
+            }
+            None => eprintln!("{:<34} median {:>12} ns/iter", r.name, med),
+        }
+    }
+    write_json(&out_path, quick, &results).expect("write snapshot JSON");
+    eprintln!("snapshot written to {out_path}");
+}

@@ -12,13 +12,12 @@
 //! * relaying of whole shuffles for the symmetric-NAT combinations where no
 //!   hole can be punched (lines 5–7 and 20–22).
 
-use std::collections::HashMap;
-
 use nylon_gossip::{NodeDescriptor, PartialView};
 use nylon_net::{
-    Delivery, Endpoint, InFlight, NatClass, NatType, NetConfig, Network, Outbound, PeerId,
+    BufferPool, Delivery, Endpoint, InFlight, NatClass, NatType, NetConfig, Network, Outbound,
+    PeerId,
 };
-use nylon_sim::{Sim, SimDuration, SimRng, SimTime};
+use nylon_sim::{FxHashMap, Sim, SimDuration, SimRng, SimTime};
 
 use crate::config::NylonConfig;
 use crate::message::{NylonMsg, WireEntry};
@@ -83,11 +82,11 @@ struct Node {
     routing: RoutingTable,
     /// Last observed endpoint per peer; authoritative while a direct route
     /// is live (replies travel through the observed hole).
-    contact: HashMap<PeerId, Endpoint>,
+    contact: FxHashMap<PeerId, Endpoint>,
     /// Outstanding hole punches: target → deadline.
-    pending_punch: HashMap<PeerId, SimTime>,
+    pending_punch: FxHashMap<PeerId, SimTime>,
     /// Ids shipped per outstanding shuffle, for the swapper merge policy.
-    pending_sent: HashMap<PeerId, Vec<PeerId>>,
+    pending_sent: FxHashMap<PeerId, Vec<PeerId>>,
     rng: SimRng,
 }
 
@@ -132,6 +131,15 @@ pub struct NylonEngine {
     started: bool,
     sample_log: Option<Vec<u32>>,
     wire_tap: Option<Vec<Outbound<NylonMsg>>>,
+    /// Recycled wire-entry buffers: every REQUEST/RESPONSE view travels in
+    /// a pooled `Vec<WireEntry>` that returns here once the message is
+    /// consumed, so steady-state shuffling allocates nothing (see
+    /// `nylon_net::pool`).
+    entry_pool: BufferPool<WireEntry>,
+    /// Recycled id buffers for the shipped-id lists of the swapper merge.
+    id_pool: BufferPool<PeerId>,
+    /// Reused scratch for the descriptor projection of a merge.
+    scratch_descs: Vec<NodeDescriptor>,
 }
 
 impl NylonEngine {
@@ -157,6 +165,9 @@ impl NylonEngine {
             started: false,
             sample_log: None,
             wire_tap: None,
+            entry_pool: BufferPool::new(),
+            id_pool: BufferPool::new(),
+            scratch_descs: Vec::new(),
         }
     }
 
@@ -226,9 +237,9 @@ impl NylonEngine {
         self.nodes.push(Node {
             view: PartialView::new(id, self.cfg.view_size),
             routing: RoutingTable::new(id),
-            contact: HashMap::new(),
-            pending_punch: HashMap::new(),
-            pending_sent: HashMap::new(),
+            contact: FxHashMap::default(),
+            pending_punch: FxHashMap::default(),
+            pending_sent: FxHashMap::default(),
             rng,
         });
         if self.started {
@@ -373,9 +384,17 @@ impl NylonEngine {
     /// same reference end up with mutually recursive RVP chains (the
     /// distance-vector count-to-infinity problem), and OPEN_HOLE messages
     /// bounce between them instead of reaching the destination.
-    fn wire_view(&self, peer: PeerId, to: PeerId) -> Vec<WireEntry> {
+    fn wire_view(&mut self, peer: PeerId, to: PeerId) -> Vec<WireEntry> {
+        let mut out = self.entry_pool.acquire();
+        self.fill_wire_view(peer, to, &mut out);
+        out
+    }
+
+    /// [`NylonEngine::wire_view`] into a caller-provided (pooled) buffer.
+    fn fill_wire_view(&self, peer: PeerId, to: PeerId, out: &mut Vec<WireEntry>) {
         let node = &self.nodes[peer.index()];
-        let mut out = Vec::with_capacity(node.view.len() + 1);
+        out.clear();
+        out.reserve(node.view.len() + 1);
         out.push(WireEntry::new(self.self_descriptor(peer), self.cfg.hole_timeout, 0));
         for d in node.view.iter() {
             let (ttl, hops) = if d.class.is_public() {
@@ -389,7 +408,32 @@ impl NylonEngine {
             };
             out.push(WireEntry::new(*d, ttl, hops));
         }
-        out
+    }
+
+    /// A pooled id buffer holding the descriptor ids of `entries` (the
+    /// shipped-id list the swapper merge consults).
+    fn sent_ids(pool: &mut BufferPool<PeerId>, entries: &[WireEntry]) -> Vec<PeerId> {
+        let mut v = pool.acquire();
+        v.extend(entries.iter().map(|e| e.descriptor.id));
+        v
+    }
+
+    /// Records the ids shipped to `target`, recycling any buffer left from
+    /// an earlier, unanswered exchange with the same target.
+    fn note_pending_sent(&mut self, p: PeerId, target: PeerId, sent: Vec<PeerId>) {
+        if let Some(old) = self.nodes[p.index()].pending_sent.insert(target, sent) {
+            self.id_pool.release(old);
+        }
+    }
+
+    /// Returns a consumed message's entry buffer to the pool.
+    fn recycle_msg(&mut self, msg: NylonMsg) {
+        match msg {
+            NylonMsg::Request { entries, .. } | NylonMsg::Response { entries, .. } => {
+                self.entry_pool.release(entries)
+            }
+            NylonMsg::OpenHole { .. } | NylonMsg::Ping { .. } | NylonMsg::Pong { .. } => {}
+        }
     }
 
     /// The endpoint `me` should use to reach `peer` directly: public
@@ -418,16 +462,23 @@ impl NylonEngine {
 
     /// Sends a routed message towards `dest` via the first directly
     /// reachable hop of `from`'s RVP chain. Returns `false` (sending
-    /// nothing) if the chain is broken.
+    /// nothing, recycling the message's buffers) if the chain is broken.
     fn route_and_send(&mut self, from: PeerId, dest: PeerId, msg: NylonMsg) -> bool {
         let hop = {
             let node = &self.nodes[from.index()];
             node.routing.resolve_first_hop(dest, self.cfg.max_chain_depth)
         };
-        let Some(hop) = hop else { return false };
-        let Some(ep) = self.contact_ep(from, hop, None) else { return false };
-        self.send_msg(from, ep, msg);
-        true
+        let ep = hop.and_then(|hop| self.contact_ep(from, hop, None));
+        match ep {
+            Some(ep) => {
+                self.send_msg(from, ep, msg);
+                true
+            }
+            None => {
+                self.recycle_msg(msg);
+                false
+            }
+        }
     }
 
     /// Marks `via` as directly reachable: refresh the direct route and
@@ -498,8 +549,8 @@ impl NylonEngine {
         let direct = target.class.is_public() || self.nodes[p.index()].routing.is_direct(t);
         if direct {
             let entries = self.wire_view(p, t);
-            let sent: Vec<PeerId> = entries.iter().map(|e| e.descriptor.id).collect();
-            self.nodes[p.index()].pending_sent.insert(t, sent);
+            let sent = Self::sent_ids(&mut self.id_pool, &entries);
+            self.note_pending_sent(p, t, sent);
             let ep =
                 self.contact_ep(p, t, Some(target.addr)).expect("fallback endpoint always present");
             let msg = NylonMsg::Request {
@@ -519,7 +570,7 @@ impl NylonEngine {
         if relaying {
             // Lines 5–7: ship the whole shuffle through the RVP chain.
             let entries = self.wire_view(p, t);
-            let sent: Vec<PeerId> = entries.iter().map(|e| e.descriptor.id).collect();
+            let sent = Self::sent_ids(&mut self.id_pool, &entries);
             let msg = NylonMsg::Request {
                 src: self.self_descriptor(p),
                 dest: t,
@@ -528,9 +579,10 @@ impl NylonEngine {
                 entries,
             };
             if self.route_and_send(p, t, msg) {
-                self.nodes[p.index()].pending_sent.insert(t, sent);
+                self.note_pending_sent(p, t, sent);
                 self.stats.relayed_requests += 1;
             } else {
+                self.id_pool.release(sent);
                 self.drop_unroutable(p, t);
             }
         } else {
@@ -564,7 +616,12 @@ impl NylonEngine {
         let now = self.sim.now();
         let (to, from_ep, msg) = match self.net.deliver(now, flight) {
             Delivery::ToPeer { to, from_ep, payload } => (to, from_ep, payload),
-            Delivery::Dropped { .. } => return,
+            Delivery::Dropped { payload, .. } => {
+                // The drop is counted by the fabric; the payload buffer
+                // still goes back to the pool.
+                self.recycle_msg(payload);
+                return;
+            }
         };
         self.on_msg(to, from_ep, msg);
     }
@@ -580,6 +637,7 @@ impl NylonEngine {
                     // Lines 17–19: forward along the chain.
                     if hops >= self.cfg.max_forward_hops {
                         self.stats.forward_failures += 1;
+                        self.entry_pool.release(entries);
                         return;
                     }
                     let msg = NylonMsg::Request {
@@ -614,7 +672,7 @@ impl NylonEngine {
                 // Lines 20–24: answer.
                 let to_class = self.net.class_of(to);
                 let resp_entries = self.wire_view(to, src.id);
-                let resp_sent: Vec<PeerId> = resp_entries.iter().map(|e| e.descriptor.id).collect();
+                let resp_sent = Self::sent_ids(&mut self.id_pool, &resp_entries);
                 let resp = NylonMsg::Response {
                     from: to,
                     dest: src.id,
@@ -642,6 +700,8 @@ impl NylonEngine {
                 }
                 // Lines 25–26: merge and learn routes.
                 self.merge_shuffle(to, src.id, &entries, &resp_sent);
+                self.id_pool.release(resp_sent);
+                self.entry_pool.release(entries);
             }
             NylonMsg::Response { from, dest, via, hops, entries } => {
                 self.touch(to, via, from_ep);
@@ -651,6 +711,7 @@ impl NylonEngine {
                     // view).
                     if hops >= self.cfg.max_forward_hops {
                         self.stats.forward_failures += 1;
+                        self.entry_pool.release(entries);
                         return;
                     }
                     let msg = NylonMsg::Response {
@@ -680,6 +741,8 @@ impl NylonEngine {
                 }
                 let sent = self.nodes[to.index()].pending_sent.remove(&from).unwrap_or_default();
                 self.merge_shuffle(to, from, &entries, &sent);
+                self.id_pool.release(sent);
+                self.entry_pool.release(entries);
             }
             NylonMsg::OpenHole { src, dest, via, hops } => {
                 self.touch(to, via, from_ep);
@@ -719,8 +782,8 @@ impl NylonEngine {
                 if self.nodes[to.index()].pending_punch.remove(&from).is_some() {
                     self.stats.punch_successes += 1;
                     let entries = self.wire_view(to, from);
-                    let sent: Vec<PeerId> = entries.iter().map(|e| e.descriptor.id).collect();
-                    self.nodes[to.index()].pending_sent.insert(from, sent);
+                    let sent = Self::sent_ids(&mut self.id_pool, &entries);
+                    self.note_pending_sent(to, from, sent);
                     let msg = NylonMsg::Request {
                         src: self.self_descriptor(to),
                         dest: from,
@@ -743,15 +806,22 @@ impl NylonEngine {
         entries: &[WireEntry],
         sent: &[PeerId],
     ) {
-        let descriptors: Vec<NodeDescriptor> = entries.iter().map(|e| e.descriptor).collect();
-        let routes: Vec<(PeerId, SimDuration, u8)> = entries
-            .iter()
-            .filter(|e| e.descriptor.class.is_natted())
-            .map(|e| (e.descriptor.id, e.ttl, e.hops))
-            .collect();
+        // Reused scratch for the descriptor projection; routes install
+        // straight off the wire entries. Neither path allocates in steady
+        // state.
+        let mut descriptors = std::mem::take(&mut self.scratch_descs);
+        descriptors.clear();
+        descriptors.extend(entries.iter().map(|e| e.descriptor));
         let node = &mut self.nodes[me.index()];
         node.view.merge_and_truncate(&descriptors, sent, self.cfg.merge, &mut node.rng);
-        node.routing.install_from_shuffle(partner, routes);
+        node.routing.install_from_shuffle(
+            partner,
+            entries
+                .iter()
+                .filter(|e| e.descriptor.class.is_natted())
+                .map(|e| (e.descriptor.id, e.ttl, e.hops)),
+        );
+        self.scratch_descs = descriptors;
     }
 }
 

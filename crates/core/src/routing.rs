@@ -9,10 +9,8 @@
 //! period and entries are purged on expiry
 //! (`decrease_routing_table_ttls`, Figure 6 line 14).
 
-use std::collections::HashMap;
-
 use nylon_net::PeerId;
-use nylon_sim::SimDuration;
+use nylon_sim::{FxHashMap, SimDuration};
 
 /// One routing entry: the next RVP towards a destination, the remaining
 /// lifetime of the chain, and the estimated chain length.
@@ -29,17 +27,18 @@ pub struct RouteEntry {
     pub hops: u8,
 }
 
-impl RouteEntry {
-    fn is_direct_for(&self, dest: PeerId) -> bool {
-        self.rvp == dest
-    }
-}
-
 /// Routes estimated longer than this are not installed (RIP-style
 /// infinity; honest Nylon chains average below 4).
 pub const MAX_ROUTE_HOPS: u8 = 16;
 
 /// The routing table of one Nylon peer.
+///
+/// TTLs are stored as absolute expiry offsets against an age accumulator,
+/// so [`RoutingTable::decrease_ttls`] — called once per peer per shuffle
+/// round — is O(1) bookkeeping instead of a full-table subtract-and-purge
+/// sweep (the sweep still runs, but only every [`SWEEP_EVERY`] of
+/// accumulated age, purely to bound memory). Every read filters expired
+/// entries, so the observable behaviour is identical to eager purging.
 ///
 /// ```
 /// use nylon::routing::RoutingTable;
@@ -57,13 +56,43 @@ pub const MAX_ROUTE_HOPS: u8 = 16;
 #[derive(Debug, Clone)]
 pub struct RoutingTable {
     owner: PeerId,
-    entries: HashMap<PeerId, RouteEntry>,
+    entries: FxHashMap<PeerId, Stored>,
+    /// Accumulated virtual age (total of all `decrease_ttls` calls).
+    age: SimDuration,
+    /// Age at which the next compaction sweep runs.
+    next_sweep: SimDuration,
+}
+
+/// How much age accumulates between compaction sweeps. Expired entries
+/// are invisible to every accessor the moment they expire; the sweep only
+/// reclaims their memory, so the interval must merely keep the table
+/// within a few rounds' worth of stale slack.
+const SWEEP_EVERY: SimDuration = SimDuration::from_secs(30);
+
+/// Internal entry: expiry measured on the age axis.
+#[derive(Debug, Clone, Copy)]
+struct Stored {
+    rvp: PeerId,
+    expires: SimDuration,
+    hops: u8,
+}
+
+impl Stored {
+    /// Remaining TTL at age `age`; zero means expired.
+    fn ttl_at(&self, age: SimDuration) -> SimDuration {
+        self.expires.saturating_sub(age)
+    }
 }
 
 impl RoutingTable {
     /// An empty table owned by `owner`.
     pub fn new(owner: PeerId) -> Self {
-        RoutingTable { owner, entries: HashMap::new() }
+        RoutingTable {
+            owner,
+            entries: FxHashMap::default(),
+            age: SimDuration::ZERO,
+            next_sweep: SWEEP_EVERY,
+        }
     }
 
     /// The owning peer.
@@ -71,35 +100,41 @@ impl RoutingTable {
         self.owner
     }
 
-    /// Number of live entries.
-    pub fn len(&self) -> usize {
-        self.entries.len()
+    /// The live entry towards `dest`, filtering expired-but-unswept ones.
+    fn live(&self, dest: PeerId) -> Option<&Stored> {
+        self.entries.get(&dest).filter(|e| !e.ttl_at(self.age).is_zero())
     }
 
-    /// `true` if no routes are known.
+    /// Number of live entries. O(table size): expired entries awaiting the
+    /// next compaction sweep are excluded.
+    pub fn len(&self) -> usize {
+        self.entries.values().filter(|e| !e.ttl_at(self.age).is_zero()).count()
+    }
+
+    /// `true` if no live routes are known.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// The next RVP towards `dest` (`Some(dest)` itself when direct), or
     /// `None` when no live route exists (Figure 6 `next_RVP()`).
     pub fn next_rvp(&self, dest: PeerId) -> Option<PeerId> {
-        self.entries.get(&dest).map(|e| e.rvp)
+        self.live(dest).map(|e| e.rvp)
     }
 
     /// `true` if a live direct route (open NAT hole) to `dest` exists.
     pub fn is_direct(&self, dest: PeerId) -> bool {
-        self.entries.get(&dest).is_some_and(|e| e.is_direct_for(dest))
+        self.live(dest).is_some_and(|e| e.rvp == dest)
     }
 
     /// Remaining TTL of the route towards `dest`.
     pub fn ttl_of(&self, dest: PeerId) -> Option<SimDuration> {
-        self.entries.get(&dest).map(|e| e.ttl)
+        self.live(dest).map(|e| e.ttl_at(self.age))
     }
 
     /// The full route entry towards `dest`.
     pub fn entry_of(&self, dest: PeerId) -> Option<RouteEntry> {
-        self.entries.get(&dest).copied()
+        self.live(dest).map(|e| RouteEntry { rvp: e.rvp, ttl: e.ttl_at(self.age), hops: e.hops })
     }
 
     /// Installs or refreshes the *direct* route for `dest` (Figure 6
@@ -110,14 +145,18 @@ impl RoutingTable {
         if dest == self.owner || ttl.is_zero() {
             return;
         }
+        let expires = self.age + ttl;
         match self.entries.get_mut(&dest) {
             Some(e) => {
+                let stale = e.ttl_at(self.age).is_zero();
                 e.rvp = dest;
                 e.hops = 1;
-                e.ttl = e.ttl.max(ttl);
+                // A stale (expired, unswept) entry must not donate its old
+                // expiry; a live one keeps the larger.
+                e.expires = if stale { expires } else { e.expires.max(expires) };
             }
             None => {
-                self.entries.insert(dest, RouteEntry { rvp: dest, ttl, hops: 1 });
+                self.entries.insert(dest, Stored { rvp: dest, expires, hops: 1 });
             }
         }
     }
@@ -143,20 +182,25 @@ impl RoutingTable {
             self.update_direct(dest, ttl);
             return;
         }
-        let new = RouteEntry { rvp, ttl, hops: hops.max(2) };
+        let age = self.age;
+        let new = Stored { rvp, expires: age + ttl, hops: hops.max(2) };
         match self.entries.get_mut(&dest) {
             None => {
                 self.entries.insert(dest, new);
             }
+            Some(existing) if existing.ttl_at(age).is_zero() => {
+                // Expired-but-unswept: behaves as absent.
+                *existing = new;
+            }
             Some(existing) => {
-                if existing.is_direct_for(dest) {
+                if existing.rvp == dest {
                     // Keep the direct route.
                 } else if existing.rvp == rvp {
                     // Same provider: take the fresher estimate.
-                    existing.ttl = existing.ttl.max(new.ttl);
+                    existing.expires = existing.expires.max(new.expires);
                     existing.hops = new.hops;
                 } else if new.hops < existing.hops
-                    || (new.hops == existing.hops && new.ttl > existing.ttl)
+                    || (new.hops == existing.hops && new.ttl_at(age) > existing.ttl_at(age))
                 {
                     *existing = new;
                 }
@@ -177,7 +221,8 @@ impl RoutingTable {
         partner: PeerId,
         received: impl IntoIterator<Item = (PeerId, SimDuration, u8)>,
     ) {
-        let Some(partner_entry) = self.entries.get(&partner).copied() else { return };
+        let Some(partner_entry) = self.live(partner).copied() else { return };
+        let partner_ttl = partner_entry.ttl_at(self.age);
         for (dest, ttl, hops) in received {
             if dest == self.owner || dest == partner {
                 continue;
@@ -185,24 +230,35 @@ impl RoutingTable {
             self.update_next_rvp(
                 dest,
                 partner,
-                ttl.min(partner_entry.ttl),
+                ttl.min(partner_ttl),
                 hops.saturating_add(partner_entry.hops),
             );
         }
     }
 
-    /// Decreases every TTL by `elapsed` and purges expired entries
-    /// (Figure 6 `decrease_routing_table_ttls()`, line 14).
+    /// Decreases every TTL by `elapsed` (Figure 6
+    /// `decrease_routing_table_ttls()`, line 14).
+    ///
+    /// O(1): advances the age accumulator; expired entries become
+    /// invisible immediately and are compacted away every
+    /// [`SWEEP_EVERY`] of accumulated age.
     pub fn decrease_ttls(&mut self, elapsed: SimDuration) {
-        self.entries.retain(|_, e| {
-            e.ttl = e.ttl.saturating_sub(elapsed);
-            !e.ttl.is_zero()
-        });
+        self.age += elapsed;
+        if self.age >= self.next_sweep {
+            let age = self.age;
+            self.entries.retain(|_, e| !e.ttl_at(age).is_zero());
+            self.next_sweep = age + SWEEP_EVERY;
+        }
     }
 
-    /// Removes the entry for `dest`, if any.
+    /// Removes the entry for `dest`, if any (and live).
     pub fn remove(&mut self, dest: PeerId) -> Option<RouteEntry> {
-        self.entries.remove(&dest)
+        let age = self.age;
+        self.entries.remove(&dest).filter(|e| !e.ttl_at(age).is_zero()).map(|e| RouteEntry {
+            rvp: e.rvp,
+            ttl: e.ttl_at(age),
+            hops: e.hops,
+        })
     }
 
     /// Resolves the chain towards `dest` down to a *directly reachable*
@@ -215,8 +271,8 @@ impl RoutingTable {
     pub fn resolve_first_hop(&self, dest: PeerId, max_depth: usize) -> Option<PeerId> {
         let mut hop = dest;
         for _ in 0..max_depth {
-            let entry = self.entries.get(&hop)?;
-            if entry.is_direct_for(hop) {
+            let entry = self.live(hop)?;
+            if entry.rvp == hop {
                 return Some(hop);
             }
             hop = entry.rvp;
@@ -224,9 +280,12 @@ impl RoutingTable {
         None
     }
 
-    /// Iterates over `(dest, entry)` pairs in unspecified order.
+    /// Iterates over live `(dest, entry)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (PeerId, RouteEntry)> + '_ {
-        self.entries.iter().map(|(d, e)| (*d, *e))
+        self.entries
+            .iter()
+            .filter(|(_, e)| !e.ttl_at(self.age).is_zero())
+            .map(|(d, e)| (*d, RouteEntry { rvp: e.rvp, ttl: e.ttl_at(self.age), hops: e.hops }))
     }
 }
 

@@ -16,11 +16,9 @@
 //! period (proactive keep-alive, unlike Nylon's reactive punching) and
 //! re-bind to a fresh public peer if their RVP dies.
 
-use std::collections::HashMap;
-
 use nylon_gossip::{GossipConfig, NodeDescriptor, PartialView};
-use nylon_net::{Delivery, Endpoint, InFlight, NatClass, NetConfig, Network, PeerId};
-use nylon_sim::{Sim, SimDuration, SimRng, SimTime};
+use nylon_net::{BufferPool, Delivery, Endpoint, InFlight, NatClass, NetConfig, Network, PeerId};
+use nylon_sim::{FxHashMap, Sim, SimDuration, SimRng, SimTime};
 
 /// A descriptor annotated with the peer's RVP binding (`None` for public
 /// peers).
@@ -87,11 +85,11 @@ struct Node {
     /// RVP binding for natted peers.
     rvp: Option<PeerId>,
     /// For public peers: observed endpoints of natted clients bound to us.
-    clients: HashMap<PeerId, Endpoint>,
-    pending_sent: HashMap<PeerId, Vec<PeerId>>,
+    clients: FxHashMap<PeerId, Endpoint>,
+    pending_sent: FxHashMap<PeerId, Vec<PeerId>>,
     rng: SimRng,
     /// RVP annotations learned alongside view entries.
-    bindings: HashMap<PeerId, Option<PeerId>>,
+    bindings: FxHashMap<PeerId, Option<PeerId>>,
 }
 
 #[derive(Debug)]
@@ -113,6 +111,13 @@ pub struct StaticRvpEngine {
     nodes: Vec<Node>,
     stats: StaticRvpStats,
     started: bool,
+    /// Recycled wire-view buffers (see `nylon_net::pool`): steady-state
+    /// shuffling allocates nothing.
+    entry_pool: BufferPool<BoundDescriptor>,
+    /// Recycled id buffers for the shipped-id lists.
+    id_pool: BufferPool<PeerId>,
+    /// Reused scratch for the descriptor projection of a merge.
+    scratch_descs: Vec<NodeDescriptor>,
 }
 
 impl StaticRvpEngine {
@@ -128,6 +133,9 @@ impl StaticRvpEngine {
             nodes: Vec::new(),
             stats: StaticRvpStats::default(),
             started: false,
+            entry_pool: BufferPool::new(),
+            id_pool: BufferPool::new(),
+            scratch_descs: Vec::new(),
         }
     }
 
@@ -159,10 +167,10 @@ impl StaticRvpEngine {
         self.nodes.push(Node {
             view: PartialView::new(id, self.cfg.view_size),
             rvp: None,
-            clients: HashMap::new(),
-            pending_sent: HashMap::new(),
+            clients: FxHashMap::default(),
+            pending_sent: FxHashMap::default(),
             rng,
-            bindings: HashMap::new(),
+            bindings: FxHashMap::default(),
         });
         id
     }
@@ -287,15 +295,26 @@ impl StaticRvpEngine {
         }
     }
 
-    fn wire_view(&self, peer: PeerId) -> Vec<BoundDescriptor> {
+    fn wire_view(&mut self, peer: PeerId) -> Vec<BoundDescriptor> {
+        let mut out = self.entry_pool.acquire();
         let node = &self.nodes[peer.index()];
-        let mut out = Vec::with_capacity(node.view.len() + 1);
+        out.reserve(node.view.len() + 1);
         out.push(self.self_descriptor(peer));
         for d in node.view.iter() {
             let rvp = node.bindings.get(&d.id).copied().flatten();
             out.push(BoundDescriptor { descriptor: *d, rvp });
         }
         out
+    }
+
+    /// Returns a consumed message's entry buffer to the pool.
+    fn recycle_msg(&mut self, msg: StaticRvpMsg) {
+        match msg {
+            StaticRvpMsg::Request { entries, .. } | StaticRvpMsg::Response { entries, .. } => {
+                self.entry_pool.release(entries)
+            }
+            StaticRvpMsg::Ping { .. } => {}
+        }
     }
 
     fn message_bytes(&self, msg: &StaticRvpMsg) -> u32 {
@@ -365,8 +384,11 @@ impl StaticRvpEngine {
             Some(target) => {
                 self.stats.shuffles_initiated += 1;
                 let entries = self.wire_view(p);
-                let sent: Vec<PeerId> = entries.iter().map(|e| e.descriptor.id).collect();
-                self.nodes[p.index()].pending_sent.insert(target.id, sent);
+                let mut sent = self.id_pool.acquire();
+                sent.extend(entries.iter().map(|e| e.descriptor.id));
+                if let Some(old) = self.nodes[p.index()].pending_sent.insert(target.id, sent) {
+                    self.id_pool.release(old);
+                }
                 let msg = StaticRvpMsg::Request {
                     src: self.self_descriptor(p),
                     dest: target.id,
@@ -388,6 +410,7 @@ impl StaticRvpEngine {
                             // unusable (the failure mode the paper points
                             // out). Drop it.
                             self.nodes[p.index()].view.remove(target.id);
+                            self.recycle_msg(msg);
                         }
                     }
                 }
@@ -401,7 +424,12 @@ impl StaticRvpEngine {
         let now = self.sim.now();
         let (to, from_ep, msg) = match self.net.deliver(now, flight) {
             Delivery::ToPeer { to, from_ep, payload } => (to, from_ep, payload),
-            Delivery::Dropped { .. } => return,
+            Delivery::Dropped { payload, .. } => {
+                // The drop is counted by the fabric; the payload buffer
+                // still goes back to the pool.
+                self.recycle_msg(payload);
+                return;
+            }
         };
         match msg {
             StaticRvpMsg::Ping { from } => {
@@ -421,13 +449,17 @@ impl StaticRvpEngine {
                                 StaticRvpMsg::Request { src, dest, entries },
                             );
                         }
-                        None => self.stats.relay_failures += 1,
+                        None => {
+                            self.stats.relay_failures += 1;
+                            self.entry_pool.release(entries);
+                        }
                     }
                     return;
                 }
                 self.stats.requests_completed += 1;
                 let resp_entries = self.wire_view(to);
-                let resp_sent: Vec<PeerId> = resp_entries.iter().map(|e| e.descriptor.id).collect();
+                let mut resp_sent = self.id_pool.acquire();
+                resp_sent.extend(resp_entries.iter().map(|e| e.descriptor.id));
                 let resp = StaticRvpMsg::Response {
                     from: to,
                     dest: src.descriptor.id,
@@ -439,8 +471,14 @@ impl StaticRvpEngine {
                 } else if let Some(r) = src.rvp.filter(|r| self.net.is_alive(*r)) {
                     let ep = self.net.identity_endpoint(r);
                     self.send_msg(to, ep, resp);
+                } else {
+                    // No way back to the initiator: the response is never
+                    // sent (the paper's failure mode); recycle it.
+                    self.recycle_msg(resp);
                 }
                 self.merge(to, &entries, &resp_sent);
+                self.id_pool.release(resp_sent);
+                self.entry_pool.release(entries);
             }
             StaticRvpMsg::Response { from, dest, entries } => {
                 if dest != to {
@@ -453,19 +491,26 @@ impl StaticRvpEngine {
                                 StaticRvpMsg::Response { from, dest, entries },
                             );
                         }
-                        None => self.stats.relay_failures += 1,
+                        None => {
+                            self.stats.relay_failures += 1;
+                            self.entry_pool.release(entries);
+                        }
                     }
                     return;
                 }
                 self.stats.responses_completed += 1;
                 let sent = self.nodes[to.index()].pending_sent.remove(&from).unwrap_or_default();
                 self.merge(to, &entries, &sent);
+                self.id_pool.release(sent);
+                self.entry_pool.release(entries);
             }
         }
     }
 
     fn merge(&mut self, me: PeerId, entries: &[BoundDescriptor], sent: &[PeerId]) {
-        let descriptors: Vec<NodeDescriptor> = entries.iter().map(|e| e.descriptor).collect();
+        let mut descriptors = std::mem::take(&mut self.scratch_descs);
+        descriptors.clear();
+        descriptors.extend(entries.iter().map(|e| e.descriptor));
         let node = &mut self.nodes[me.index()];
         for e in entries {
             if e.descriptor.id != me {
@@ -479,6 +524,7 @@ impl StaticRvpEngine {
             let keep: std::collections::HashSet<PeerId> = node.view.ids().into_iter().collect();
             node.bindings.retain(|id, _| keep.contains(id));
         }
+        self.scratch_descs = descriptors;
     }
 }
 

@@ -5,10 +5,10 @@
 //! unreachable entries silently vanish — which is exactly the degradation
 //! Figures 2–4 quantify.
 
-use std::collections::HashMap;
-
-use nylon_net::{Delivery, Endpoint, InFlight, NatClass, NetConfig, Network, Outbound, PeerId};
-use nylon_sim::{Sim, SimDuration, SimRng, SimTime};
+use nylon_net::{
+    BufferPool, Delivery, Endpoint, InFlight, NatClass, NetConfig, Network, Outbound, PeerId,
+};
+use nylon_sim::{FxHashMap, Sim, SimDuration, SimRng, SimTime};
 
 use crate::descriptor::NodeDescriptor;
 use crate::policy::{GossipConfig, PropagationPolicy};
@@ -63,7 +63,7 @@ struct Node {
     view: PartialView,
     rng: SimRng,
     /// Ids shipped per outstanding request, for the swapper merge.
-    pending_sent: HashMap<PeerId, Vec<PeerId>>,
+    pending_sent: FxHashMap<PeerId, Vec<PeerId>>,
 }
 
 /// Interval between NAT garbage-collection sweeps.
@@ -85,6 +85,11 @@ pub struct BaselineEngine {
     started: bool,
     sample_log: Option<Vec<u32>>,
     wire_tap: Option<Vec<Outbound<BaselineMsg>>>,
+    /// Recycled descriptor buffers for shuffle payloads: in steady state
+    /// no exchange allocates (see `nylon_net::pool`).
+    payload_pool: BufferPool<NodeDescriptor>,
+    /// Recycled id buffers for the shipped-id lists of the swapper merge.
+    id_pool: BufferPool<PeerId>,
 }
 
 impl BaselineEngine {
@@ -102,6 +107,8 @@ impl BaselineEngine {
             started: false,
             sample_log: None,
             wire_tap: None,
+            payload_pool: BufferPool::new(),
+            id_pool: BufferPool::new(),
         }
     }
 
@@ -200,7 +207,7 @@ impl BaselineEngine {
         self.nodes.push(Node {
             view: PartialView::new(id, self.cfg.view_size),
             rng,
-            pending_sent: HashMap::new(),
+            pending_sent: FxHashMap::default(),
         });
         if self.started {
             let phase = {
@@ -351,9 +358,13 @@ impl BaselineEngine {
                 if let Some(log) = &mut self.sample_log {
                     log.push(target.id.0);
                 }
-                let payload = self.nodes[p.index()].view.shuffle_payload(self_d);
-                let sent_ids: Vec<PeerId> = payload.iter().map(|d| d.id).collect();
-                self.nodes[p.index()].pending_sent.insert(target.id, sent_ids);
+                let mut payload = self.payload_pool.acquire();
+                self.nodes[p.index()].view.write_shuffle_payload(self_d, &mut payload);
+                let mut sent_ids = self.id_pool.acquire();
+                sent_ids.extend(payload.iter().map(|d| d.id));
+                if let Some(old) = self.nodes[p.index()].pending_sent.insert(target.id, sent_ids) {
+                    self.id_pool.release(old);
+                }
                 let msg = BaselineMsg::Request { from: p, entries: payload };
                 self.send_msg(p, target.addr, msg);
                 self.stats.initiated += 1;
@@ -367,9 +378,23 @@ impl BaselineEngine {
         let now = self.sim.now();
         let (to, from_ep, msg) = match self.net.deliver(now, flight) {
             Delivery::ToPeer { to, from_ep, payload } => (to, from_ep, payload),
-            Delivery::Dropped { .. } => return, // counted by the fabric
+            Delivery::Dropped { payload, .. } => {
+                // The drop is counted by the fabric; the payload buffer
+                // still goes back to the pool.
+                self.recycle_msg(payload);
+                return;
+            }
         };
         self.on_msg(to, from_ep, msg);
+    }
+
+    /// Returns a consumed message's entry buffer to the pool.
+    fn recycle_msg(&mut self, msg: BaselineMsg) {
+        match msg {
+            BaselineMsg::Request { entries, .. } | BaselineMsg::Response { entries, .. } => {
+                self.payload_pool.release(entries)
+            }
+        }
     }
 
     /// Protocol handling of a delivered message, independent of the
@@ -380,10 +405,11 @@ impl BaselineEngine {
             BaselineMsg::Request { from, entries } => {
                 self.stats.requests_received += 1;
                 let self_d = self.self_descriptor(to);
-                let mut sent_ids: Vec<PeerId> = Vec::new();
+                let mut sent_ids = self.id_pool.acquire();
                 if self.cfg.propagation == PropagationPolicy::PushPull {
-                    let payload = self.nodes[to.index()].view.shuffle_payload(self_d);
-                    sent_ids = payload.iter().map(|d| d.id).collect();
+                    let mut payload = self.payload_pool.acquire();
+                    self.nodes[to.index()].view.write_shuffle_payload(self_d, &mut payload);
+                    sent_ids.extend(payload.iter().map(|d| d.id));
                     let msg = BaselineMsg::Response { from: to, entries: payload };
                     // Reply to the *observed* source endpoint: travels back
                     // through whatever hole the request opened.
@@ -391,6 +417,8 @@ impl BaselineEngine {
                 }
                 let node = &mut self.nodes[to.index()];
                 node.view.merge_and_truncate(&entries, &sent_ids, self.cfg.merge, &mut node.rng);
+                self.id_pool.release(sent_ids);
+                self.payload_pool.release(entries);
                 let _ = from;
             }
             // Figure 1, lines 4–6: initiator merges the pulled view.
@@ -399,6 +427,8 @@ impl BaselineEngine {
                 let node = &mut self.nodes[to.index()];
                 let sent = node.pending_sent.remove(&from).unwrap_or_default();
                 node.view.merge_and_truncate(&entries, &sent, self.cfg.merge, &mut node.rng);
+                self.id_pool.release(sent);
+                self.payload_pool.release(entries);
             }
         }
     }

@@ -238,9 +238,22 @@ impl PartialView {
     /// overlay).
     pub fn shuffle_payload(&self, self_descriptor: NodeDescriptor) -> Vec<NodeDescriptor> {
         let mut out = Vec::with_capacity(self.entries.len() + 1);
+        self.write_shuffle_payload(self_descriptor, &mut out);
+        out
+    }
+
+    /// [`PartialView::shuffle_payload`] into a caller-provided buffer
+    /// (cleared first), so engines can recycle a pooled allocation instead
+    /// of building a fresh `Vec` every exchange.
+    pub fn write_shuffle_payload(
+        &self,
+        self_descriptor: NodeDescriptor,
+        out: &mut Vec<NodeDescriptor>,
+    ) {
+        out.clear();
+        out.reserve(self.entries.len() + 1);
         out.push(self_descriptor.refreshed());
         out.extend(self.entries.iter().copied());
-        out
     }
 }
 

@@ -53,6 +53,7 @@ pub mod addr;
 pub mod nat;
 pub mod natbox;
 pub mod network;
+pub mod pool;
 pub mod traversal;
 
 pub use addr::{Endpoint, Ip, PeerId, Port};
@@ -61,4 +62,5 @@ pub use network::{
     private_endpoint, Delivery, DropCounters, DropReason, InFlight, NetConfig, Network, Outbound,
     TrafficStats,
 };
+pub use pool::BufferPool;
 pub use traversal::ContactMethod;

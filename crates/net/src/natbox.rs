@@ -1,8 +1,6 @@
 //! The NAT device state machine: mappings, filtering rules, hole expiry.
 
-use std::collections::HashMap;
-
-use nylon_sim::{SimDuration, SimTime};
+use nylon_sim::{FxHashMap, SimDuration, SimTime};
 
 use crate::addr::{Endpoint, Ip, Port};
 use crate::nat::NatType;
@@ -31,7 +29,7 @@ struct Session {
 #[derive(Debug, Clone, Default)]
 struct ConeMapping {
     /// Live sessions keyed by remote endpoint.
-    sessions: HashMap<Endpoint, Session>,
+    sessions: FxHashMap<Endpoint, Session>,
 }
 
 impl ConeMapping {
@@ -84,18 +82,18 @@ pub struct NatBox {
     nat_type: NatType,
     hole_timeout: SimDuration,
     /// Cone state, keyed by private endpoint.
-    cone: HashMap<Endpoint, ConeMapping>,
+    cone: FxHashMap<Endpoint, ConeMapping>,
     /// Stable public-port reservations for cone mappings.
-    reserved: HashMap<Endpoint, Port>,
+    reserved: FxHashMap<Endpoint, Port>,
     /// Reverse index: public port → owning private endpoint (cone).
-    cone_by_port: HashMap<Port, Endpoint>,
+    cone_by_port: FxHashMap<Port, Endpoint>,
     /// Symmetric mappings keyed by (private, remote).
-    sym: HashMap<(Endpoint, Endpoint), Port>,
+    sym: FxHashMap<(Endpoint, Endpoint), Port>,
     /// Reverse index: public port → symmetric mapping.
-    sym_by_port: HashMap<Port, SymMapping>,
+    sym_by_port: FxHashMap<Port, SymMapping>,
     /// Permanent UPnP/NAT-PMP port forwardings: public port → private
     /// endpoint, never expiring and never filtered.
-    forwarded: HashMap<Port, Endpoint>,
+    forwarded: FxHashMap<Port, Endpoint>,
     next_port: u16,
 }
 
@@ -110,12 +108,12 @@ impl NatBox {
             public_ip,
             nat_type,
             hole_timeout,
-            cone: HashMap::new(),
-            reserved: HashMap::new(),
-            cone_by_port: HashMap::new(),
-            sym: HashMap::new(),
-            sym_by_port: HashMap::new(),
-            forwarded: HashMap::new(),
+            cone: FxHashMap::default(),
+            reserved: FxHashMap::default(),
+            cone_by_port: FxHashMap::default(),
+            sym: FxHashMap::default(),
+            sym_by_port: FxHashMap::default(),
+            forwarded: FxHashMap::default(),
             next_port: FIRST_DYNAMIC_PORT,
         }
     }

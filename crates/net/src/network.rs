@@ -1,10 +1,9 @@
 //! The simulated network fabric: NAT egress/ingress, latency, loss,
 //! accounting.
 
-use std::collections::HashMap;
 use std::fmt;
 
-use nylon_sim::{SimDuration, SimRng, SimTime};
+use nylon_sim::{FxHashMap, SimDuration, SimRng, SimTime};
 
 use crate::addr::{Endpoint, Ip, PeerId, Port};
 use crate::nat::NatClass;
@@ -243,8 +242,8 @@ pub struct Network<P> {
     cfg: NetConfig,
     peers: Vec<PeerSlot>,
     boxes: Vec<NatBox>,
-    ip_owner: HashMap<Ip, IpOwner>,
-    peer_by_private: HashMap<Endpoint, PeerId>,
+    ip_owner: FxHashMap<Ip, IpOwner>,
+    peer_by_private: FxHashMap<Endpoint, PeerId>,
     stats: Vec<TrafficStats>,
     drops: DropCounters,
     rng: SimRng,
@@ -264,8 +263,8 @@ impl<P> Network<P> {
             cfg,
             peers: Vec::new(),
             boxes: Vec::new(),
-            ip_owner: HashMap::new(),
-            peer_by_private: HashMap::new(),
+            ip_owner: FxHashMap::default(),
+            peer_by_private: FxHashMap::default(),
             stats: Vec::new(),
             drops: DropCounters::default(),
             rng: SimRng::new(seed).fork(0x6E65_7477), // "netw"

@@ -1,0 +1,122 @@
+//! A fast, deterministic hasher for the simulator's hot-path maps.
+//!
+//! The standard library's default hasher is SipHash behind a per-process
+//! random key: robust against untrusted keys, but measurably slow for the
+//! tiny fixed-size keys the simulator hashes millions of times per run
+//! (peer ids, endpoints, ports), and randomized per process. Simulation
+//! state is never attacker-controlled, so HashDoS resistance buys nothing
+//! here — [`FxHasher`] (the rustc/Firefox multiply-rotate scheme) is both
+//! faster and fully deterministic.
+//!
+//! Determinism note: nothing observable may depend on map iteration order
+//! anyway — the previous per-process random SipHash keys would have made
+//! replay non-reproducible otherwise — so swapping the hasher cannot (and
+//! does not) change simulation output. It only removes the last source of
+//! run-to-run memory-layout variation.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// [`std::collections::HashMap`] keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// [`std::collections::HashSet`] keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc-style Fx hash: rotate, xor, multiply per word.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let hash = |v: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(v);
+            h.finish()
+        };
+        assert_eq!(hash(42), hash(42));
+        assert_ne!(hash(42), hash(43));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "a");
+        m.insert(2, "b");
+        assert_eq!(m.get(&1), Some(&"a"));
+        assert_eq!(m.remove(&2), Some("b"));
+        assert!(!m.contains_key(&2));
+    }
+
+    #[test]
+    fn byte_writes_cover_partial_chunks() {
+        let hash = |b: &[u8]| {
+            let mut h = FxHasher::default();
+            h.write(b);
+            h.finish()
+        };
+        assert_ne!(hash(b"abcdefgh"), hash(b"abcdefg"));
+        assert_ne!(hash(b"abcdefghi"), hash(b"abcdefgh"));
+        assert_eq!(hash(b"abc"), hash(b"abc"));
+    }
+}

@@ -36,13 +36,15 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fxhash;
 mod queue;
 mod rng;
 mod sim;
 mod time;
 mod timer;
 
-pub use queue::EventQueue;
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use queue::{EventQueue, ReferenceQueue};
 pub use rng::SimRng;
 pub use sim::Sim;
 pub use time::{SimDuration, SimTime};

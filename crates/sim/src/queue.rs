@@ -1,16 +1,74 @@
 //! A deterministic priority queue of timestamped events.
+//!
+//! Two implementations live here:
+//!
+//! * [`EventQueue`] — the production queue: a hierarchical bucketed timer
+//!   wheel with a calendar-queue overflow level. Push and pop are O(1)
+//!   amortized (no heap sift-up/down churn), buckets recycle their
+//!   capacity, and pop order is *identical* to a binary heap ordered by
+//!   `(time, sequence number)`.
+//! * [`ReferenceQueue`] — the original `BinaryHeap` implementation, kept
+//!   as the executable specification: a property test schedules random
+//!   workloads (same-instant bursts, far-future overflow times,
+//!   interleaved pops) into both queues and demands bit-identical pop
+//!   sequences. Event ordering is the simulator's determinism contract,
+//!   so the wheel is proven against the heap rather than trusted.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 use crate::time::SimTime;
+
+/// Bits per wheel level: 64 slots each.
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Number of wheel levels. Level `l` slots are `64^l` ms wide, so the
+/// wheel spans `64^4` ms ≈ 4.7 virtual hours ahead of the current time;
+/// anything farther parks in the calendar overflow until the wheel
+/// rotates close enough.
+const LEVELS: usize = 4;
+/// Total bits covered by the wheel proper.
+const WHEEL_BITS: u32 = SLOT_BITS * LEVELS as u32;
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    event: E,
+}
+
+#[derive(Debug)]
+struct Level<E> {
+    /// Bitmap of non-empty slots. All occupied slots sit at or after the
+    /// current time's slot index (see the invariant note on
+    /// [`EventQueue::pop`]), so `trailing_zeros` finds the earliest.
+    occupied: u64,
+    slots: [Vec<Entry<E>>; SLOTS],
+}
+
+impl<E> Level<E> {
+    fn new() -> Self {
+        Level { occupied: 0, slots: std::array::from_fn(|_| Vec::new()) }
+    }
+}
 
 /// An event queue ordered by firing time with stable FIFO tie-breaking.
 ///
 /// Two events scheduled for the same instant are delivered in the order in
 /// which they were scheduled. This property is essential for deterministic
-/// simulations: `BinaryHeap` alone does not guarantee any order among equal
-/// keys, so every entry carries a monotonically increasing sequence number.
+/// simulations. The heap implementation needed an explicit sequence number
+/// for it; the wheel gets it structurally — buckets preserve insertion
+/// order through every cascade, so FIFO position *is* the tie-breaker.
+///
+/// # Time contract
+///
+/// Events must not be scheduled before the firing time of the most
+/// recently popped event (the queue's *floor*). [`crate::Sim`] enforces
+/// exactly this with its "cannot schedule event in the past" panic; the
+/// queue itself checks it with a `debug_assert` and, in release builds,
+/// clamps a violating event to the floor. [`EventQueue::clear`] resets the
+/// floor (and the sequence counter) to zero, so a reused queue behaves
+/// exactly like a freshly constructed one.
 ///
 /// ```
 /// use nylon_sim::{EventQueue, SimTime};
@@ -24,59 +82,267 @@ use crate::time::SimTime;
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// The floor: firing time of the most recently popped event.
+    elapsed: u64,
+    len: usize,
+    levels: [Level<E>; LEVELS],
+    /// Far-future events, bucketed by `at >> WHEEL_BITS` (a calendar
+    /// queue with day-length `64^4` ms). Buckets keep insertion order and
+    /// are re-dealt into the wheel when it rotates into their range.
+    overflow: BTreeMap<u64, Vec<Entry<E>>>,
+    /// The level-0 bucket currently being drained, reversed so FIFO pops
+    /// come off the back in O(1). All entries share one firing time
+    /// (= `elapsed`).
+    pending: Vec<Entry<E>>,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            elapsed: 0,
+            len: 0,
+            levels: std::array::from_fn(|_| Level::new()),
+            overflow: BTreeMap::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Creates an empty queue sized for roughly `capacity` events.
+    ///
+    /// The wheel allocates buckets lazily and recycles their capacity, so
+    /// the hint only pre-sizes the drain buffer.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut q = EventQueue::new();
+        q.pending.reserve(capacity / SLOTS + 1);
+        q
+    }
+
+    /// Schedules `event` to fire at instant `at`.
+    ///
+    /// `at` must not lie before the firing time of the most recently
+    /// popped event (debug-asserted; clamped in release builds — see the
+    /// type-level time contract).
+    #[inline]
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        debug_assert!(
+            at.as_millis() >= self.elapsed,
+            "scheduled {at} before the queue floor t={}ms",
+            self.elapsed
+        );
+        self.insert(Entry { at, event });
+        self.len += 1;
+    }
+
+    #[inline]
+    fn insert(&mut self, mut entry: Entry<E>) {
+        // Release-mode clamp of a contract violation (see the type-level
+        // time contract): the event both files at and reports the floor.
+        let at = entry.at.as_millis().max(self.elapsed);
+        entry.at = SimTime::from_millis(at);
+        let distance = at ^ self.elapsed;
+        if distance >> WHEEL_BITS != 0 {
+            self.overflow.entry(at >> WHEEL_BITS).or_default().push(entry);
+            return;
+        }
+        let level = if distance == 0 {
+            0
+        } else {
+            ((u64::BITS - 1 - distance.leading_zeros()) / SLOT_BITS) as usize
+        };
+        let slot = ((at >> (SLOT_BITS * level as u32)) as usize) & (SLOTS - 1);
+        self.levels[level].slots[slot].push(entry);
+        self.levels[level].occupied |= 1 << slot;
+    }
+
+    /// Removes and returns the earliest event, or `None` if the queue is
+    /// empty.
+    ///
+    /// Invariant behind the slot scans: whenever the floor lies inside a
+    /// level's current slot range, every event of that range has already
+    /// been cascaded to lower levels (cascading happens eagerly as the
+    /// floor advances), so at every level all occupied slots sit at or
+    /// after the floor's slot index and the earliest is the lowest set
+    /// bit.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        loop {
+            if let Some(e) = self.pending.pop() {
+                self.len -= 1;
+                return Some((e.at, e.event));
+            }
+            if self.len == 0 {
+                return None;
+            }
+            // Earliest occupied slot of the lowest non-empty level.
+            let Some(level) = (0..LEVELS).find(|&l| self.levels[l].occupied != 0) else {
+                // Wheel empty: rotate to the next calendar bucket and
+                // re-deal it (entries keep their order, hence their FIFO
+                // position).
+                let (&key, _) = self.overflow.first_key_value().expect("len > 0, wheel empty");
+                let bucket = self.overflow.remove(&key).expect("key just observed");
+                self.elapsed = self.elapsed.max(key << WHEEL_BITS);
+                for e in bucket {
+                    self.insert(e);
+                }
+                continue;
+            };
+            let slot = self.levels[level].occupied.trailing_zeros() as usize;
+            debug_assert!(
+                slot >= ((self.elapsed >> (SLOT_BITS * level as u32)) as usize) & (SLOTS - 1),
+                "occupied slot behind the floor"
+            );
+            self.levels[level].occupied &= !(1 << slot);
+            if level == 0 {
+                // A level-0 bucket holds exactly one firing time, in
+                // insertion (= sequence) order. Swap it into the drain
+                // buffer (recycling the buffer's capacity into the slot)
+                // and reverse so pops come off the back.
+                let at = (self.elapsed & !(SLOTS as u64 - 1)) + slot as u64;
+                debug_assert!(at >= self.elapsed);
+                self.elapsed = at;
+                std::mem::swap(&mut self.pending, &mut self.levels[0].slots[slot]);
+                self.pending.reverse();
+                continue;
+            }
+            // Cascade: advance the floor to the slot's start and re-deal
+            // its entries one level (or more) down, preserving order.
+            let width = 1u64 << (SLOT_BITS * level as u32);
+            let base = self.elapsed & !((width << SLOT_BITS) - 1);
+            let slot_start = base + slot as u64 * width;
+            debug_assert!(slot_start >= self.elapsed);
+            self.elapsed = slot_start;
+            let mut bucket = std::mem::take(&mut self.levels[level].slots[slot]);
+            for e in bucket.drain(..) {
+                self.insert(e);
+            }
+            // Hand the (empty) allocation back to the slot for reuse.
+            self.levels[level].slots[slot] = bucket;
+        }
+    }
+
+    /// The firing time of the earliest event without removing it.
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if let Some(e) = self.pending.last() {
+            return Some(e.at);
+        }
+        if self.len == 0 {
+            return None;
+        }
+        for (level, lv) in self.levels.iter().enumerate() {
+            if lv.occupied == 0 {
+                continue;
+            }
+            let slot = lv.occupied.trailing_zeros() as usize;
+            if level == 0 {
+                return Some(SimTime::from_millis(
+                    (self.elapsed & !(SLOTS as u64 - 1)) + slot as u64,
+                ));
+            }
+            // Higher-level slots span a range; the earliest event inside
+            // is found by scanning the bucket. Rare: only the first peek
+            // after the near-time levels drain pays this, the pop that
+            // follows cascades the bucket down.
+            return lv.slots[slot].iter().map(|e| e.at).min();
+        }
+        self.overflow.first_key_value().and_then(|(_, b)| b.iter().map(|e| e.at).min())
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drops all pending events and resets the queue to its
+    /// freshly-constructed state: the time floor restarts at zero (and
+    /// with it the structural FIFO positions), so a cleared queue
+    /// schedules and pops exactly like a new one — including times below
+    /// the old floor. Bucket capacity is retained.
+    pub fn clear(&mut self) {
+        for lv in &mut self.levels {
+            if lv.occupied != 0 {
+                for s in &mut lv.slots {
+                    s.clear();
+                }
+                lv.occupied = 0;
+            }
+        }
+        self.overflow.clear();
+        self.pending.clear();
+        self.elapsed = 0;
+        self.len = 0;
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+/// The original `BinaryHeap`-backed event queue, kept as the executable
+/// specification for [`EventQueue`].
+///
+/// Pop order is `(time, sequence number)` — exactly what the timer wheel
+/// must reproduce. Used by the differential property tests and available
+/// to benches for A/B comparison; simulations should use [`EventQueue`].
+#[derive(Debug)]
+pub struct ReferenceQueue<E> {
+    heap: BinaryHeap<RefEntry<E>>,
     next_seq: u64,
 }
 
 #[derive(Debug)]
-struct Entry<E> {
+struct RefEntry<E> {
     at: SimTime,
     seq: u64,
     event: E,
 }
 
-// Manual ordering: min-heap on (at, seq). `BinaryHeap` is a max-heap, so the
-// comparisons are reversed here rather than wrapping everything in `Reverse`.
-impl<E> Ord for Entry<E> {
+// Manual ordering: min-heap on (at, seq). `BinaryHeap` is a max-heap, so
+// the comparisons are reversed here rather than wrapping in `Reverse`.
+impl<E> Ord for RefEntry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         (other.at, other.seq).cmp(&(self.at, self.seq))
     }
 }
 
-impl<E> PartialOrd for Entry<E> {
+impl<E> PartialOrd for RefEntry<E> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> PartialEq for Entry<E> {
+impl<E> PartialEq for RefEntry<E> {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
 
-impl<E> Eq for Entry<E> {}
+impl<E> Eq for RefEntry<E> {}
 
-impl<E> EventQueue<E> {
+impl<E> ReferenceQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
-    }
-
-    /// Creates an empty queue with room for `capacity` events.
-    pub fn with_capacity(capacity: usize) -> Self {
-        EventQueue { heap: BinaryHeap::with_capacity(capacity), next_seq: 0 }
+        ReferenceQueue { heap: BinaryHeap::new(), next_seq: 0 }
     }
 
     /// Schedules `event` to fire at instant `at`.
     pub fn schedule(&mut self, at: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        self.heap.push(RefEntry { at, seq, event });
     }
 
-    /// Removes and returns the earliest event, or `None` if the queue is
-    /// empty.
+    /// Removes and returns the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.heap.pop().map(|e| (e.at, e.event))
     }
@@ -95,16 +361,11 @@ impl<E> EventQueue<E> {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
-
-    /// Drops all pending events.
-    pub fn clear(&mut self) {
-        self.heap.clear();
-    }
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for ReferenceQueue<E> {
     fn default() -> Self {
-        EventQueue::new()
+        ReferenceQueue::new()
     }
 }
 
@@ -155,31 +416,161 @@ mod tests {
         assert_eq!(q.peek_time(), None);
     }
 
+    /// The `clear` regression of this PR: a heavily used then cleared
+    /// queue must schedule and pop exactly like a freshly constructed one
+    /// — earlier times (below the old floor) included, and with the
+    /// sequence counter restarted so FIFO positions match.
+    #[test]
+    fn clear_resets_floor_and_sequence() {
+        let mut used: EventQueue<u32> = EventQueue::new();
+        for i in 0..500u32 {
+            used.schedule(SimTime::from_millis(1_000 + i as u64 * 97), i);
+        }
+        while used.pop().is_some() {}
+        used.clear();
+
+        let mut fresh: EventQueue<u32> = EventQueue::new();
+        // Same workload into both, at times far below the used queue's
+        // old floor, with same-instant ties probing the sequence reset.
+        for i in 0..50u32 {
+            used.schedule(SimTime::from_millis((i % 7) as u64), i);
+            fresh.schedule(SimTime::from_millis((i % 7) as u64), i);
+        }
+        loop {
+            let (a, b) = (used.pop(), fresh.pop());
+            assert_eq!(a, b, "cleared queue diverged from a fresh one");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
     #[test]
     fn default_is_empty() {
         let q: EventQueue<()> = EventQueue::default();
         assert!(q.is_empty());
     }
 
-    proptest! {
-        /// Popping must always yield a non-decreasing sequence of timestamps,
-        /// and FIFO order among equal timestamps.
-        #[test]
-        fn prop_pop_order(times in proptest::collection::vec(0u64..50, 0..200)) {
-            let mut q = EventQueue::new();
-            for (i, t) in times.iter().enumerate() {
-                q.schedule(SimTime::from_millis(*t), i);
+    #[test]
+    fn far_future_overflow_roundtrip() {
+        // Beyond the wheel span (64^4 ms): parks in the calendar
+        // overflow, still pops in order with FIFO ties.
+        let mut q = EventQueue::new();
+        let far = SimTime::from_millis(1 << 30);
+        let farther = SimTime::from_millis((1 << 30) + 1);
+        q.schedule(far, 1);
+        q.schedule(farther, 3);
+        q.schedule(far, 2);
+        q.schedule(SimTime::from_millis(5), 0);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(5)));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(5), 0)));
+        assert_eq!(q.peek_time(), Some(far));
+        assert_eq!(q.pop(), Some((far, 1)));
+        assert_eq!(q.pop(), Some((far, 2)));
+        assert_eq!(q.pop(), Some((farther, 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn reschedule_at_current_instant_pops_after_earlier_ties() {
+        // Pop one of two same-instant events, schedule a third at that
+        // same instant: it must fire after the still-queued second one.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(9);
+        q.schedule(t, "a");
+        q.schedule(t, "b");
+        assert_eq!(q.pop(), Some((t, "a")));
+        q.schedule(t, "c");
+        assert_eq!(q.pop(), Some((t, "b")));
+        assert_eq!(q.pop(), Some((t, "c")));
+    }
+
+    /// Differential oracle driver: replay `ops` into the wheel and the
+    /// reference heap, comparing pops (and peeks) step by step. Times are
+    /// kept at or above the pop floor, matching the queue's contract.
+    fn oracle(ops: &[(u64, u16, u8)]) {
+        let mut wheel: EventQueue<usize> = EventQueue::new();
+        let mut heap: ReferenceQueue<usize> = ReferenceQueue::new();
+        let mut floor = 0u64;
+        let mut id = 0usize;
+        for &(delta, burst, pops) in ops {
+            let at = SimTime::from_millis(floor + delta);
+            // Same-instant burst of size >= 1.
+            for _ in 0..=burst {
+                wheel.schedule(at, id);
+                heap.schedule(at, id);
+                id += 1;
             }
-            let mut last: Option<(SimTime, usize)> = None;
-            while let Some((t, idx)) = q.pop() {
-                if let Some((lt, lidx)) = last {
-                    prop_assert!(t >= lt);
-                    if t == lt {
-                        prop_assert!(idx > lidx, "FIFO violated for equal timestamps");
-                    }
+            assert_eq!(wheel.peek_time(), heap.peek_time());
+            assert_eq!(wheel.len(), heap.len());
+            for _ in 0..pops {
+                let (a, b) = (wheel.pop(), heap.pop());
+                assert_eq!(a, b, "wheel diverged from reference heap");
+                if let Some((t, _)) = a {
+                    floor = t.as_millis();
                 }
-                last = Some((t, idx));
             }
+        }
+        loop {
+            assert_eq!(wheel.peek_time(), heap.peek_time());
+            let (a, b) = (wheel.pop(), heap.pop());
+            assert_eq!(a, b, "wheel diverged from reference heap in drain");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_smoke_all_levels_and_overflow() {
+        // Deltas chosen to land on every wheel level and the overflow.
+        oracle(&[
+            (0, 3, 1),
+            (63, 0, 0),
+            (64, 2, 2),
+            (4_000, 0, 1),
+            (300_000, 1, 0),
+            (20_000_000, 2, 3), // beyond 64^4 ms: calendar overflow
+            (1, 0, 200),
+            (0, 5, 0),
+        ]);
+    }
+
+    proptest! {
+        /// The wheel must agree with the reference heap on every pop and
+        /// peek, for random schedules with same-instant bursts,
+        /// far-future overflow times and interleaved pops.
+        #[test]
+        fn prop_wheel_matches_reference_heap(
+            raw_ops in proptest::collection::vec(
+                (
+                    0u64..6,          // wheel-level selector (5 = overflow)
+                    0u64..1u64 << 40, // raw delta, folded into the level's span
+                    0u16..4,          // burst size - 1
+                    0u8..6,           // pops after this schedule
+                ),
+                0..60,
+            )
+        ) {
+            // Bias deltas across every wheel level plus the calendar
+            // overflow; a uniform delta would almost never exercise the
+            // near levels.
+            let spans: [(u64, u64); 6] = [
+                (0, 1),                        // same instant
+                (1, 64),                       // level 0
+                (64, 4_096),                   // level 1
+                (4_096, 262_144),              // level 2
+                (262_144, 16_777_216),         // level 3
+                (16_777_216, 1u64 << 40),      // overflow
+            ];
+            let ops: Vec<(u64, u16, u8)> = raw_ops
+                .iter()
+                .map(|&(level, raw, burst, pops)| {
+                    let (lo, hi) = spans[level as usize];
+                    (lo + raw % (hi - lo), burst, pops)
+                })
+                .collect();
+            oracle(&ops);
         }
 
         /// The queue must never lose or duplicate events.

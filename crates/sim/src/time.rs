@@ -25,6 +25,7 @@ impl SimTime {
     pub const MAX: SimTime = SimTime(u64::MAX);
 
     /// Creates an instant `millis` milliseconds after the simulation start.
+    #[inline]
     pub const fn from_millis(millis: u64) -> Self {
         SimTime(millis)
     }
@@ -34,11 +35,13 @@ impl SimTime {
     /// # Panics
     ///
     /// Panics if `secs * 1000` overflows `u64`.
+    #[inline]
     pub const fn from_secs(secs: u64) -> Self {
         SimTime(secs * 1_000)
     }
 
     /// This instant expressed as milliseconds since the simulation start.
+    #[inline]
     pub const fn as_millis(self) -> u64 {
         self.0
     }
@@ -50,11 +53,13 @@ impl SimTime {
 
     /// The duration elapsed since `earlier`, saturating to zero if `earlier`
     /// is in the future.
+    #[inline]
     pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
 
     /// Adds a duration, saturating at [`SimTime::MAX`].
+    #[inline]
     pub fn saturating_add(self, d: SimDuration) -> SimTime {
         SimTime(self.0.saturating_add(d.0))
     }
@@ -69,12 +74,14 @@ impl fmt::Display for SimTime {
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
 
+    #[inline]
     fn add(self, rhs: SimDuration) -> SimTime {
         SimTime(self.0 + rhs.0)
     }
 }
 
 impl AddAssign<SimDuration> for SimTime {
+    #[inline]
     fn add_assign(&mut self, rhs: SimDuration) {
         self.0 += rhs.0;
     }
@@ -83,6 +90,7 @@ impl AddAssign<SimDuration> for SimTime {
 impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
 
+    #[inline]
     fn sub(self, rhs: SimTime) -> SimDuration {
         SimDuration(self.0 - rhs.0)
     }
@@ -91,6 +99,7 @@ impl Sub<SimTime> for SimTime {
 impl Sub<SimDuration> for SimTime {
     type Output = SimTime;
 
+    #[inline]
     fn sub(self, rhs: SimDuration) -> SimTime {
         SimTime(self.0 - rhs.0)
     }
@@ -110,6 +119,7 @@ impl SimDuration {
     pub const ZERO: SimDuration = SimDuration(0);
 
     /// Creates a duration of `millis` milliseconds.
+    #[inline]
     pub const fn from_millis(millis: u64) -> Self {
         SimDuration(millis)
     }
@@ -119,11 +129,13 @@ impl SimDuration {
     /// # Panics
     ///
     /// Panics if `secs * 1000` overflows `u64`.
+    #[inline]
     pub const fn from_secs(secs: u64) -> Self {
         SimDuration(secs * 1_000)
     }
 
     /// This duration in milliseconds.
+    #[inline]
     pub const fn as_millis(self) -> u64 {
         self.0
     }
@@ -134,16 +146,19 @@ impl SimDuration {
     }
 
     /// `true` if this is the empty duration.
+    #[inline]
     pub const fn is_zero(self) -> bool {
         self.0 == 0
     }
 
     /// Subtracts `rhs`, saturating at zero.
+    #[inline]
     pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_sub(rhs.0))
     }
 
     /// Returns the smaller of two durations.
+    #[inline]
     pub fn min(self, rhs: SimDuration) -> SimDuration {
         SimDuration(self.0.min(rhs.0))
     }
@@ -158,12 +173,14 @@ impl fmt::Display for SimDuration {
 impl Add for SimDuration {
     type Output = SimDuration;
 
+    #[inline]
     fn add(self, rhs: SimDuration) -> SimDuration {
         SimDuration(self.0 + rhs.0)
     }
 }
 
 impl AddAssign for SimDuration {
+    #[inline]
     fn add_assign(&mut self, rhs: SimDuration) {
         self.0 += rhs.0;
     }
@@ -172,6 +189,7 @@ impl AddAssign for SimDuration {
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
 
+    #[inline]
     fn mul(self, rhs: u64) -> SimDuration {
         SimDuration(self.0 * rhs)
     }

@@ -15,11 +15,8 @@
 //!   with NAT behaviour supplied by the user-space
 //!   [`crate::NatEmulator`] middlebox.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
 use nylon_net::{Delivery, Endpoint, InFlight, NatClass, NetConfig, Network, PeerId};
-use nylon_sim::SimTime;
+use nylon_sim::{EventQueue, SimTime};
 
 /// A datagram delivered to a peer by a transport.
 #[derive(Debug, Clone)]
@@ -56,40 +53,13 @@ pub trait Transport<P> {
     fn poll(&mut self, deadline: SimTime) -> Option<Arrival<P>>;
 }
 
-/// An in-flight datagram queued for arrival-ordered delivery; FIFO among
-/// equal instants via the sequence number, mirroring the event queue's
-/// stability guarantee.
-#[derive(Debug)]
-struct Queued<P> {
-    at: SimTime,
-    seq: u64,
-    flight: InFlight<P>,
-}
-
-impl<P> PartialEq for Queued<P> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-
-impl<P> Eq for Queued<P> {}
-
-impl<P> PartialOrd for Queued<P> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<P> Ord for Queued<P> {
-    /// Reversed so the `BinaryHeap` max-heap pops the earliest datagram.
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
 /// The simulated fabric as a [`Transport`]: NAT processing, latency and
 /// loss come from an owned [`Network`], deliveries are replayed in arrival
-/// order.
+/// order — through the shared [`nylon_sim::EventQueue`] timer wheel, the
+/// same structure (and thus the same stable FIFO-per-instant ordering)
+/// that paces a classic in-simulator run. This transport used to keep a
+/// private `BinaryHeap` + sequence counter; that duplicate ordering logic
+/// is gone.
 ///
 /// The peer population must be added in the same order as the engine added
 /// its peers, so both sides assign identical virtual endpoints (the
@@ -97,8 +67,7 @@ impl<P> Ord for Queued<P> {
 #[derive(Debug)]
 pub struct SimTransport<P> {
     net: Network<P>,
-    queue: BinaryHeap<Queued<P>>,
-    seq: u64,
+    queue: EventQueue<InFlight<P>>,
 }
 
 impl<P> SimTransport<P> {
@@ -109,7 +78,7 @@ impl<P> SimTransport<P> {
         for class in classes {
             net.add_peer(*class);
         }
-        SimTransport { net, queue: BinaryHeap::new(), seq: 0 }
+        SimTransport { net, queue: EventQueue::new() }
     }
 
     /// The underlying fabric (drop counters, NAT oracles).
@@ -130,17 +99,16 @@ impl<P> Transport<P> for SimTransport<P> {
     ) {
         // The fabric computes the post-NAT source endpoint itself.
         if let Some(flight) = self.net.send(now, from, dst, payload, payload_bytes) {
-            self.queue.push(Queued { at: flight.arrive_at, seq: self.seq, flight });
-            self.seq += 1;
+            self.queue.schedule(flight.arrive_at, flight);
         }
     }
 
     fn poll(&mut self, deadline: SimTime) -> Option<Arrival<P>> {
-        while let Some(top) = self.queue.peek() {
-            if top.at > deadline {
+        while let Some(at) = self.queue.peek_time() {
+            if at > deadline {
                 return None;
             }
-            let Queued { at, flight, .. } = self.queue.pop().expect("peeked entry exists");
+            let (at, flight) = self.queue.pop().expect("peeked entry exists");
             match self.net.deliver(at, flight) {
                 Delivery::ToPeer { to, from_ep, payload } => {
                     return Some(Arrival { to, from_ep, payload })

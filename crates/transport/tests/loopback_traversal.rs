@@ -134,5 +134,12 @@ fn emulator_filters_and_rewrites_raw_frames() {
     let back = wait(&mut transport).expect("reply through the hole must pass");
     assert_eq!(back.to, natted);
     assert!(matches!(back.payload, NylonMsg::Pong { .. }));
+    // The frames arrived, so the middlebox forwarded them — but its
+    // counter increments on the emulator thread; give it a moment rather
+    // than racing a single read.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+    while emulator.forwarded() < 2 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
     assert!(emulator.forwarded() >= 2);
 }

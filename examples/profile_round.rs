@@ -1,0 +1,40 @@
+//! Profiling harness for the sim-kernel hot path: 2000 steady-state
+//! protocol rounds of the 200-peer / 70 %-NAT population the micro-bench
+//! uses, in one flat loop.
+//!
+//! This exists so a sampling profiler gets a long, homogeneous window of
+//! the exact workload `nylon_round_200_peers_70pct_nat` measures:
+//!
+//! ```text
+//! cargo build --release --example profile_round
+//! gprofng collect app -o /tmp/prof.er target/release/examples/profile_round
+//! gprofng display text -functions /tmp/prof.er
+//! ```
+//!
+//! It also prints the mean per-round time, which makes it a low-noise
+//! A/B tool: build the binary at two commits and alternate runs.
+
+fn main() {
+    use nylon::{NylonConfig, NylonEngine};
+    use nylon_net::{NatClass, NatType, NetConfig};
+    let mut eng = NylonEngine::new(NylonConfig::default(), NetConfig::default(), 5);
+    for i in 0..200u32 {
+        let class = if i % 10 < 3 {
+            NatClass::Public
+        } else if i % 10 < 6 {
+            NatClass::Natted(NatType::RestrictedCone)
+        } else if i % 10 < 9 {
+            NatClass::Natted(NatType::PortRestrictedCone)
+        } else {
+            NatClass::Natted(NatType::Symmetric)
+        };
+        eng.add_peer(class);
+    }
+    eng.bootstrap_random_public(8);
+    eng.start();
+    eng.run_rounds(30);
+    let t = std::time::Instant::now();
+    eng.run_rounds(2000);
+    eprintln!("2000 rounds in {:?} => {:?}/round", t.elapsed(), t.elapsed() / 2000);
+    std::hint::black_box(eng.stats());
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Records the micro-bench medians (and, via the bench-alloc counting
+# allocator, allocations/op) as machine-readable JSON, so the repo's perf
+# trajectory is a diffable artifact instead of scrollback.
+#
+# Usage:
+#   scripts/bench_snapshot.sh [OUT.json] [--quick]
+#
+# OUT defaults to BENCH_snapshot.json in the repo root. --quick runs one
+# sample per bench (the CI smoke mode). The PR-4 acceptance numbers live
+# in BENCH_pr4.json, produced by this script and annotated with the
+# pre-PR baseline measured on the same machine.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="BENCH_snapshot.json"
+quick=""
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick="--quick" ;;
+    *) out="$arg" ;;
+  esac
+done
+
+cargo bench -p nylon-bench --bench snapshot --features bench-alloc -- \
+  --out "$out" $quick

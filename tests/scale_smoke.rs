@@ -1,0 +1,45 @@
+//! Scale smoke: the sim kernel at four-digit peer counts.
+//!
+//! The timer wheel, the pooled message path and the lazy routing TTLs
+//! were built so the simulator can grow past the paper's N=500 towards
+//! measurement-scale sweeps. This test runs a 10 000-node baseline
+//! population for 50 rounds inside the normal `cargo test -q` gate —
+//! large enough that an accidental O(n log n) event queue, an allocation
+//! regression or a per-round full-table sweep shows up as a timeout,
+//! small enough to stay a smoke test (it is the by-far largest population
+//! in the suite, yet completes in seconds).
+
+use nylon_gossip::{BaselineEngine, GossipConfig};
+use nylon_net::{NatClass, NatType, NetConfig};
+
+#[test]
+fn ten_thousand_nodes_fifty_rounds() {
+    let mut eng = BaselineEngine::new(GossipConfig::default(), NetConfig::default(), 0xC0FFEE);
+    for i in 0..10_000u32 {
+        // 30% public, 70% cone-natted: natted peers keep the NAT boxes and
+        // their hole bookkeeping in the hot path.
+        let class = if i % 10 < 3 {
+            NatClass::Public
+        } else {
+            NatClass::Natted(NatType::PortRestrictedCone)
+        };
+        eng.add_peer(class);
+    }
+    eng.bootstrap_random_public(8);
+    eng.start();
+    eng.run_rounds(50);
+
+    let s = eng.stats();
+    // 10k peers * 50 rounds: effectively every round initiates.
+    assert!(s.initiated > 450_000, "too few shuffles at scale: {}", s.initiated);
+    assert!(s.responses_received > 0, "push/pull must complete at scale");
+    // Views converge to full size for (at least) the public majority of
+    // reachable peers.
+    let full = eng
+        .alive_peers()
+        .collect::<Vec<_>>()
+        .iter()
+        .filter(|p| eng.view_of(**p).len() == eng.config().view_size)
+        .count();
+    assert!(full > 9_000, "only {full} views filled at scale");
+}
