@@ -137,14 +137,17 @@ fn bench_view_merge(c: &mut Criterion) {
     };
     c.bench_function("view_merge_healer_16", |b| {
         let mut rng = SimRng::new(3);
-        let mut view = PartialView::new(PeerId(0), 15);
-        for i in 1..16 {
-            view.insert(mk(i, i as u16));
-        }
+        let base: Vec<NodeDescriptor> = (1..16).map(|i| mk(i, i as u16)).collect();
         let received: Vec<NodeDescriptor> = (20..36).map(|i| mk(i, (i % 7) as u16)).collect();
-        let sent: Vec<PeerId> = view.ids();
+        let sent: Vec<PeerId> = base.iter().map(|d| d.id).collect();
+        // Steady state of a long-lived view: refill the same allocation,
+        // then merge (the bounded selection is in place and alloc-free).
+        let mut v = PartialView::new(PeerId(0), 15);
         b.iter(|| {
-            let mut v = view.clone();
+            v.retain(|_| false);
+            for d in &base {
+                v.insert(*d);
+            }
             v.merge_and_truncate(&received, &sent, MergePolicy::Healer, &mut rng);
             black_box(v.len())
         })

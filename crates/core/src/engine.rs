@@ -15,7 +15,7 @@
 use nylon_gossip::{NodeDescriptor, PartialView};
 use nylon_net::{
     BufferPool, Delivery, Endpoint, InFlight, NatClass, NatType, NetConfig, Network, Outbound,
-    PeerId,
+    PeerId, Slab, SlabKey,
 };
 use nylon_sim::{FxHashMap, Sim, SimDuration, SimRng, SimTime};
 
@@ -79,10 +79,10 @@ impl NylonStats {
 #[derive(Debug)]
 struct Node {
     view: PartialView,
+    /// Routes *and* observed contact endpoints: the endpoint a direct
+    /// route's hole was observed from lives inside the route entry, so a
+    /// receive touches one map instead of two.
     routing: RoutingTable,
-    /// Last observed endpoint per peer; authoritative while a direct route
-    /// is live (replies travel through the observed hole).
-    contact: FxHashMap<PeerId, Endpoint>,
     /// Outstanding hole punches: target → deadline.
     pending_punch: FxHashMap<PeerId, SimTime>,
     /// Ids shipped per outstanding shuffle, for the swapper merge policy.
@@ -90,12 +90,18 @@ struct Node {
     rng: SimRng,
 }
 
+/// Engine events. `Deliver` carries a slab handle — the ~100 B
+/// [`InFlight`] datagram parks in the engine's flight slab while the
+/// 4-byte key travels through the timer wheel.
 #[derive(Debug)]
 enum Ev {
     Shuffle(PeerId),
-    Deliver(InFlight<NylonMsg>),
+    Deliver(SlabKey),
     Purge,
 }
+
+// The whole point of the slab indirection: wheeled events stay slim.
+const _: () = assert!(std::mem::size_of::<Ev>() <= 32, "Ev must stay slim for the timer wheel");
 
 /// Interval between NAT/contact-cache garbage-collection sweeps.
 const PURGE_EVERY: SimDuration = SimDuration::from_secs(60);
@@ -140,6 +146,9 @@ pub struct NylonEngine {
     id_pool: BufferPool<PeerId>,
     /// Reused scratch for the descriptor projection of a merge.
     scratch_descs: Vec<NodeDescriptor>,
+    /// In-flight datagrams, parked here while their 4-byte handle travels
+    /// through the timer wheel (see [`Ev`]); slots recycle.
+    flights: Slab<InFlight<NylonMsg>>,
 }
 
 impl NylonEngine {
@@ -168,6 +177,7 @@ impl NylonEngine {
             entry_pool: BufferPool::new(),
             id_pool: BufferPool::new(),
             scratch_descs: Vec::new(),
+            flights: Slab::new(),
         }
     }
 
@@ -237,7 +247,6 @@ impl NylonEngine {
         self.nodes.push(Node {
             view: PartialView::new(id, self.cfg.view_size),
             routing: RoutingTable::new(id),
-            contact: FxHashMap::default(),
             pending_punch: FxHashMap::default(),
             pending_sent: FxHashMap::default(),
             rng,
@@ -273,8 +282,7 @@ impl NylonEngine {
             let d = NodeDescriptor::new(*c, self.net.identity_endpoint(*c), self.net.class_of(*c));
             let node = &mut self.nodes[id.index()];
             node.view.insert(d);
-            node.contact.insert(*c, ep);
-            node.routing.update_direct(*c, self.cfg.hole_timeout);
+            node.routing.touch_direct(*c, self.cfg.hole_timeout, ep);
         }
         id
     }
@@ -302,8 +310,7 @@ impl NylonEngine {
                 if fallback {
                     if let Some(ep) = self.net.open_bootstrap_hole(now, p, q) {
                         let node = &mut self.nodes[p.index()];
-                        node.contact.insert(q, ep);
-                        node.routing.update_direct(q, self.cfg.hole_timeout);
+                        node.routing.touch_direct(q, self.cfg.hole_timeout, ep);
                     }
                 }
             }
@@ -334,11 +341,7 @@ impl NylonEngine {
     /// Runs the simulation for `dur` of virtual time.
     pub fn run_for(&mut self, dur: SimDuration) {
         let deadline = self.sim.now() + dur;
-        while let Some(at) = self.sim.peek_time() {
-            if at > deadline {
-                break;
-            }
-            let (_, ev) = self.sim.step().expect("event vanished between peek and pop");
+        while let Some((_, ev)) = self.sim.step_before(deadline) {
             self.handle(ev);
         }
         self.sim.advance_to(deadline);
@@ -444,7 +447,7 @@ impl NylonEngine {
         if class.is_public() {
             return Some(self.net.identity_endpoint(peer));
         }
-        self.nodes[me.index()].contact.get(&peer).copied().or(fallback)
+        self.nodes[me.index()].routing.contact_of(peer).or(fallback)
     }
 
     fn send_msg(&mut self, from: PeerId, to_ep: Endpoint, msg: NylonMsg) {
@@ -456,7 +459,8 @@ impl NylonEngine {
         }
         let now = self.sim.now();
         if let Some(flight) = self.net.send(now, from, to_ep, msg, bytes) {
-            self.sim.schedule_at(flight.arrive_at, Ev::Deliver(flight));
+            let at = flight.arrive_at;
+            self.sim.schedule_at(at, Ev::Deliver(self.flights.insert(flight)));
         }
     }
 
@@ -485,24 +489,21 @@ impl NylonEngine {
     /// remember the observed endpoint (every `on receive` in Figure 6
     /// starts with `update_next_RVP(p, p, HOLE_TIMEOUT)`).
     fn touch(&mut self, me: PeerId, via: PeerId, observed: Endpoint) {
-        let node = &mut self.nodes[me.index()];
-        node.routing.update_direct(via, self.cfg.hole_timeout);
-        node.contact.insert(via, observed);
+        self.nodes[me.index()].routing.touch_direct(via, self.cfg.hole_timeout, observed);
     }
 
     fn handle(&mut self, ev: Ev) {
         match ev {
             Ev::Shuffle(p) => self.on_shuffle(p),
-            Ev::Deliver(flight) => self.on_deliver(flight),
+            Ev::Deliver(key) => {
+                let flight = self.flights.remove(key);
+                self.on_deliver(flight);
+            }
             Ev::Purge => {
                 let now = self.sim.now();
                 self.net.purge_expired_nat_state(now);
-                // Contact endpoints are only authoritative alongside a live
-                // direct route; drop the rest.
-                for node in &mut self.nodes {
-                    let routing = &node.routing;
-                    node.contact.retain(|peer, _| routing.is_direct(*peer));
-                }
+                // Contact endpoints live inside the routing entries and
+                // expire with them; no separate sweep needed.
                 self.sim.schedule_after(PURGE_EVERY, Ev::Purge);
             }
         }
@@ -514,12 +515,15 @@ impl NylonEngine {
             return;
         }
         let now = self.sim.now();
-        // Expire abandoned hole punches.
+        // Expire abandoned hole punches (skip the bucket walk when no
+        // punch is outstanding — the common case for public peers).
         {
             let node = &mut self.nodes[p.index()];
-            let before = node.pending_punch.len();
-            node.pending_punch.retain(|_, deadline| *deadline > now);
-            self.stats.punch_timeouts += (before - node.pending_punch.len()) as u64;
+            if !node.pending_punch.is_empty() {
+                let before = node.pending_punch.len();
+                node.pending_punch.retain(|_, deadline| *deadline > now);
+                self.stats.punch_timeouts += (before - node.pending_punch.len()) as u64;
+            }
         }
         let self_class = self.net.class_of(p);
         let target = {
@@ -1073,6 +1077,23 @@ mod tests {
             eng.alive_peers().collect::<Vec<_>>().iter().map(|p| eng.view_of(*p).len()).sum();
         let ratio = dead_refs as f64 / total_refs.max(1) as f64;
         assert!(ratio < 0.2, "dead references linger: {ratio:.2}");
+    }
+
+    #[test]
+    fn flight_slab_recycles_slots() {
+        // Punches, relays and shuffles all park flights in the slab; its
+        // slot count must track the in-flight high-water mark, not the
+        // total message count.
+        let mut eng = mixed_engine(10, 15, 10, 5, 35);
+        eng.run_rounds(20);
+        let high = eng.flights.slot_count();
+        assert!(high > 0, "warm-up must have scheduled deliveries");
+        eng.run_rounds(1_000);
+        assert!(
+            eng.flights.slot_count() <= high * 2 + 8,
+            "flight slab grew from {high} to {} slots over 1k rounds",
+            eng.flights.slot_count()
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! period and entries are purged on expiry
 //! (`decrease_routing_table_ttls`, Figure 6 line 14).
 
-use nylon_net::PeerId;
+use nylon_net::{Endpoint, PeerId};
 use nylon_sim::{FxHashMap, SimDuration};
 
 /// One routing entry: the next RVP towards a destination, the remaining
@@ -66,8 +66,10 @@ pub struct RoutingTable {
 /// How much age accumulates between compaction sweeps. Expired entries
 /// are invisible to every accessor the moment they expire; the sweep only
 /// reclaims their memory, so the interval must merely keep the table
-/// within a few rounds' worth of stale slack.
-const SWEEP_EVERY: SimDuration = SimDuration::from_secs(30);
+/// bounded — one hole-timeout of stale slack at most doubles the live
+/// set, and halving the sweep frequency measurably cheapens the per-round
+/// path (the sweep walks the whole map).
+const SWEEP_EVERY: SimDuration = SimDuration::from_secs(90);
 
 /// Internal entry: expiry measured on the age axis.
 #[derive(Debug, Clone, Copy)]
@@ -75,6 +77,12 @@ struct Stored {
     rvp: PeerId,
     expires: SimDuration,
     hops: u8,
+    /// Last observed (post-NAT) endpoint of `dest`, recorded alongside
+    /// direct routes: replies travel back through the hole it names. Only
+    /// meaningful while the route is direct — exactly the lifetime the
+    /// engines need, which is why the endpoint lives here instead of in a
+    /// second per-node hash map paying a second lookup per receive.
+    contact: Option<Endpoint>,
 }
 
 impl Stored {
@@ -142,6 +150,17 @@ impl RoutingTable {
     /// hole is provably open, so the route always wins and its TTL is never
     /// shortened.
     pub fn update_direct(&mut self, dest: PeerId, ttl: SimDuration) {
+        self.touch_direct_inner(dest, ttl, None);
+    }
+
+    /// [`RoutingTable::update_direct`] plus the observed endpoint the
+    /// datagram came from — the engines' per-receive `touch`, folded into
+    /// one hash lookup.
+    pub fn touch_direct(&mut self, dest: PeerId, ttl: SimDuration, observed: Endpoint) {
+        self.touch_direct_inner(dest, ttl, Some(observed));
+    }
+
+    fn touch_direct_inner(&mut self, dest: PeerId, ttl: SimDuration, observed: Option<Endpoint>) {
         if dest == self.owner || ttl.is_zero() {
             return;
         }
@@ -152,13 +171,22 @@ impl RoutingTable {
                 e.rvp = dest;
                 e.hops = 1;
                 // A stale (expired, unswept) entry must not donate its old
-                // expiry; a live one keeps the larger.
+                // expiry (or contact endpoint); a live one keeps the larger
+                // expiry and the freshest endpoint.
                 e.expires = if stale { expires } else { e.expires.max(expires) };
+                e.contact = if stale { observed } else { observed.or(e.contact) };
             }
             None => {
-                self.entries.insert(dest, Stored { rvp: dest, expires, hops: 1 });
+                self.entries
+                    .insert(dest, Stored { rvp: dest, expires, hops: 1, contact: observed });
             }
         }
+    }
+
+    /// The last observed endpoint of `dest`, available exactly while a
+    /// live *direct* route exists (replies through the hole it names).
+    pub fn contact_of(&self, dest: PeerId) -> Option<Endpoint> {
+        self.live(dest).filter(|e| e.rvp == dest).and_then(|e| e.contact)
     }
 
     /// Updates (or creates) the entry for `dest` (Figure 6
@@ -183,7 +211,7 @@ impl RoutingTable {
             return;
         }
         let age = self.age;
-        let new = Stored { rvp, expires: age + ttl, hops: hops.max(2) };
+        let new = Stored { rvp, expires: age + ttl, hops: hops.max(2), contact: None };
         match self.entries.get_mut(&dest) {
             None => {
                 self.entries.insert(dest, new);

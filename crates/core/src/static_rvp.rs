@@ -17,7 +17,9 @@
 //! re-bind to a fresh public peer if their RVP dies.
 
 use nylon_gossip::{GossipConfig, NodeDescriptor, PartialView};
-use nylon_net::{BufferPool, Delivery, Endpoint, InFlight, NatClass, NetConfig, Network, PeerId};
+use nylon_net::{
+    BufferPool, Delivery, Endpoint, InFlight, NatClass, NetConfig, Network, PeerId, Slab, SlabKey,
+};
 use nylon_sim::{FxHashMap, Sim, SimDuration, SimRng, SimTime};
 
 /// A descriptor annotated with the peer's RVP binding (`None` for public
@@ -92,12 +94,18 @@ struct Node {
     bindings: FxHashMap<PeerId, Option<PeerId>>,
 }
 
+/// Engine events. `Deliver` carries a slab handle — the ~100 B
+/// [`InFlight`] datagram parks in the engine's flight slab while the
+/// 4-byte key travels through the timer wheel.
 #[derive(Debug)]
 enum Ev {
     Shuffle(PeerId),
-    Deliver(InFlight<StaticRvpMsg>),
+    Deliver(SlabKey),
     Purge,
 }
+
+// The whole point of the slab indirection: wheeled events stay slim.
+const _: () = assert!(std::mem::size_of::<Ev>() <= 32, "Ev must stay slim for the timer wheel");
 
 const PURGE_EVERY: SimDuration = SimDuration::from_secs(60);
 
@@ -118,6 +126,9 @@ pub struct StaticRvpEngine {
     id_pool: BufferPool<PeerId>,
     /// Reused scratch for the descriptor projection of a merge.
     scratch_descs: Vec<NodeDescriptor>,
+    /// In-flight datagrams, parked here while their 4-byte handle travels
+    /// through the timer wheel (see [`Ev`]); slots recycle.
+    flights: Slab<InFlight<StaticRvpMsg>>,
 }
 
 impl StaticRvpEngine {
@@ -136,6 +147,7 @@ impl StaticRvpEngine {
             entry_pool: BufferPool::new(),
             id_pool: BufferPool::new(),
             scratch_descs: Vec::new(),
+            flights: Slab::new(),
         }
     }
 
@@ -252,11 +264,7 @@ impl StaticRvpEngine {
     /// Runs for `dur` of virtual time.
     pub fn run_for(&mut self, dur: SimDuration) {
         let deadline = self.sim.now() + dur;
-        while let Some(at) = self.sim.peek_time() {
-            if at > deadline {
-                break;
-            }
-            let (_, ev) = self.sim.step().expect("event vanished between peek and pop");
+        while let Some((_, ev)) = self.sim.step_before(deadline) {
             self.handle(ev);
         }
         self.sim.advance_to(deadline);
@@ -332,14 +340,18 @@ impl StaticRvpEngine {
         let now = self.sim.now();
         let bytes = self.message_bytes(&msg);
         if let Some(flight) = self.net.send(now, from, to_ep, msg, bytes) {
-            self.sim.schedule_at(flight.arrive_at, Ev::Deliver(flight));
+            let at = flight.arrive_at;
+            self.sim.schedule_at(at, Ev::Deliver(self.flights.insert(flight)));
         }
     }
 
     fn handle(&mut self, ev: Ev) {
         match ev {
             Ev::Shuffle(p) => self.on_shuffle(p),
-            Ev::Deliver(flight) => self.on_deliver(flight),
+            Ev::Deliver(key) => {
+                let flight = self.flights.remove(key);
+                self.on_deliver(flight);
+            }
             Ev::Purge => {
                 let now = self.sim.now();
                 self.net.purge_expired_nat_state(now);

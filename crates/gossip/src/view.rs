@@ -167,8 +167,22 @@ impl PartialView {
         policy: MergePolicy,
         rng: &mut SimRng,
     ) {
+        // Cheap membership filter for the dedup scan: one bit per id
+        // (mod 64). A clear bit proves the id is absent, so the common
+        // case — a received descriptor not in the view — pushes without
+        // scanning; only possible collisions pay the exact linear check.
+        let mut mask = 0u64;
+        for e in &self.entries {
+            mask |= 1 << (e.id.0 & 63);
+        }
         for d in received {
             if d.id == self.owner {
+                continue;
+            }
+            let bit = 1u64 << (d.id.0 & 63);
+            if mask & bit == 0 {
+                self.entries.push(*d);
+                mask |= bit;
                 continue;
             }
             match self.entries.iter_mut().find(|e| e.id == d.id) {
@@ -199,8 +213,7 @@ impl PartialView {
                 // incumbents over freshly appended descriptors of equal age,
                 // starving newly joined peers out of every view.
                 rng.shuffle(&mut self.entries);
-                self.entries.sort_by_key(|d| d.age);
-                self.entries.truncate(self.capacity);
+                self.select_youngest_stable();
             }
             MergePolicy::Swapper => {
                 let mut to_drop = excess;
@@ -230,6 +243,70 @@ impl PartialView {
             }
         }
         debug_assert!(self.entries.len() <= self.capacity);
+    }
+
+    /// Keeps the `capacity` youngest entries, in age order with ties in
+    /// current array order — exactly the truncated result of a stable
+    /// `sort_by_key(age)`, without the sort (Rust's stable sort allocates a
+    /// merge buffer; this is in place and allocation-free).
+    ///
+    /// Bounded stable selection: `entries[0..k]` is maintained as the
+    /// sorted prefix of the youngest entries seen so far (`k <= capacity`).
+    /// Each element either inserts into the prefix at its stable position
+    /// (after every kept entry of age `<=` its own, displacing the current
+    /// last when the prefix is full) or is skipped because the stable sort
+    /// would have placed it past the capacity cut. O(n · capacity) worst
+    /// case over a few dozen 20-byte entries — cheaper than the sort's
+    /// allocation alone. Equivalence to the sort is proven by
+    /// `prop_merge_matches_reference` (packed-key path) and
+    /// `oversized_merge_matches_reference` (the n > 256 fallback).
+    fn select_youngest_stable(&mut self) {
+        let cap = self.capacity;
+        let n = self.entries.len();
+        debug_assert!(n > cap);
+        if n <= 256 {
+            // Pack (age, position) into one u32 key per entry: sorting the
+            // keys ascending *is* the stable sort by age (the position
+            // bits break ties in original order), and the 20-byte entries
+            // move exactly once, in the final gather — no merge-sort
+            // allocation, no descriptor shifting.
+            let mut keys = [0u32; 256];
+            for (i, e) in self.entries.iter().enumerate() {
+                keys[i] = ((e.age as u32) << 8) | i as u32;
+            }
+            keys[..n].sort_unstable();
+            // Gather the `cap` youngest into the vec's tail (spare
+            // capacity after the first merge), then slide them down.
+            for &key in &keys[..cap] {
+                let e = self.entries[(key & 0xFF) as usize];
+                self.entries.push(e);
+            }
+            self.entries.copy_within(n.., 0);
+            self.entries.truncate(cap);
+            return;
+        }
+        // Oversized views: bounded stable insertion selection, in place.
+        let mut k = 0usize;
+        for i in 0..n {
+            let d = self.entries[i];
+            if k == cap {
+                if self.entries[k - 1].age <= d.age {
+                    continue; // would sort at index >= cap: dropped
+                }
+                k -= 1; // d displaces the currently oldest kept entry
+            }
+            // Shift the strictly-older tail of the prefix right by one and
+            // drop `d` in front of it (stable: equal ages keep incumbents
+            // in front).
+            let mut j = k;
+            while j > 0 && self.entries[j - 1].age > d.age {
+                self.entries[j] = self.entries[j - 1];
+                j -= 1;
+            }
+            self.entries[j] = d;
+            k += 1;
+        }
+        self.entries.truncate(cap);
     }
 
     /// The descriptors to ship in a shuffle: the whole view plus a fresh
@@ -262,6 +339,75 @@ mod tests {
     use super::*;
     use nylon_net::{Endpoint, Ip, NatClass, Port};
     use proptest::prelude::*;
+
+    impl PartialView {
+        /// The pre-PR-5 `merge_and_truncate`, kept as the executable
+        /// specification: the healer path is the shuffle + stable
+        /// `sort_by_key(age)` + truncate the bounded selection replaced.
+        /// `prop_merge_matches_reference` demands identical view contents
+        /// *and* identical RNG consumption across all policies.
+        fn merge_and_truncate_reference(
+            &mut self,
+            received: &[NodeDescriptor],
+            sent: &[PeerId],
+            policy: MergePolicy,
+            rng: &mut SimRng,
+        ) {
+            for d in received {
+                if d.id == self.owner {
+                    continue;
+                }
+                match self.entries.iter_mut().find(|e| e.id == d.id) {
+                    Some(existing) => {
+                        if d.age < existing.age {
+                            *existing = *d;
+                        }
+                    }
+                    None => self.entries.push(*d),
+                }
+            }
+            if self.entries.len() <= self.capacity {
+                return;
+            }
+            let excess = self.entries.len() - self.capacity;
+            match policy {
+                MergePolicy::Blind => {
+                    for _ in 0..excess {
+                        let idx = rng
+                            .pick_index(self.entries.len())
+                            .expect("entries non-empty while over capacity");
+                        self.entries.swap_remove(idx);
+                    }
+                }
+                MergePolicy::Healer => {
+                    rng.shuffle(&mut self.entries);
+                    self.entries.sort_by_key(|d| d.age);
+                    self.entries.truncate(self.capacity);
+                }
+                MergePolicy::Swapper => {
+                    let mut to_drop = excess;
+                    let mut idx = 0;
+                    while to_drop > 0 && idx < self.entries.len() {
+                        let id = self.entries[idx].id;
+                        let was_sent = sent.contains(&id);
+                        let was_received = received.iter().any(|r| r.id == id);
+                        if was_sent && !was_received {
+                            self.entries.swap_remove(idx);
+                            to_drop -= 1;
+                        } else {
+                            idx += 1;
+                        }
+                    }
+                    for _ in 0..to_drop {
+                        let idx = rng
+                            .pick_index(self.entries.len())
+                            .expect("entries non-empty while over capacity");
+                        self.entries.swap_remove(idx);
+                    }
+                }
+            }
+        }
+    }
 
     fn d(id: u32, age: u16) -> NodeDescriptor {
         let mut desc = NodeDescriptor::new(
@@ -432,6 +578,43 @@ mod tests {
         PartialView::new(PeerId(0), 0);
     }
 
+    /// The packed-key selection only handles up to 256 over-capacity
+    /// entries; this drives the insertion-selection fallback (n > 256)
+    /// against the reference implementation, which the proptest (views
+    /// of at most ~50 entries) never reaches.
+    #[test]
+    fn oversized_merge_matches_reference() {
+        for seed in 0..8u64 {
+            let mut fill_rng = SimRng::new(seed ^ 0x0051_3E00);
+            let cap = 300;
+            let mut v_new = PartialView::new(PeerId(0), cap);
+            for i in 1..=cap as u32 {
+                v_new.insert(d(i, fill_rng.gen_range(0..10) as u16));
+            }
+            let mut v_ref = v_new.clone();
+            // 120 received: duplicates of existing ids and fresh ones,
+            // with colliding ages — n reaches ~420 > 256.
+            let received: Vec<NodeDescriptor> = (0..120u32)
+                .map(|_| d(fill_rng.gen_range(1..500), fill_rng.gen_range(0..10) as u16))
+                .collect();
+            let sent = v_new.ids();
+            let mut rng_new = SimRng::new(seed);
+            let mut rng_ref = SimRng::new(seed);
+            v_new.merge_and_truncate(&received, &sent, MergePolicy::Healer, &mut rng_new);
+            v_ref.merge_and_truncate_reference(&received, &sent, MergePolicy::Healer, &mut rng_ref);
+            assert_eq!(
+                v_new.as_slice(),
+                v_ref.as_slice(),
+                "oversized healer diverged (seed {seed})"
+            );
+            assert_eq!(
+                rng_new.gen_u64(),
+                rng_ref.gen_u64(),
+                "RNG consumption diverged (seed {seed})"
+            );
+        }
+    }
+
     proptest! {
         /// Invariants hold after arbitrary merge sequences: bounded size, no
         /// duplicates, no self-reference.
@@ -463,6 +646,56 @@ mod tests {
                 let before = ids.len();
                 ids.dedup();
                 prop_assert_eq!(ids.len(), before, "duplicate ids");
+            }
+        }
+
+        /// The PR-5 differential oracle: the rewritten merge must behave
+        /// *bit-identically* to the retained pre-rewrite implementation —
+        /// same resulting entries in the same storage order, and the same
+        /// number of RNG draws — across all three policies, duplicate ids
+        /// at differing ages, self-references, and far-over-capacity
+        /// batches. Storage order and RNG consumption both feed later
+        /// random choices, so replay determinism rides on this.
+        #[test]
+        fn prop_merge_matches_reference(
+            seed in any::<u64>(),
+            cap in 1usize..12,
+            batches in proptest::collection::vec(
+                proptest::collection::vec((0u32..24, 0u16..8), 0..40),
+                1..6,
+            ),
+        ) {
+            let mut rng_new = SimRng::new(seed);
+            let mut rng_ref = SimRng::new(seed);
+            let mut v_new = PartialView::new(PeerId(0), cap);
+            let mut v_ref = PartialView::new(PeerId(0), cap);
+            for (bi, batch) in batches.iter().enumerate() {
+                // Narrow id/age ranges force duplicates and age ties; id 0
+                // is the owner, so self-references are exercised too.
+                let received: Vec<NodeDescriptor> =
+                    batch.iter().map(|(id, age)| d(*id, *age)).collect();
+                let sent = v_new.ids();
+                let policy = match bi % 3 {
+                    0 => MergePolicy::Healer,
+                    1 => MergePolicy::Swapper,
+                    _ => MergePolicy::Blind,
+                };
+                v_new.merge_and_truncate(&received, &sent, policy, &mut rng_new);
+                v_ref.merge_and_truncate_reference(&received, &sent, policy, &mut rng_ref);
+                prop_assert_eq!(
+                    v_new.as_slice(),
+                    v_ref.as_slice(),
+                    "entry order diverged from reference after batch {} ({:?})",
+                    bi,
+                    policy
+                );
+                prop_assert_eq!(
+                    rng_new.gen_u64(),
+                    rng_ref.gen_u64(),
+                    "RNG consumption diverged from reference after batch {} ({:?})",
+                    bi,
+                    policy
+                );
             }
         }
 

@@ -1,4 +1,12 @@
 //! Overlay graph analysis: connectivity and degree distributions.
+//!
+//! The graph lives in a flat CSR (compressed sparse row) layout — one
+//! offsets array, one targets array — instead of an edge-pair list plus
+//! nested `Vec<Vec>` adjacency. Per-snapshot callers (the experiment
+//! executor takes one snapshot per round checkpoint) rebuild the graph
+//! into the same buffers via [`DiGraph::rebuild`] and run the metrics over
+//! reusable scratch ([`WccScratch`], [`UndirectedCsr`]), so steady-state
+//! snapshotting allocates nothing.
 
 /// A directed graph over dense node indices, built from overlay views.
 ///
@@ -11,24 +19,65 @@
 /// assert_eq!(g.biggest_wcc_size(&mask), 3);
 /// assert!((g.biggest_wcc_fraction(&mask) - 0.75).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct DiGraph {
     n: usize,
-    edges: Vec<(u32, u32)>,
+    /// CSR row starts: `offsets[i]..offsets[i + 1]` indexes row `i` of
+    /// `targets`. Length `n + 1` (a single `[0]` for the empty graph).
+    offsets: Vec<u32>,
+    /// Edge targets, grouped by source.
+    targets: Vec<u32>,
 }
 
 impl DiGraph {
+    /// An empty graph over zero nodes; populate with [`DiGraph::rebuild`].
+    pub fn new() -> Self {
+        DiGraph { n: 0, offsets: vec![0], targets: Vec::new() }
+    }
+
     /// Builds a graph over `n` nodes from an edge iterator.
     ///
     /// # Panics
     ///
     /// Panics if an edge references a node `>= n`.
     pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Self {
-        let edges: Vec<(u32, u32)> = edges.into_iter().collect();
-        for (a, b) in &edges {
+        let staged: Vec<(u32, u32)> = edges.into_iter().collect();
+        let mut g = DiGraph::new();
+        g.rebuild(n, &staged);
+        g
+    }
+
+    /// Re-populates the graph from staged edge pairs, reusing the CSR
+    /// buffers (no allocation once they have grown to the working size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a node `>= n`.
+    pub fn rebuild(&mut self, n: usize, edges: &[(u32, u32)]) {
+        for (a, b) in edges {
             assert!((*a as usize) < n && (*b as usize) < n, "edge ({a},{b}) out of range");
         }
-        DiGraph { n, edges }
+        self.n = n;
+        self.offsets.clear();
+        self.offsets.resize(n + 1, 0);
+        for (a, _) in edges {
+            self.offsets[*a as usize + 1] += 1;
+        }
+        for i in 1..=n {
+            self.offsets[i] += self.offsets[i - 1];
+        }
+        self.targets.clear();
+        self.targets.resize(edges.len(), 0);
+        // Counting-sort placement: `offsets[a]` doubles as the write cursor
+        // for row `a` (it starts at the row's start and ends at the next
+        // row's start), then one shift restores the canonical form.
+        for (a, b) in edges {
+            let w = self.offsets[*a as usize] as usize;
+            self.targets[w] = *b;
+            self.offsets[*a as usize] += 1;
+        }
+        self.offsets.copy_within(0..n, 1);
+        self.offsets[0] = 0;
     }
 
     /// Number of nodes.
@@ -38,90 +87,155 @@ impl DiGraph {
 
     /// Number of directed edges.
     pub fn edge_count(&self) -> usize {
-        self.edges.len()
+        self.targets.len()
+    }
+
+    /// The out-neighbours of node `i`.
+    #[inline]
+    fn row(&self, i: usize) -> &[u32] {
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
     /// Size (node count) of the biggest weakly-connected component among
     /// nodes where `alive[i]` is true. Edges touching dead nodes are
     /// ignored. Returns 0 when no node is alive.
     pub fn biggest_wcc_size(&self, alive: &[bool]) -> usize {
-        assert_eq!(alive.len(), self.n, "mask length must equal node count");
-        let mut uf = UnionFind::new(self.n);
-        for (a, b) in &self.edges {
-            let (a, b) = (*a as usize, *b as usize);
-            if alive[a] && alive[b] {
-                uf.union(a, b);
-            }
-        }
-        let mut sizes = vec![0usize; self.n];
+        self.biggest_wcc_size_with(alive, &mut WccScratch::new())
+    }
+
+    /// [`DiGraph::biggest_wcc_size`] over caller-provided scratch:
+    /// allocation-free once the scratch has grown to `n` nodes.
+    pub fn biggest_wcc_size_with(&self, alive: &[bool], scratch: &mut WccScratch) -> usize {
+        self.union_alive(alive, scratch);
         let mut best = 0;
         for (i, &is_alive) in alive.iter().enumerate() {
             if is_alive {
-                let root = uf.find(i);
-                sizes[root] += 1;
-                best = best.max(sizes[root]);
+                // Only alive nodes are ever unioned, so a root's tree size
+                // is exactly its alive-component size.
+                let root = scratch.find(i as u32);
+                best = best.max(scratch.size[root as usize]);
             }
         }
-        best
+        best as usize
     }
 
     /// The biggest weakly-connected cluster as a fraction of alive nodes
     /// (the y-axis of Figures 2 and 10). Returns 0 for an empty mask.
     pub fn biggest_wcc_fraction(&self, alive: &[bool]) -> f64 {
+        self.biggest_wcc_fraction_with(alive, &mut WccScratch::new())
+    }
+
+    /// [`DiGraph::biggest_wcc_fraction`] over caller-provided scratch.
+    pub fn biggest_wcc_fraction_with(&self, alive: &[bool], scratch: &mut WccScratch) -> f64 {
         let alive_count = alive.iter().filter(|a| **a).count();
         if alive_count == 0 {
             return 0.0;
         }
-        self.biggest_wcc_size(alive) as f64 / alive_count as f64
+        self.biggest_wcc_size_with(alive, scratch) as f64 / alive_count as f64
     }
 
     /// Number of weakly-connected components among alive nodes.
     pub fn wcc_count(&self, alive: &[bool]) -> usize {
+        let mut scratch = WccScratch::new();
+        self.union_alive(alive, &mut scratch);
+        // Every tree has exactly one root, and only alive nodes join trees.
+        (0..self.n).filter(|&i| alive[i] && scratch.find(i as u32) == i as u32).count()
+    }
+
+    /// Unions every alive-to-alive edge into the scratch forest.
+    fn union_alive(&self, alive: &[bool], scratch: &mut WccScratch) {
         assert_eq!(alive.len(), self.n, "mask length must equal node count");
-        let mut uf = UnionFind::new(self.n);
-        for (a, b) in &self.edges {
-            let (a, b) = (*a as usize, *b as usize);
-            if alive[a] && alive[b] {
-                uf.union(a, b);
+        scratch.reset(self.n);
+        for a in 0..self.n {
+            if !alive[a] {
+                continue;
+            }
+            for &b in self.row(a) {
+                if alive[b as usize] {
+                    scratch.union(a as u32, b);
+                }
             }
         }
-        let mut roots: Vec<usize> = (0..self.n).filter(|i| alive[*i]).map(|i| uf.find(i)).collect();
-        roots.sort_unstable();
-        roots.dedup();
-        roots.len()
     }
 
     /// In-degree of every node (edges from dead nodes still count unless
     /// masked out by the caller).
     pub fn in_degrees(&self) -> Vec<u32> {
-        let mut deg = vec![0u32; self.n];
-        for (_, b) in &self.edges {
-            deg[*b as usize] += 1;
-        }
+        let mut deg = Vec::new();
+        self.in_degrees_into(&mut deg);
         deg
+    }
+
+    /// [`DiGraph::in_degrees`] into a caller-provided buffer (cleared
+    /// first): allocation-free once the buffer has grown to `n`.
+    pub fn in_degrees_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.resize(self.n, 0);
+        for &b in &self.targets {
+            out[b as usize] += 1;
+        }
     }
 
     /// Out-degree of every node.
     pub fn out_degrees(&self) -> Vec<u32> {
-        let mut deg = vec![0u32; self.n];
-        for (a, _) in &self.edges {
-            deg[*a as usize] += 1;
-        }
-        deg
+        (0..self.n).map(|i| self.offsets[i + 1] - self.offsets[i]).collect()
     }
 
-    /// Undirected adjacency sets (direction dropped, self-loops and
-    /// duplicates removed).
-    fn undirected_adjacency(&self) -> Vec<Vec<u32>> {
-        let mut adj: Vec<std::collections::BTreeSet<u32>> =
-            vec![std::collections::BTreeSet::new(); self.n];
-        for (a, b) in &self.edges {
-            if a != b {
-                adj[*a as usize].insert(*b);
-                adj[*b as usize].insert(*a);
+    /// Builds the undirected adjacency (direction dropped, self-loops and
+    /// duplicate edges removed) into reusable CSR scratch: rows come out
+    /// sorted, ready for binary search.
+    pub fn undirected_into(&self, out: &mut UndirectedCsr) {
+        let n = self.n;
+        out.offsets.clear();
+        out.offsets.resize(n + 1, 0);
+        for a in 0..n {
+            for &b in self.row(a) {
+                if b as usize != a {
+                    out.offsets[a + 1] += 1;
+                    out.offsets[b as usize + 1] += 1;
+                }
             }
         }
-        adj.into_iter().map(|s| s.into_iter().collect()).collect()
+        for i in 1..=n {
+            out.offsets[i] += out.offsets[i - 1];
+        }
+        out.neighbors.clear();
+        out.neighbors.resize(out.offsets[n] as usize, 0);
+        // Same cursor trick as `rebuild`, both directions at once.
+        for a in 0..n {
+            for &b in self.row(a) {
+                if b as usize != a {
+                    let w = out.offsets[a] as usize;
+                    out.neighbors[w] = b;
+                    out.offsets[a] += 1;
+                    let w = out.offsets[b as usize] as usize;
+                    out.neighbors[w] = a as u32;
+                    out.offsets[b as usize] += 1;
+                }
+            }
+        }
+        out.offsets.copy_within(0..n, 1);
+        out.offsets[0] = 0;
+        // Sort each row and compact duplicates in place, rewriting the
+        // offsets as rows shrink.
+        let mut write = 0usize;
+        let mut row_start = 0usize;
+        for i in 0..n {
+            let row_end = out.offsets[i + 1] as usize;
+            out.neighbors[row_start..row_end].sort_unstable();
+            let new_start = write;
+            for j in row_start..row_end {
+                let v = out.neighbors[j];
+                if write == new_start || out.neighbors[write - 1] != v {
+                    out.neighbors[write] = v;
+                    write += 1;
+                }
+            }
+            out.offsets[i] = new_start as u32;
+            row_start = row_end;
+        }
+        out.offsets[n] = write as u32;
+        out.neighbors.truncate(write);
     }
 
     /// Average local clustering coefficient of the undirected overlay
@@ -129,20 +243,27 @@ impl DiGraph {
     /// zero. A healthy peer-sampling overlay looks like a random graph:
     /// clustering near `degree / n`, far below a lattice's.
     pub fn clustering_coefficient(&self) -> f64 {
+        self.clustering_coefficient_with(&mut UndirectedCsr::new())
+    }
+
+    /// [`DiGraph::clustering_coefficient`] over caller-provided adjacency
+    /// scratch: allocation-free once the scratch fits the overlay.
+    pub fn clustering_coefficient_with(&self, adj: &mut UndirectedCsr) -> f64 {
         if self.n == 0 {
             return 0.0;
         }
-        let adj = self.undirected_adjacency();
+        self.undirected_into(adj);
         let mut total = 0.0;
-        for nbrs in &adj {
+        for i in 0..self.n {
+            let nbrs = adj.row(i);
             let k = nbrs.len();
             if k < 2 {
                 continue;
             }
             let mut links = 0usize;
-            for (i, a) in nbrs.iter().enumerate() {
-                let a_nbrs = &adj[*a as usize];
-                for b in nbrs.iter().skip(i + 1) {
+            for (j, a) in nbrs.iter().enumerate() {
+                let a_nbrs = adj.row(*a as usize);
+                for b in nbrs.iter().skip(j + 1) {
                     if a_nbrs.binary_search(b).is_ok() {
                         links += 1;
                     }
@@ -160,7 +281,8 @@ impl DiGraph {
         if self.n == 0 || samples == 0 {
             return None;
         }
-        let adj = self.undirected_adjacency();
+        let mut adj = UndirectedCsr::new();
+        self.undirected_into(&mut adj);
         let step = (self.n / samples.min(self.n)).max(1);
         let mut sum = 0u64;
         let mut count = 0u64;
@@ -173,7 +295,7 @@ impl DiGraph {
             queue.push_back(src as u32);
             while let Some(u) = queue.pop_front() {
                 let du = dist[u as usize];
-                for v in &adj[u as usize] {
+                for v in adj.row(u as usize) {
                     if dist[*v as usize] == u32::MAX {
                         dist[*v as usize] = du + 1;
                         queue.push_back(*v);
@@ -191,36 +313,67 @@ impl DiGraph {
     }
 }
 
-/// Union-find with path halving and union by size.
-#[derive(Debug)]
-struct UnionFind {
-    parent: Vec<usize>,
-    size: Vec<usize>,
+/// Reusable undirected CSR adjacency (sorted, deduplicated rows), filled
+/// by [`DiGraph::undirected_into`].
+#[derive(Debug, Clone, Default)]
+pub struct UndirectedCsr {
+    offsets: Vec<u32>,
+    neighbors: Vec<u32>,
 }
 
-impl UnionFind {
-    fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n).collect(), size: vec![1; n] }
+impl UndirectedCsr {
+    /// Empty scratch.
+    pub fn new() -> Self {
+        UndirectedCsr::default()
     }
 
-    fn find(&mut self, mut x: usize) -> usize {
-        while self.parent[x] != x {
-            self.parent[x] = self.parent[self.parent[x]];
-            x = self.parent[x];
+    /// The (sorted) neighbours of node `i`.
+    #[inline]
+    fn row(&self, i: usize) -> &[u32] {
+        &self.neighbors[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
+/// Reusable union-find scratch (path halving, union by size) for the
+/// weakly-connected-component queries.
+#[derive(Debug, Clone, Default)]
+pub struct WccScratch {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl WccScratch {
+    /// Empty scratch.
+    pub fn new() -> Self {
+        WccScratch::default()
+    }
+
+    fn reset(&mut self, n: usize) {
+        self.parent.clear();
+        self.parent.extend(0..n as u32);
+        self.size.clear();
+        self.size.resize(n, 1);
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
         }
         x
     }
 
-    fn union(&mut self, a: usize, b: usize) {
+    fn union(&mut self, a: u32, b: u32) {
         let (mut ra, mut rb) = (self.find(a), self.find(b));
         if ra == rb {
             return;
         }
-        if self.size[ra] < self.size[rb] {
+        if self.size[ra as usize] < self.size[rb as usize] {
             std::mem::swap(&mut ra, &mut rb);
         }
-        self.parent[rb] = ra;
-        self.size[ra] += self.size[rb];
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
     }
 }
 
@@ -298,6 +451,38 @@ mod tests {
     }
 
     #[test]
+    fn rebuild_reuses_buffers_and_matches_fresh() {
+        let mut g = DiGraph::new();
+        g.rebuild(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(g.biggest_wcc_size(&[true; 4]), 4);
+        // Shrink to a different shape: results match a fresh build, and
+        // the buffers are reused (capacity only ever grows).
+        let cap = (g.offsets.capacity(), g.targets.capacity());
+        g.rebuild(3, &[(0, 1)]);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.biggest_wcc_size(&[true; 3]), 2);
+        assert_eq!(g.in_degrees(), DiGraph::from_edges(3, [(0, 1)]).in_degrees());
+        assert_eq!((g.offsets.capacity(), g.targets.capacity()), cap);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        let g1 = DiGraph::from_edges(5, [(0, 1), (1, 2), (3, 4)]);
+        let g2 = DiGraph::from_edges(4, [(0, 1), (2, 3), (3, 2)]);
+        let mut wcc = WccScratch::new();
+        let mut deg = Vec::new();
+        let mut adj = UndirectedCsr::new();
+        for _ in 0..3 {
+            assert_eq!(g1.biggest_wcc_size_with(&[true; 5], &mut wcc), 3);
+            assert_eq!(g2.biggest_wcc_size_with(&[true; 4], &mut wcc), 2);
+            g1.in_degrees_into(&mut deg);
+            assert_eq!(deg, g1.in_degrees());
+            assert_eq!(g1.clustering_coefficient_with(&mut adj), g1.clustering_coefficient());
+        }
+    }
+
+    #[test]
     fn clustering_coefficient_triangle_vs_path() {
         // Triangle: fully clustered.
         let tri = DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
@@ -313,6 +498,17 @@ mod tests {
     fn clustering_ignores_direction_and_duplicates() {
         let g = DiGraph::from_edges(3, [(0, 1), (1, 0), (1, 2), (2, 0), (0, 2)]);
         assert!((g.clustering_coefficient() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undirected_rows_are_sorted_and_deduped() {
+        let g = DiGraph::from_edges(4, [(2, 0), (0, 2), (0, 1), (0, 1), (3, 0), (1, 1)]);
+        let mut adj = UndirectedCsr::new();
+        g.undirected_into(&mut adj);
+        assert_eq!(adj.row(0), &[1, 2, 3]);
+        assert_eq!(adj.row(1), &[0], "self-loop and duplicate edges must vanish");
+        assert_eq!(adj.row(2), &[0]);
+        assert_eq!(adj.row(3), &[0]);
     }
 
     #[test]

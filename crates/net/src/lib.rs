@@ -54,6 +54,7 @@ pub mod nat;
 pub mod natbox;
 pub mod network;
 pub mod pool;
+pub mod slab;
 pub mod traversal;
 
 pub use addr::{Endpoint, Ip, PeerId, Port};
@@ -63,4 +64,5 @@ pub use network::{
     TrafficStats,
 };
 pub use pool::BufferPool;
+pub use slab::{Slab, SlabKey};
 pub use traversal::ContactMethod;

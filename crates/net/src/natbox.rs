@@ -26,15 +26,44 @@ struct Session {
 }
 
 /// State of an endpoint-independent (cone) mapping for one private endpoint.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 struct ConeMapping {
+    /// The stable public port reserved for this private endpoint — the
+    /// peer's durable identity, which is why purging never removes the
+    /// mapping itself (only expired sessions).
+    port: Port,
     /// Live sessions keyed by remote endpoint.
     sessions: FxHashMap<Endpoint, Session>,
+    /// Largest expiry over all sessions ever noted. Sessions only gain
+    /// lifetime (inserts/refreshes), and purging removes only expired
+    /// ones, so `max_expires > now` is *exactly* "some session is live" —
+    /// without scanning the session map on every inbound packet.
+    max_expires: SimTime,
 }
 
 impl ConeMapping {
+    fn new(port: Port) -> Self {
+        ConeMapping { port, sessions: FxHashMap::default(), max_expires: SimTime::ZERO }
+    }
+
     fn live(&self, now: SimTime) -> bool {
-        self.sessions.values().any(|s| s.expires > now)
+        self.max_expires > now
+    }
+
+    /// Inserts or refreshes the session towards `remote`.
+    fn note(&mut self, remote: Endpoint, expires: SimTime) {
+        self.sessions.insert(remote, Session { expires });
+        self.max_expires = self.max_expires.max(expires);
+    }
+
+    /// Endpoint-restricted admission: some live session towards `ip`. The
+    /// exact-endpoint probe settles the common case (the sender we are
+    /// already talking to) with one hash lookup; only misses scan.
+    fn admits_ip(&self, now: SimTime, src: Endpoint) -> bool {
+        if self.sessions.get(&src).is_some_and(|s| s.expires > now) {
+            return true;
+        }
+        self.sessions.iter().any(|(r, s)| s.expires > now && r.ip == src.ip)
     }
 }
 
@@ -81,10 +110,10 @@ pub struct NatBox {
     public_ip: Ip,
     nat_type: NatType,
     hole_timeout: SimDuration,
-    /// Cone state, keyed by private endpoint.
+    /// Cone state, keyed by private endpoint. The mapping carries the
+    /// stable port reservation, so the egress hot path touches one map
+    /// instead of a separate reservation table.
     cone: FxHashMap<Endpoint, ConeMapping>,
-    /// Stable public-port reservations for cone mappings.
-    reserved: FxHashMap<Endpoint, Port>,
     /// Reverse index: public port → owning private endpoint (cone).
     cone_by_port: FxHashMap<Port, Endpoint>,
     /// Symmetric mappings keyed by (private, remote).
@@ -109,7 +138,6 @@ impl NatBox {
             nat_type,
             hole_timeout,
             cone: FxHashMap::default(),
-            reserved: FxHashMap::default(),
             cone_by_port: FxHashMap::default(),
             sym: FxHashMap::default(),
             sym_by_port: FxHashMap::default(),
@@ -133,13 +161,9 @@ impl NatBox {
         }
         // Reuse the stable reservation for cone boxes so the identity
         // endpoint does not change; symmetric boxes get a fresh port.
-        let port = match self.reserved.get(&private) {
-            Some(p) => *p,
-            None => {
-                let p = self.alloc_port();
-                self.reserved.insert(private, p);
-                p
-            }
+        let port = match self.stable_public_endpoint(private) {
+            Some(ep) => ep.port,
+            None => self.alloc_port(),
         };
         self.forwarded.insert(port, private);
         Endpoint::new(self.public_ip, port)
@@ -173,7 +197,7 @@ impl NatBox {
                 if self.next_port == u16::MAX { FIRST_DYNAMIC_PORT } else { self.next_port + 1 };
             if !self.cone_by_port.contains_key(&p)
                 && !self.sym_by_port.contains_key(&p)
-                && !self.reserved.values().any(|r| *r == p)
+                && !self.forwarded.contains_key(&p)
             {
                 return p;
             }
@@ -189,14 +213,12 @@ impl NatBox {
         if !self.nat_type.is_cone() {
             return None;
         }
-        let port = match self.reserved.get(&private) {
-            Some(p) => *p,
-            None => {
-                let p = self.alloc_port();
-                self.reserved.insert(private, p);
-                p
-            }
-        };
+        if let Some(m) = self.cone.get(&private) {
+            return Some(Endpoint::new(self.public_ip, m.port));
+        }
+        let port = self.alloc_port();
+        self.cone_by_port.insert(port, private);
+        self.cone.insert(private, ConeMapping::new(port));
         Some(Endpoint::new(self.public_ip, port))
     }
 
@@ -206,13 +228,16 @@ impl NatBox {
     pub fn on_outbound(&mut self, now: SimTime, private: Endpoint, remote: Endpoint) -> Endpoint {
         let expires = now + self.hole_timeout;
         if self.nat_type.is_cone() {
-            let public = self
-                .stable_public_endpoint(private)
-                .expect("cone box always yields a stable endpoint");
-            let mapping = self.cone.entry(private).or_default();
-            mapping.sessions.insert(remote, Session { expires });
-            self.cone_by_port.insert(public.port, private);
-            public
+            if let Some(mapping) = self.cone.get_mut(&private) {
+                mapping.note(remote, expires);
+                return Endpoint::new(self.public_ip, mapping.port);
+            }
+            let port = self.alloc_port();
+            let mut mapping = ConeMapping::new(port);
+            mapping.note(remote, expires);
+            self.cone_by_port.insert(port, private);
+            self.cone.insert(private, mapping);
+            Endpoint::new(self.public_ip, port)
         } else {
             let key = (private, remote);
             // A live mapping keeps its port; an expired one is replaced by a
@@ -263,9 +288,7 @@ impl NatBox {
                 }
                 match self.nat_type {
                     NatType::FullCone => true,
-                    NatType::RestrictedCone => {
-                        mapping.sessions.iter().any(|(r, s)| s.expires > now && r.ip == src.ip)
-                    }
+                    NatType::RestrictedCone => mapping.admits_ip(now, src),
                     NatType::PortRestrictedCone => {
                         mapping.sessions.get(&src).is_some_and(|s| s.expires > now)
                     }
@@ -278,7 +301,7 @@ impl NatBox {
             // Receiving refreshes the session ("sent (or received)").
             let expires = now + self.hole_timeout;
             let mapping = self.cone.get_mut(&private).expect("mapping checked above");
-            mapping.sessions.insert(src, Session { expires });
+            mapping.note(src, expires);
             Ok(private)
         } else {
             let m = self.sym_by_port.get_mut(&public_port).ok_or(NatReject::NoMapping)?;
@@ -311,9 +334,7 @@ impl NatBox {
             }
             match self.nat_type {
                 NatType::FullCone => true,
-                NatType::RestrictedCone => {
-                    mapping.sessions.iter().any(|(r, s)| s.expires > now && r.ip == src.ip)
-                }
+                NatType::RestrictedCone => mapping.admits_ip(now, src),
                 NatType::PortRestrictedCone => {
                     mapping.sessions.get(&src).is_some_and(|s| s.expires > now)
                 }
@@ -335,8 +356,8 @@ impl NatBox {
         remote: Endpoint,
     ) -> (Endpoint, bool) {
         if self.nat_type.is_cone() {
-            match self.reserved.get(&private) {
-                Some(p) => (Endpoint::new(self.public_ip, *p), false),
+            match self.cone.get(&private) {
+                Some(m) => (Endpoint::new(self.public_ip, m.port), false),
                 None => (Endpoint::new(self.public_ip, Port::UNKNOWN), true),
             }
         } else {
@@ -364,10 +385,11 @@ impl NatBox {
     /// reservations for cone mappings are kept (they are the peer's stable
     /// identity).
     pub fn purge_expired(&mut self, now: SimTime) {
+        // Mappings themselves persist (the port is the peer's stable
+        // identity); only expired sessions are reclaimed.
         for mapping in self.cone.values_mut() {
             mapping.sessions.retain(|_, s| s.expires > now);
         }
-        self.cone.retain(|_, m| !m.sessions.is_empty());
         let dead: Vec<Port> =
             self.sym_by_port.iter().filter(|(_, m)| m.expires <= now).map(|(p, _)| *p).collect();
         for port in dead {

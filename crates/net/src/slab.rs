@@ -1,0 +1,231 @@
+//! A generational slab: side storage that lets the timer wheel carry
+//! 4-byte handles instead of ~100-byte message payloads.
+//!
+//! Every in-flight datagram used to travel *inside* the engine's event
+//! enum — an [`crate::InFlight`] with endpoints, accounting fields and the
+//! protocol payload, moved by value on every push, pop and wheel cascade.
+//! With a slab, the engine parks the flight here, schedules only the
+//! [`SlabKey`], and takes the flight back out when the event fires. The
+//! wheeled event shrinks to a couple of machine words (`const`-asserted at
+//! each engine), and cascading a bucket moves 8-byte entries instead of
+//! cache-line-sized ones.
+//!
+//! Slots follow the same recycling discipline as [`crate::BufferPool`]:
+//! a vacated slot goes onto a free list and is reused by the next insert,
+//! so the slab's footprint converges to the high-water mark of concurrent
+//! in-flight messages and steady-state traffic allocates nothing. Handles
+//! are *generational* — each slot carries a generation counter bumped on
+//! removal, and the key must present the matching generation — so a stale
+//! or duplicated handle is a loud panic, never silent aliasing with
+//! whatever message reused the slot.
+//!
+//! Determinism: keys are assigned by a deterministic free-list order and
+//! never influence RNG draws or event ordering, so replay output is
+//! untouched.
+
+use std::fmt;
+
+/// Bits of a [`SlabKey`] used for the slot index; the rest hold the
+/// generation. 24 bits = 16.7M concurrent entries, far beyond any
+/// plausible in-flight message count.
+const INDEX_BITS: u32 = 24;
+/// Mask extracting the index from a key.
+const INDEX_MASK: u32 = (1 << INDEX_BITS) - 1;
+
+/// A handle into a [`Slab`]: slot index plus the slot's generation at
+/// insertion time, packed into one `u32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlabKey(u32);
+
+impl SlabKey {
+    fn new(index: u32, generation: u8) -> Self {
+        SlabKey(index | u32::from(generation) << INDEX_BITS)
+    }
+
+    fn index(self) -> usize {
+        (self.0 & INDEX_MASK) as usize
+    }
+
+    fn generation(self) -> u8 {
+        (self.0 >> INDEX_BITS) as u8
+    }
+}
+
+impl fmt::Display for SlabKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slab:{}g{}", self.index(), self.generation())
+    }
+}
+
+#[derive(Debug)]
+struct Slot<T> {
+    generation: u8,
+    value: Option<T>,
+}
+
+/// A generational slab of `T` with recycled slots.
+///
+/// ```
+/// use nylon_net::slab::Slab;
+///
+/// let mut slab: Slab<&str> = Slab::new();
+/// let k = slab.insert("in flight");
+/// assert_eq!(slab.len(), 1);
+/// assert_eq!(slab.remove(k), "in flight");
+/// let k2 = slab.insert("next");
+/// assert_eq!(slab.slot_count(), 1, "the vacated slot is reused");
+/// # let _ = k2;
+/// ```
+#[derive(Debug)]
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Slab { slots: Vec::new(), free: Vec::new(), live: 0 }
+    }
+
+    /// Number of occupied slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` if no slot is occupied.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total slots ever allocated — the high-water mark of concurrent
+    /// entries. Stays flat in steady state (slot recycling).
+    #[inline]
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Stores `value`, returning the handle to take it back out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slab exceeds 2^24 concurrent entries.
+    #[inline]
+    pub fn insert(&mut self, value: T) -> SlabKey {
+        self.live += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            debug_assert!(slot.value.is_none(), "free list pointed at an occupied slot");
+            slot.value = Some(value);
+            return SlabKey::new(index, slot.generation);
+        }
+        let index = self.slots.len() as u32;
+        assert!(index <= INDEX_MASK, "slab exceeded {} concurrent entries", INDEX_MASK + 1);
+        self.slots.push(Slot { generation: 0, value: Some(value) });
+        SlabKey::new(index, 0)
+    }
+
+    /// Removes and returns the value behind `key`, recycling its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is stale (already removed, or from another slab):
+    /// the slot is vacant or its generation does not match.
+    #[inline]
+    pub fn remove(&mut self, key: SlabKey) -> T {
+        let slot = self
+            .slots
+            .get_mut(key.index())
+            .unwrap_or_else(|| panic!("slab key {key} out of range"));
+        assert_eq!(slot.generation, key.generation(), "stale slab key {key}");
+        let value = slot.value.take().unwrap_or_else(|| panic!("slab key {key} already removed"));
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(key.index() as u32);
+        self.live -= 1;
+        value
+    }
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut slab: Slab<u64> = Slab::new();
+        let a = slab.insert(10);
+        let b = slab.insert(20);
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.remove(a), 10);
+        assert_eq!(slab.remove(b), 20);
+        assert!(slab.is_empty());
+    }
+
+    #[test]
+    fn slots_recycle_and_stay_bounded() {
+        let mut slab: Slab<u32> = Slab::new();
+        // Warm up to a working set of 4, then churn: no slot growth.
+        let keys: Vec<SlabKey> = (0..4).map(|i| slab.insert(i)).collect();
+        for k in keys {
+            slab.remove(k);
+        }
+        let high = slab.slot_count();
+        for round in 0..1_000u32 {
+            let ks: Vec<SlabKey> = (0..4).map(|i| slab.insert(round * 4 + i)).collect();
+            for k in ks {
+                slab.remove(k);
+            }
+        }
+        assert_eq!(slab.slot_count(), high, "steady-state churn must not grow the slab");
+    }
+
+    #[test]
+    #[should_panic(expected = "stale slab key")]
+    fn stale_key_panics() {
+        let mut slab: Slab<u8> = Slab::new();
+        let k = slab.insert(1);
+        slab.remove(k);
+        let _ = slab.insert(2); // reuses the slot with a bumped generation
+        let _ = slab.remove(k);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn foreign_key_panics() {
+        let mut a: Slab<u8> = Slab::new();
+        let _ = a.insert(1);
+        let k = a.insert(2); // index 1: out of range for the empty slab below
+        let mut b: Slab<u8> = Slab::new();
+        let _ = b.remove(k);
+    }
+
+    #[test]
+    fn generation_wraps_without_aliasing_fresh_keys() {
+        let mut slab: Slab<u8> = Slab::new();
+        // Cycle one slot through > 256 generations: every fresh key keeps
+        // working (wrapping generations only ever invalidate *old* keys).
+        for i in 0..600 {
+            let k = slab.insert(i as u8);
+            assert_eq!(slab.remove(k), i as u8);
+        }
+        assert_eq!(slab.slot_count(), 1);
+    }
+
+    #[test]
+    fn display_names_index_and_generation() {
+        let mut slab: Slab<u8> = Slab::new();
+        let k = slab.insert(1);
+        slab.remove(k);
+        let k = slab.insert(2);
+        assert_eq!(k.to_string(), "slab:0g1");
+    }
+}

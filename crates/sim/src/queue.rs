@@ -110,11 +110,28 @@ impl<E> EventQueue<E> {
 
     /// Creates an empty queue sized for roughly `capacity` events.
     ///
-    /// The wheel allocates buckets lazily and recycles their capacity, so
-    /// the hint only pre-sizes the drain buffer.
+    /// Pre-sizes every wheel slot to the uniform-occupancy estimate
+    /// (`capacity / 64` entries) plus the drain buffer. A cold wheel's
+    /// build-up used to pay one first-touch growth chain per slot an
+    /// event ever visited (push or cascade) — ~380 allocations for a
+    /// 10k-event schedule, measured by `event_queue_push_pop_10k`; the
+    /// hint batches them into one reservation per slot at construction.
+    /// The reservation is a cold-start trade (memory for allocator trips)
+    /// that only `with_capacity` callers pay; a long-lived queue (the
+    /// steady state every simulation runs in, reported separately by
+    /// `event_queue_steady_state_10k`) allocates nothing either way,
+    /// since buckets recycle their capacity.
     pub fn with_capacity(capacity: usize) -> Self {
         let mut q = EventQueue::new();
         q.pending.reserve(capacity / SLOTS + 1);
+        let per_slot = capacity / SLOTS;
+        if per_slot > 0 {
+            for lv in &mut q.levels {
+                for slot in &mut lv.slots {
+                    slot.reserve(per_slot);
+                }
+            }
+        }
         q
     }
 
@@ -157,6 +174,57 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest event, or `None` if the queue is
     /// empty.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        // The drain-buffer fast path is kept branch-minimal here rather
+        // than routed through `refill_pending` (one `Option` test instead
+        // of an emptiness probe plus a separate pop).
+        if let Some(e) = self.pending.pop() {
+            self.len -= 1;
+            return Some((e.at, e.event));
+        }
+        if !self.refill_pending() {
+            return None;
+        }
+        let e = self.pending.pop().expect("refill_pending returned true");
+        self.len -= 1;
+        Some((e.at, e.event))
+    }
+
+    /// Removes and returns the earliest event *if* it fires at or before
+    /// `deadline`; `None` otherwise (the event stays queued).
+    ///
+    /// The driver loop's pacing primitive. When the drain buffer already
+    /// holds the next batch, one comparison decides both "what is next"
+    /// and "is it due" (a `peek_time` + `pop` pair scans the wheel twice
+    /// per event). When it is empty, the check goes through the
+    /// *read-only* `peek_time` first: a `None` must leave the queue — in
+    /// particular its floor — completely untouched, since callers may
+    /// keep scheduling below the next pending event's time until it is
+    /// actually popped (eagerly cascading here once moved the floor past
+    /// a not-yet-due event and silently displaced later schedules; the
+    /// `ext-churn` figure caught it via the schedule-before-floor
+    /// assert).
+    #[inline]
+    pub fn pop_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        match self.pending.last() {
+            Some(e) if e.at > deadline => return None,
+            Some(_) => {
+                let e = self.pending.pop().expect("just inspected");
+                self.len -= 1;
+                return Some((e.at, e.event));
+            }
+            None => {}
+        }
+        if self.peek_time()? > deadline {
+            return None;
+        }
+        self.pop()
+    }
+
+    /// Ensures the drain buffer holds the next due batch (cascading wheel
+    /// levels and rotating the calendar as needed). Returns `false` when
+    /// the queue is empty.
     ///
     /// Invariant behind the slot scans: whenever the floor lies inside a
     /// level's current slot range, every event of that range has already
@@ -165,14 +233,13 @@ impl<E> EventQueue<E> {
     /// after the floor's slot index and the earliest is the lowest set
     /// bit.
     #[inline]
-    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+    fn refill_pending(&mut self) -> bool {
         loop {
-            if let Some(e) = self.pending.pop() {
-                self.len -= 1;
-                return Some((e.at, e.event));
+            if !self.pending.is_empty() {
+                return true;
             }
             if self.len == 0 {
-                return None;
+                return false;
             }
             // Earliest occupied slot of the lowest non-empty level.
             let Some(level) = (0..LEVELS).find(|&l| self.levels[l].occupied != 0) else {
@@ -396,6 +463,39 @@ mod tests {
         for i in 0..100 {
             assert_eq!(q.pop(), Some((t, i)));
         }
+    }
+
+    #[test]
+    fn pop_before_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), 1);
+        q.schedule(SimTime::from_millis(10), 2);
+        q.schedule(SimTime::from_millis(30), 3);
+        assert_eq!(q.pop_before(SimTime::from_millis(5)), None);
+        assert_eq!(q.pop_before(SimTime::from_millis(10)), Some((SimTime::from_millis(10), 1)));
+        // Second same-instant event comes off the drain-buffer fast path.
+        assert_eq!(q.pop_before(SimTime::from_millis(10)), Some((SimTime::from_millis(10), 2)));
+        assert_eq!(q.pop_before(SimTime::from_millis(29)), None);
+        assert_eq!(q.pop_before(SimTime::from_millis(30)), Some((SimTime::from_millis(30), 3)));
+        assert_eq!(q.pop_before(SimTime::MAX), None);
+        assert!(q.is_empty());
+    }
+
+    /// The PR-5 regression the `ext-churn` figure caught: a `None` from
+    /// `pop_before` must leave the queue floor untouched, so callers can
+    /// still schedule below the (not yet due) next event.
+    #[test]
+    fn pop_before_none_leaves_floor_untouched() {
+        let mut q = EventQueue::new();
+        // Far enough to sit in a higher wheel level: an eager cascade
+        // would advance the floor towards it.
+        q.schedule(SimTime::from_millis(10_000), "far");
+        assert_eq!(q.pop_before(SimTime::from_millis(100)), None);
+        // Must neither trip the schedule-before-floor contract (debug
+        // assert) nor displace the event's firing order.
+        q.schedule(SimTime::from_millis(500), "near");
+        assert_eq!(q.pop(), Some((SimTime::from_millis(500), "near")));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(10_000), "far")));
     }
 
     #[test]

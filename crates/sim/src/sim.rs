@@ -114,6 +114,20 @@ impl<E> Sim<E> {
         Some((at, ev))
     }
 
+    /// Pops the next event *if* it fires at or before `deadline`, advancing
+    /// the clock to its firing time; `None` leaves the event queued and the
+    /// clock untouched.
+    ///
+    /// The driver-loop primitive: `peek_time` + `step` scans the event
+    /// queue twice per event, this scans once.
+    pub fn step_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        let (at, ev) = self.queue.pop_before(deadline)?;
+        debug_assert!(at >= self.now, "event queue yielded an event from the past");
+        self.now = at;
+        self.processed += 1;
+        Some((at, ev))
+    }
+
     /// Runs `handler` on every event up to and including `deadline`, then
     /// advances the clock to `deadline`.
     ///
@@ -123,12 +137,7 @@ impl<E> Sim<E> {
         F: FnMut(&mut Sim<E>, E),
     {
         let start = self.processed;
-        while let Some(at) = self.queue.peek_time() {
-            if at > deadline {
-                break;
-            }
-            // Unwrap is fine: peek just succeeded and nothing ran in between.
-            let (_, ev) = self.step().expect("event vanished between peek and pop");
+        while let Some((_, ev)) = self.step_before(deadline) {
             handler(self, ev);
         }
         if deadline > self.now && deadline != SimTime::MAX {

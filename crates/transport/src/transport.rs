@@ -15,7 +15,9 @@
 //!   with NAT behaviour supplied by the user-space
 //!   [`crate::NatEmulator`] middlebox.
 
-use nylon_net::{Delivery, Endpoint, InFlight, NatClass, NetConfig, Network, PeerId};
+use nylon_net::{
+    Delivery, Endpoint, InFlight, NatClass, NetConfig, Network, PeerId, Slab, SlabKey,
+};
 use nylon_sim::{EventQueue, SimTime};
 
 /// A datagram delivered to a peer by a transport.
@@ -67,7 +69,11 @@ pub trait Transport<P> {
 #[derive(Debug)]
 pub struct SimTransport<P> {
     net: Network<P>,
-    queue: EventQueue<InFlight<P>>,
+    /// The wheel carries 4-byte slab handles; the ~100 B flights park in
+    /// `flights` until their arrival instant (same compaction as the
+    /// engines' own event loops).
+    queue: EventQueue<SlabKey>,
+    flights: Slab<InFlight<P>>,
 }
 
 impl<P> SimTransport<P> {
@@ -78,7 +84,7 @@ impl<P> SimTransport<P> {
         for class in classes {
             net.add_peer(*class);
         }
-        SimTransport { net, queue: EventQueue::new() }
+        SimTransport { net, queue: EventQueue::new(), flights: Slab::new() }
     }
 
     /// The underlying fabric (drop counters, NAT oracles).
@@ -99,16 +105,14 @@ impl<P> Transport<P> for SimTransport<P> {
     ) {
         // The fabric computes the post-NAT source endpoint itself.
         if let Some(flight) = self.net.send(now, from, dst, payload, payload_bytes) {
-            self.queue.schedule(flight.arrive_at, flight);
+            let at = flight.arrive_at;
+            self.queue.schedule(at, self.flights.insert(flight));
         }
     }
 
     fn poll(&mut self, deadline: SimTime) -> Option<Arrival<P>> {
-        while let Some(at) = self.queue.peek_time() {
-            if at > deadline {
-                return None;
-            }
-            let (at, flight) = self.queue.pop().expect("peeked entry exists");
+        while let Some((at, key)) = self.queue.pop_before(deadline) {
+            let flight = self.flights.remove(key);
             match self.net.deliver(at, flight) {
                 Delivery::ToPeer { to, from_ep, payload } => {
                     return Some(Arrival { to, from_ep, payload })

@@ -13,7 +13,7 @@ use nylon_gossip::GossipConfig;
 
 use crate::experiment::{Results, Sweep};
 use crate::output::{fmt_f, Table};
-use crate::runner::{biggest_cluster_pct, build, staleness};
+use crate::runner::{biggest_cluster_pct_with, build, staleness, SnapshotScratch};
 use crate::scenario::{NatMix, Scenario};
 
 use super::common::point_seeds;
@@ -43,15 +43,18 @@ pub fn plan(scale: &FigureScale) -> Plan {
         let mut nyl = build(&scn, NylonConfig::default());
         let mut out = Vec::with_capacity(CHECKPOINTS.len() * METRICS);
         let mut done = 0u64;
+        // One snapshot per checkpoint: reuse the overlay scratch across
+        // all of them instead of rebuilding the graph buffers each time.
+        let mut scratch = SnapshotScratch::new();
         for cp in CHECKPOINTS {
             let advance = cp - done;
             base.run_rounds(advance);
             nyl.run_rounds(advance);
             done = cp;
             out.extend([
-                biggest_cluster_pct(&base),
+                biggest_cluster_pct_with(&base, &mut scratch),
                 staleness(&base).stale_pct,
-                biggest_cluster_pct(&nyl),
+                biggest_cluster_pct_with(&nyl, &mut scratch),
                 staleness(&nyl).stale_pct,
             ]);
         }

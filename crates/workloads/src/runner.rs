@@ -9,7 +9,7 @@
 //! baseline-vs-Nylon reachability difference lives.
 
 use nylon_gossip::{PeerSampler, SamplerConfig};
-use nylon_metrics::graph::DiGraph;
+use nylon_metrics::graph::{DiGraph, WccScratch};
 use nylon_metrics::staleness::StalenessReport;
 use nylon_net::{NetConfig, PeerId};
 use nylon_sim::SimRng;
@@ -79,24 +79,68 @@ pub fn build_with_net<C: SamplerConfig>(
 /// groups of peers that keep their mutual NAT holes alive by shuffling
 /// with each other within the filter-rule lifetime.
 pub fn overlay_graph<S: PeerSampler>(eng: &S) -> (DiGraph, Vec<bool>) {
+    let mut scratch = SnapshotScratch::new();
+    overlay_graph_into(eng, &mut scratch);
+    let SnapshotScratch { graph, alive, .. } = scratch;
+    (graph, alive)
+}
+
+/// Reusable buffers for per-round overlay snapshots: the staged edge list,
+/// the alive mask, the CSR graph and the component scratch all survive
+/// between snapshots, so a measurement loop (one snapshot per round
+/// checkpoint in the experiment executor) stops rebuilding nested `Vec`s.
+#[derive(Debug, Default)]
+pub struct SnapshotScratch {
+    /// Staged `(holder, target)` pairs for the CSR rebuild.
+    edges: Vec<(u32, u32)>,
+    /// The usable overlay graph of the latest snapshot.
+    pub graph: DiGraph,
+    /// The alive mask of the latest snapshot.
+    pub alive: Vec<bool>,
+    /// Union-find scratch for component queries.
+    pub wcc: WccScratch,
+}
+
+impl SnapshotScratch {
+    /// Empty scratch; buffers grow to the working size on first use.
+    pub fn new() -> Self {
+        SnapshotScratch::default()
+    }
+}
+
+/// [`overlay_graph`] into reusable scratch: `scratch.graph` and
+/// `scratch.alive` hold the result, and a steady-state snapshot loop
+/// allocates nothing.
+pub fn overlay_graph_into<S: PeerSampler>(eng: &S, scratch: &mut SnapshotScratch) {
     let n = eng.peer_count();
-    let alive: Vec<bool> = (0..n).map(|i| eng.is_alive(PeerId(i as u32))).collect();
-    let mut edges = Vec::new();
-    for p in eng.alive_peers() {
+    scratch.alive.clear();
+    scratch.alive.extend((0..n).map(|i| eng.is_alive(PeerId(i as u32))));
+    scratch.edges.clear();
+    for i in 0..n {
+        let p = PeerId(i as u32);
+        if !scratch.alive[i] {
+            continue;
+        }
         for d in eng.view_of(p).iter() {
             if eng.edge_usable(p, d) {
-                edges.push((p.0, d.id.0));
+                scratch.edges.push((p.0, d.id.0));
             }
         }
     }
-    (DiGraph::from_edges(n, edges), alive)
+    scratch.graph.rebuild(n, &scratch.edges);
 }
 
 /// Biggest weakly-connected cluster as a percentage of alive peers
 /// (Figure 2 / Figure 10 y-axis).
 pub fn biggest_cluster_pct<S: PeerSampler>(eng: &S) -> f64 {
-    let (graph, alive) = overlay_graph(eng);
-    100.0 * graph.biggest_wcc_fraction(&alive)
+    biggest_cluster_pct_with(eng, &mut SnapshotScratch::new())
+}
+
+/// [`biggest_cluster_pct`] over caller-provided scratch — the per-round
+/// snapshot path of the experiment executor and the snapshot bench.
+pub fn biggest_cluster_pct_with<S: PeerSampler>(eng: &S, scratch: &mut SnapshotScratch) -> f64 {
+    overlay_graph_into(eng, scratch);
+    100.0 * scratch.graph.biggest_wcc_fraction_with(&scratch.alive, &mut scratch.wcc)
 }
 
 /// Staleness report for an engine, using its
@@ -202,6 +246,21 @@ mod tests {
         assert!(pct > 95.0, "Nylon must stay connected under NATs, got {pct}");
         let stale = staleness(&eng);
         assert!(stale.stale_pct < 5.0, "Nylon views must stay fresh, got {}", stale.stale_pct);
+    }
+
+    #[test]
+    fn scratch_snapshot_matches_fresh_snapshot() {
+        let mut eng: NylonEngine = build(&scn(60, 70.0, 3), NylonConfig::default());
+        let mut scratch = SnapshotScratch::new();
+        for _ in 0..5 {
+            eng.run_rounds(4);
+            let fresh = biggest_cluster_pct(&eng);
+            let reused = biggest_cluster_pct_with(&eng, &mut scratch);
+            assert_eq!(fresh, reused, "scratch path diverged from the fresh path");
+            let (graph, alive) = overlay_graph(&eng);
+            assert_eq!(graph.edge_count(), scratch.graph.edge_count());
+            assert_eq!(alive, scratch.alive);
+        }
     }
 
     #[test]

@@ -1,0 +1,20 @@
+//! A/B harness: one round + one overlay snapshot per iteration, the
+//! `nylon_round_with_snapshot_200_peers` workload in a flat loop. Build
+//! this example at two commits and alternate runs for a low-noise ratio.
+use nylon::NylonConfig;
+use nylon_workloads::runner::{biggest_cluster_pct, build};
+use nylon_workloads::scenario::Scenario;
+
+fn main() {
+    let scn = Scenario::new(200, 70.0, 5);
+    let mut eng: nylon::NylonEngine = build(&scn, NylonConfig::default());
+    eng.run_rounds(30);
+    let mut acc = 0.0;
+    let t = std::time::Instant::now();
+    for _ in 0..500 {
+        eng.run_rounds(1);
+        acc += biggest_cluster_pct(&eng);
+    }
+    println!("{}", t.elapsed().as_nanos() / 500);
+    eprintln!("(acc {acc})");
+}

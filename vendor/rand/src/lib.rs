@@ -139,10 +139,12 @@ pub mod rngs {
         }
 
         impl RngCore for SmallRng {
+            #[inline]
             fn next_u32(&mut self) -> u32 {
                 (self.next_u64() >> 32) as u32
             }
 
+            #[inline]
             fn next_u64(&mut self) -> u64 {
                 let result =
                     self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
@@ -248,9 +250,57 @@ pub mod distributions {
             fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
         }
 
+        /// Largest span served by the division-free fast path of
+        /// `sample_inclusive`. Spans this small dominate simulation
+        /// workloads (Fisher–Yates shuffles of partial views, element
+        /// picks over a few dozen entries), and a hardware `div` per draw
+        /// is the single most expensive instruction in those loops.
+        const SMALL_SPAN_MAX: u64 = 256;
+
+        /// Per-span constants for the fast path: the rejection `zone` and
+        /// the 128-bit fastmod reciprocal, both computed at compile time.
+        #[derive(Clone, Copy)]
+        struct SmallSpan {
+            zone: u64,
+            magic: u128,
+        }
+
+        static SMALL_SPANS: [SmallSpan; (SMALL_SPAN_MAX + 1) as usize] = {
+            let mut table = [SmallSpan { zone: 0, magic: 0 }; (SMALL_SPAN_MAX + 1) as usize];
+            let mut s = 1u64;
+            while s <= SMALL_SPAN_MAX {
+                table[s as usize] = SmallSpan {
+                    // Exactly the zone the general path computes below.
+                    zone: u64::MAX - (u64::MAX.wrapping_sub(s - 1) % s),
+                    // ceil(2^128 / s): Lemire's fastmod reciprocal. For
+                    // s == 1 the true reciprocal (2^128) does not fit;
+                    // magic 0 makes `small_mod` return 0, which is exactly
+                    // `v % 1`.
+                    magic: if s == 1 { 0 } else { u128::MAX / (s as u128) + 1 },
+                };
+                s += 1;
+            }
+            table
+        };
+
+        /// `v % d` without a division, for `d <= SMALL_SPAN_MAX`: multiply
+        /// by the precomputed `ceil(2^128 / d)` and take the high 128 bits
+        /// of the product with `d` (Lemire's fastmod; exact for every u64
+        /// `v`, proven against `%` by `small_span_fastmod_matches_division`).
+        #[inline(always)]
+        fn small_mod(v: u64, d: u64, magic: u128) -> u64 {
+            let lowbits = magic.wrapping_mul(v as u128);
+            // (lowbits * d) >> 128; d < 2^9, so the high-part sum cannot
+            // overflow 128 bits.
+            let lo = lowbits as u64 as u128;
+            let hi = (lowbits >> 64) as u64 as u128;
+            ((((lo * d as u128) >> 64) + hi * d as u128) >> 64) as u64
+        }
+
         macro_rules! uniform_int {
             ($($t:ty as $wide:ty),* $(,)?) => {$(
                 impl SampleUniform for $t {
+                    #[inline(always)]
                     fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
                         debug_assert!(lo <= hi);
                         // Width of [lo, hi] as an unsigned value; 0 encodes
@@ -258,6 +308,18 @@ pub mod distributions {
                         let span = (hi as $wide).wrapping_sub(lo as $wide).wrapping_add(1);
                         if span == 0 {
                             return rng.next_u64() as $t;
+                        }
+                        // Small spans: identical rejection test and modulo
+                        // result, via the compile-time table instead of two
+                        // hardware divisions per draw.
+                        if (span as u64) <= SMALL_SPAN_MAX {
+                            let t = &SMALL_SPANS[span as usize];
+                            loop {
+                                let v = rng.next_u64();
+                                if v <= t.zone {
+                                    return lo.wrapping_add(small_mod(v, span as u64, t.magic) as $t);
+                                }
+                            }
                         }
                         // Unbiased rejection sampling (Lemire's method on
                         // the 64-bit stream keeps the loop nearly free).
@@ -270,6 +332,7 @@ pub mod distributions {
                         }
                     }
 
+                    #[inline(always)]
                     fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
                         debug_assert!(lo < hi);
                         Self::sample_inclusive(lo, hi.wrapping_sub(1), rng)
@@ -450,5 +513,56 @@ mod tests {
         let empty: [u8; 0] = [];
         assert!(empty.choose(&mut rng).is_none());
         assert!([1, 2, 3].choose(&mut rng).is_some());
+    }
+
+    /// The division-free small-span path must be *bit-identical* to the
+    /// plain `%` path: every simulation seed in the workspace flows
+    /// through `gen_range`, so a single differing draw would change
+    /// replayed figure output.
+    #[test]
+    fn small_span_fastmod_matches_division() {
+        // Edge and random u64 numerators against every table divisor.
+        let mut v_samples: Vec<u64> = vec![0, 1, 2, u64::MAX, u64::MAX - 1, 1 << 32, (1 << 32) - 1];
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..2_000 {
+            v_samples.push(rng.next_u64());
+        }
+        for d in 1..=256u64 {
+            // Same d == 1 sentinel as the production table (the true
+            // reciprocal 2^128 does not fit; 0 makes fastmod yield 0).
+            let magic = if d == 1 { 0 } else { u128::MAX / (d as u128) + 1 };
+            for &v in &v_samples {
+                let fast = {
+                    let lowbits = magic.wrapping_mul(v as u128);
+                    let lo = lowbits as u64 as u128;
+                    let hi = (lowbits >> 64) as u64 as u128;
+                    ((((lo * d as u128) >> 64) + hi * d as u128) >> 64) as u64
+                };
+                assert_eq!(fast, v % d, "fastmod({v}, {d}) diverged from %");
+            }
+        }
+    }
+
+    /// Draw-for-draw equivalence of `gen_range` across the fast-path
+    /// boundary: a table-served span and the explicit slow-path formula
+    /// must consume and produce identical streams.
+    #[test]
+    fn small_span_sampling_matches_slow_path_formula() {
+        for span in [2u64, 3, 7, 16, 33, 255, 256] {
+            let mut fast_rng = SmallRng::seed_from_u64(span ^ 0xABCD);
+            let mut slow_rng = SmallRng::seed_from_u64(span ^ 0xABCD);
+            for _ in 0..5_000 {
+                let fast = fast_rng.gen_range(0..span);
+                // The pre-table algorithm, inlined.
+                let zone = u64::MAX - (u64::MAX.wrapping_sub(span - 1) % span);
+                let slow = loop {
+                    let v = slow_rng.next_u64();
+                    if v <= zone {
+                        break v % span;
+                    }
+                };
+                assert_eq!(fast, slow, "gen_range(0..{span}) diverged from the slow path");
+            }
+        }
     }
 }
