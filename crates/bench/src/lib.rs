@@ -15,13 +15,27 @@ use nylon_workloads::figures::FigureScale;
 
 /// The micro scale used by the figure benches.
 pub fn micro_scale() -> FigureScale {
-    FigureScale { peers: 40, seeds: 1, rounds: 12, full_churn_horizons: false, base_seed: 7 }
+    FigureScale {
+        peers: 40,
+        seeds: 1,
+        rounds: 12,
+        full_churn_horizons: false,
+        base_seed: 7,
+        shards: 0,
+    }
 }
 
 /// A slightly larger scale for benches whose artifact needs longer
 /// horizons to be meaningful (churn).
 pub fn small_scale() -> FigureScale {
-    FigureScale { peers: 60, seeds: 1, rounds: 20, full_churn_horizons: false, base_seed: 7 }
+    FigureScale {
+        peers: 60,
+        seeds: 1,
+        rounds: 20,
+        full_churn_horizons: false,
+        base_seed: 7,
+        shards: 0,
+    }
 }
 
 /// Standard Criterion tuning for the figure benches: few samples, short

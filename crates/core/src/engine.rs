@@ -12,12 +12,12 @@
 //! * relaying of whole shuffles for the symmetric-NAT combinations where no
 //!   hole can be punched (lines 5–7 and 20–22).
 
-use nylon_gossip::{NodeDescriptor, PartialView};
+use nylon_gossip::{sort_tick_batch, NodeDescriptor, PartialView, ShardCtx};
 use nylon_net::{
     BufferPool, Delivery, Endpoint, InFlight, NatClass, NatType, NetConfig, Network, Outbound,
     PeerId, Slab, SlabKey,
 };
-use nylon_sim::{FxHashMap, Sim, SimDuration, SimRng, SimTime};
+use nylon_sim::{FxHashMap, ShardPlan, ShardWorker, Sim, SimDuration, SimRng, SimTime};
 
 use crate::config::NylonConfig;
 use crate::message::{NylonMsg, WireEntry};
@@ -60,6 +60,28 @@ pub struct NylonStats {
 }
 
 impl NylonStats {
+    /// Adds another counter set into this one. In a sharded run every
+    /// protocol event is counted on exactly one shard (the one owning the
+    /// acting node), so summing per-shard counters reproduces the
+    /// single-engine totals.
+    pub fn merge(&mut self, other: &NylonStats) {
+        self.shuffles_initiated += other.shuffles_initiated;
+        self.empty_view_rounds += other.empty_view_rounds;
+        self.direct_requests += other.direct_requests;
+        self.relayed_requests += other.relayed_requests;
+        self.hole_punches += other.hole_punches;
+        self.punch_successes += other.punch_successes;
+        self.punch_timeouts += other.punch_timeouts;
+        self.routes_missing += other.routes_missing;
+        self.forwards += other.forwards;
+        self.forward_failures += other.forward_failures;
+        self.requests_completed += other.requests_completed;
+        self.responses_completed += other.responses_completed;
+        self.pongs_sent += other.pongs_sent;
+        self.chain_hops_sum += other.chain_hops_sum;
+        self.chain_samples += other.chain_samples;
+    }
+
     fn record_chain(&mut self, hops: u8) {
         self.chain_hops_sum += hops as u64;
         self.chain_samples += 1;
@@ -149,6 +171,9 @@ pub struct NylonEngine {
     /// In-flight datagrams, parked here while their 4-byte handle travels
     /// through the timer wheel (see [`Ev`]); slots recycle.
     flights: Slab<InFlight<NylonMsg>>,
+    /// `Some` when this engine is one worker of a sharded run (see
+    /// `nylon_gossip::sharded`).
+    shard: Option<ShardCtx<NylonMsg>>,
 }
 
 impl NylonEngine {
@@ -178,7 +203,31 @@ impl NylonEngine {
             id_pool: BufferPool::new(),
             scratch_descs: Vec::new(),
             flights: Slab::new(),
+            shard: None,
         }
+    }
+
+    /// Turns this engine into worker `idx` of a sharded run (see
+    /// `nylon_gossip::sharded`). Must be called on a fresh engine, before
+    /// any peer is added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has already been populated or started.
+    pub fn set_shard(&mut self, plan: ShardPlan, idx: usize) {
+        assert!(!self.started && self.nodes.is_empty(), "set_shard requires a fresh engine");
+        self.shard = Some(ShardCtx::new(plan, idx));
+    }
+
+    /// Whether this engine materializes protocol state for `peer` — always
+    /// true outside shard mode.
+    fn owns(&self, peer: PeerId) -> bool {
+        self.shard.as_ref().is_none_or(|s| s.owns(peer))
+    }
+
+    /// Total events processed by the local event loop.
+    pub fn events_processed(&self) -> u64 {
+        self.sim.events_processed()
     }
 
     /// Switches the engine to wire-tap mode: datagrams are no longer routed
@@ -251,7 +300,7 @@ impl NylonEngine {
             pending_sent: FxHashMap::default(),
             rng,
         });
-        if self.started {
+        if self.started && self.owns(id) {
             let phase = {
                 let period = self.cfg.shuffle_period.as_millis();
                 let node = &mut self.nodes[id.index()];
@@ -299,18 +348,38 @@ impl NylonEngine {
         let pool: Vec<PeerId> = if fallback { self.net.alive_peers().collect() } else { publics };
         let all: Vec<PeerId> = self.net.alive_peers().collect();
         for p in all {
+            let owned = self.owns(p);
+            if !owned && !fallback {
+                // Another shard fills this node's view from the same
+                // per-node stream; without hole-opening there is nothing
+                // global to replay here.
+                continue;
+            }
             let candidates: Vec<PeerId> = pool.iter().copied().filter(|q| *q != p).collect();
-            let chosen = {
+            let chosen = if owned {
                 let node = &mut self.nodes[p.index()];
                 node.rng.sample_without_replacement(&candidates, per_view)
+            } else {
+                // Fallback bootstrap opens NAT holes, which mutate *both*
+                // endpoints' boxes — global state every shard replicates.
+                // Replay the non-owned node's choices from a fresh fork of
+                // its stream: pre-bootstrap the stored stream has had no
+                // draws, so the fork is draw-for-draw identical.
+                let mut probe = self.sim.rng().fork(0x4E79_6C6F_0000_0000 | p.0 as u64);
+                probe.sample_without_replacement(&candidates, per_view)
             };
             for q in chosen {
-                let d = NodeDescriptor::new(q, self.net.identity_endpoint(q), self.net.class_of(q));
-                self.nodes[p.index()].view.insert(d);
+                if owned {
+                    let d =
+                        NodeDescriptor::new(q, self.net.identity_endpoint(q), self.net.class_of(q));
+                    self.nodes[p.index()].view.insert(d);
+                }
                 if fallback {
                     if let Some(ep) = self.net.open_bootstrap_hole(now, p, q) {
-                        let node = &mut self.nodes[p.index()];
-                        node.routing.touch_direct(q, self.cfg.hole_timeout, ep);
+                        if owned {
+                            let node = &mut self.nodes[p.index()];
+                            node.routing.touch_direct(q, self.cfg.hole_timeout, ep);
+                        }
                     }
                 }
             }
@@ -329,6 +398,12 @@ impl NylonEngine {
         let period = self.cfg.shuffle_period.as_millis();
         let peers: Vec<PeerId> = self.net.alive_peers().collect();
         for p in peers {
+            // In shard mode only owned nodes get timers; skipping the
+            // phase draw too is safe because each node draws from its own
+            // forked stream.
+            if !self.owns(p) {
+                continue;
+            }
             let phase = {
                 let node = &mut self.nodes[p.index()];
                 SimDuration::from_millis(node.rng.gen_range(0..period))
@@ -459,8 +534,12 @@ impl NylonEngine {
         }
         let now = self.sim.now();
         if let Some(flight) = self.net.send(now, from, to_ep, msg, bytes) {
-            let at = flight.arrive_at;
-            self.sim.schedule_at(at, Ev::Deliver(self.flights.insert(flight)));
+            if let Some(ctx) = &mut self.shard {
+                ctx.stage(&self.net, flight);
+            } else {
+                let at = flight.arrive_at;
+                self.sim.schedule_at(at, Ev::Deliver(self.flights.insert(flight)));
+            }
         }
     }
 
@@ -826,6 +905,26 @@ impl NylonEngine {
                 .map(|e| (e.descriptor.id, e.ttl, e.hops)),
         );
         self.scratch_descs = descriptors;
+    }
+}
+
+impl ShardWorker for NylonEngine {
+    type Envelope = InFlight<NylonMsg>;
+
+    fn run_tick(&mut self, boundary: SimTime, out: &mut [Vec<InFlight<NylonMsg>>]) {
+        while let Some((_, ev)) = self.sim.step_before(boundary) {
+            self.handle(ev);
+        }
+        self.sim.advance_to(boundary);
+        self.shard.as_mut().expect("run_tick requires shard mode").drain_into(out);
+    }
+
+    fn absorb(&mut self, mut batch: Vec<InFlight<NylonMsg>>) {
+        sort_tick_batch(&mut batch);
+        for f in batch {
+            let at = f.arrive_at;
+            self.sim.schedule_at(at, Ev::Deliver(self.flights.insert(f)));
+        }
     }
 }
 

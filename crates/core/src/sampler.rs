@@ -9,9 +9,11 @@
 //! because reachability through relays is the protocol's whole point, so
 //! the oracle asks the routing table, not the raw NAT state.
 
-use nylon_gossip::{GossipConfig, NodeDescriptor, PartialView, PeerSampler, SamplerConfig};
+use nylon_gossip::{
+    GossipConfig, NodeDescriptor, PartialView, PeerSampler, SamplerConfig, ShardSampler,
+};
 use nylon_net::{NatClass, NetConfig, PeerId, TrafficStats};
-use nylon_sim::{SimDuration, SimTime};
+use nylon_sim::{ShardPlan, SimDuration, SimTime};
 
 use crate::config::NylonConfig;
 use crate::engine::NylonEngine;
@@ -194,9 +196,38 @@ impl PeerSampler for StaticRvpEngine {
     }
 }
 
+// Both engines' usability oracles read only holder-local protocol state
+// (Nylon's routing table, the strawman's RVP bindings) plus globally
+// replicated facts (liveness, classes), so the default holder-shard
+// delegation of `edge_usable_sharded` is exact and neither impl overrides
+// it. Contrast with the baseline, whose packet-level oracle spans both
+// ends' NAT state.
+impl ShardSampler for NylonEngine {
+    fn set_shard(&mut self, plan: ShardPlan, idx: usize) {
+        NylonEngine::set_shard(self, plan, idx);
+    }
+
+    fn net_config(&self) -> &NetConfig {
+        self.net().config()
+    }
+}
+
+impl ShardSampler for StaticRvpEngine {
+    fn set_shard(&mut self, plan: ShardPlan, idx: usize) {
+        StaticRvpEngine::set_shard(self, plan, idx);
+    }
+
+    fn net_config(&self) -> &NetConfig {
+        self.net().config()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::NylonStats;
+    use crate::static_rvp::StaticRvpStats;
+    use nylon_gossip::{Sharded, ShardedConfig};
     use nylon_net::NatType;
 
     fn drive<C: SamplerConfig>(cfg: C, seed: u64) -> C::Sampler {
@@ -259,5 +290,102 @@ mod tests {
             })
             .sum();
         assert!(usable > 0, "static-RVP overlay has no usable edges");
+    }
+
+    /// (merged-counter debug string, per-node sorted view ids) — a full
+    /// fingerprint of the observable protocol state.
+    fn shard_fingerprint<E: ShardSampler>(
+        eng: &Sharded<E>,
+        stats: String,
+    ) -> (String, Vec<Vec<u32>>) {
+        let views = (0..eng.peer_count() as u32)
+            .map(|i| {
+                let mut ids: Vec<u32> = eng.view_of(PeerId(i)).iter().map(|d| d.id.0).collect();
+                ids.sort_unstable();
+                ids
+            })
+            .collect();
+        (stats, views)
+    }
+
+    fn run_sharded<C: SamplerConfig>(
+        cfg: C,
+        shards: usize,
+        publics: u32,
+        natted: u32,
+        seed: u64,
+    ) -> Sharded<C::Sampler>
+    where
+        C::Sampler: ShardSampler,
+    {
+        let mut eng = Sharded::<C::Sampler>::with_seed(
+            ShardedConfig::new(cfg, shards),
+            NetConfig::default(),
+            seed,
+        );
+        for _ in 0..publics {
+            eng.add_peer(NatClass::Public);
+        }
+        for _ in 0..natted {
+            eng.add_peer(NatClass::Natted(NatType::PortRestrictedCone));
+        }
+        eng.bootstrap_random_public(8);
+        eng.start();
+        eng.run_rounds(12);
+        eng
+    }
+
+    #[test]
+    fn sharded_nylon_is_shard_count_independent() {
+        let fp = |shards| {
+            let eng = run_sharded(NylonConfig::default(), shards, 15, 25, 21);
+            let stats: NylonStats =
+                eng.shards().iter().fold(NylonStats::default(), |mut acc, e| {
+                    acc.merge(&e.stats());
+                    acc
+                });
+            assert!(stats.punch_successes > 0, "holes must get punched");
+            shard_fingerprint(&eng, format!("{stats:?}"))
+        };
+        let reference = fp(1);
+        assert_eq!(fp(2), reference, "Nylon diverged at 2 shards");
+        assert_eq!(fp(4), reference, "Nylon diverged at 4 shards");
+    }
+
+    #[test]
+    fn sharded_nylon_fallback_bootstrap_is_shard_count_independent() {
+        // 100 % NAT population: bootstrap pre-opens holes, which mutate
+        // both endpoints' boxes — the one piece of global state every
+        // shard must replay identically (non-owned draws come from probe
+        // forks of the node streams).
+        let fp = |shards| {
+            let eng = run_sharded(NylonConfig::default(), shards, 0, 30, 33);
+            let stats: NylonStats =
+                eng.shards().iter().fold(NylonStats::default(), |mut acc, e| {
+                    acc.merge(&e.stats());
+                    acc
+                });
+            assert!(stats.shuffles_initiated > 0);
+            shard_fingerprint(&eng, format!("{stats:?}"))
+        };
+        let reference = fp(1);
+        assert_eq!(fp(3), reference, "fallback bootstrap diverged at 3 shards");
+    }
+
+    #[test]
+    fn sharded_static_rvp_is_shard_count_independent() {
+        let fp = |shards| {
+            let eng = run_sharded(StaticRvpConfig::default(), shards, 10, 30, 5);
+            let stats: StaticRvpStats =
+                eng.shards().iter().fold(StaticRvpStats::default(), |mut acc, e| {
+                    acc.merge(&e.stats());
+                    acc
+                });
+            assert!(stats.relays > 0, "natted shuffles must be relayed");
+            shard_fingerprint(&eng, format!("{stats:?}"))
+        };
+        let reference = fp(1);
+        assert_eq!(fp(2), reference, "static-RVP diverged at 2 shards");
+        assert_eq!(fp(4), reference, "static-RVP diverged at 4 shards");
     }
 }

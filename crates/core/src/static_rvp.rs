@@ -16,11 +16,11 @@
 //! period (proactive keep-alive, unlike Nylon's reactive punching) and
 //! re-bind to a fresh public peer if their RVP dies.
 
-use nylon_gossip::{GossipConfig, NodeDescriptor, PartialView};
+use nylon_gossip::{sort_tick_batch, GossipConfig, NodeDescriptor, PartialView, ShardCtx};
 use nylon_net::{
     BufferPool, Delivery, Endpoint, InFlight, NatClass, NetConfig, Network, PeerId, Slab, SlabKey,
 };
-use nylon_sim::{FxHashMap, Sim, SimDuration, SimRng, SimTime};
+use nylon_sim::{FxHashMap, ShardPlan, ShardWorker, Sim, SimDuration, SimRng, SimTime};
 
 /// A descriptor annotated with the peer's RVP binding (`None` for public
 /// peers).
@@ -81,6 +81,23 @@ pub struct StaticRvpStats {
     pub rebinds: u64,
 }
 
+impl StaticRvpStats {
+    /// Adds another counter set into this one. In a sharded run every
+    /// protocol event is counted on exactly one shard (the one owning the
+    /// acting node), so summing per-shard counters reproduces the
+    /// single-engine totals.
+    pub fn merge(&mut self, other: &StaticRvpStats) {
+        self.shuffles_initiated += other.shuffles_initiated;
+        self.empty_view_rounds += other.empty_view_rounds;
+        self.relays += other.relays;
+        self.relay_failures += other.relay_failures;
+        self.pings_sent += other.pings_sent;
+        self.requests_completed += other.requests_completed;
+        self.responses_completed += other.responses_completed;
+        self.rebinds += other.rebinds;
+    }
+}
+
 #[derive(Debug)]
 struct Node {
     view: PartialView,
@@ -129,6 +146,9 @@ pub struct StaticRvpEngine {
     /// In-flight datagrams, parked here while their 4-byte handle travels
     /// through the timer wheel (see [`Ev`]); slots recycle.
     flights: Slab<InFlight<StaticRvpMsg>>,
+    /// `Some` when this engine is one worker of a sharded run (see
+    /// `nylon_gossip::sharded`).
+    shard: Option<ShardCtx<StaticRvpMsg>>,
 }
 
 impl StaticRvpEngine {
@@ -148,7 +168,31 @@ impl StaticRvpEngine {
             id_pool: BufferPool::new(),
             scratch_descs: Vec::new(),
             flights: Slab::new(),
+            shard: None,
         }
+    }
+
+    /// Turns this engine into worker `idx` of a sharded run (see
+    /// `nylon_gossip::sharded`). Must be called on a fresh engine, before
+    /// any peer is added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has already been populated or started.
+    pub fn set_shard(&mut self, plan: ShardPlan, idx: usize) {
+        assert!(!self.started && self.nodes.is_empty(), "set_shard requires a fresh engine");
+        self.shard = Some(ShardCtx::new(plan, idx));
+    }
+
+    /// Whether this engine materializes protocol state for `peer` — always
+    /// true outside shard mode.
+    fn owns(&self, peer: PeerId) -> bool {
+        self.shard.as_ref().is_none_or(|s| s.owns(peer))
+    }
+
+    /// Total events processed by the local event loop.
+    pub fn events_processed(&self) -> u64 {
+        self.sim.events_processed()
     }
 
     /// Current virtual time.
@@ -217,6 +261,11 @@ impl StaticRvpEngine {
         assert!(!publics.is_empty(), "the static-RVP scheme requires at least one public peer");
         let all: Vec<PeerId> = self.net.alive_peers().collect();
         for p in all {
+            // Shard mode: other shards fill this node's view (from the
+            // same per-node stream); no global state is touched here.
+            if !self.owns(p) {
+                continue;
+            }
             let candidates: Vec<PeerId> = publics.iter().copied().filter(|q| *q != p).collect();
             let chosen = {
                 let node = &mut self.nodes[p.index()];
@@ -245,6 +294,12 @@ impl StaticRvpEngine {
         let all: Vec<PeerId> = self.net.alive_peers().collect();
         let period = self.cfg.shuffle_period.as_millis();
         for p in all {
+            // In shard mode only owned nodes bind RVPs and get timers;
+            // both draws come from the node's own forked stream, so
+            // skipping them cannot shift any other node's draws.
+            if !self.owns(p) {
+                continue;
+            }
             if self.net.class_of(p).is_natted() {
                 let rvp = {
                     let node = &mut self.nodes[p.index()];
@@ -340,6 +395,10 @@ impl StaticRvpEngine {
         let now = self.sim.now();
         let bytes = self.message_bytes(&msg);
         if let Some(flight) = self.net.send(now, from, to_ep, msg, bytes) {
+            if let Some(ctx) = &mut self.shard {
+                ctx.stage(&self.net, flight);
+                return;
+            }
             let at = flight.arrive_at;
             self.sim.schedule_at(at, Ev::Deliver(self.flights.insert(flight)));
         }
@@ -537,6 +596,26 @@ impl StaticRvpEngine {
             node.bindings.retain(|id, _| keep.contains(id));
         }
         self.scratch_descs = descriptors;
+    }
+}
+
+impl ShardWorker for StaticRvpEngine {
+    type Envelope = InFlight<StaticRvpMsg>;
+
+    fn run_tick(&mut self, boundary: SimTime, out: &mut [Vec<InFlight<StaticRvpMsg>>]) {
+        while let Some((_, ev)) = self.sim.step_before(boundary) {
+            self.handle(ev);
+        }
+        self.sim.advance_to(boundary);
+        self.shard.as_mut().expect("run_tick requires shard mode").drain_into(out);
+    }
+
+    fn absorb(&mut self, mut batch: Vec<InFlight<StaticRvpMsg>>) {
+        sort_tick_batch(&mut batch);
+        for f in batch {
+            let at = f.arrive_at;
+            self.sim.schedule_at(at, Ev::Deliver(self.flights.insert(f)));
+        }
     }
 }
 

@@ -9,7 +9,7 @@ use nylon_net::{
     BufferPool, Delivery, Endpoint, InFlight, NatClass, NetConfig, Network, Outbound, PeerId, Slab,
     SlabKey,
 };
-use nylon_sim::{FxHashMap, Sim, SimDuration, SimRng, SimTime};
+use nylon_sim::{FxHashMap, ShardPlan, ShardWorker, Sim, SimDuration, SimRng, SimTime};
 
 use crate::descriptor::NodeDescriptor;
 use crate::policy::{GossipConfig, PropagationPolicy};
@@ -54,6 +54,71 @@ enum Ev {
 // The whole point of the slab indirection: wheeled events stay slim.
 const _: () = assert!(std::mem::size_of::<Ev>() <= 32, "Ev must stay slim for the timer wheel");
 
+/// Shard-mode state of an engine acting as one worker of a sharded run.
+///
+/// In shard mode the engine still holds the *full* population (the address
+/// plan, liveness, and per-node RNG labels are pure functions of the add
+/// order, so replicating them costs no determinism), but only materializes
+/// protocol state — view contents, timers, NAT sessions — for the nodes
+/// the plan assigns to `idx`. Every datagram, including ones between two
+/// co-located nodes, is staged into `staged[dst_shard]` instead of being
+/// scheduled directly, so delivery order is fixed by the canonical merge
+/// in `absorb`, never by which nodes happen to share a shard.
+#[derive(Debug)]
+pub struct ShardCtx<P> {
+    /// The node→shard assignment shared by all workers of the run.
+    pub plan: ShardPlan,
+    /// This worker's shard index.
+    pub idx: usize,
+    /// Outgoing flights staged per destination shard, drained by
+    /// [`ShardWorker::run_tick`] at the end of each tick.
+    pub staged: Vec<Vec<InFlight<P>>>,
+}
+
+impl<P> ShardCtx<P> {
+    /// A context for shard `idx` of `plan`, with empty staging buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is not a valid shard of `plan`.
+    pub fn new(plan: ShardPlan, idx: usize) -> Self {
+        assert!(idx < plan.shards(), "shard index out of range");
+        ShardCtx { plan, idx, staged: (0..plan.shards()).map(|_| Vec::new()).collect() }
+    }
+
+    /// Whether this shard owns `peer`.
+    pub fn owns(&self, peer: PeerId) -> bool {
+        self.plan.shard_of(peer.0) == self.idx
+    }
+
+    /// Stages a flight for the shard owning its addressee, or for this
+    /// shard when the destination is unroutable (the local `deliver` then
+    /// counts the drop — on a fixed shard, so counters stay deterministic).
+    pub fn stage<P2>(&mut self, net: &Network<P2>, flight: InFlight<P>) {
+        let dst = match net.addressee_of(flight.dst_ep) {
+            Some(q) => self.plan.shard_of(q.0),
+            None => self.idx,
+        };
+        self.staged[dst].push(flight);
+    }
+
+    /// Moves this tick's staged flights into the driver's outboxes.
+    pub fn drain_into(&mut self, out: &mut [Vec<InFlight<P>>]) {
+        for (dst, staged) in self.staged.iter_mut().enumerate() {
+            out[dst].append(staged);
+        }
+    }
+}
+
+/// Sorts a merged tick batch into the canonical delivery order: arrival
+/// instant, then sending node (per-sender order is positional — a sender's
+/// flights arrive already in its send order, and a stable sort keeps them
+/// there). The key is a pure function of the logical message stream, which
+/// is what makes sharded output independent of the shard count.
+pub fn sort_tick_batch<P>(batch: &mut [InFlight<P>]) {
+    batch.sort_by_key(|f| (f.arrive_at, f.sender.0));
+}
+
 /// Aggregate protocol counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ShuffleStats {
@@ -65,6 +130,19 @@ pub struct ShuffleStats {
     pub requests_received: u64,
     /// Responses that reached the initiator.
     pub responses_received: u64,
+}
+
+impl ShuffleStats {
+    /// Adds another counter set into this one. In a sharded run every
+    /// protocol event is counted on exactly one shard (the one owning the
+    /// acting node), so summing the per-shard counters reproduces the
+    /// single-engine totals.
+    pub fn merge(&mut self, other: &ShuffleStats) {
+        self.initiated += other.initiated;
+        self.empty_view_rounds += other.empty_view_rounds;
+        self.requests_received += other.requests_received;
+        self.responses_received += other.responses_received;
+    }
 }
 
 #[derive(Debug)]
@@ -103,6 +181,8 @@ pub struct BaselineEngine {
     /// through the timer wheel (see [`Ev`]); slots recycle, so the slab's
     /// footprint is the high-water mark of concurrent flights.
     flights: Slab<InFlight<BaselineMsg>>,
+    /// `Some` when this engine is one worker of a sharded run.
+    shard: Option<ShardCtx<BaselineMsg>>,
 }
 
 impl BaselineEngine {
@@ -123,7 +203,32 @@ impl BaselineEngine {
             payload_pool: BufferPool::new(),
             id_pool: BufferPool::new(),
             flights: Slab::new(),
+            shard: None,
         }
+    }
+
+    /// Turns this engine into worker `idx` of a sharded run (see
+    /// [`crate::sharded`]). Must be called on a fresh engine, before any
+    /// peer is added: the shard plan gates which nodes get timers and
+    /// protocol state from the very first add.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has already been populated or started.
+    pub fn set_shard(&mut self, plan: ShardPlan, idx: usize) {
+        assert!(!self.started && self.nodes.is_empty(), "set_shard requires a fresh engine");
+        self.shard = Some(ShardCtx::new(plan, idx));
+    }
+
+    /// Whether this engine materializes protocol state for `peer` — always
+    /// true outside shard mode.
+    fn owns(&self, peer: PeerId) -> bool {
+        self.shard.as_ref().is_none_or(|s| s.owns(peer))
+    }
+
+    /// Total events processed by the local event loop.
+    pub fn events_processed(&self) -> u64 {
+        self.sim.events_processed()
     }
 
     /// Switches the engine to wire-tap mode: datagrams are no longer routed
@@ -176,8 +281,12 @@ impl BaselineEngine {
         }
         let now = self.sim.now();
         if let Some(flight) = self.net.send(now, from, to_ep, msg, bytes) {
-            let at = flight.arrive_at;
-            self.sim.schedule_at(at, Ev::Deliver(self.flights.insert(flight)));
+            if let Some(ctx) = &mut self.shard {
+                ctx.stage(&self.net, flight);
+            } else {
+                let at = flight.arrive_at;
+                self.sim.schedule_at(at, Ev::Deliver(self.flights.insert(flight)));
+            }
         }
     }
 
@@ -224,7 +333,7 @@ impl BaselineEngine {
             rng,
             pending_sent: FxHashMap::default(),
         });
-        if self.started {
+        if self.started && self.owns(id) {
             let phase = {
                 let period = self.cfg.shuffle_period.as_millis();
                 let node = &mut self.nodes[id.index()];
@@ -272,6 +381,12 @@ impl BaselineEngine {
         let pool = if publics.is_empty() { everyone } else { publics };
         let all: Vec<PeerId> = self.net.alive_peers().collect();
         for p in all {
+            // Shard mode: other shards fill this node's view (from the
+            // same per-node stream); no box state is touched here, so the
+            // whole iteration can be skipped.
+            if !self.owns(p) {
+                continue;
+            }
             let candidates: Vec<PeerId> = pool.iter().copied().filter(|q| *q != p).collect();
             let chosen = {
                 let node = &mut self.nodes[p.index()];
@@ -301,6 +416,9 @@ impl BaselineEngine {
         let pool: Vec<PeerId> = if fallback { self.net.alive_peers().collect() } else { publics };
         let all: Vec<PeerId> = self.net.alive_peers().collect();
         for p in all {
+            if !self.owns(p) {
+                continue; // see bootstrap_random_public
+            }
             // The pool minus self can be smaller than per_view. Membership
             // of `p` follows from its class (or is certain in fallback
             // mode) — a `pool.contains` scan here would reintroduce the
@@ -340,6 +458,12 @@ impl BaselineEngine {
         let period = self.cfg.shuffle_period.as_millis();
         let peers: Vec<PeerId> = self.net.alive_peers().collect();
         for p in peers {
+            // In shard mode only owned nodes get timers; skipping the
+            // phase draw too is safe because each node draws from its own
+            // forked stream.
+            if !self.owns(p) {
+                continue;
+            }
             let phase = {
                 let node = &mut self.nodes[p.index()];
                 SimDuration::from_millis(node.rng.gen_range(0..period))
@@ -488,6 +612,26 @@ impl BaselineEngine {
                 self.id_pool.release(sent);
                 self.payload_pool.release(entries);
             }
+        }
+    }
+}
+
+impl ShardWorker for BaselineEngine {
+    type Envelope = InFlight<BaselineMsg>;
+
+    fn run_tick(&mut self, boundary: SimTime, out: &mut [Vec<InFlight<BaselineMsg>>]) {
+        while let Some((_, ev)) = self.sim.step_before(boundary) {
+            self.handle(ev);
+        }
+        self.sim.advance_to(boundary);
+        self.shard.as_mut().expect("run_tick requires shard mode").drain_into(out);
+    }
+
+    fn absorb(&mut self, mut batch: Vec<InFlight<BaselineMsg>>) {
+        sort_tick_batch(&mut batch);
+        for f in batch {
+            let at = f.arrive_at;
+            self.sim.schedule_at(at, Ev::Deliver(self.flights.insert(f)));
         }
     }
 }

@@ -49,10 +49,12 @@ pub mod descriptor;
 pub mod engine;
 pub mod policy;
 pub mod sampler;
+pub mod sharded;
 pub mod view;
 
 pub use descriptor::NodeDescriptor;
-pub use engine::{BaselineEngine, BaselineMsg, ShuffleStats};
+pub use engine::{sort_tick_batch, BaselineEngine, BaselineMsg, ShardCtx, ShuffleStats};
 pub use policy::{GossipConfig, MergePolicy, PropagationPolicy, SelectionPolicy};
 pub use sampler::{PeerSampler, SamplerConfig};
+pub use sharded::{lockstep_tick, ShardSampler, Sharded, ShardedConfig};
 pub use view::PartialView;

@@ -244,9 +244,16 @@ pub struct Network<P> {
     boxes: Vec<NatBox>,
     ip_owner: FxHashMap<Ip, IpOwner>,
     peer_by_private: FxHashMap<Endpoint, PeerId>,
+    box_owner: Vec<PeerId>,
     stats: Vec<TrafficStats>,
     drops: DropCounters,
     rng: SimRng,
+    /// Per-peer loss/jitter streams, allocated only when the config calls
+    /// for them. Per-peer (rather than one shared network stream) so a
+    /// peer's draws depend only on its own send history — the property
+    /// that lets a sharded run sample loss and jitter on the sender's
+    /// shard without caring how sends from *different* peers interleave.
+    peer_rng: Vec<SimRng>,
     alive_count: usize,
     _payload: std::marker::PhantomData<fn() -> P>,
 }
@@ -265,9 +272,11 @@ impl<P> Network<P> {
             boxes: Vec::new(),
             ip_owner: FxHashMap::default(),
             peer_by_private: FxHashMap::default(),
+            box_owner: Vec::new(),
             stats: Vec::new(),
             drops: DropCounters::default(),
             rng: SimRng::new(seed).fork(0x6E65_7477), // "netw"
+            peer_rng: Vec::new(),
             alive_count: 0,
             _payload: std::marker::PhantomData,
         }
@@ -300,9 +309,14 @@ impl<P> Network<P> {
                     .unwrap_or(Endpoint::new(ip, Port::UNKNOWN));
                 self.boxes.push(nat);
                 self.ip_owner.insert(ip, IpOwner::Nat(box_idx));
+                self.box_owner.push(id);
                 (identity, Some(box_idx))
             }
         };
+        if self.cfg.loss_probability > 0.0 || self.cfg.latency_jitter > SimDuration::ZERO {
+            self.peer_rng.push(self.rng.fork(0x7065_6572_0000_0000 | u64::from(id.0)));
+            // "peer"
+        }
         self.peer_by_private.insert(private_ep, id);
         self.peers.push(PeerSlot { class, private_ep, identity_ep, nat_box, alive: true });
         self.stats.push(TrafficStats::default());
@@ -382,7 +396,9 @@ impl<P> Network<P> {
         st.bytes_sent += wire_bytes as u64;
         st.msgs_sent += 1;
 
-        if self.cfg.loss_probability > 0.0 && self.rng.chance(self.cfg.loss_probability) {
+        if self.cfg.loss_probability > 0.0
+            && self.peer_rng[peer.index()].chance(self.cfg.loss_probability)
+        {
             self.drops.bump(DropReason::Loss);
             return None;
         }
@@ -391,7 +407,7 @@ impl<P> Network<P> {
             self.cfg.latency.as_millis()
         } else {
             let base = self.cfg.latency.as_millis();
-            let sampled = self.rng.gen_range(0..=2 * jitter);
+            let sampled = self.peer_rng[peer.index()].gen_range(0..=2 * jitter);
             (base + sampled).saturating_sub(jitter).max(1)
         };
         Some(InFlight {
@@ -464,16 +480,49 @@ impl<P> Network<P> {
         target: PeerId,
         target_ep: Endpoint,
     ) -> bool {
-        if !self.peers[target.index()].alive || !self.peers[holder.index()].alive {
-            return false;
+        match self.egress_src_preview(now, holder, target_ep) {
+            None => false,
+            Some(src_ep) => self.ingress_would_admit(now, target, target_ep, src_ep),
         }
-        // Source endpoint as the target's NAT would observe it.
+    }
+
+    /// Egress half of [`reachable`](Self::reachable): the source endpoint a
+    /// datagram from `holder` to `target_ep` would carry after egress NAT
+    /// translation, or `None` if `holder` is dead. Read-only.
+    ///
+    /// Split out (with [`ingress_would_admit`](Self::ingress_would_admit))
+    /// so a sharded run can evaluate each half against the shard that owns
+    /// the authoritative NAT state for that side.
+    pub fn egress_src_preview(
+        &self,
+        now: SimTime,
+        holder: PeerId,
+        target_ep: Endpoint,
+    ) -> Option<Endpoint> {
         let hslot = &self.peers[holder.index()];
-        let src_ep = match hslot.nat_box {
+        if !hslot.alive {
+            return None;
+        }
+        Some(match hslot.nat_box {
             None => hslot.identity_ep,
             Some(b) => self.boxes[b].egress_preview(now, hslot.private_ep, target_ep).0,
-        };
+        })
+    }
+
+    /// Ingress half of [`reachable`](Self::reachable): would a datagram
+    /// from `src_ep` addressed to `target_ep` be forwarded to a live
+    /// `target`? Read-only.
+    pub fn ingress_would_admit(
+        &self,
+        now: SimTime,
+        target: PeerId,
+        target_ep: Endpoint,
+        src_ep: Endpoint,
+    ) -> bool {
         let tslot = &self.peers[target.index()];
+        if !tslot.alive {
+            return false;
+        }
         match tslot.nat_box {
             None => target_ep == tslot.identity_ep,
             Some(b) => {
@@ -482,6 +531,22 @@ impl<P> Network<P> {
                 }
                 self.boxes[b].would_admit(now, target_ep.port, src_ep)
             }
+        }
+    }
+
+    /// The peer a datagram addressed to `dst_ep` is *bound for*, ignoring
+    /// NAT filtering and liveness: the public peer owning the address, or
+    /// the (single) peer behind the NAT box owning it. `None` if no peer
+    /// owns the address.
+    ///
+    /// This is a pure function of the address plan (which grows
+    /// append-only with `add_peer`), so every shard of a sharded run
+    /// resolves the same destination — it is how cross-shard datagrams are
+    /// routed to the shard holding the authoritative ingress NAT state.
+    pub fn addressee_of(&self, dst_ep: Endpoint) -> Option<PeerId> {
+        match self.ip_owner.get(&dst_ep.ip)? {
+            IpOwner::PublicPeer(pid) => Some(*pid),
+            IpOwner::Nat(b) => Some(self.box_owner[*b]),
         }
     }
 

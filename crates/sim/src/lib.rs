@@ -39,6 +39,7 @@
 pub mod fxhash;
 mod queue;
 mod rng;
+mod shard;
 mod sim;
 mod time;
 mod timer;
@@ -46,6 +47,7 @@ mod timer;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use queue::{EventQueue, ReferenceQueue};
 pub use rng::SimRng;
+pub use shard::{ShardAssign, ShardPlan, ShardWorker, ShardedSim};
 pub use sim::Sim;
 pub use time::{SimDuration, SimTime};
 pub use timer::PeriodicTimer;

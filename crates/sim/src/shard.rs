@@ -1,0 +1,380 @@
+//! Lockstep sharded simulation driver.
+//!
+//! One logical simulation is partitioned across `S` shards, each owning a
+//! disjoint subset of the nodes and running its *own* event loop (timer
+//! wheel, slab, per-node RNG streams — all the machinery of a
+//! single-threaded [`Sim`](crate::Sim)). The shards advance in lockstep
+//! ticks of at most the minimum network latency (the classic conservative
+//! lookahead of parallel discrete-event simulation): every message sent
+//! during tick `k` arrives strictly after the tick boundary, so exchanging
+//! the per-(src, dst) outboxes at the barrier and scheduling them before
+//! tick `k+1` starts can never deliver a message into its own past.
+//!
+//! Determinism does **not** come from thread scheduling discipline — it
+//! comes from the merge order. Each shard's outgoing envelopes for a tick
+//! are collected per destination shard; at the barrier the destination
+//! concatenates all incoming batches and [`ShardWorker::absorb`] sorts
+//! them into a canonical order that is a function of the *logical* stream
+//! (arrival time, sending node, per-sender send order) and not of which
+//! shard — or which thread — produced them. Combined with per-node RNG
+//! streams (`SimRng::fork` is a pure function of `(seed, label)`), the
+//! observable output is byte-identical for every shard count and every
+//! node→shard map.
+
+use std::sync::{Barrier, Mutex};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Deterministic node→shard assignment.
+///
+/// Round-robin is the default (it balances load for id-correlated
+/// populations such as "every 10th peer is public"); the other variants
+/// exist mostly to *stress* the canonical merge order in tests — a correct
+/// sharded run must produce identical output under all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardAssign {
+    /// `node % shards`.
+    RoundRobin,
+    /// Every node on shard 0; the other shards idle. Degenerate but legal.
+    AllOnOne,
+    /// Pseudo-random assignment derived from the given salt (pure in
+    /// `(salt, node)`, so still deterministic).
+    Random(u64),
+}
+
+/// A shard count plus an assignment rule; `shard_of` is a pure function,
+/// so every shard (and every run) agrees on who owns each node without
+/// coordination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    shards: usize,
+    assign: ShardAssign,
+}
+
+impl ShardPlan {
+    /// A plan over `shards` shards with the given assignment rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize, assign: ShardAssign) -> Self {
+        assert!(shards > 0, "a sharded sim needs at least one shard");
+        ShardPlan { shards, assign }
+    }
+
+    /// Round-robin plan, the default assignment.
+    pub fn round_robin(shards: usize) -> Self {
+        ShardPlan::new(shards, ShardAssign::RoundRobin)
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `node`.
+    pub fn shard_of(&self, node: u32) -> usize {
+        match self.assign {
+            ShardAssign::RoundRobin => node as usize % self.shards,
+            ShardAssign::AllOnOne => 0,
+            ShardAssign::Random(salt) => {
+                (splitmix64(salt ^ u64::from(node)) % self.shards as u64) as usize
+            }
+        }
+    }
+}
+
+/// The one-round mixer behind `SimRng::fork`, reused for the `Random`
+/// assignment so shard maps are pure in `(salt, node)`.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One shard of a sharded simulation: a complete event loop over the nodes
+/// it owns, which stages cross-shard messages instead of scheduling them
+/// directly.
+pub trait ShardWorker: Send {
+    /// A message crossing a shard boundary (including "boundaries" within
+    /// the same shard — *every* network send goes through the exchange so
+    /// delivery order cannot depend on co-location).
+    type Envelope: Send;
+
+    /// Process all local events up to and including `boundary`, staging
+    /// outgoing envelopes into `out[dst_shard]`, then advance the local
+    /// clock to `boundary`.
+    fn run_tick(&mut self, boundary: SimTime, out: &mut [Vec<Self::Envelope>]);
+
+    /// Accept the merged batch of envelopes addressed to this shard for the
+    /// tick just finished. The implementation must order the batch by a key
+    /// that is a pure function of the logical message stream (e.g. arrival
+    /// time, then sending node — per-sender order is already positional)
+    /// before scheduling, so the result is independent of the shard count.
+    fn absorb(&mut self, batch: Vec<Self::Envelope>);
+}
+
+/// Runs `S` [`ShardWorker`]s in lockstep ticks, exchanging their outboxes
+/// at every tick barrier.
+///
+/// The tick length must not exceed the minimum message latency (the
+/// lookahead); [`ShardedSim::new`] asserts it is non-zero and callers are
+/// expected to derive it from the network configuration.
+#[derive(Debug)]
+pub struct ShardedSim<W: ShardWorker> {
+    workers: Vec<W>,
+    tick: SimDuration,
+    now: SimTime,
+}
+
+impl<W: ShardWorker> ShardedSim<W> {
+    /// Drives `workers` (one per shard) with the given lockstep tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is empty or `tick` is zero (a zero tick means
+    /// the network has zero minimum latency, which breaks the lookahead
+    /// argument — senders could reach the same instant they send in).
+    pub fn new(workers: Vec<W>, tick: SimDuration) -> Self {
+        assert!(!workers.is_empty(), "a sharded sim needs at least one worker");
+        assert!(tick > SimDuration::ZERO, "lockstep tick must be positive (zero-latency network?)");
+        ShardedSim { workers, tick, now: SimTime::ZERO }
+    }
+
+    /// Current lockstep time (all shards' local clocks agree with this
+    /// between `run_until` calls).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The per-shard workers, in shard order.
+    pub fn workers(&self) -> &[W] {
+        &self.workers
+    }
+
+    /// Mutable access to the per-shard workers (for population setup,
+    /// kills, and other between-run mutations applied to every shard).
+    pub fn workers_mut(&mut self) -> &mut [W] {
+        &mut self.workers
+    }
+
+    /// Advances every shard to `deadline` in lockstep ticks.
+    ///
+    /// With one shard the loop runs inline (no threads, no barriers); with
+    /// more, one thread per shard is spawned for the whole call and
+    /// synchronized twice per tick — after staging (so outboxes are
+    /// complete before anyone reads them) and after absorbing (so the next
+    /// tick's staging cannot race a slow reader).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        if self.now >= deadline {
+            return;
+        }
+        let shards = self.workers.len();
+        if shards == 1 {
+            let worker = &mut self.workers[0];
+            let mut out = vec![Vec::new()];
+            while self.now < deadline {
+                let boundary = (self.now + self.tick).min(deadline);
+                worker.run_tick(boundary, &mut out);
+                worker.absorb(std::mem::take(&mut out[0]));
+                self.now = boundary;
+            }
+            return;
+        }
+
+        // outboxes[src][dst]: published at the first barrier, drained by
+        // `dst` after it. Each mutex is only ever contended *across* ticks
+        // (publisher of tick k+1 vs. a slow reader of tick k), which the
+        // second barrier prevents — so these locks never block in practice.
+        let outboxes: Vec<Mutex<Vec<Vec<W::Envelope>>>> =
+            (0..shards).map(|_| Mutex::new(Vec::new())).collect();
+        let staged = Barrier::new(shards);
+        let absorbed = Barrier::new(shards);
+        let start = self.now;
+        let tick = self.tick;
+
+        std::thread::scope(|scope| {
+            for (idx, worker) in self.workers.iter_mut().enumerate() {
+                let outboxes = &outboxes;
+                let staged = &staged;
+                let absorbed = &absorbed;
+                scope.spawn(move || {
+                    let mut local: Vec<Vec<W::Envelope>> =
+                        (0..shards).map(|_| Vec::new()).collect();
+                    let mut now = start;
+                    // Every thread walks the same boundary sequence — it is
+                    // a pure function of (start, tick, deadline), so no
+                    // coordination beyond the barriers is needed.
+                    while now < deadline {
+                        let boundary = (now + tick).min(deadline);
+                        worker.run_tick(boundary, &mut local);
+                        *outboxes[idx].lock().unwrap() = std::mem::take(&mut local);
+                        staged.wait();
+                        let mut batch = Vec::new();
+                        for src in outboxes {
+                            let mut published = src.lock().unwrap();
+                            if published.is_empty() {
+                                continue; // an idle shard published nothing
+                            }
+                            batch.append(&mut published[idx]);
+                        }
+                        worker.absorb(batch);
+                        absorbed.wait();
+                        // All readers are past the barrier: reclaim the
+                        // (now drained) staging vectors to reuse their
+                        // capacity for the next tick.
+                        local = std::mem::take(&mut *outboxes[idx].lock().unwrap());
+                        if local.is_empty() {
+                            local = (0..shards).map(|_| Vec::new()).collect();
+                        }
+                        now = boundary;
+                    }
+                });
+            }
+        });
+        self.now = deadline;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// A toy gossip shard for hammering the exchange: each owned node holds
+    /// a counter and a deterministic RNG stream; every tick each node sends
+    /// its counter to a pseudo-randomly chosen node (any shard), and
+    /// absorbed messages are folded into the receiver's counter in arrival
+    /// order. The fold is deliberately order-*sensitive* (multiply-xor), so
+    /// any deviation in merge order changes the final state.
+    struct ToyShard {
+        plan: ShardPlan,
+        idx: usize,
+        nodes: u32,
+        counters: BTreeMap<u32, u64>,
+        now: SimTime,
+        seq: u64,
+    }
+
+    #[derive(Debug)]
+    struct ToyMsg {
+        arrive_at: SimTime,
+        sender: u32,
+        seq: u64,
+        value: u64,
+        dst: u32,
+    }
+
+    impl ToyShard {
+        fn new(plan: ShardPlan, idx: usize, nodes: u32) -> Self {
+            let counters = (0..nodes)
+                .filter(|n| plan.shard_of(*n) == idx)
+                .map(|n| (n, splitmix64(0xC0_FFEE ^ u64::from(n))))
+                .collect();
+            ToyShard { plan, idx, nodes, counters, now: SimTime::ZERO, seq: 0 }
+        }
+    }
+
+    impl ShardWorker for ToyShard {
+        type Envelope = ToyMsg;
+
+        fn run_tick(&mut self, boundary: SimTime, out: &mut [Vec<ToyMsg>]) {
+            // One send per owned node per tick, keyed purely on
+            // (node, tick) so the traffic pattern is shard-independent.
+            let tick_no = boundary.as_millis();
+            for (&node, &value) in &self.counters {
+                let dst =
+                    (splitmix64(u64::from(node) ^ (tick_no << 32)) % u64::from(self.nodes)) as u32;
+                // Minimum latency of one tick: arrivals land in the next one.
+                let arrive_at = boundary + SimDuration::from_millis(1 + (value % 3));
+                self.seq += 1;
+                out[self.plan.shard_of(dst)].push(ToyMsg {
+                    arrive_at,
+                    sender: node,
+                    seq: self.seq,
+                    value,
+                    dst,
+                });
+            }
+            self.now = boundary;
+        }
+
+        fn absorb(&mut self, mut batch: Vec<ToyMsg>) {
+            // Canonical order: arrival instant, then sender, then
+            // per-sender sequence — a pure function of the logical stream.
+            batch.sort_by_key(|m| (m.arrive_at, m.sender, m.seq));
+            for m in batch {
+                assert!(m.arrive_at > self.now, "lookahead violated: arrival in the past");
+                assert_eq!(self.plan.shard_of(m.dst), self.idx, "misrouted envelope");
+                let c = self.counters.get_mut(&m.dst).expect("dst owned by this shard");
+                *c = (c.rotate_left(7) ^ m.value).wrapping_mul(0x9E37_79B9_7F4A_7C15 | 1);
+            }
+        }
+    }
+
+    fn run_toy(plan: ShardPlan, nodes: u32, ticks: u64) -> BTreeMap<u32, u64> {
+        let workers: Vec<ToyShard> =
+            (0..plan.shards()).map(|i| ToyShard::new(plan, i, nodes)).collect();
+        let mut sim = ShardedSim::new(workers, SimDuration::from_millis(1));
+        sim.run_until(SimTime::ZERO + SimDuration::from_millis(ticks));
+        let mut merged = BTreeMap::new();
+        for w in sim.workers() {
+            for (&n, &c) in &w.counters {
+                assert!(merged.insert(n, c).is_none(), "node {n} owned twice");
+            }
+        }
+        merged
+    }
+
+    /// The tick-barrier stress test: tiny ticks, order-sensitive folding,
+    /// and adversarial shard maps must all converge to the single-shard
+    /// reference state.
+    #[test]
+    fn exchange_is_identical_for_all_shard_counts_and_maps() {
+        let nodes = 97; // prime, so round-robin stripes never align with anything
+        let ticks = 50;
+        let reference = run_toy(ShardPlan::round_robin(1), nodes, ticks);
+        assert_eq!(reference.len(), nodes as usize);
+        for shards in [2usize, 3, 4, 7] {
+            for assign in
+                [ShardAssign::RoundRobin, ShardAssign::AllOnOne, ShardAssign::Random(0xDEAD)]
+            {
+                let got = run_toy(ShardPlan::new(shards, assign), nodes, ticks);
+                assert_eq!(got, reference, "state diverged at shards={shards} assign={assign:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_not_a_tick_multiple_is_honored() {
+        // 7 ms of 2 ms ticks: the last tick is clipped to the deadline.
+        let plan = ShardPlan::round_robin(3);
+        let workers: Vec<ToyShard> = (0..3).map(|i| ToyShard::new(plan, i, 10)).collect();
+        let mut sim = ShardedSim::new(workers, SimDuration::from_millis(2));
+        let deadline = SimTime::ZERO + SimDuration::from_millis(7);
+        sim.run_until(deadline);
+        assert_eq!(sim.now(), deadline);
+        for w in sim.workers() {
+            assert_eq!(w.now, deadline, "shard clock out of lockstep");
+        }
+    }
+
+    #[test]
+    fn assignments_are_total_and_in_range() {
+        for shards in 1..6 {
+            for assign in [ShardAssign::RoundRobin, ShardAssign::AllOnOne, ShardAssign::Random(7)] {
+                let plan = ShardPlan::new(shards, assign);
+                for node in 0..1000 {
+                    assert!(plan.shard_of(node) < shards);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_rejected() {
+        let _ = ShardPlan::round_robin(0);
+    }
+}

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! repro [ARTIFACTS...] [--peers N] [--seeds K] [--rounds R] [--seed S]
-//!       [--full] [--jobs N] [--checkpoint DIR] [--resume] [--csv]
-//!       [--out DIR]
+//!       [--full] [--jobs N] [--shards N] [--checkpoint DIR] [--resume]
+//!       [--csv] [--out DIR]
 //!
 //! ARTIFACTS: table1 fig2 fig3 fig4 fig7 fig8 fig9 fig10 correctness
 //!            ablation extensions timeline all     (default: all)
@@ -24,6 +24,11 @@
 //!                  horizons (explicit flags win regardless of order)
 //! --jobs N         worker threads / max concurrently live simulations
 //!                  (default: available parallelism)
+//! --shards N       run each steady-state cell on the multi-core sharded
+//!                  driver with N lockstep shards; 0 auto-detects from
+//!                  available parallelism (clamped to 16). Omit the flag
+//!                  for the single-threaded reference kernel. Sharded
+//!                  output is identical for every N > 0.
 //! --checkpoint DIR append each completed cell to DIR/cells.jsonl
 //! --resume         restore already-computed cells from the checkpoint
 //! --csv            print CSV instead of markdown
@@ -62,6 +67,7 @@ fn main() -> ExitCode {
     let mut csv = false;
     let mut out_dir: Option<String> = None;
     let mut jobs = 0usize;
+    let mut shards: Option<usize> = None;
     let mut checkpoint: Option<String> = None;
     let mut resume = false;
 
@@ -88,6 +94,10 @@ fn main() -> ExitCode {
             "--jobs" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(v) if v > 0 => jobs = v,
                 _ => return usage("--jobs needs a positive integer"),
+            },
+            "--shards" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) => shards = Some(v),
+                None => return usage("--shards needs a non-negative integer"),
             },
             "--checkpoint" => match it.next() {
                 Some(v) => checkpoint = Some(v.clone()),
@@ -138,13 +148,31 @@ fn main() -> ExitCode {
     if let Some(v) = overrides.base_seed {
         scale.base_seed = v;
     }
+    if let Some(v) = shards {
+        // `--shards 0` asks for auto-detection: one shard per available
+        // core, clamped — past ~16 shards barrier overhead outweighs the
+        // extra lanes at any scale this CLI runs.
+        scale.shards = if v == 0 {
+            let auto =
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).clamp(1, 16);
+            eprintln!("[repro] --shards 0: auto-detected {auto} shard(s)");
+            auto
+        } else {
+            v
+        };
+    }
 
     eprintln!(
-        "[repro] scale: {} peers, {} seeds, {} rounds{}",
+        "[repro] scale: {} peers, {} seeds, {} rounds{}{}",
         scale.peers,
         scale.seeds,
         scale.rounds,
-        if scale.full_churn_horizons { ", paper churn horizons" } else { "" }
+        if scale.full_churn_horizons { ", paper churn horizons" } else { "" },
+        if scale.shards > 0 {
+            format!(", sharded driver ({} shards)", scale.shards)
+        } else {
+            String::new()
+        }
     );
 
     // One experiment for everything: sweeps shared between figures
@@ -308,7 +336,7 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro [ARTIFACTS...] [--peers N] [--seeds K] [--rounds R] [--seed S] [--full] [--jobs N] [--checkpoint DIR] [--resume] [--csv] [--out DIR]"
+        "usage: repro [ARTIFACTS...] [--peers N] [--seeds K] [--rounds R] [--seed S] [--full] [--jobs N] [--shards N] [--checkpoint DIR] [--resume] [--csv] [--out DIR]"
     );
     eprintln!("artifacts: {} all", FIGURES.join(" "));
     if err.is_empty() {

@@ -320,6 +320,13 @@ impl Experiment {
         let cursor = AtomicUsize::new(0);
         let failure: Mutex<Option<(CellId, String)>> = Mutex::new(None);
         let workers = opts.effective_jobs().min(pending.len()).max(1);
+        if !pending.is_empty() {
+            progress(&format!(
+                "{} cell(s) on {workers} worker thread(s){}",
+                pending.len(),
+                if opts.jobs == 0 { " (auto-detected parallelism)" } else { "" }
+            ));
+        }
         let rate_limiter = ProgressRateLimiter::new();
         std::thread::scope(|scope| {
             for _ in 0..workers {

@@ -7,8 +7,8 @@
 //! aggregation helpers reduce the per-seed rows the executor hands back to
 //! the render step.
 
-use nylon::NylonConfig;
-use nylon_gossip::{GossipConfig, PeerSampler};
+use nylon::{NylonConfig, NylonEngine, NylonStats};
+use nylon_gossip::{GossipConfig, PeerSampler, Sharded, ShardedConfig};
 use nylon_metrics::{BandwidthReport, Summary};
 use nylon_net::TrafficStats;
 
@@ -23,6 +23,27 @@ pub fn point_seeds(scale: &FigureScale, salt: u64) -> Vec<u64> {
     seeds(scale.seeds, scale.base_seed ^ salt)
 }
 
+/// Merged protocol counters of a Nylon run, direct or sharded — the one
+/// engine-specific read the chain-length cell needs beyond [`PeerSampler`].
+trait NylonStatsSource {
+    fn nylon_stats(&self) -> NylonStats;
+}
+
+impl NylonStatsSource for NylonEngine {
+    fn nylon_stats(&self) -> NylonStats {
+        self.stats()
+    }
+}
+
+impl NylonStatsSource for Sharded<NylonEngine> {
+    fn nylon_stats(&self) -> NylonStats {
+        self.shards().iter().fold(NylonStats::default(), |mut acc, e| {
+            acc.merge(&e.stats());
+            acc
+        })
+    }
+}
+
 /// Biggest-cluster percentage for a baseline configuration at one NAT
 /// percentage (a Figure 2 cell): `[cluster_pct]`.
 pub fn baseline_cluster_sample(
@@ -31,14 +52,19 @@ pub fn baseline_cluster_sample(
     nat_pct: f64,
     seed: u64,
 ) -> Vec<f64> {
+    fn measure<S: PeerSampler>(mut eng: S, rounds: u64) -> Vec<f64> {
+        eng.run_rounds(rounds);
+        vec![biggest_cluster_pct(&eng)]
+    }
     let scn = Scenario {
         mix: NatMix::prc_only(),
         view_size: cfg.view_size,
         ..Scenario::new(scale.peers, nat_pct, seed)
     };
-    let mut eng = build(&scn, cfg.clone());
-    eng.run_rounds(scale.rounds);
-    vec![biggest_cluster_pct(&eng)]
+    match scale.shards {
+        0 => measure(build(&scn, cfg.clone()), scale.rounds),
+        s => measure(build(&scn, ShardedConfig::new(cfg.clone(), s)), scale.rounds),
+    }
 }
 
 /// Staleness metrics for the (push/pull, rand, healer) baseline at one NAT
@@ -55,18 +81,23 @@ pub fn baseline_staleness_sample(
         view_size,
         ..Scenario::new(scale.peers, nat_pct, seed)
     };
-    let cfg = GossipConfig { view_size, ..GossipConfig::default() };
-    let mut eng = build(&scn, cfg);
-    eng.run_rounds(scale.rounds.saturating_sub(10));
-    let mut stale = 0.0;
-    let mut natted = 0.0;
-    for _ in 0..3 {
-        eng.run_rounds(5);
-        let rep = staleness(&eng);
-        stale += rep.stale_pct / 3.0;
-        natted += rep.natted_nonstale_pct / 3.0;
+    fn measure<S: PeerSampler>(mut eng: S, rounds: u64) -> Vec<f64> {
+        eng.run_rounds(rounds.saturating_sub(10));
+        let mut stale = 0.0;
+        let mut natted = 0.0;
+        for _ in 0..3 {
+            eng.run_rounds(5);
+            let rep = staleness(&eng);
+            stale += rep.stale_pct / 3.0;
+            natted += rep.natted_nonstale_pct / 3.0;
+        }
+        vec![stale, natted]
     }
-    vec![stale, natted]
+    let cfg = GossipConfig { view_size, ..GossipConfig::default() };
+    match scale.shards {
+        0 => measure(build(&scn, cfg), scale.rounds),
+        s => measure(build(&scn, ShardedConfig::new(cfg, s)), scale.rounds),
+    }
 }
 
 /// Runs an engine through a warmup third of `rounds` and measures per-class
@@ -94,8 +125,13 @@ pub fn bandwidth_by_class<S: PeerSampler>(eng: &mut S, rounds: u64) -> (f64, f64
 /// cell): `[overall, public, natted]` B/s per peer, NaN for empty classes.
 pub fn nylon_bandwidth_sample(scale: &FigureScale, nat_pct: f64, seed: u64) -> Vec<f64> {
     let scn = Scenario::new(scale.peers, nat_pct, seed);
-    let mut eng = build(&scn, NylonConfig::default());
-    let (overall, public, natted) = bandwidth_by_class(&mut eng, scale.rounds);
+    let (overall, public, natted) = match scale.shards {
+        0 => bandwidth_by_class(&mut build(&scn, NylonConfig::default()), scale.rounds),
+        s => bandwidth_by_class(
+            &mut build(&scn, ShardedConfig::new(NylonConfig::default(), s)),
+            scale.rounds,
+        ),
+    };
     vec![overall, public, natted]
 }
 
@@ -103,8 +139,13 @@ pub fn nylon_bandwidth_sample(scale: &FigureScale, nat_pct: f64, seed: u64) -> V
 /// a NAT-free population (Figure 7's flat "Reference" line): `[overall]`.
 pub fn reference_bandwidth_sample(scale: &FigureScale, seed: u64) -> Vec<f64> {
     let scn = Scenario::new(scale.peers, 0.0, seed);
-    let mut eng = build(&scn, GossipConfig::default());
-    let (overall, _, _) = bandwidth_by_class(&mut eng, scale.rounds);
+    let (overall, _, _) = match scale.shards {
+        0 => bandwidth_by_class(&mut build(&scn, GossipConfig::default()), scale.rounds),
+        s => bandwidth_by_class(
+            &mut build(&scn, ShardedConfig::new(GossipConfig::default(), s)),
+            scale.rounds,
+        ),
+    };
     vec![overall]
 }
 
@@ -117,17 +158,22 @@ pub fn nylon_chain_sample(
     nat_pct: f64,
     seed: u64,
 ) -> Vec<f64> {
+    fn measure<S: PeerSampler + NylonStatsSource>(mut eng: S, rounds: u64) -> Vec<f64> {
+        let warmup = rounds / 3;
+        eng.run_rounds(warmup);
+        let before = eng.nylon_stats();
+        eng.run_rounds(rounds - warmup);
+        let after = eng.nylon_stats();
+        let hops = after.chain_hops_sum - before.chain_hops_sum;
+        let samples = after.chain_samples - before.chain_samples;
+        vec![if samples == 0 { f64::NAN } else { hops as f64 / samples as f64 }]
+    }
     let scn = Scenario { view_size, ..Scenario::new(scale.peers, nat_pct, seed) };
     let cfg = NylonConfig { view_size, ..NylonConfig::default() };
-    let mut eng = build(&scn, cfg);
-    let warmup = scale.rounds / 3;
-    eng.run_rounds(warmup);
-    let before = eng.stats();
-    eng.run_rounds(scale.rounds - warmup);
-    let after = eng.stats();
-    let hops = after.chain_hops_sum - before.chain_hops_sum;
-    let samples = after.chain_samples - before.chain_samples;
-    vec![if samples == 0 { f64::NAN } else { hops as f64 / samples as f64 }]
+    match scale.shards {
+        0 => measure(build(&scn, cfg), scale.rounds),
+        s => measure(build(&scn, ShardedConfig::new(cfg, s)), scale.rounds),
+    }
 }
 
 /// One metric column of the per-seed rows, as a [`Summary`] (keeps every

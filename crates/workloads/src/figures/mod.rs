@@ -48,6 +48,17 @@ pub struct FigureScale {
     pub full_churn_horizons: bool,
     /// Base seed from which per-point seeds are derived.
     pub base_seed: u64,
+    /// Shards for the multi-core sharded driver: `0` runs each cell on
+    /// the direct single-threaded reference kernel, `N > 0` on
+    /// [`nylon_gossip::Sharded`] with `N` lockstep shards. Sharded cells
+    /// are shard-count independent — every `N > 0` renders the same
+    /// bytes — but differ from the `0` reference path (the two kernels
+    /// order same-instant deliveries differently). The steady-state
+    /// artifacts (fig2, fig3/4, fig7/8, fig9) honor this knob; the
+    /// churn/lifecycle artifacts (fig10, correctness, ablation,
+    /// extensions, timeline) always use the reference kernel because
+    /// their mid-run kill/join scripting drives engine-specific APIs.
+    pub shards: usize,
 }
 
 impl Default for FigureScale {
@@ -58,6 +69,7 @@ impl Default for FigureScale {
             rounds: 120,
             full_churn_horizons: false,
             base_seed: 0xA11CE,
+            shards: 0,
         }
     }
 }
@@ -71,15 +83,26 @@ impl FigureScale {
             rounds: 400,
             full_churn_horizons: true,
             base_seed: 0xA11CE,
+            shards: 0,
         }
     }
 
     /// Identity of the runs this scale produces, for checkpoint matching:
     /// cells computed at a different scale answer different questions.
+    ///
+    /// Sharded runs contribute only a ` sharded` marker, not the shard
+    /// count: sharded cells are shard-count independent, so a checkpoint
+    /// written under `--shards 2` is valid to resume under `--shards 4`
+    /// (but not under the `0` reference path, whose cells differ).
     pub fn fingerprint(&self) -> String {
         format!(
-            "peers={} seeds={} rounds={} full_churn={} base_seed={}",
-            self.peers, self.seeds, self.rounds, self.full_churn_horizons, self.base_seed
+            "peers={} seeds={} rounds={} full_churn={} base_seed={}{}",
+            self.peers,
+            self.seeds,
+            self.rounds,
+            self.full_churn_horizons,
+            self.base_seed,
+            if self.shards > 0 { " sharded" } else { "" }
         )
     }
 }
@@ -257,5 +280,9 @@ mod tests {
         let mut reseeded = FigureScale::default();
         reseeded.base_seed ^= 1;
         assert_ne!(FigureScale::default().fingerprint(), reseeded.fingerprint());
+        // Sharded and reference cells differ; N within sharded does not.
+        let sharded = |n| FigureScale { shards: n, ..FigureScale::default() };
+        assert_ne!(sharded(0).fingerprint(), sharded(2).fingerprint());
+        assert_eq!(sharded(2).fingerprint(), sharded(4).fingerprint());
     }
 }

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Million-node sharded smoke: runs the `#[ignore]`d release-only scale
+# test (1,000,000 nodes, 10 rounds, 4 lockstep shards) and surfaces the
+# throughput and peak-RSS lines it prints.
+#
+#   scripts/million_node_smoke.sh
+#
+# Expect a few minutes of wall clock and a few GiB of peak RSS; the test
+# itself asserts >9.5M shuffle initiations, so a hung shard barrier or a
+# quadratic walk fails loudly instead of just slowly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo test --release --test scale_smoke million_nodes_ten_rounds_sharded -- \
+    --ignored --nocapture "$@"

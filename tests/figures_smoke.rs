@@ -3,7 +3,14 @@
 use nylon_workloads::figures::{generate, FigureScale, FIGURES};
 
 fn tiny() -> FigureScale {
-    FigureScale { peers: 50, seeds: 1, rounds: 15, full_churn_horizons: false, base_seed: 1 }
+    FigureScale {
+        peers: 50,
+        seeds: 1,
+        rounds: 15,
+        full_churn_horizons: false,
+        base_seed: 1,
+        shards: 0,
+    }
 }
 
 #[test]

@@ -13,7 +13,14 @@ use nylon_workloads::experiment::ExecOptions;
 use nylon_workloads::figures::{generate, generate_with, FigureScale};
 
 fn tiny(base_seed: u64) -> FigureScale {
-    FigureScale { peers: 40, seeds: 2, rounds: 12, full_churn_horizons: false, base_seed }
+    FigureScale {
+        peers: 40,
+        seeds: 2,
+        rounds: 12,
+        full_churn_horizons: false,
+        base_seed,
+        shards: 0,
+    }
 }
 
 /// Renders every table of one artifact to a single byte string.

@@ -9,7 +9,7 @@
 //! bounded (20 rounds, one engine) so it stays a CI-friendly smoke test
 //! rather than a benchmark.
 
-use nylon_gossip::{BaselineEngine, GossipConfig};
+use nylon_gossip::{BaselineEngine, GossipConfig, PeerSampler, Sharded, ShardedConfig};
 use nylon_net::{NatClass, NatType, NetConfig};
 
 #[test]
@@ -44,4 +44,65 @@ fn hundred_thousand_nodes_twenty_rounds() {
         .filter(|p| eng.view_of(**p).len() == eng.config().view_size)
         .count();
     assert!(full > 85_000, "only {full} views filled at scale");
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM`), or `None`
+/// off Linux / without procfs.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// The PR-6 headline run: one million nodes for ten rounds on the
+/// four-shard driver. Ten million shuffle initiations — far too heavy for
+/// the tier-1 wall (hence `#[ignore]`), run in release via
+/// `scripts/million_node_smoke.sh`, which also reports the throughput and
+/// peak-RSS figures this test prints.
+#[test]
+#[ignore = "release-only heavy run: scripts/million_node_smoke.sh"]
+fn million_nodes_ten_rounds_sharded() {
+    const PEERS: u32 = 1_000_000;
+    const ROUNDS: u64 = 10;
+    const SHARDS: usize = 4;
+
+    let built = std::time::Instant::now();
+    let mut eng = Sharded::<BaselineEngine>::with_seed(
+        ShardedConfig::new(GossipConfig::default(), SHARDS),
+        NetConfig::default(),
+        0xC0FFEE,
+    );
+    for i in 0..PEERS {
+        let class = if i % 10 < 3 {
+            NatClass::Public
+        } else {
+            NatClass::Natted(NatType::PortRestrictedCone)
+        };
+        eng.add_peer(class);
+    }
+    eng.bootstrap_random_public_sparse(8);
+    eng.start();
+    println!("[1M] populated {PEERS} peers across {SHARDS} shards in {:.1?}", built.elapsed());
+
+    let run = std::time::Instant::now();
+    eng.run_rounds(ROUNDS);
+    let wall = run.elapsed();
+
+    let stats = eng.stats();
+    let events = eng.events_processed();
+    let rate = events as f64 / wall.as_secs_f64();
+    println!(
+        "[1M] {ROUNDS} rounds in {wall:.1?}: {events} events ({rate:.0} events/s), \
+         {} shuffles initiated",
+        stats.initiated
+    );
+    match peak_rss_bytes() {
+        Some(bytes) => println!("[1M] peak RSS {:.2} GiB", bytes as f64 / (1u64 << 30) as f64),
+        None => println!("[1M] peak RSS unavailable (no /proc/self/status)"),
+    }
+
+    // 1M peers x 10 rounds: effectively every round initiates.
+    assert!(stats.initiated > 9_500_000, "too few shuffles at scale: {}", stats.initiated);
+    assert!(stats.responses_received > 0, "push/pull must complete at scale");
 }

@@ -1,0 +1,89 @@
+//! Differential determinism gate for the multi-core sharded driver.
+//!
+//! The contract under test: a sharded run's rendered artifacts are a pure
+//! function of the scale and base seed, *independent of the shard count* —
+//! `--shards 1`, `--shards 2` and `--shards 4` schedule work onto very
+//! different thread topologies (S=1 runs inline without threads at all)
+//! yet must produce byte-identical tables. This is the observable face of
+//! the tick-barrier design: cross-shard flights merge in canonical
+//! `(arrival, sender)` order, per-peer network RNG streams depend only on
+//! the peer's own send history, and non-owned bootstrap draws are
+//! reproduced from pure RNG forks.
+//!
+//! The executor's `--jobs` independence is orthogonal (cells are keyed,
+//! not ordered) — the combined sweep below varies both axes at once so a
+//! regression in either shows up.
+
+use nylon_workloads::experiment::ExecOptions;
+use nylon_workloads::figures::{generate, generate_with, FigureScale};
+
+fn tiny(shards: usize) -> FigureScale {
+    FigureScale {
+        peers: 40,
+        seeds: 2,
+        rounds: 12,
+        full_churn_horizons: false,
+        base_seed: 0x51AD,
+        shards,
+    }
+}
+
+/// Renders every table of one artifact to a single byte string.
+fn render(name: &str, scale: &FigureScale) -> String {
+    generate(name, scale)
+        .expect("known figure name")
+        .iter()
+        .map(|t| format!("{}\n{}", t.to_markdown(), t.to_csv()))
+        .collect::<Vec<_>>()
+        .join("\n---\n")
+}
+
+#[test]
+fn fig9_is_byte_identical_at_shards_1_2_4() {
+    // fig9 runs the full Nylon engine (RVP chains, hole punching) on the
+    // sharded driver — the deepest protocol path the gate can cover.
+    let one = render("fig9", &tiny(1));
+    let two = render("fig9", &tiny(2));
+    let four = render("fig9", &tiny(4));
+    assert!(!one.is_empty());
+    assert_eq!(one, two, "fig9 diverged between --shards 1 and --shards 2");
+    assert_eq!(one, four, "fig9 diverged between --shards 1 and --shards 4");
+}
+
+#[test]
+fn table1_is_byte_identical_at_shards_1_2_4() {
+    let one = render("table1", &tiny(1));
+    assert!(!one.is_empty());
+    assert_eq!(one, render("table1", &tiny(2)));
+    assert_eq!(one, render("table1", &tiny(4)));
+}
+
+#[test]
+fn kill_free_fig2_sweep_is_shard_and_thread_count_independent() {
+    // fig2 is the widest kill-free sweep (84 points): vary the shard
+    // count and the worker-pool width together — 1×1 against 2×4 — so
+    // both thread axes get exercised against the serial reference.
+    let serial =
+        generate_with("fig2", &tiny(1), &ExecOptions { jobs: 1, ..ExecOptions::default() })
+            .expect("known figure name");
+    let wide = generate_with("fig2", &tiny(2), &ExecOptions { jobs: 4, ..ExecOptions::default() })
+        .expect("known figure name");
+    let flat = |tables: &[nylon_workloads::output::Table]| {
+        tables.iter().map(|t| t.to_csv()).collect::<Vec<_>>().join("\n")
+    };
+    assert!(!flat(&serial).is_empty());
+    assert_eq!(
+        flat(&serial),
+        flat(&wide),
+        "fig2 diverged between (shards 1, jobs 1) and (shards 2, jobs 4)"
+    );
+}
+
+#[test]
+fn sharded_fingerprint_allows_resume_at_any_shard_count() {
+    // The checkpoint fingerprint must treat all N > 0 as the same run
+    // identity (cells are shard-count independent) while separating the
+    // N = 0 reference kernel, whose cells differ.
+    assert_eq!(tiny(2).fingerprint(), tiny(4).fingerprint());
+    assert_ne!(tiny(0).fingerprint(), tiny(1).fingerprint());
+}
