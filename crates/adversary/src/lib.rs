@@ -1,0 +1,42 @@
+//! Byzantine attack harness for the peer-sampling engines.
+//!
+//! The Nylon paper evaluates its sampler against crashes and NATs only;
+//! this crate adds the adversarial axis. [`MaliciousSampler`] wraps *any*
+//! engine implementing [`nylon_gossip::PeerSampler`] and turns a
+//! configurable fraction of the population Byzantine: between protocol
+//! rounds, each attacker's view is rewritten by a pluggable
+//! [`AttackStrategy`]. Because every engine draws its shuffle payloads
+//! from the view, controlling an attacker's view controls exactly what it
+//! advertises next — the engines need no knowledge that attacks exist,
+//! and the same wrapper drives the baseline, Nylon, the static-RVP
+//! strawman and PeerSwap.
+//!
+//! The attack taxonomy follows SecureCyclon's threat model, plus
+//! NAT-aware variants this repo is uniquely positioned to study:
+//!
+//! * **shuffle lying** — advertise forged descriptors with bogus
+//!   addresses, polluting honest views with dead weight;
+//! * **self promotion** — advertise only the colluding attacker set,
+//!   capturing honest in-degree;
+//! * **eclipse** — flood a victim set's neighborhoods with attacker
+//!   descriptors to cut the victims off from the honest overlay;
+//! * **NAT eclipse** — the eclipse variant that pads with *unreachable*
+//!   forged entries instead of more attackers, exploiting the fact that a
+//!   NAT-oblivious protocol cannot tell an unreachable entry from a live
+//!   one.
+//!
+//! Determinism: attacker recruitment and every strategy draw come from
+//! `SimRng` streams forked off the scenario seed, independent from the
+//! engine's own streams, so adversarial runs replay byte-identically at
+//! any shard count (the rewrites happen between rounds, at identical
+//! virtual times, from shard-independent state).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod attack;
+pub mod sampler;
+
+pub use attack::{forged_descriptor, AttackCtx, AttackKind, AttackStrategy};
+pub use sampler::{MaliciousConfig, MaliciousSampler};

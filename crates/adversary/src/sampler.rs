@@ -1,0 +1,431 @@
+//! The malicious-peer wrapper: any engine plus a Byzantine minority.
+
+use std::fmt;
+use std::sync::Arc;
+
+use nylon_gossip::{NodeDescriptor, PartialView, PeerSampler, SamplerConfig};
+use nylon_net::{NatClass, NetConfig, PeerId, TrafficStats};
+use nylon_sim::{SimDuration, SimRng, SimTime};
+
+use crate::attack::{AttackCtx, AttackStrategy};
+
+/// Configuration of a Byzantine run: the wrapped engine's config plus the
+/// attacker placement. Building with this config yields
+/// [`MaliciousSampler<E>`] from the same generic `build` path that yields
+/// `E` for the inner config.
+#[derive(Debug, Clone)]
+pub struct MaliciousConfig<C> {
+    /// The wrapped engine configuration.
+    pub inner: C,
+    /// The view-rewrite rule applied to every attacker before each round.
+    pub strategy: Arc<dyn AttackStrategy>,
+    /// Fraction of the alive population recruited as attackers, in [0, 1].
+    pub attacker_fraction: f64,
+    /// Recruit attackers among public peers only (the strongest placement:
+    /// public attackers are reachable by everyone). Falls back to the
+    /// whole population when there are no public peers.
+    pub attackers_public: bool,
+    /// Number of honest peers designated as eclipse victims (0 for
+    /// attacks without a victim set).
+    pub victims: usize,
+}
+
+impl<C> MaliciousConfig<C> {
+    /// Wraps `inner` with an attack at the given attacker fraction.
+    pub fn new(inner: C, strategy: Arc<dyn AttackStrategy>, attacker_fraction: f64) -> Self {
+        MaliciousConfig { inner, strategy, attacker_fraction, attackers_public: true, victims: 0 }
+    }
+}
+
+impl<C: SamplerConfig> SamplerConfig for MaliciousConfig<C> {
+    type Sampler = MaliciousSampler<C::Sampler>;
+
+    fn set_view_size(&mut self, view_size: usize) {
+        self.inner.set_view_size(view_size);
+    }
+
+    fn align_to_net(&mut self, net_cfg: &NetConfig) {
+        self.inner.align_to_net(net_cfg);
+    }
+}
+
+/// Any [`PeerSampler`] engine with a Byzantine minority grafted on.
+///
+/// The wrapper is itself a `PeerSampler`, so the whole experiment pipeline
+/// (scenario builder, figure plans, metrics) drives adversarial runs
+/// through the unchanged generic path. Between protocol rounds it rewrites
+/// each attacker's view with the configured [`AttackStrategy`]; the engine
+/// then faithfully gossips the corrupted views — no engine-side hooks, no
+/// protocol forks.
+///
+/// Attacker recruitment happens at [`start`](PeerSampler::start), over the
+/// population as bootstrapped, from an RNG stream forked off the run seed;
+/// each attacker also gets a persistent fork for its strategy draws. All
+/// of it is independent of execution layout, so adversarial runs stay
+/// byte-identical at any shard count.
+pub struct MaliciousSampler<E: PeerSampler> {
+    inner: E,
+    strategy: Arc<dyn AttackStrategy>,
+    attacker_fraction: f64,
+    attackers_public: bool,
+    victim_count: usize,
+    attackers: Vec<PeerId>,
+    attacker_rngs: Vec<SimRng>,
+    victims: Vec<PeerId>,
+    seed: u64,
+}
+
+impl<E: PeerSampler> fmt::Debug for MaliciousSampler<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MaliciousSampler")
+            .field("strategy", &self.strategy.name())
+            .field("attacker_fraction", &self.attacker_fraction)
+            .field("attackers", &self.attackers.len())
+            .field("victims", &self.victims.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<E: PeerSampler> MaliciousSampler<E> {
+    /// The recruited attacker set (empty before `start`).
+    pub fn attackers(&self) -> &[PeerId] {
+        &self.attackers
+    }
+
+    /// The designated victim set (empty before `start`).
+    pub fn victims(&self) -> &[PeerId] {
+        &self.victims
+    }
+
+    /// The wrapped engine.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Whether `peer` is one of the recruited attackers.
+    pub fn is_attacker(&self, peer: PeerId) -> bool {
+        self.attackers.binary_search(&peer).is_ok()
+    }
+
+    /// Recruits the attacker and victim sets over the population as it
+    /// stands (called once, at start).
+    fn recruit(&mut self) {
+        let mut rng = SimRng::new(self.seed).fork(0x6164_7665_7273_6172);
+        let alive = self.inner.alive_peers();
+        let want = ((alive.len() as f64) * self.attacker_fraction).round() as usize;
+        let want = want.min(alive.len());
+        let pool: Vec<PeerId> = if self.attackers_public {
+            let publics: Vec<PeerId> =
+                alive.iter().copied().filter(|p| self.inner.class_of(*p).is_public()).collect();
+            if publics.is_empty() {
+                alive.clone()
+            } else {
+                publics
+            }
+        } else {
+            alive.clone()
+        };
+        let want = want.min(pool.len());
+        self.attackers = rng.sample_without_replacement(&pool, want);
+        self.attackers.sort_unstable();
+        self.attacker_rngs =
+            self.attackers.iter().map(|a| rng.fork(0x6174_6B00_0000_0000 | a.0 as u64)).collect();
+        let honest: Vec<PeerId> = alive.iter().copied().filter(|p| !self.is_attacker(*p)).collect();
+        let v = self.victim_count.min(honest.len());
+        self.victims = rng.sample_without_replacement(&honest, v);
+        self.victims.sort_unstable();
+    }
+
+    /// One corruption pass: rewrite every (alive) attacker's view with the
+    /// strategy. Runs between protocol rounds.
+    fn apply_attacks(&mut self) {
+        if self.attackers.is_empty() {
+            return;
+        }
+        let attacker_ds: Vec<NodeDescriptor> = self
+            .attackers
+            .iter()
+            .filter(|a| self.inner.is_alive(**a))
+            .map(|a| self.inner.descriptor_of(*a))
+            .collect();
+        let victim_ds: Vec<NodeDescriptor> = self
+            .victims
+            .iter()
+            .filter(|v| self.inner.is_alive(**v))
+            .map(|v| self.inner.descriptor_of(*v))
+            .collect();
+        let n_peers = self.inner.peer_count();
+        for i in 0..self.attackers.len() {
+            let a = self.attackers[i];
+            if !self.inner.is_alive(a) {
+                continue;
+            }
+            let mut ctx = AttackCtx {
+                attacker: a,
+                view: self.inner.view_of_mut(a),
+                attackers: &attacker_ds,
+                victims: &victim_ds,
+                rng: &mut self.attacker_rngs[i],
+                n_peers,
+            };
+            self.strategy.corrupt(&mut ctx);
+        }
+    }
+}
+
+impl<E: PeerSampler> PeerSampler for MaliciousSampler<E> {
+    type Config = MaliciousConfig<E::Config>;
+
+    fn with_seed(cfg: Self::Config, net_cfg: NetConfig, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&cfg.attacker_fraction),
+            "attacker_fraction must be in [0, 1]"
+        );
+        MaliciousSampler {
+            inner: E::with_seed(cfg.inner, net_cfg, seed),
+            strategy: cfg.strategy,
+            attacker_fraction: cfg.attacker_fraction,
+            attackers_public: cfg.attackers_public,
+            victim_count: cfg.victims,
+            attackers: Vec::new(),
+            attacker_rngs: Vec::new(),
+            victims: Vec::new(),
+            seed,
+        }
+    }
+
+    fn add_peer(&mut self, class: NatClass) -> PeerId {
+        self.inner.add_peer(class)
+    }
+
+    fn enable_port_forwarding(&mut self, peer: PeerId) {
+        self.inner.enable_port_forwarding(peer);
+    }
+
+    fn bootstrap_random_public(&mut self, per_view: usize) {
+        self.inner.bootstrap_random_public(per_view);
+    }
+
+    fn start(&mut self) {
+        self.recruit();
+        self.inner.start();
+    }
+
+    /// Runs in shuffle-period chunks, corrupting attacker views before
+    /// each chunk — the discrete-round analogue of attackers continuously
+    /// re-poisoning their own state.
+    fn run_for(&mut self, dur: SimDuration) {
+        let period_ms = self.inner.shuffle_period().as_millis().max(1);
+        let mut left = dur.as_millis();
+        while left > 0 {
+            self.apply_attacks();
+            let chunk = left.min(period_ms);
+            self.inner.run_for(SimDuration::from_millis(chunk));
+            left -= chunk;
+        }
+    }
+
+    fn run_rounds(&mut self, n: u64) {
+        for _ in 0..n {
+            self.apply_attacks();
+            self.inner.run_rounds(1);
+        }
+    }
+
+    fn kill_peers(&mut self, peers: &[PeerId]) {
+        self.inner.kill_peers(peers);
+    }
+
+    fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+
+    fn shuffle_period(&self) -> SimDuration {
+        self.inner.shuffle_period()
+    }
+
+    fn peer_count(&self) -> usize {
+        self.inner.peer_count()
+    }
+
+    fn is_alive(&self, peer: PeerId) -> bool {
+        self.inner.is_alive(peer)
+    }
+
+    fn class_of(&self, peer: PeerId) -> NatClass {
+        self.inner.class_of(peer)
+    }
+
+    fn traffic_of(&self, peer: PeerId) -> TrafficStats {
+        self.inner.traffic_of(peer)
+    }
+
+    fn alive_peers(&self) -> Vec<PeerId> {
+        self.inner.alive_peers()
+    }
+
+    fn view_of(&self, peer: PeerId) -> &PartialView {
+        self.inner.view_of(peer)
+    }
+
+    fn view_of_mut(&mut self, peer: PeerId) -> &mut PartialView {
+        self.inner.view_of_mut(peer)
+    }
+
+    fn descriptor_of(&self, peer: PeerId) -> NodeDescriptor {
+        self.inner.descriptor_of(peer)
+    }
+
+    fn edge_usable(&self, holder: PeerId, d: &NodeDescriptor) -> bool {
+        self.inner.edge_usable(holder, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::AttackKind;
+    use nylon_gossip::{BaselineEngine, GossipConfig, PeerSwapConfig, PeerSwapEngine};
+    use nylon_net::NatType;
+
+    fn build<C: SamplerConfig>(
+        cfg: C,
+        kind: AttackKind,
+        fraction: f64,
+        victims: usize,
+        seed: u64,
+    ) -> MaliciousSampler<C::Sampler> {
+        let mcfg = MaliciousConfig {
+            inner: cfg,
+            strategy: kind.strategy(),
+            attacker_fraction: fraction,
+            attackers_public: true,
+            victims,
+        };
+        let mut eng = MaliciousSampler::<C::Sampler>::with_seed(mcfg, NetConfig::default(), seed);
+        for i in 0..40u32 {
+            let class = if i % 10 < 3 {
+                NatClass::Public
+            } else {
+                NatClass::Natted(NatType::PortRestrictedCone)
+            };
+            eng.add_peer(class);
+        }
+        eng.bootstrap_random_public(8);
+        eng.start();
+        eng
+    }
+
+    fn attacker_in_degree<E: PeerSampler>(eng: &MaliciousSampler<E>) -> (usize, usize) {
+        let mut captured = 0;
+        let mut total = 0;
+        for p in eng.alive_peers() {
+            if eng.is_attacker(p) {
+                continue;
+            }
+            for d in eng.view_of(p).iter() {
+                total += 1;
+                if eng.is_attacker(d.id) {
+                    captured += 1;
+                }
+            }
+        }
+        (captured, total)
+    }
+
+    #[test]
+    fn recruitment_respects_fraction_and_placement() {
+        let eng = build(GossipConfig::default(), AttackKind::SelfPromotion, 0.2, 4, 5);
+        assert_eq!(eng.attackers().len(), 8, "20% of 40 peers");
+        for a in eng.attackers() {
+            assert!(eng.class_of(*a).is_public(), "public placement requested");
+        }
+        assert_eq!(eng.victims().len(), 4);
+        for v in eng.victims() {
+            assert!(!eng.is_attacker(*v), "victims are honest peers");
+        }
+    }
+
+    #[test]
+    fn zero_fraction_is_an_honest_run() {
+        let honest = {
+            let mut eng =
+                nylon_gossip::BaselineEngine::new(GossipConfig::default(), NetConfig::default(), 5);
+            for i in 0..40u32 {
+                let class = if i % 10 < 3 {
+                    NatClass::Public
+                } else {
+                    NatClass::Natted(NatType::PortRestrictedCone)
+                };
+                eng.add_peer(class);
+            }
+            eng.bootstrap_random_public(8);
+            eng.start();
+            eng.run_rounds(15);
+            let alive: Vec<PeerId> = PeerSampler::alive_peers(&eng);
+            alive.iter().map(|p| eng.view_of(*p).ids()).collect::<Vec<_>>()
+        };
+        let mut wrapped = build(GossipConfig::default(), AttackKind::SelfPromotion, 0.0, 0, 5);
+        wrapped.run_rounds(15);
+        let got: Vec<_> = wrapped.alive_peers().iter().map(|p| wrapped.view_of(*p).ids()).collect();
+        assert_eq!(got, honest, "an attack at fraction 0 must not perturb the run");
+    }
+
+    #[test]
+    fn self_promotion_captures_in_degree_on_the_baseline() {
+        let mut eng = build(GossipConfig::default(), AttackKind::SelfPromotion, 0.2, 0, 11);
+        eng.run_rounds(30);
+        let (captured, total) = attacker_in_degree(&eng);
+        let share = captured as f64 / total as f64;
+        // 20% of peers capture far more than their fair share of honest
+        // view entries.
+        assert!(share > 0.4, "capture share {share:.2} too low for 20% attackers");
+    }
+
+    #[test]
+    fn self_promotion_also_works_on_peerswap() {
+        let mut eng = build(PeerSwapConfig::default(), AttackKind::SelfPromotion, 0.2, 0, 11);
+        eng.run_rounds(30);
+        let (captured, total) = attacker_in_degree(&eng);
+        let share = captured as f64 / total as f64;
+        assert!(share > 0.3, "capture share {share:.2} too low for 20% attackers");
+    }
+
+    #[test]
+    fn attacks_are_deterministic_given_seed() {
+        let fingerprint = |seed: u64| {
+            let mut eng = build(GossipConfig::default(), AttackKind::Eclipse, 0.25, 4, seed);
+            eng.run_rounds(20);
+            let views: Vec<Vec<PeerId>> =
+                eng.alive_peers().iter().map(|p| eng.view_of(*p).ids()).collect();
+            (eng.attackers().to_vec(), eng.victims().to_vec(), views)
+        };
+        assert_eq!(fingerprint(9), fingerprint(9));
+        assert_ne!(fingerprint(9), fingerprint(10));
+    }
+
+    #[test]
+    fn run_for_matches_run_rounds_cadence() {
+        let by_rounds = {
+            let mut eng = build(GossipConfig::default(), AttackKind::ShuffleLying, 0.2, 0, 3);
+            eng.run_rounds(10);
+            eng.now()
+        };
+        let by_time = {
+            let mut eng = build(GossipConfig::default(), AttackKind::ShuffleLying, 0.2, 0, 3);
+            eng.run_for(eng.shuffle_period() * 10);
+            eng.now()
+        };
+        assert_eq!(by_rounds, by_time, "both drivers must advance the same virtual time");
+    }
+
+    #[test]
+    fn wrapper_is_engine_generic() {
+        // The same wrapper drives two structurally different engines; this
+        // is the compile-time point of MaliciousSampler<E>.
+        let _b: MaliciousSampler<BaselineEngine> =
+            build(GossipConfig::default(), AttackKind::NatEclipse, 0.1, 2, 1);
+        let _p: MaliciousSampler<PeerSwapEngine> =
+            build(PeerSwapConfig::default(), AttackKind::NatEclipse, 0.1, 2, 1);
+    }
+}

@@ -19,7 +19,10 @@
 use std::time::Instant;
 
 use nylon::{NylonConfig, NylonEngine};
-use nylon_gossip::{MergePolicy, NodeDescriptor, PartialView, PeerSampler, Sharded, ShardedConfig};
+use nylon_gossip::{
+    MergePolicy, NodeDescriptor, PartialView, PeerSampler, PeerSwapConfig, PeerSwapEngine, Sharded,
+    ShardedConfig,
+};
 use nylon_net::natbox::NatBox;
 use nylon_net::{Endpoint, Ip, NatClass, NatType, NetConfig, PeerId, Port};
 use nylon_sim::{EventQueue, ReferenceQueue, SimDuration, SimRng, SimTime};
@@ -219,6 +222,20 @@ fn bench_protocol_round(samples: usize) -> Result {
     })
 }
 
+fn bench_peerswap_round(samples: usize) -> Result {
+    // The PR-7 fourth engine over the same 200-peer/70%-NAT population:
+    // PeerSwap ships copy-semantics swaps instead of Nylon's RVP-relayed
+    // shuffles, so this median is the cost of a pure swap round — the
+    // perf trajectory now covers all four engines.
+    let scn = Scenario::new(200, 70.0, 5);
+    let mut eng: PeerSwapEngine = build(&scn, PeerSwapConfig::default());
+    eng.run_rounds(30);
+    measure("peerswap_round_200_peers_70pct_nat", samples, move || {
+        eng.run_rounds(1);
+        eng.stats().swaps_initiated
+    })
+}
+
 fn bench_sharded_round(samples: usize, shards: usize, name: &'static str) -> Result {
     // The PR-6 sharded driver over the same 200-peer/70%-NAT population as
     // `nylon_round_200_peers_70pct_nat`: S=1 measures the pure overhead of
@@ -312,8 +329,9 @@ fn parse_results_array(text: &str) -> Vec<BaselineEntry> {
 /// reintroduced per-message allocation, shows up as hundreds); every
 /// other bench replays a fixed workload with deterministic allocation
 /// counts and is compared exactly.
-const ALLOC_DRIFT: [&str; 4] = [
+const ALLOC_DRIFT: [&str; 5] = [
     "nylon_round_200_peers_70pct_nat",
+    "peerswap_round_200_peers_70pct_nat",
     "nylon_round_with_snapshot_200_peers",
     "nylon_sharded_round_200_peers_s1",
     "nylon_sharded_round_200_peers_s4",
@@ -469,6 +487,7 @@ fn main() {
         bench_view_merge(samples),
         bench_routing(samples),
         bench_protocol_round(samples),
+        bench_peerswap_round(samples),
         bench_round_with_snapshot(samples),
         bench_sharded_round(samples, 1, "nylon_sharded_round_200_peers_s1"),
         bench_sharded_round(samples, 4, "nylon_sharded_round_200_peers_s4"),

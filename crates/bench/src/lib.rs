@@ -22,6 +22,7 @@ pub fn micro_scale() -> FigureScale {
         full_churn_horizons: false,
         base_seed: 7,
         shards: 0,
+        ..FigureScale::default()
     }
 }
 
@@ -35,6 +36,7 @@ pub fn small_scale() -> FigureScale {
         full_churn_horizons: false,
         base_seed: 7,
         shards: 0,
+        ..FigureScale::default()
     }
 }
 

@@ -439,6 +439,18 @@ impl NylonEngine {
         &self.nodes[peer.index()].view
     }
 
+    /// Mutable view access (the adversary seam; see
+    /// [`nylon_gossip::PeerSampler::view_of_mut`]).
+    pub fn view_of_mut(&mut self, peer: PeerId) -> &mut PartialView {
+        &mut self.nodes[peer.index()].view
+    }
+
+    /// A peer's fresh (age-0) self-descriptor, as it would advertise
+    /// itself in a shuffle.
+    pub fn descriptor_of(&self, peer: PeerId) -> NodeDescriptor {
+        self.self_descriptor(peer)
+    }
+
     /// The routing table of a peer.
     pub fn routing_of(&self, peer: PeerId) -> &RoutingTable {
         &self.nodes[peer.index()].routing

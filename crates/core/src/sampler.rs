@@ -101,6 +101,14 @@ impl PeerSampler for NylonEngine {
         NylonEngine::view_of(self, peer)
     }
 
+    fn view_of_mut(&mut self, peer: PeerId) -> &mut PartialView {
+        NylonEngine::view_of_mut(self, peer)
+    }
+
+    fn descriptor_of(&self, peer: PeerId) -> NodeDescriptor {
+        NylonEngine::descriptor_of(self, peer)
+    }
+
     /// An entry is usable when the target is alive and either public or
     /// reachable through a live route (direct hole or RVP chain).
     fn edge_usable(&self, holder: PeerId, d: &NodeDescriptor) -> bool {
@@ -189,6 +197,14 @@ impl PeerSampler for StaticRvpEngine {
 
     fn view_of(&self, peer: PeerId) -> &PartialView {
         StaticRvpEngine::view_of(self, peer)
+    }
+
+    fn view_of_mut(&mut self, peer: PeerId) -> &mut PartialView {
+        StaticRvpEngine::view_of_mut(self, peer)
+    }
+
+    fn descriptor_of(&self, peer: PeerId) -> NodeDescriptor {
+        StaticRvpEngine::descriptor_of(self, peer)
     }
 
     fn edge_usable(&self, holder: PeerId, d: &NodeDescriptor) -> bool {

@@ -499,6 +499,18 @@ impl BaselineEngine {
         &self.nodes[peer.index()].view
     }
 
+    /// Mutable view access (the adversary seam; see
+    /// [`crate::PeerSampler::view_of_mut`]).
+    pub fn view_of_mut(&mut self, peer: PeerId) -> &mut PartialView {
+        &mut self.nodes[peer.index()].view
+    }
+
+    /// A peer's fresh (age-0) self-descriptor, as it would advertise
+    /// itself in a shuffle.
+    pub fn descriptor_of(&self, peer: PeerId) -> NodeDescriptor {
+        self.self_descriptor(peer)
+    }
+
     /// Iterator over alive peers.
     pub fn alive_peers(&self) -> impl Iterator<Item = PeerId> + '_ {
         self.net.alive_peers()

@@ -47,6 +47,7 @@
 
 pub mod descriptor;
 pub mod engine;
+pub mod peerswap;
 pub mod policy;
 pub mod sampler;
 pub mod sharded;
@@ -54,6 +55,7 @@ pub mod view;
 
 pub use descriptor::NodeDescriptor;
 pub use engine::{sort_tick_batch, BaselineEngine, BaselineMsg, ShardCtx, ShuffleStats};
+pub use peerswap::{PeerSwapConfig, PeerSwapEngine, PeerSwapStats};
 pub use policy::{GossipConfig, MergePolicy, PropagationPolicy, SelectionPolicy};
 pub use sampler::{PeerSampler, SamplerConfig};
 pub use sharded::{lockstep_tick, ShardSampler, Sharded, ShardedConfig};

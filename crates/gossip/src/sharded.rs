@@ -250,6 +250,19 @@ impl<E: ShardSampler> PeerSampler for Sharded<E> {
         self.shard_of(peer).view_of(peer)
     }
 
+    fn view_of_mut(&mut self, peer: PeerId) -> &mut PartialView {
+        // Only the owner shard materializes (and reads) this node's view,
+        // so rewriting the authoritative copy is a complete rewrite.
+        let idx = self.plan.shard_of(peer.0);
+        self.sim.workers_mut()[idx].view_of_mut(peer)
+    }
+
+    fn descriptor_of(&self, peer: PeerId) -> NodeDescriptor {
+        // The address plan is replicated on every shard; ask the owner for
+        // symmetry with view access.
+        self.shard_of(peer).descriptor_of(peer)
+    }
+
     fn edge_usable(&self, holder: PeerId, d: &NodeDescriptor) -> bool {
         if d.id.index() >= self.peer_count() {
             return false;

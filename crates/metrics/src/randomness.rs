@@ -346,4 +346,71 @@ mod tests {
         assert!(RandomnessReport::evaluate(&[1, 2], 10).is_none());
         assert!(RandomnessReport::evaluate(&[0, 0, 0], 1).is_none());
     }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+        use rand::rngs::SmallRng;
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+            /// A known-uniform reference sampler passes the battery for
+            /// any seed and population size. The significance level is
+            /// strict (1e-6) because a true-uniform stream fails a level-α
+            /// test with probability α by construction — across 32 cases
+            /// the false-failure probability stays negligible.
+            #[test]
+            fn prop_uniform_reference_sampler_passes(
+                seed in 0u64..(1 << 32),
+                n in 10usize..60,
+            ) {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let samples: Vec<u32> =
+                    (0..5000).map(|_| rng.gen_range(0..n as u32)).collect();
+                let rep = RandomnessReport::evaluate(&samples, n).unwrap();
+                prop_assert!(rep.passes(1e-6), "uniform sampler rejected: {rep:?}");
+            }
+
+            /// A deliberately biased sampler — one peer drawn with an
+            /// extra 20–50 % probability mass, the "public peers are
+            /// over-sampled" failure mode — is always rejected.
+            #[test]
+            fn prop_biased_sampler_fails(
+                seed in 0u64..(1 << 32),
+                n in 10usize..60,
+                bias in 0.2f64..0.5,
+            ) {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let samples: Vec<u32> = (0..5000)
+                    .map(|_| {
+                        if rng.gen::<f64>() < bias {
+                            0
+                        } else {
+                            rng.gen_range(0..n as u32)
+                        }
+                    })
+                    .collect();
+                let rep = RandomnessReport::evaluate(&samples, n).unwrap();
+                prop_assert!(!rep.passes(0.01), "biased sampler passed: {rep:?}");
+            }
+
+            /// Balanced counts sit near zero dispersion; concentrating the
+            /// same mass on one category blows the index up — the ordering
+            /// the randomness head-to-head relies on.
+            #[test]
+            fn prop_dispersion_orders_balanced_below_concentrated(
+                per_cat in 10u64..500,
+                cats in 3usize..50,
+            ) {
+                let balanced = vec![per_cat; cats];
+                let mut concentrated = vec![0u64; cats];
+                concentrated[0] = per_cat * cats as u64;
+                let lo = dispersion_index(&balanced).unwrap();
+                let hi = dispersion_index(&concentrated).unwrap();
+                prop_assert!(lo < 0.01, "balanced counts dispersed: {lo}");
+                prop_assert!(hi > lo + 1.0, "concentration not flagged: {hi} vs {lo}");
+            }
+        }
+    }
 }

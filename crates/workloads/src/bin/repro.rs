@@ -2,11 +2,12 @@
 //!
 //! ```text
 //! repro [ARTIFACTS...] [--peers N] [--seeds K] [--rounds R] [--seed S]
-//!       [--full] [--jobs N] [--shards N] [--checkpoint DIR] [--resume]
-//!       [--csv] [--out DIR]
+//!       [--full] [--jobs N] [--shards N] [--engine NAME] [--attack NAME]
+//!       [--checkpoint DIR] [--resume] [--csv] [--out DIR]
 //!
 //! ARTIFACTS: table1 fig2 fig3 fig4 fig7 fig8 fig9 fig10 correctness
-//!            ablation extensions timeline all     (default: all)
+//!            ablation extensions timeline randomness capture eclipse
+//!            all     (default: all)
 //!
 //! repro live [--peers N] [--nat-pct PCT] [--rounds R] [--period-ms MS]
 //!            [--seed S] [--no-compare] [--min-cluster PCT]
@@ -29,6 +30,12 @@
 //!                  available parallelism (clamped to 16). Omit the flag
 //!                  for the single-threaded reference kernel. Sharded
 //!                  output is identical for every N > 0.
+//! --engine NAME    reroute the engine-generic steady-state cells (fig2,
+//!                  fig3/4, fig7/8) through one engine: baseline, nylon,
+//!                  static-rvp or peerswap. Engine-specific artifacts
+//!                  (fig9's chain lengths, the churn scripts) keep theirs.
+//! --attack NAME    attack for the capture figure: shuffle-lying,
+//!                  self-promotion (default), eclipse or nat-eclipse
 //! --checkpoint DIR append each completed cell to DIR/cells.jsonl
 //! --resume         restore already-computed cells from the checkpoint
 //! --csv            print CSV instead of markdown
@@ -43,8 +50,9 @@
 
 use std::process::ExitCode;
 
+use nylon_adversary::AttackKind;
 use nylon_workloads::experiment::{ExecOptions, Experiment};
-use nylon_workloads::figures::{self, FigureScale, FIGURES};
+use nylon_workloads::figures::{self, EngineKind, FigureScale, FIGURES};
 
 /// Scale flags recorded as explicitly set, so they win over `--full`
 /// regardless of the order they appear in.
@@ -68,6 +76,8 @@ fn main() -> ExitCode {
     let mut out_dir: Option<String> = None;
     let mut jobs = 0usize;
     let mut shards: Option<usize> = None;
+    let mut engine: Option<EngineKind> = None;
+    let mut attack: Option<AttackKind> = None;
     let mut checkpoint: Option<String> = None;
     let mut resume = false;
 
@@ -98,6 +108,24 @@ fn main() -> ExitCode {
             "--shards" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(v) => shards = Some(v),
                 None => return usage("--shards needs a non-negative integer"),
+            },
+            "--engine" => match it.next() {
+                Some(v) => match EngineKind::parse(v) {
+                    Some(kind) => engine = Some(kind),
+                    None => {
+                        return usage(&format!("unknown engine '{v}' (valid: {})", engine_names()))
+                    }
+                },
+                None => return usage(&format!("--engine needs a name: {}", engine_names())),
+            },
+            "--attack" => match it.next() {
+                Some(v) => match AttackKind::parse(v) {
+                    Some(kind) => attack = Some(kind),
+                    None => {
+                        return usage(&format!("unknown attack '{v}' (valid: {})", attack_names()))
+                    }
+                },
+                None => return usage(&format!("--attack needs a name: {}", attack_names())),
             },
             "--checkpoint" => match it.next() {
                 Some(v) => checkpoint = Some(v.clone()),
@@ -161,9 +189,11 @@ fn main() -> ExitCode {
             v
         };
     }
+    scale.engine = engine;
+    scale.attack = attack;
 
     eprintln!(
-        "[repro] scale: {} peers, {} seeds, {} rounds{}{}",
+        "[repro] scale: {} peers, {} seeds, {} rounds{}{}{}{}",
         scale.peers,
         scale.seeds,
         scale.rounds,
@@ -172,7 +202,9 @@ fn main() -> ExitCode {
             format!(", sharded driver ({} shards)", scale.shards)
         } else {
             String::new()
-        }
+        },
+        scale.engine.map(|k| format!(", engine {}", k.label())).unwrap_or_default(),
+        scale.attack.map(|k| format!(", attack {}", k.label())).unwrap_or_default(),
     );
 
     // One experiment for everything: sweeps shared between figures
@@ -331,14 +363,24 @@ fn live_usage(err: &str) -> ExitCode {
     }
 }
 
+fn engine_names() -> String {
+    EngineKind::ALL.map(EngineKind::label).join(" ")
+}
+
+fn attack_names() -> String {
+    AttackKind::ALL.map(AttackKind::label).join(" ")
+}
+
 fn usage(err: &str) -> ExitCode {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro [ARTIFACTS...] [--peers N] [--seeds K] [--rounds R] [--seed S] [--full] [--jobs N] [--shards N] [--checkpoint DIR] [--resume] [--csv] [--out DIR]"
+        "usage: repro [ARTIFACTS...] [--peers N] [--seeds K] [--rounds R] [--seed S] [--full] [--jobs N] [--shards N] [--engine NAME] [--attack NAME] [--checkpoint DIR] [--resume] [--csv] [--out DIR]"
     );
     eprintln!("artifacts: {} all", FIGURES.join(" "));
+    eprintln!("engines: {}", engine_names());
+    eprintln!("attacks: {}", attack_names());
     if err.is_empty() {
         ExitCode::SUCCESS
     } else {

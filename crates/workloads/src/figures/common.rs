@@ -15,7 +15,57 @@ use nylon_net::TrafficStats;
 use crate::runner::{biggest_cluster_pct, build, seeds, staleness};
 use crate::scenario::{NatMix, Scenario};
 
-use super::FigureScale;
+use super::{EngineKind, FigureScale};
+
+/// Builds the engine selected by `$kind` from its default config over the
+/// scenario `$scn` — on the reference kernel when `$shards` is 0, on the
+/// sharded driver otherwise — and passes it to the generic function
+/// `$measure` along with any trailing arguments.
+///
+/// `$wrap` is pasted syntactically into every arm, so a closure literal
+/// (e.g. one wrapping the config in
+/// [`nylon_adversary::MaliciousConfig`]) instantiates independently per
+/// engine type; pass `|cfg| cfg` for an honest run. `$measure` must be
+/// the path of a function generic over [`PeerSampler`] (a closure would
+/// pin one concrete engine type).
+macro_rules! dispatch_engine {
+    ($kind:expr, $shards:expr, $scn:expr, $wrap:expr, $measure:path $(, $extra:expr)* $(,)?) => {{
+        use $crate::figures::EngineKind as __Kind;
+        use $crate::runner::build as __build;
+        use nylon_gossip::ShardedConfig as __Sharded;
+        match ($kind, $shards) {
+            (__Kind::Baseline, 0) => {
+                $measure(__build($scn, ($wrap)(nylon_gossip::GossipConfig::default())) $(, $extra)*)
+            }
+            (__Kind::Baseline, s) => $measure(
+                __build($scn, ($wrap)(__Sharded::new(nylon_gossip::GossipConfig::default(), s)))
+                $(, $extra)*,
+            ),
+            (__Kind::Nylon, 0) => {
+                $measure(__build($scn, ($wrap)(nylon::NylonConfig::default())) $(, $extra)*)
+            }
+            (__Kind::Nylon, s) => $measure(
+                __build($scn, ($wrap)(__Sharded::new(nylon::NylonConfig::default(), s)))
+                $(, $extra)*,
+            ),
+            (__Kind::StaticRvp, 0) => {
+                $measure(__build($scn, ($wrap)(nylon::StaticRvpConfig::default())) $(, $extra)*)
+            }
+            (__Kind::StaticRvp, s) => $measure(
+                __build($scn, ($wrap)(__Sharded::new(nylon::StaticRvpConfig::default(), s)))
+                $(, $extra)*,
+            ),
+            (__Kind::PeerSwap, 0) => {
+                $measure(__build($scn, ($wrap)(nylon_gossip::PeerSwapConfig::default())) $(, $extra)*)
+            }
+            (__Kind::PeerSwap, s) => $measure(
+                __build($scn, ($wrap)(__Sharded::new(nylon_gossip::PeerSwapConfig::default(), s)))
+                $(, $extra)*,
+            ),
+        }
+    }};
+}
+pub(crate) use dispatch_engine;
 
 /// Derives the seed list for a data point, mixing figure-specific salt so
 /// different figures do not share seeds.
@@ -67,9 +117,33 @@ pub fn baseline_cluster_sample(
     }
 }
 
-/// Staleness metrics for the (push/pull, rand, healer) baseline at one NAT
-/// percentage (a Figures 3/4 cell): `[stale %, natted non-stale %]`, each
-/// averaged over three end-of-run snapshots.
+/// Biggest-cluster percentage for an [`EngineKind`]-selected engine (its
+/// default configuration at the scenario's view size) at one NAT
+/// percentage: `[cluster_pct]`. The `--engine` twin of
+/// [`baseline_cluster_sample`], over the same PRC-only population.
+pub fn engine_cluster_sample(
+    scale: &FigureScale,
+    kind: EngineKind,
+    view_size: usize,
+    nat_pct: f64,
+    seed: u64,
+) -> Vec<f64> {
+    fn measure<S: PeerSampler>(mut eng: S, rounds: u64) -> Vec<f64> {
+        eng.run_rounds(rounds);
+        vec![biggest_cluster_pct(&eng)]
+    }
+    let scn = Scenario {
+        mix: NatMix::prc_only(),
+        view_size,
+        ..Scenario::new(scale.peers, nat_pct, seed)
+    };
+    dispatch_engine!(kind, scale.shards, &scn, |cfg| cfg, measure, scale.rounds)
+}
+
+/// Staleness metrics at one NAT percentage (a Figures 3/4 cell):
+/// `[stale %, natted non-stale %]`, each averaged over three end-of-run
+/// snapshots. Measures the (push/pull, rand, healer) baseline unless
+/// [`FigureScale::engine`] reroutes the cell to another engine.
 pub fn baseline_staleness_sample(
     scale: &FigureScale,
     view_size: usize,
@@ -93,11 +167,8 @@ pub fn baseline_staleness_sample(
         }
         vec![stale, natted]
     }
-    let cfg = GossipConfig { view_size, ..GossipConfig::default() };
-    match scale.shards {
-        0 => measure(build(&scn, cfg), scale.rounds),
-        s => measure(build(&scn, ShardedConfig::new(cfg, s)), scale.rounds),
-    }
+    let kind = scale.engine.unwrap_or(EngineKind::Baseline);
+    dispatch_engine!(kind, scale.shards, &scn, |cfg| cfg, measure, scale.rounds)
 }
 
 /// Runs an engine through a warmup third of `rounds` and measures per-class
@@ -121,18 +192,17 @@ pub fn bandwidth_by_class<S: PeerSampler>(eng: &mut S, rounds: u64) -> (f64, f64
     (report.overall.mean(), report.public.mean(), report.natted.mean())
 }
 
-/// Per-class bandwidth for Nylon at one NAT percentage (a Figures 7/8
-/// cell): `[overall, public, natted]` B/s per peer, NaN for empty classes.
+/// Per-class bandwidth at one NAT percentage (a Figures 7/8 cell):
+/// `[overall, public, natted]` B/s per peer, NaN for empty classes.
+/// Measures Nylon unless [`FigureScale::engine`] reroutes the cell.
 pub fn nylon_bandwidth_sample(scale: &FigureScale, nat_pct: f64, seed: u64) -> Vec<f64> {
+    fn measure<S: PeerSampler>(mut eng: S, rounds: u64) -> Vec<f64> {
+        let (overall, public, natted) = bandwidth_by_class(&mut eng, rounds);
+        vec![overall, public, natted]
+    }
     let scn = Scenario::new(scale.peers, nat_pct, seed);
-    let (overall, public, natted) = match scale.shards {
-        0 => bandwidth_by_class(&mut build(&scn, NylonConfig::default()), scale.rounds),
-        s => bandwidth_by_class(
-            &mut build(&scn, ShardedConfig::new(NylonConfig::default(), s)),
-            scale.rounds,
-        ),
-    };
-    vec![overall, public, natted]
+    let kind = scale.engine.unwrap_or(EngineKind::Nylon);
+    dispatch_engine!(kind, scale.shards, &scn, |cfg| cfg, measure, scale.rounds)
 }
 
 /// Bandwidth of the NAT-oblivious reference, (push/pull, rand, healer), in

@@ -15,10 +15,13 @@
 //! them once), the pool parallelizes across everything at once, and each
 //! completed cell checkpoints for `--resume`.
 
+use nylon_adversary::AttackKind;
+
 use crate::experiment::{ExecOptions, Experiment, Results, Sweep};
 use crate::output::Table;
 
 mod ablation;
+mod adversary;
 mod common;
 mod correctness;
 mod extensions;
@@ -29,6 +32,41 @@ mod fig78;
 mod fig9;
 mod table1;
 mod timeline;
+
+/// The four peer-sampling engines the harness can build, for the
+/// `--engine` override and the engine-parametric adversarial artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The NAT-oblivious baseline, (push/pull, rand, healer).
+    Baseline,
+    /// Nylon, the paper's NAT-resilient sampler.
+    Nylon,
+    /// The static-RVP strawman (fixed rendezvous assignment).
+    StaticRvp,
+    /// PeerSwap, the Cyclon-style swap sampler with randomness guarantees.
+    PeerSwap,
+}
+
+impl EngineKind {
+    /// Every engine, in presentation order.
+    pub const ALL: [EngineKind; 4] =
+        [EngineKind::Baseline, EngineKind::Nylon, EngineKind::StaticRvp, EngineKind::PeerSwap];
+
+    /// The stable CLI/figure-label name.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Baseline => "baseline",
+            EngineKind::Nylon => "nylon",
+            EngineKind::StaticRvp => "static-rvp",
+            EngineKind::PeerSwap => "peerswap",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(name: &str) -> Option<EngineKind> {
+        Self::ALL.into_iter().find(|k| k.label() == name)
+    }
+}
 
 /// Scale knobs shared by all generators.
 ///
@@ -59,6 +97,21 @@ pub struct FigureScale {
     /// extensions, timeline) always use the reference kernel because
     /// their mid-run kill/join scripting drives engine-specific APIs.
     pub shards: usize,
+    /// Engine override for the engine-generic steady-state artifacts:
+    /// `None` measures each figure's own engine (fig2's six baseline
+    /// configurations, fig3/4's baseline, fig7/8's Nylon); `Some(kind)`
+    /// reroutes those cells through the selected engine, so any engine
+    /// runs the whole steady-state plan unmodified. Engine-specific
+    /// artifacts keep their engines regardless: fig9's RVP chain lengths
+    /// and the churn/lifecycle scripts are Nylon-only, fig7's NAT-free
+    /// reference line stays the baseline, and the adversarial artifacts
+    /// (`randomness`, `capture`, `eclipse`) are engine-parametric
+    /// head-to-heads already.
+    pub engine: Option<EngineKind>,
+    /// Attack override for the `capture` artifact (default:
+    /// self-promotion). The `eclipse` artifact always runs its two
+    /// eclipse variants — that contrast is the figure.
+    pub attack: Option<AttackKind>,
 }
 
 impl Default for FigureScale {
@@ -70,6 +123,8 @@ impl Default for FigureScale {
             full_churn_horizons: false,
             base_seed: 0xA11CE,
             shards: 0,
+            engine: None,
+            attack: None,
         }
     }
 }
@@ -84,6 +139,8 @@ impl FigureScale {
             full_churn_horizons: true,
             base_seed: 0xA11CE,
             shards: 0,
+            engine: None,
+            attack: None,
         }
     }
 
@@ -96,13 +153,15 @@ impl FigureScale {
     /// (but not under the `0` reference path, whose cells differ).
     pub fn fingerprint(&self) -> String {
         format!(
-            "peers={} seeds={} rounds={} full_churn={} base_seed={}{}",
+            "peers={} seeds={} rounds={} full_churn={} base_seed={}{}{}{}",
             self.peers,
             self.seeds,
             self.rounds,
             self.full_churn_horizons,
             self.base_seed,
-            if self.shards > 0 { " sharded" } else { "" }
+            if self.shards > 0 { " sharded" } else { "" },
+            self.engine.map(|k| format!(" engine={}", k.label())).unwrap_or_default(),
+            self.attack.map(|k| format!(" attack={}", k.label())).unwrap_or_default(),
         )
     }
 }
@@ -121,6 +180,9 @@ pub const FIGURES: &[&str] = [
     "ablation",
     "extensions",
     "timeline",
+    "randomness",
+    "capture",
+    "eclipse",
 ]
 .as_slice();
 
@@ -188,6 +250,9 @@ pub fn plan(name: &str, scale: &FigureScale) -> Option<Plan> {
         "ablation" => ablation::plan(scale),
         "extensions" => extensions::plan(scale),
         "timeline" => timeline::plan(scale),
+        "randomness" => adversary::plan_randomness(scale),
+        "capture" => adversary::plan_capture(scale),
+        "eclipse" => adversary::plan_eclipse(scale),
         _ => return None,
     };
     Some(plan)
@@ -284,5 +349,25 @@ mod tests {
         let sharded = |n| FigureScale { shards: n, ..FigureScale::default() };
         assert_ne!(sharded(0).fingerprint(), sharded(2).fingerprint());
         assert_eq!(sharded(2).fingerprint(), sharded(4).fingerprint());
+    }
+
+    #[test]
+    fn fingerprints_distinguish_engine_and_attack_overrides() {
+        let base = FigureScale::default();
+        for kind in EngineKind::ALL {
+            let overridden = FigureScale { engine: Some(kind), ..FigureScale::default() };
+            assert_ne!(base.fingerprint(), overridden.fingerprint());
+            assert!(overridden.fingerprint().contains(kind.label()));
+        }
+        let attacked = FigureScale { attack: Some(AttackKind::Eclipse), ..FigureScale::default() };
+        assert_ne!(base.fingerprint(), attacked.fingerprint());
+    }
+
+    #[test]
+    fn engine_kinds_roundtrip_through_labels() {
+        for kind in EngineKind::ALL {
+            assert_eq!(EngineKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(EngineKind::parse("cyclon"), None);
     }
 }

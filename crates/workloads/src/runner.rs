@@ -8,6 +8,9 @@
 //! [`edge_usable`](PeerSampler::edge_usable) oracle, which is where the
 //! baseline-vs-Nylon reachability difference lives.
 
+use std::sync::Arc;
+
+use nylon_adversary::{AttackStrategy, MaliciousConfig};
 use nylon_gossip::{PeerSampler, SamplerConfig};
 use nylon_metrics::graph::{DiGraph, WccScratch};
 use nylon_metrics::staleness::StalenessReport;
@@ -67,6 +70,27 @@ pub fn build_with_net<C: SamplerConfig>(
     eng.bootstrap_random_public(scn.bootstrap_contacts);
     eng.start();
     eng
+}
+
+/// Wraps an engine config in the Byzantine harness
+/// ([`nylon_adversary::MaliciousSampler`]), taking attacker placement —
+/// fraction, public-only recruitment, victim count — from the scenario,
+/// so simulated and (later) live adversarial runs share their configs.
+///
+/// `build(&scn, adversarial_cfg(&scn, cfg, strategy))` then drives the
+/// attacked engine through the same pipeline as every honest one.
+pub fn adversarial_cfg<C: SamplerConfig>(
+    scn: &Scenario,
+    cfg: C,
+    strategy: Arc<dyn AttackStrategy>,
+) -> MaliciousConfig<C> {
+    MaliciousConfig {
+        inner: cfg,
+        strategy,
+        attacker_fraction: scn.attacker_fraction,
+        attackers_public: scn.attackers_public,
+        victims: scn.victims,
+    }
 }
 
 /// The *usable* overlay graph of an engine: one edge per view entry over

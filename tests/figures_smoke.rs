@@ -10,6 +10,7 @@ fn tiny() -> FigureScale {
         full_churn_horizons: false,
         base_seed: 1,
         shards: 0,
+        ..FigureScale::default()
     }
 }
 

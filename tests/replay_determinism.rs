@@ -20,6 +20,7 @@ fn tiny(base_seed: u64) -> FigureScale {
         full_churn_horizons: false,
         base_seed,
         shards: 0,
+        ..FigureScale::default()
     }
 }
 

@@ -15,16 +15,16 @@
 //! regression in either shows up.
 
 use nylon_workloads::experiment::ExecOptions;
-use nylon_workloads::figures::{generate, generate_with, FigureScale};
+use nylon_workloads::figures::{generate, generate_with, EngineKind, FigureScale};
 
 fn tiny(shards: usize) -> FigureScale {
     FigureScale {
         peers: 40,
         seeds: 2,
         rounds: 12,
-        full_churn_horizons: false,
         base_seed: 0x51AD,
         shards,
+        ..FigureScale::default()
     }
 }
 
@@ -77,6 +77,41 @@ fn kill_free_fig2_sweep_is_shard_and_thread_count_independent() {
         flat(&wide),
         "fig2 diverged between (shards 1, jobs 1) and (shards 2, jobs 4)"
     );
+}
+
+#[test]
+fn peerswap_figures_are_byte_identical_at_shards_1_2_4() {
+    // `repro --engine peerswap` reroutes the engine-generic steady-state
+    // cells through the PeerSwap engine; its swap protocol must replay
+    // byte-identically on every shard topology like the other three.
+    let peerswap = |shards| FigureScale { engine: Some(EngineKind::PeerSwap), ..tiny(shards) };
+    for name in ["fig2", "fig3", "fig7"] {
+        let one = render(name, &peerswap(1));
+        assert!(!one.is_empty());
+        assert_eq!(one, render(name, &peerswap(2)), "{name} diverged at --shards 2");
+        assert_eq!(one, render(name, &peerswap(4)), "{name} diverged at --shards 4");
+    }
+}
+
+#[test]
+fn adversarial_figures_are_shard_and_thread_count_independent() {
+    // The Byzantine harness rewrites attacker views between rounds from
+    // shard-independent RNG streams; eclipse cells (MaliciousSampler over
+    // a sharded engine, victims designated) must not observe the shard
+    // count or the worker-pool width.
+    let serial =
+        generate_with("eclipse", &tiny(1), &ExecOptions { jobs: 1, ..ExecOptions::default() })
+            .expect("known figure name");
+    let wide =
+        generate_with("eclipse", &tiny(2), &ExecOptions { jobs: 4, ..ExecOptions::default() })
+            .expect("known figure name");
+    let four = generate("eclipse", &tiny(4)).expect("known figure name");
+    let flat = |tables: &[nylon_workloads::output::Table]| {
+        tables.iter().map(|t| t.to_csv()).collect::<Vec<_>>().join("\n")
+    };
+    assert!(!flat(&serial).is_empty());
+    assert_eq!(flat(&serial), flat(&wide), "eclipse diverged between shards/jobs layouts");
+    assert_eq!(flat(&serial), flat(&four), "eclipse diverged at --shards 4");
 }
 
 #[test]
