@@ -32,8 +32,10 @@ pub trait AttackStrategy: std::fmt::Debug + Send + Sync {
     /// Stable human-readable name (used in figure labels).
     fn name(&self) -> &'static str;
 
-    /// Rewrites one attacker's view.
-    fn corrupt(&self, ctx: &mut AttackCtx<'_>);
+    /// Rewrites one attacker's view. Returns how many attacker or forged
+    /// descriptors were injected (kept real entries don't count), so the
+    /// wrapper can account for attack volume in telemetry.
+    fn corrupt(&self, ctx: &mut AttackCtx<'_>) -> u32;
 }
 
 /// A plausible-looking but useless descriptor: a real peer id (so honest
@@ -64,7 +66,7 @@ impl AttackStrategy for ShuffleLying {
         "shuffle-lying"
     }
 
-    fn corrupt(&self, ctx: &mut AttackCtx<'_>) {
+    fn corrupt(&self, ctx: &mut AttackCtx<'_>) -> u32 {
         let keep = ctx.view.capacity() / 3;
         while ctx.view.len() > keep {
             let oldest = ctx.view.iter().max_by_key(|d| d.age).expect("non-empty").id;
@@ -72,11 +74,13 @@ impl AttackStrategy for ShuffleLying {
         }
         // Forged ids collide (with the view and each other) and collisions
         // dedup away, so fill under an attempt bound rather than a count.
+        let kept = ctx.view.len();
         let mut tries = 4 * ctx.view.capacity();
         while ctx.view.len() < ctx.view.capacity() && tries > 0 {
             ctx.view.insert(forged_descriptor(ctx.rng, ctx.n_peers));
             tries -= 1;
         }
+        (ctx.view.len() - kept) as u32
     }
 }
 
@@ -91,11 +95,12 @@ impl AttackStrategy for SelfPromotion {
         "self-promotion"
     }
 
-    fn corrupt(&self, ctx: &mut AttackCtx<'_>) {
+    fn corrupt(&self, ctx: &mut AttackCtx<'_>) -> u32 {
         ctx.view.retain(|_| false);
         for d in ctx.attackers {
             ctx.view.insert(*d);
         }
+        ctx.view.len() as u32
     }
 }
 
@@ -110,17 +115,19 @@ impl AttackStrategy for Eclipse {
         "eclipse"
     }
 
-    fn corrupt(&self, ctx: &mut AttackCtx<'_>) {
+    fn corrupt(&self, ctx: &mut AttackCtx<'_>) -> u32 {
         ctx.view.retain(|_| false);
         let half = ctx.view.capacity() / 2;
         for d in ctx.victims.iter().take(half) {
             ctx.view.insert(*d);
         }
+        let targets = ctx.view.len();
         let mut i = 0;
         while ctx.view.len() < ctx.view.capacity() && i < ctx.attackers.len() {
             ctx.view.insert(ctx.attackers[i]);
             i += 1;
         }
+        (ctx.view.len() - targets) as u32
     }
 }
 
@@ -137,17 +144,19 @@ impl AttackStrategy for NatEclipse {
         "nat-eclipse"
     }
 
-    fn corrupt(&self, ctx: &mut AttackCtx<'_>) {
+    fn corrupt(&self, ctx: &mut AttackCtx<'_>) -> u32 {
         ctx.view.retain(|_| false);
         let half = ctx.view.capacity() / 2;
         for d in ctx.victims.iter().take(half) {
             ctx.view.insert(*d);
         }
+        let targets = ctx.view.len();
         let mut tries = 4 * ctx.view.capacity();
         while ctx.view.len() < ctx.view.capacity() && tries > 0 {
             ctx.view.insert(forged_descriptor(ctx.rng, ctx.n_peers));
             tries -= 1;
         }
+        (ctx.view.len() - targets) as u32
     }
 }
 

@@ -73,6 +73,8 @@ pub struct MaliciousSampler<E: PeerSampler> {
     attacker_rngs: Vec<SimRng>,
     victims: Vec<PeerId>,
     seed: u64,
+    views_rewritten: u64,
+    descriptors_injected: u64,
 }
 
 impl<E: PeerSampler> fmt::Debug for MaliciousSampler<E> {
@@ -168,7 +170,9 @@ impl<E: PeerSampler> MaliciousSampler<E> {
                 rng: &mut self.attacker_rngs[i],
                 n_peers,
             };
-            self.strategy.corrupt(&mut ctx);
+            let injected = self.strategy.corrupt(&mut ctx);
+            self.views_rewritten += 1;
+            self.descriptors_injected += injected as u64;
         }
     }
 }
@@ -191,6 +195,8 @@ impl<E: PeerSampler> PeerSampler for MaliciousSampler<E> {
             attacker_rngs: Vec::new(),
             victims: Vec::new(),
             seed,
+            views_rewritten: 0,
+            descriptors_injected: 0,
         }
     }
 
@@ -278,6 +284,14 @@ impl<E: PeerSampler> PeerSampler for MaliciousSampler<E> {
 
     fn edge_usable(&self, holder: PeerId, d: &NodeDescriptor) -> bool {
         self.inner.edge_usable(holder, d)
+    }
+
+    fn obs_report(&self, out: &mut nylon_obs::Report) {
+        self.inner.obs_report(out);
+        out.counter("adversary", "attackers", self.attackers.len() as u64);
+        out.counter("adversary", "victims", self.victims.len() as u64);
+        out.counter("adversary", "views_rewritten", self.views_rewritten);
+        out.counter("adversary", "descriptors_injected", self.descriptors_injected);
     }
 }
 

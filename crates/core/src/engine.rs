@@ -57,6 +57,12 @@ pub struct NylonStats {
     pub chain_hops_sum: u64,
     /// Number of chain-length samples.
     pub chain_samples: u64,
+    /// Routing-table entries installed from shuffle payloads (Figure 6
+    /// `update_routing_table()` upserts).
+    pub routes_installed: u64,
+    /// Routing-table entries compacted away after their TTL expired — the
+    /// cost center PR 5's profiling named.
+    pub route_ttl_expiries: u64,
 }
 
 impl NylonStats {
@@ -80,6 +86,8 @@ impl NylonStats {
         self.pongs_sent += other.pongs_sent;
         self.chain_hops_sum += other.chain_hops_sum;
         self.chain_samples += other.chain_samples;
+        self.routes_installed += other.routes_installed;
+        self.route_ttl_expiries += other.route_ttl_expiries;
     }
 
     fn record_chain(&mut self, hops: u8) {
@@ -286,6 +294,33 @@ impl NylonEngine {
     /// Protocol counters.
     pub fn stats(&self) -> NylonStats {
         self.stats
+    }
+
+    /// Reports kernel, net, and engine-layer telemetry into `out`.
+    /// Read-only: see `PeerSampler::obs_report`'s contract.
+    pub fn obs_report(&self, out: &mut nylon_obs::Report) {
+        self.sim.obs_report(out);
+        self.net.obs_report(out);
+        self.entry_pool.obs_report(out);
+        self.id_pool.obs_report(out);
+        let s = &self.stats;
+        out.counter("engine.nylon", "shuffles_initiated", s.shuffles_initiated);
+        out.counter("engine.nylon", "empty_view_rounds", s.empty_view_rounds);
+        out.counter("engine.nylon", "direct_requests", s.direct_requests);
+        out.counter("engine.nylon", "relayed_requests", s.relayed_requests);
+        out.counter("engine.nylon", "hole_punches", s.hole_punches);
+        out.counter("engine.nylon", "punch_successes", s.punch_successes);
+        out.counter("engine.nylon", "punch_timeouts", s.punch_timeouts);
+        out.counter("engine.nylon", "routes_missing", s.routes_missing);
+        out.counter("engine.nylon", "rvp_forwards", s.forwards);
+        out.counter("engine.nylon", "rvp_forward_failures", s.forward_failures);
+        out.counter("engine.nylon", "requests_completed", s.requests_completed);
+        out.counter("engine.nylon", "responses_completed", s.responses_completed);
+        out.counter("engine.nylon", "pongs_sent", s.pongs_sent);
+        out.counter("engine.nylon", "chain_hops_sum", s.chain_hops_sum);
+        out.counter("engine.nylon", "chain_samples", s.chain_samples);
+        out.counter("engine.nylon", "routes_installed", s.routes_installed);
+        out.counter("engine.nylon", "route_ttl_expiries", s.route_ttl_expiries);
     }
 
     /// Adds a peer; if the engine is running, it starts shuffling within
@@ -633,7 +668,7 @@ impl NylonEngine {
         }
         let node = &mut self.nodes[p.index()];
         node.view.increase_age();
-        node.routing.decrease_ttls(self.cfg.shuffle_period);
+        self.stats.route_ttl_expiries += node.routing.decrease_ttls(self.cfg.shuffle_period);
         self.sim.schedule_after(self.cfg.shuffle_period, Ev::Shuffle(p));
     }
 
@@ -909,7 +944,7 @@ impl NylonEngine {
         descriptors.extend(entries.iter().map(|e| e.descriptor));
         let node = &mut self.nodes[me.index()];
         node.view.merge_and_truncate(&descriptors, sent, self.cfg.merge, &mut node.rng);
-        node.routing.install_from_shuffle(
+        self.stats.routes_installed += node.routing.install_from_shuffle(
             partner,
             entries
                 .iter()
@@ -937,6 +972,10 @@ impl ShardWorker for NylonEngine {
             let at = f.arrive_at;
             self.sim.schedule_at(at, Ev::Deliver(self.flights.insert(f)));
         }
+    }
+
+    fn envelope_bytes(envelope: &InFlight<NylonMsg>) -> u64 {
+        envelope.wire_bytes as u64
     }
 }
 

@@ -248,9 +248,10 @@ impl RoutingTable {
         &mut self,
         partner: PeerId,
         received: impl IntoIterator<Item = (PeerId, SimDuration, u8)>,
-    ) {
-        let Some(partner_entry) = self.live(partner).copied() else { return };
+    ) -> u64 {
+        let Some(partner_entry) = self.live(partner).copied() else { return 0 };
         let partner_ttl = partner_entry.ttl_at(self.age);
+        let mut installed = 0;
         for (dest, ttl, hops) in received {
             if dest == self.owner || dest == partner {
                 continue;
@@ -261,7 +262,9 @@ impl RoutingTable {
                 ttl.min(partner_ttl),
                 hops.saturating_add(partner_entry.hops),
             );
+            installed += 1;
         }
+        installed
     }
 
     /// Decreases every TTL by `elapsed` (Figure 6
@@ -270,13 +273,19 @@ impl RoutingTable {
     /// O(1): advances the age accumulator; expired entries become
     /// invisible immediately and are compacted away every
     /// [`SWEEP_EVERY`] of accumulated age.
-    pub fn decrease_ttls(&mut self, elapsed: SimDuration) {
+    ///
+    /// Returns the number of expired entries compacted away (0 between
+    /// sweeps — expiries are only *counted* when the sweep collects them).
+    pub fn decrease_ttls(&mut self, elapsed: SimDuration) -> u64 {
         self.age += elapsed;
         if self.age >= self.next_sweep {
             let age = self.age;
+            let before = self.entries.len();
             self.entries.retain(|_, e| !e.ttl_at(age).is_zero());
             self.next_sweep = age + SWEEP_EVERY;
+            return (before - self.entries.len()) as u64;
         }
+        0
     }
 
     /// Removes the entry for `dest`, if any (and live).

@@ -116,6 +116,10 @@ impl PeerSampler for NylonEngine {
             && self.net().is_alive(d.id)
             && (d.class.is_public() || self.routing_of(holder).next_rvp(d.id).is_some())
     }
+
+    fn obs_report(&self, out: &mut nylon_obs::Report) {
+        NylonEngine::obs_report(self, out);
+    }
 }
 
 /// Configuration newtype binding [`GossipConfig`] parameters to the
@@ -209,6 +213,10 @@ impl PeerSampler for StaticRvpEngine {
 
     fn edge_usable(&self, holder: PeerId, d: &NodeDescriptor) -> bool {
         StaticRvpEngine::edge_usable(self, holder, d)
+    }
+
+    fn obs_report(&self, out: &mut nylon_obs::Report) {
+        StaticRvpEngine::obs_report(self, out);
     }
 }
 

@@ -215,6 +215,24 @@ impl StaticRvpEngine {
         self.stats
     }
 
+    /// Reports kernel, net, and engine-layer telemetry into `out`.
+    /// Read-only: see `PeerSampler::obs_report`'s contract.
+    pub fn obs_report(&self, out: &mut nylon_obs::Report) {
+        self.sim.obs_report(out);
+        self.net.obs_report(out);
+        self.entry_pool.obs_report(out);
+        self.id_pool.obs_report(out);
+        let s = &self.stats;
+        out.counter("engine.static_rvp", "shuffles_initiated", s.shuffles_initiated);
+        out.counter("engine.static_rvp", "empty_view_rounds", s.empty_view_rounds);
+        out.counter("engine.static_rvp", "rvp_relays", s.relays);
+        out.counter("engine.static_rvp", "rvp_relay_failures", s.relay_failures);
+        out.counter("engine.static_rvp", "pings_sent", s.pings_sent);
+        out.counter("engine.static_rvp", "requests_completed", s.requests_completed);
+        out.counter("engine.static_rvp", "responses_completed", s.responses_completed);
+        out.counter("engine.static_rvp", "rebinds", s.rebinds);
+    }
+
     /// Adds a peer. Natted peers are bound to a uniformly random public RVP
     /// when the engine starts.
     pub fn add_peer(&mut self, class: NatClass) -> PeerId {
@@ -628,6 +646,10 @@ impl ShardWorker for StaticRvpEngine {
             let at = f.arrive_at;
             self.sim.schedule_at(at, Ev::Deliver(self.flights.insert(f)));
         }
+    }
+
+    fn envelope_bytes(envelope: &InFlight<StaticRvpMsg>) -> u64 {
+        envelope.wire_bytes as u64
     }
 }
 

@@ -321,6 +321,21 @@ impl BaselineEngine {
         self.stats
     }
 
+    /// Reports kernel, net, and engine-layer telemetry into `out`.
+    /// Read-only: see [`PeerSampler::obs_report`]'s contract.
+    ///
+    /// [`PeerSampler::obs_report`]: crate::PeerSampler::obs_report
+    pub fn obs_report(&self, out: &mut nylon_obs::Report) {
+        self.sim.obs_report(out);
+        self.net.obs_report(out);
+        self.payload_pool.obs_report(out);
+        self.id_pool.obs_report(out);
+        out.counter("engine.baseline", "shuffles_initiated", self.stats.initiated);
+        out.counter("engine.baseline", "empty_view_rounds", self.stats.empty_view_rounds);
+        out.counter("engine.baseline", "requests_received", self.stats.requests_received);
+        out.counter("engine.baseline", "responses_received", self.stats.responses_received);
+    }
+
     /// Adds a peer of the given NAT class and returns its id.
     ///
     /// If the engine is already running, the peer starts shuffling one
@@ -645,6 +660,10 @@ impl ShardWorker for BaselineEngine {
             let at = f.arrive_at;
             self.sim.schedule_at(at, Ev::Deliver(self.flights.insert(f)));
         }
+    }
+
+    fn envelope_bytes(envelope: &InFlight<BaselineMsg>) -> u64 {
+        envelope.wire_bytes as u64
     }
 }
 

@@ -276,6 +276,22 @@ impl PeerSwapEngine {
         self.stats
     }
 
+    /// Reports kernel, net, and engine-layer telemetry into `out`.
+    /// Read-only: see [`PeerSampler::obs_report`]'s contract.
+    ///
+    /// [`PeerSampler::obs_report`]: crate::PeerSampler::obs_report
+    pub fn obs_report(&self, out: &mut nylon_obs::Report) {
+        self.sim.obs_report(out);
+        self.net.obs_report(out);
+        self.payload_pool.obs_report(out);
+        self.id_pool.obs_report(out);
+        out.counter("engine.peerswap", "swaps_initiated", self.stats.swaps_initiated);
+        out.counter("engine.peerswap", "empty_view_rounds", self.stats.empty_view_rounds);
+        out.counter("engine.peerswap", "requests_received", self.stats.requests_received);
+        out.counter("engine.peerswap", "responses_received", self.stats.responses_received);
+        out.counter("engine.peerswap", "swaps_unanswered", self.stats.swaps_unanswered);
+    }
+
     /// Adds a peer of the given NAT class and returns its id. A peer added
     /// to a running engine starts swapping one random phase into the next
     /// period.
@@ -684,6 +700,10 @@ impl crate::sampler::PeerSampler for PeerSwapEngine {
     fn edge_usable(&self, holder: PeerId, d: &NodeDescriptor) -> bool {
         PeerSwapEngine::edge_usable(self, holder, d)
     }
+
+    fn obs_report(&self, out: &mut nylon_obs::Report) {
+        PeerSwapEngine::obs_report(self, out);
+    }
 }
 
 impl crate::sharded::ShardSampler for PeerSwapEngine {
@@ -744,6 +764,10 @@ impl ShardWorker for PeerSwapEngine {
             let at = f.arrive_at;
             self.sim.schedule_at(at, Ev::Deliver(self.flights.insert(f)));
         }
+    }
+
+    fn envelope_bytes(envelope: &InFlight<BaselineMsg>) -> u64 {
+        envelope.wire_bytes as u64
     }
 }
 

@@ -130,6 +130,15 @@ pub trait PeerSampler: Sized {
     /// holder cannot use does not keep the overlay connected (the paper's
     /// Section 3 reading of "network partitions").
     fn edge_usable(&self, holder: PeerId, descriptor: &NodeDescriptor) -> bool;
+
+    /// Reports the engine's runtime telemetry (kernel, net, and
+    /// engine-layer counters) into `out`. Called at cell boundaries by the
+    /// experiment harness when `--stats` is active; never on a hot path.
+    ///
+    /// Implementations must only *read* state — reporting may not draw
+    /// randomness or schedule events, so a run with stats on replays
+    /// byte-identically. Default: nothing to report.
+    fn obs_report(&self, _out: &mut nylon_obs::Report) {}
 }
 
 impl SamplerConfig for GossipConfig {
@@ -221,6 +230,10 @@ impl PeerSampler for BaselineEngine {
         d.id.index() < self.net().peer_count()
             && self.net().is_alive(d.id)
             && self.net().reachable(self.now(), holder, d.id, d.addr)
+    }
+
+    fn obs_report(&self, out: &mut nylon_obs::Report) {
+        BaselineEngine::obs_report(self, out);
     }
 }
 

@@ -269,6 +269,24 @@ impl<E: ShardSampler> PeerSampler for Sharded<E> {
         }
         E::edge_usable_sharded(self.shard_of(holder), self.shard_of(d.id), holder, d)
     }
+
+    /// Merges every worker's report (counters sum, gauges max, histograms
+    /// merge exactly — all commutative, so the result is independent of
+    /// shard count and iteration order), plus the driver's exchange/stall
+    /// telemetry and a per-lane event breakdown for imbalance analysis.
+    fn obs_report(&self, out: &mut nylon_obs::Report) {
+        self.sim.obs_report(out);
+        for (i, worker) in self.shards().iter().enumerate() {
+            let mut lane = nylon_obs::Report::new();
+            worker.obs_report(&mut lane);
+            if let Some(nylon_obs::MetricValue::Counter(events)) =
+                lane.get("kernel", "events_processed")
+            {
+                out.counter("shard", &format!("lane{i}_events"), *events);
+            }
+            out.absorb(&lane);
+        }
+    }
 }
 
 impl ShardSampler for BaselineEngine {

@@ -255,6 +255,9 @@ pub struct Network<P> {
     /// shard without caring how sends from *different* peers interleave.
     peer_rng: Vec<SimRng>,
     alive_count: usize,
+    /// Distribution of per-datagram wire sizes, recorded at every send
+    /// (zero-sized no-op unless the telemetry feature is on).
+    wire_hist: nylon_obs::Histogram,
     _payload: std::marker::PhantomData<fn() -> P>,
 }
 
@@ -278,8 +281,38 @@ impl<P> Network<P> {
             rng: SimRng::new(seed).fork(0x6E65_7477), // "netw"
             peer_rng: Vec::new(),
             alive_count: 0,
+            wire_hist: nylon_obs::Histogram::new(),
             _payload: std::marker::PhantomData,
         }
+    }
+
+    /// Reports net-layer telemetry into `out`: traffic totals across all
+    /// peers, the wire-size distribution, and every drop counter. Read-only
+    /// over existing state — stats on/off cannot change a run.
+    pub fn obs_report(&self, out: &mut nylon_obs::Report) {
+        let mut totals = TrafficStats::default();
+        for st in &self.stats {
+            totals.bytes_sent += st.bytes_sent;
+            totals.bytes_received += st.bytes_received;
+            totals.msgs_sent += st.msgs_sent;
+            totals.msgs_received += st.msgs_received;
+        }
+        out.counter("net", "bytes_sent", totals.bytes_sent);
+        out.counter("net", "bytes_received", totals.bytes_received);
+        out.counter("net", "datagrams_sent", totals.msgs_sent);
+        out.counter("net", "datagrams_received", totals.msgs_received);
+        out.gauge("net", "alive_peers", self.alive_count as u64);
+        let snap = self.wire_hist.snapshot();
+        if snap.count > 0 {
+            out.histogram("net", "wire_bytes", snap);
+        }
+        out.counter("net", "drop_loss", self.drops.loss);
+        out.counter("net", "drop_no_route", self.drops.no_route);
+        out.counter("net", "drop_target_dead", self.drops.target_dead);
+        out.counter("net", "drop_source_dead", self.drops.source_dead);
+        out.counter("net", "drop_no_mapping", self.drops.no_mapping);
+        out.counter("net", "drop_filtered", self.drops.filtered);
+        out.counter("net", "drops_total", self.drops.total());
     }
 
     /// The fabric configuration.
@@ -395,6 +428,7 @@ impl<P> Network<P> {
         let st = &mut self.stats[peer.index()];
         st.bytes_sent += wire_bytes as u64;
         st.msgs_sent += 1;
+        self.wire_hist.record(wire_bytes as u64);
 
         if self.cfg.loss_probability > 0.0
             && self.peer_rng[peer.index()].chance(self.cfg.loss_probability)

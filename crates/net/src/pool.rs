@@ -99,6 +99,14 @@ impl<T> BufferPool<T> {
     pub fn stats(&self) -> PoolStats {
         self.stats
     }
+
+    /// Reports this pool's hit/miss counters into the `kernel` telemetry
+    /// layer. Counters merge by addition, so an engine's pools sum.
+    pub fn obs_report(&self, out: &mut nylon_obs::Report) {
+        out.counter("kernel", "pool_acquired", self.stats.acquired);
+        out.counter("kernel", "pool_recycled", self.stats.recycled);
+        out.counter("kernel", "pool_released", self.stats.released);
+    }
 }
 
 impl<T> Default for BufferPool<T> {

@@ -94,6 +94,9 @@ pub struct EventQueue<E> {
     /// come off the back in O(1). All entries share one firing time
     /// (= `elapsed`).
     pending: Vec<Entry<E>>,
+    /// High-water mark of `len` (zero-sized no-op unless the telemetry
+    /// feature is on — see `nylon-obs`).
+    depth_hwm: nylon_obs::Gauge,
 }
 
 impl<E> EventQueue<E> {
@@ -105,6 +108,7 @@ impl<E> EventQueue<E> {
             levels: std::array::from_fn(|_| Level::new()),
             overflow: BTreeMap::new(),
             pending: Vec::new(),
+            depth_hwm: nylon_obs::Gauge::new(),
         }
     }
 
@@ -149,6 +153,24 @@ impl<E> EventQueue<E> {
         );
         self.insert(Entry { at, event });
         self.len += 1;
+        self.depth_hwm.set_max(self.len as u64);
+    }
+
+    /// High-water mark of the queue depth since construction (0 when the
+    /// telemetry feature is off).
+    pub fn depth_hwm(&self) -> u64 {
+        self.depth_hwm.get()
+    }
+
+    /// Events currently parked in each wheel level (report-time telemetry;
+    /// walks the slot vectors, so not for hot paths).
+    pub fn level_sizes(&self) -> [usize; LEVELS] {
+        std::array::from_fn(|l| self.levels[l].slots.iter().map(Vec::len).sum())
+    }
+
+    /// Number of occupied far-future calendar buckets.
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
     }
 
     #[inline]

@@ -113,6 +113,44 @@ pub trait ShardWorker: Send {
     /// time, then sending node — per-sender order is already positional)
     /// before scheduling, so the result is independent of the shard count.
     fn absorb(&mut self, batch: Vec<Self::Envelope>);
+
+    /// Wire size attributed to one envelope in cross-shard traffic
+    /// telemetry. Purely observational — the default of 0 simply leaves
+    /// the byte counters empty for workers that don't carry a size.
+    fn envelope_bytes(_envelope: &Self::Envelope) -> u64 {
+        0
+    }
+}
+
+/// Per-shard exchange telemetry (all fields are zero-sized no-ops unless
+/// the `nylon-obs` `enabled` feature is on).
+#[derive(Debug, Default)]
+struct LaneObs {
+    /// Lockstep ticks this lane ran.
+    ticks: nylon_obs::Counter,
+    /// Envelopes this lane staged into the exchange (all destinations).
+    envelopes: nylon_obs::Counter,
+    /// Wire bytes those envelopes carried (per `ShardWorker::envelope_bytes`).
+    bytes: nylon_obs::Counter,
+    /// Wall-clock nanoseconds this lane spent blocked on the two tick
+    /// barriers — the lockstep imbalance cost.
+    stall_ns: nylon_obs::Counter,
+}
+
+impl LaneObs {
+    /// Counts one staged outbox (a tick's worth of envelopes).
+    #[inline]
+    fn note_staged<W: ShardWorker>(&self, staged: &[Vec<W::Envelope>]) {
+        if nylon_obs::ENABLED {
+            self.ticks.inc();
+            for per_dst in staged {
+                self.envelopes.add(per_dst.len() as u64);
+                for env in per_dst {
+                    self.bytes.add(W::envelope_bytes(env));
+                }
+            }
+        }
+    }
 }
 
 /// Runs `S` [`ShardWorker`]s in lockstep ticks, exchanging their outboxes
@@ -124,6 +162,7 @@ pub trait ShardWorker: Send {
 #[derive(Debug)]
 pub struct ShardedSim<W: ShardWorker> {
     workers: Vec<W>,
+    lane_obs: Vec<LaneObs>,
     tick: SimDuration,
     now: SimTime,
 }
@@ -139,7 +178,27 @@ impl<W: ShardWorker> ShardedSim<W> {
     pub fn new(workers: Vec<W>, tick: SimDuration) -> Self {
         assert!(!workers.is_empty(), "a sharded sim needs at least one worker");
         assert!(tick > SimDuration::ZERO, "lockstep tick must be positive (zero-latency network?)");
-        ShardedSim { workers, tick, now: SimTime::ZERO }
+        let lane_obs = workers.iter().map(|_| LaneObs::default()).collect();
+        ShardedSim { workers, lane_obs, tick, now: SimTime::ZERO }
+    }
+
+    /// Reports shard-layer telemetry into `out`: per-lane and total
+    /// envelope/byte traffic through the tick exchange, plus the
+    /// wall-clock barrier stall per lane (the lockstep imbalance cost).
+    pub fn obs_report(&self, out: &mut nylon_obs::Report) {
+        out.gauge("shard", "lanes", self.lane_obs.len() as u64);
+        let (mut envs, mut bytes, mut stall) = (0u64, 0u64, 0u64);
+        for (i, lane) in self.lane_obs.iter().enumerate() {
+            envs += lane.envelopes.get();
+            bytes += lane.bytes.get();
+            stall += lane.stall_ns.get();
+            out.counter("shard", &format!("lane{i}_envelopes"), lane.envelopes.get());
+            out.counter("shard", &format!("lane{i}_stall_ns"), lane.stall_ns.get());
+        }
+        out.counter("shard", "ticks", self.lane_obs.first().map_or(0, |l| l.ticks.get()));
+        out.counter("shard", "outbox_envelopes", envs);
+        out.counter("shard", "outbox_bytes", bytes);
+        out.counter("shard", "stall_ns", stall);
     }
 
     /// Current lockstep time (all shards' local clocks agree with this
@@ -173,10 +232,12 @@ impl<W: ShardWorker> ShardedSim<W> {
         let shards = self.workers.len();
         if shards == 1 {
             let worker = &mut self.workers[0];
+            let obs = &self.lane_obs[0];
             let mut out = vec![Vec::new()];
             while self.now < deadline {
                 let boundary = (self.now + self.tick).min(deadline);
                 worker.run_tick(boundary, &mut out);
+                obs.note_staged::<W>(&out);
                 worker.absorb(std::mem::take(&mut out[0]));
                 self.now = boundary;
             }
@@ -195,7 +256,9 @@ impl<W: ShardWorker> ShardedSim<W> {
         let tick = self.tick;
 
         std::thread::scope(|scope| {
-            for (idx, worker) in self.workers.iter_mut().enumerate() {
+            for ((idx, worker), obs) in
+                self.workers.iter_mut().enumerate().zip(self.lane_obs.iter_mut())
+            {
                 let outboxes = &outboxes;
                 let staged = &staged;
                 let absorbed = &absorbed;
@@ -209,8 +272,16 @@ impl<W: ShardWorker> ShardedSim<W> {
                     while now < deadline {
                         let boundary = (now + tick).min(deadline);
                         worker.run_tick(boundary, &mut local);
+                        obs.note_staged::<W>(&local);
                         *outboxes[idx].lock().unwrap() = std::mem::take(&mut local);
+                        // Barrier stall is wall-clock-only telemetry: it
+                        // never feeds back into the simulation, so timing
+                        // jitter cannot perturb determinism.
+                        let stall_from = nylon_obs::ENABLED.then(std::time::Instant::now);
                         staged.wait();
+                        if let Some(t) = stall_from {
+                            obs.stall_ns.add(t.elapsed().as_nanos() as u64);
+                        }
                         let mut batch = Vec::new();
                         for src in outboxes {
                             let mut published = src.lock().unwrap();
@@ -220,7 +291,11 @@ impl<W: ShardWorker> ShardedSim<W> {
                             batch.append(&mut published[idx]);
                         }
                         worker.absorb(batch);
+                        let stall_from = nylon_obs::ENABLED.then(std::time::Instant::now);
                         absorbed.wait();
+                        if let Some(t) = stall_from {
+                            obs.stall_ns.add(t.elapsed().as_nanos() as u64);
+                        }
                         // All readers are past the barrier: reclaim the
                         // (now drained) staging vectors to reuse their
                         // capacity for the next tick.

@@ -136,6 +136,18 @@ impl NatEmulator {
     pub fn drop_counters(&self) -> DropCounters {
         self.net.lock().expect("emulator lock poisoned").drop_counters()
     }
+
+    /// Reports middlebox activity under the `emulator` telemetry layer:
+    /// frames forwarded (source endpoints rewritten), malformed frames,
+    /// and the fabric's ingress verdicts by drop cause.
+    pub fn obs_report(&self, out: &mut nylon_obs::Report) {
+        out.counter("emulator", "forwarded", self.forwarded());
+        out.counter("emulator", "malformed", self.malformed());
+        let drops = self.drop_counters();
+        out.counter("emulator", "drop_no_route", drops.no_route);
+        out.counter("emulator", "drop_no_mapping", drops.no_mapping);
+        out.counter("emulator", "drop_filtered", drops.filtered);
+    }
 }
 
 impl Drop for NatEmulator {

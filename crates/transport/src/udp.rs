@@ -53,6 +53,9 @@ pub struct UdpTransport<P> {
     threads: Vec<JoinHandle<()>>,
     decode_errors: Arc<AtomicU64>,
     overflow_drops: Arc<AtomicU64>,
+    packets_sent: nylon_obs::AtomicCounter,
+    bytes_sent: nylon_obs::AtomicCounter,
+    packets_received: Arc<nylon_obs::AtomicCounter>,
 }
 
 impl<P: WireMessage + Send + 'static> UdpTransport<P> {
@@ -73,6 +76,7 @@ impl<P: WireMessage + Send + 'static> UdpTransport<P> {
         let shutdown = Arc::new(AtomicBool::new(false));
         let decode_errors = Arc::new(AtomicU64::new(0));
         let overflow_drops = Arc::new(AtomicU64::new(0));
+        let packets_received = Arc::new(nylon_obs::AtomicCounter::new());
         let mut threads = Vec::with_capacity(sockets.len());
         for (i, socket) in sockets.iter().enumerate() {
             let peer = PeerId(i as u32);
@@ -89,9 +93,19 @@ impl<P: WireMessage + Send + 'static> UdpTransport<P> {
             let shutdown = Arc::clone(&shutdown);
             let decode_errors = Arc::clone(&decode_errors);
             let overflow_drops = Arc::clone(&overflow_drops);
+            let packets_received = Arc::clone(&packets_received);
             let handle =
                 std::thread::Builder::new().name(format!("udp-recv-{peer}")).spawn(move || {
-                    receive_loop(peer, addr, &sock, &tx, &shutdown, &decode_errors, &overflow_drops)
+                    receive_loop(
+                        peer,
+                        addr,
+                        &sock,
+                        &tx,
+                        &shutdown,
+                        &decode_errors,
+                        &overflow_drops,
+                        &packets_received,
+                    )
                 })?;
             threads.push(handle);
         }
@@ -105,6 +119,9 @@ impl<P: WireMessage + Send + 'static> UdpTransport<P> {
             threads,
             decode_errors,
             overflow_drops,
+            packets_sent: nylon_obs::AtomicCounter::new(),
+            bytes_sent: nylon_obs::AtomicCounter::new(),
+            packets_received,
         })
     }
 
@@ -132,8 +149,18 @@ impl<P: WireMessage + Send + 'static> UdpTransport<P> {
     pub fn overflow_drops(&self) -> u64 {
         self.overflow_drops.load(Ordering::Relaxed)
     }
+
+    /// Reports live-path traffic under the `live` telemetry layer.
+    pub fn obs_report(&self, out: &mut nylon_obs::Report) {
+        out.counter("live", "packets_sent", self.packets_sent.get());
+        out.counter("live", "bytes_sent", self.bytes_sent.get());
+        out.counter("live", "packets_received", self.packets_received.get());
+        out.counter("live", "decode_errors", self.decode_errors());
+        out.counter("live", "overflow_drops", self.overflow_drops());
+    }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn receive_loop<P: WireMessage>(
     peer: PeerId,
     addr: SocketAddr,
@@ -142,6 +169,7 @@ fn receive_loop<P: WireMessage>(
     shutdown: &AtomicBool,
     decode_errors: &AtomicU64,
     overflow_drops: &AtomicU64,
+    packets_received: &nylon_obs::AtomicCounter,
 ) {
     let mut buf = [0u8; 65_536];
     while !shutdown.load(Ordering::Relaxed) {
@@ -160,6 +188,7 @@ fn receive_loop<P: WireMessage>(
                 panic!("UdpTransport: receive thread of {peer} at {addr} failed: {e}");
             }
         };
+        packets_received.inc();
         match codec::decode_frame::<P>(&buf[..len]) {
             Ok(frame) => {
                 let arrival = Arrival { to: peer, from_ep: frame.src, payload: frame.payload };
@@ -208,6 +237,8 @@ impl<P: WireMessage + Send + 'static> Transport<P> for UdpTransport<P> {
         _payload_bytes: u32,
     ) {
         let frame = codec::encode_frame(src, dst, &payload);
+        self.packets_sent.inc();
+        self.bytes_sent.add(frame.len() as u64);
         let socket = &self.sockets[from.index()];
         socket.send_to(&frame, self.emulator).unwrap_or_else(|e| {
             let local = socket

@@ -3,14 +3,20 @@
 //! ```text
 //! repro [ARTIFACTS...] [--peers N] [--seeds K] [--rounds R] [--seed S]
 //!       [--full] [--jobs N] [--shards N] [--engine NAME] [--attack NAME]
-//!       [--checkpoint DIR] [--resume] [--csv] [--out DIR]
+//!       [--checkpoint DIR] [--resume] [--csv] [--out DIR] [--stats FILE]
 //!
 //! ARTIFACTS: table1 fig2 fig3 fig4 fig7 fig8 fig9 fig10 correctness
 //!            ablation extensions timeline randomness capture eclipse
 //!            all     (default: all)
 //!
 //! repro live [--peers N] [--nat-pct PCT] [--rounds R] [--period-ms MS]
-//!            [--seed S] [--no-compare] [--min-cluster PCT]
+//!            [--seed S] [--no-compare] [--min-cluster PCT] [--stats FILE]
+//!
+//! repro stats-report FILE
+//!
+//! The `stats-report` subcommand summarizes the JSONL a `--stats` run
+//! wrote: per-layer metric table plus derived events/s, allocations
+//! avoided, cell latency quantiles and per-shard imbalance.
 //!
 //! The `live` subcommand runs the on-wire demo instead: N in-process
 //! nodes over real loopback UDP behind the user-space NAT emulator,
@@ -40,6 +46,10 @@
 //! --resume         restore already-computed cells from the checkpoint
 //! --csv            print CSV instead of markdown
 //! --out DIR        also write one .csv file per table into DIR
+//! --stats FILE     record runtime telemetry snapshots (schema-versioned
+//!                  JSONL) to FILE; requires a build with the `obs`
+//!                  feature (the default). Telemetry only observes:
+//!                  figure output is byte-identical with or without it.
 //! ```
 //!
 //! All requested artifacts execute as **one** experiment: their sweeps
@@ -69,6 +79,9 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("live") {
         return live_main(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("stats-report") {
+        return stats_report_main(&args[1..]);
+    }
     let mut overrides = ScaleOverrides::default();
     let mut full = false;
     let mut names: Vec<String> = Vec::new();
@@ -80,6 +93,7 @@ fn main() -> ExitCode {
     let mut attack: Option<AttackKind> = None;
     let mut checkpoint: Option<String> = None;
     let mut resume = false;
+    let mut stats: Option<String> = None;
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -132,6 +146,10 @@ fn main() -> ExitCode {
                 None => return usage("--checkpoint needs a directory"),
             },
             "--resume" => resume = true,
+            "--stats" => match it.next() {
+                Some(v) => stats = Some(v.clone()),
+                None => return usage("--stats needs a file path"),
+            },
             "--csv" => csv = true,
             "--out" => match it.next() {
                 Some(v) => out_dir = Some(v.clone()),
@@ -144,6 +162,12 @@ fn main() -> ExitCode {
     }
     if resume && checkpoint.is_none() {
         return usage("--resume needs --checkpoint DIR");
+    }
+    if let Some(path) = &stats {
+        // Install before any cell runs so every merge lands in the sink.
+        if let Err(e) = nylon_obs::install(std::path::Path::new(path)) {
+            eprintln!("warning: --stats {path} disabled: {e}");
+        }
     }
     if names.is_empty() || names.iter().any(|n| n == "all") {
         names = FIGURES.iter().map(|s| s.to_string()).collect();
@@ -227,9 +251,10 @@ fn main() -> ExitCode {
         fingerprint: scale.fingerprint(),
     };
     eprintln!("[repro] {} cells across {} artifacts", experiment.cell_count(), renders.len());
-    let started = std::time::Instant::now();
     let results = experiment.run(&opts);
-    eprintln!("[repro] all cells done in {:.1?}", started.elapsed());
+    if stats.is_some() {
+        nylon_obs::final_snapshot();
+    }
 
     for (name, render) in renders {
         let tables = render(&results);
@@ -253,6 +278,31 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The `repro stats-report` subcommand: summarize a `--stats` JSONL file.
+fn stats_report_main(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        eprintln!("usage: repro stats-report FILE");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match nylon_workloads::stats_report::render(&text) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// The `repro live` subcommand: the on-wire loopback-UDP demo.
 fn live_main(args: &[String]) -> ExitCode {
     use nylon_workloads::live::{run_live, run_sim_twin, LiveScale, OverlaySnapshot};
@@ -260,6 +310,7 @@ fn live_main(args: &[String]) -> ExitCode {
     let mut scale = LiveScale::default();
     let mut compare = true;
     let mut min_cluster = 50.0f64;
+    let mut stats: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -288,12 +339,21 @@ fn live_main(args: &[String]) -> ExitCode {
                 None => return live_usage("--min-cluster needs a number"),
             },
             "--no-compare" => compare = false,
+            "--stats" => match it.next() {
+                Some(v) => stats = Some(v.clone()),
+                None => return live_usage("--stats needs a file path"),
+            },
             "--help" | "-h" => return live_usage(""),
             other => return live_usage(&format!("unknown flag {other}")),
         }
     }
     if let Err(e) = scale.validate() {
         return live_usage(&e);
+    }
+    if let Some(path) = &stats {
+        if let Err(e) = nylon_obs::install(std::path::Path::new(path)) {
+            eprintln!("warning: --stats {path} disabled: {e}");
+        }
     }
 
     eprintln!(
@@ -339,6 +399,9 @@ fn live_main(args: &[String]) -> ExitCode {
             live.overlay.cluster_pct - sim.cluster_pct
         );
     }
+    if stats.is_some() {
+        nylon_obs::final_snapshot();
+    }
     if live.overlay.cluster_pct < min_cluster {
         eprintln!(
             "error: live overlay cluster {:.1}% is below the {min_cluster}% floor",
@@ -354,7 +417,7 @@ fn live_usage(err: &str) -> ExitCode {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro live [--peers N] [--nat-pct PCT] [--rounds R] [--period-ms MS] [--seed S] [--no-compare] [--min-cluster PCT]"
+        "usage: repro live [--peers N] [--nat-pct PCT] [--rounds R] [--period-ms MS] [--seed S] [--no-compare] [--min-cluster PCT] [--stats FILE]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS
@@ -376,8 +439,9 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro [ARTIFACTS...] [--peers N] [--seeds K] [--rounds R] [--seed S] [--full] [--jobs N] [--shards N] [--engine NAME] [--attack NAME] [--checkpoint DIR] [--resume] [--csv] [--out DIR]"
+        "usage: repro [ARTIFACTS...] [--peers N] [--seeds K] [--rounds R] [--seed S] [--full] [--jobs N] [--shards N] [--engine NAME] [--attack NAME] [--checkpoint DIR] [--resume] [--csv] [--out DIR] [--stats FILE]"
     );
+    eprintln!("       repro stats-report FILE");
     eprintln!("artifacts: {} all", FIGURES.join(" "));
     eprintln!("engines: {}", engine_names());
     eprintln!("attacks: {}", attack_names());

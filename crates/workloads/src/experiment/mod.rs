@@ -317,6 +317,10 @@ impl Experiment {
             ));
         }
 
+        // One run-wide clock: every worker measures its cells as offsets
+        // from the same epoch, and the same durations feed both the
+        // progress lines and the `exec` telemetry layer.
+        let timer = nylon_obs::PhaseTimer::start();
         let cursor = AtomicUsize::new(0);
         let failure: Mutex<Option<(CellId, String)>> = Mutex::new(None);
         let workers = opts.effective_jobs().min(pending.len()).max(1);
@@ -336,10 +340,17 @@ impl Experiment {
                         break;
                     }
                     let cell = &cells[pending[k]];
-                    let cell_started = std::time::Instant::now();
+                    let cell_mark = timer.mark();
                     match catch_unwind(AssertUnwindSafe(|| (cell.point.run)(cell.seed))) {
                         Ok(values) => {
-                            let elapsed = cell_started.elapsed();
+                            let elapsed = cell_mark.elapsed(&timer);
+                            if nylon_obs::is_active() {
+                                let mut r = nylon_obs::Report::new();
+                                r.counter("exec", "cells_completed", 1);
+                                r.observe("exec", "cell_wall_ms", elapsed.as_millis() as u64);
+                                nylon_obs::merge_report(&r);
+                                nylon_obs::periodic_snapshot();
+                            }
                             if let Some(w) = &writer {
                                 let line = checkpoint::cell_line(&cell.id(), &values);
                                 let mut file = w.lock().expect("checkpoint lock poisoned");
@@ -382,6 +393,13 @@ impl Experiment {
         });
         if let Some((id, msg)) = failure.into_inner().expect("failure lock poisoned") {
             panic!("experiment cell {}::{} seed={} panicked: {msg}", id.sweep, id.point, id.seed);
+        }
+        let run_wall = timer.elapsed();
+        progress(&format!("all cells done in {run_wall:.1?}"));
+        if nylon_obs::is_active() {
+            let mut r = nylon_obs::Report::new();
+            r.gauge("exec", "run_wall_ms", run_wall.as_millis() as u64);
+            nylon_obs::merge_report(&r);
         }
 
         let mut results = Results::default();

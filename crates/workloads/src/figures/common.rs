@@ -12,7 +12,7 @@ use nylon_gossip::{GossipConfig, PeerSampler, Sharded, ShardedConfig};
 use nylon_metrics::{BandwidthReport, Summary};
 use nylon_net::TrafficStats;
 
-use crate::runner::{biggest_cluster_pct, build, seeds, staleness};
+use crate::runner::{biggest_cluster_pct, build, obs_flush, seeds, staleness};
 use crate::scenario::{NatMix, Scenario};
 
 use super::{EngineKind, FigureScale};
@@ -104,7 +104,9 @@ pub fn baseline_cluster_sample(
 ) -> Vec<f64> {
     fn measure<S: PeerSampler>(mut eng: S, rounds: u64) -> Vec<f64> {
         eng.run_rounds(rounds);
-        vec![biggest_cluster_pct(&eng)]
+        let pct = biggest_cluster_pct(&eng);
+        obs_flush(&eng);
+        vec![pct]
     }
     let scn = Scenario {
         mix: NatMix::prc_only(),
@@ -130,7 +132,9 @@ pub fn engine_cluster_sample(
 ) -> Vec<f64> {
     fn measure<S: PeerSampler>(mut eng: S, rounds: u64) -> Vec<f64> {
         eng.run_rounds(rounds);
-        vec![biggest_cluster_pct(&eng)]
+        let pct = biggest_cluster_pct(&eng);
+        obs_flush(&eng);
+        vec![pct]
     }
     let scn = Scenario {
         mix: NatMix::prc_only(),
@@ -165,6 +169,7 @@ pub fn baseline_staleness_sample(
             stale += rep.stale_pct / 3.0;
             natted += rep.natted_nonstale_pct / 3.0;
         }
+        obs_flush(&eng);
         vec![stale, natted]
     }
     let kind = scale.engine.unwrap_or(EngineKind::Baseline);
@@ -198,6 +203,7 @@ pub fn bandwidth_by_class<S: PeerSampler>(eng: &mut S, rounds: u64) -> (f64, f64
 pub fn nylon_bandwidth_sample(scale: &FigureScale, nat_pct: f64, seed: u64) -> Vec<f64> {
     fn measure<S: PeerSampler>(mut eng: S, rounds: u64) -> Vec<f64> {
         let (overall, public, natted) = bandwidth_by_class(&mut eng, rounds);
+        obs_flush(&eng);
         vec![overall, public, natted]
     }
     let scn = Scenario::new(scale.peers, nat_pct, seed);
@@ -208,15 +214,16 @@ pub fn nylon_bandwidth_sample(scale: &FigureScale, nat_pct: f64, seed: u64) -> V
 /// Bandwidth of the NAT-oblivious reference, (push/pull, rand, healer), in
 /// a NAT-free population (Figure 7's flat "Reference" line): `[overall]`.
 pub fn reference_bandwidth_sample(scale: &FigureScale, seed: u64) -> Vec<f64> {
+    fn measure<S: PeerSampler>(mut eng: S, rounds: u64) -> Vec<f64> {
+        let (overall, _, _) = bandwidth_by_class(&mut eng, rounds);
+        obs_flush(&eng);
+        vec![overall]
+    }
     let scn = Scenario::new(scale.peers, 0.0, seed);
-    let (overall, _, _) = match scale.shards {
-        0 => bandwidth_by_class(&mut build(&scn, GossipConfig::default()), scale.rounds),
-        s => bandwidth_by_class(
-            &mut build(&scn, ShardedConfig::new(GossipConfig::default(), s)),
-            scale.rounds,
-        ),
-    };
-    vec![overall]
+    match scale.shards {
+        0 => measure(build(&scn, GossipConfig::default()), scale.rounds),
+        s => measure(build(&scn, ShardedConfig::new(GossipConfig::default(), s)), scale.rounds),
+    }
 }
 
 /// Mean RVP chain length for Nylon at one NAT percentage over the
@@ -236,6 +243,7 @@ pub fn nylon_chain_sample(
         let after = eng.nylon_stats();
         let hops = after.chain_hops_sum - before.chain_hops_sum;
         let samples = after.chain_samples - before.chain_samples;
+        obs_flush(&eng);
         vec![if samples == 0 { f64::NAN } else { hops as f64 / samples as f64 }]
     }
     let scn = Scenario { view_size, ..Scenario::new(scale.peers, nat_pct, seed) };

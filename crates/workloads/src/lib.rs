@@ -18,6 +18,8 @@
 //! * [`live`] — the `repro live` demo: the same engine on real loopback
 //!   UDP sockets behind emulated NATs, compared against its simulated
 //!   twin.
+//! * [`stats_report`] — the `repro stats-report` summarizer over the
+//!   JSONL a `--stats` run wrote through the [`nylon_obs`] sink.
 //!
 //! The `repro` binary exposes all of it:
 //!
@@ -37,6 +39,7 @@ pub mod live;
 pub mod output;
 pub mod runner;
 pub mod scenario;
+pub mod stats_report;
 
 pub use experiment::{ExecOptions, Experiment, Results, Sweep};
 pub use figures::{FigureScale, Plan};

@@ -148,7 +148,14 @@ pub fn run_live(scale: &LiveScale) -> std::io::Result<LiveOutcome> {
     let mut runner = LiveRunner::new(engine, transport, tick);
     runner.run_rounds(scale.rounds);
     let decode_errors = runner.transport().decode_errors();
+    if nylon_obs::is_active() {
+        let mut r = nylon_obs::Report::new();
+        runner.transport().obs_report(&mut r);
+        emulator.obs_report(&mut r);
+        nylon_obs::merge_report(&r);
+    }
     let engine = runner.into_engine();
+    crate::runner::obs_flush(&engine);
     Ok(LiveOutcome {
         overlay: snapshot(&engine),
         emulator_forwarded: emulator.forwarded(),

@@ -179,6 +179,20 @@ pub fn staleness<S: PeerSampler>(eng: &S) -> StalenessReport {
     })
 }
 
+/// Flushes an engine's telemetry into the process-global stats sink, if
+/// one is installed. Call right before the engine is dropped — a cell's
+/// counters are lost with it otherwise. A no-op (one branch) when no sink
+/// is active or the `obs` feature is off, so measurement code can call it
+/// unconditionally.
+pub fn obs_flush<S: PeerSampler>(eng: &S) {
+    if !nylon_obs::is_active() {
+        return;
+    }
+    let mut report = nylon_obs::Report::new();
+    eng.obs_report(&mut report);
+    nylon_obs::merge_report(&report);
+}
+
 /// Derives `count` seeds from a base seed.
 pub fn seeds(count: u64, base: u64) -> Vec<u64> {
     (0..count)

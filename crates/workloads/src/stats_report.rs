@@ -1,0 +1,395 @@
+//! `repro stats-report`: summarize a `--stats` JSONL file.
+//!
+//! Reads the snapshot lines the [`nylon_obs`] sink wrote, keeps the last
+//! one (the `"final"` snapshot of a completed run), and renders a
+//! per-layer markdown table plus the derived health numbers the layers
+//! only imply together: kernel events per wall second, allocations the
+//! buffer pools avoided, cell latency quantiles and per-shard imbalance.
+//!
+//! The parser is a deliberately small recursive-descent JSON reader — the
+//! vendored `serde` is a no-op stand-in (see `vendor/README.md`) and the
+//! input grammar is our own sink's output, so tolerance means skipping
+//! unparseable lines, not accepting arbitrary JSON extensions.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value (numbers as `f64`; every number our sink writes is
+/// a non-negative integer well inside `f64`'s exact range for display
+/// purposes, and derived ratios are floating point anyway).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        match self.peek() {
+            Some(c) if c == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(format!("expected '{}' at byte {}, found {other:?}", b as char, self.pos)),
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        // The sink never writes \b, \f or \uXXXX; keep the
+                        // raw escape character rather than failing.
+                        Some(c) => out.push(c as char),
+                        None => return Err("unterminated escape".to_string()),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) => {
+                    // Multi-byte UTF-8 sequences pass through byte by byte;
+                    // metric names are ASCII so display stays faithful.
+                    out.push(c as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', found {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+}
+
+fn parse_line(line: &str) -> Result<Json, String> {
+    let mut p = Parser::new(line);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes after value at {}", p.pos));
+    }
+    Ok(v)
+}
+
+/// One metric of the last snapshot, flattened for rendering.
+#[derive(Debug)]
+struct Metric {
+    kind: String,
+    value: u64,
+    hist: Option<(u64, u64, u64, u64)>, // (count, mean, p50, p99)
+}
+
+/// Summarizes a stats JSONL file as markdown.
+///
+/// Skips lines that fail to parse (a killed run can truncate its tail),
+/// but rejects files whose parseable lines carry the wrong schema tag or
+/// that contain no snapshot at all.
+pub fn render(text: &str) -> Result<String, String> {
+    let mut snapshots = 0usize;
+    let mut last: Option<Json> = None;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(v) = parse_line(line) else { continue };
+        match v.get("schema").and_then(Json::as_str) {
+            Some(s) if s == nylon_obs::SCHEMA => {}
+            Some(s) => {
+                return Err(format!("unsupported schema '{s}' (want {})", nylon_obs::SCHEMA))
+            }
+            None => continue,
+        }
+        snapshots += 1;
+        last = Some(v);
+    }
+    let last = last.ok_or_else(|| "no snapshot lines found".to_string())?;
+    let kind = last.get("kind").and_then(Json::as_str).unwrap_or("?").to_string();
+    let t_ms = last.get("t_ms").and_then(Json::as_u64).unwrap_or(0);
+
+    // Flatten layers -> metrics, keeping the sink's sorted order.
+    let mut layers: BTreeMap<String, BTreeMap<String, Metric>> = BTreeMap::new();
+    if let Some(Json::Obj(layer_fields)) = last.get("layers") {
+        for (layer, metrics) in layer_fields {
+            let Json::Obj(metric_fields) = metrics else { continue };
+            let entry = layers.entry(layer.clone()).or_default();
+            for (name, m) in metric_fields {
+                let kind = m.get("type").and_then(Json::as_str).unwrap_or("?").to_string();
+                let (value, hist) = if kind == "histogram" {
+                    let count = m.get("count").and_then(Json::as_u64).unwrap_or(0);
+                    let sum = m.get("sum").and_then(Json::as_u64).unwrap_or(0);
+                    let mean = sum.checked_div(count).unwrap_or(0);
+                    let p50 = m.get("p50").and_then(Json::as_u64).unwrap_or(0);
+                    let p99 = m.get("p99").and_then(Json::as_u64).unwrap_or(0);
+                    (count, Some((count, mean, p50, p99)))
+                } else {
+                    (m.get("value").and_then(Json::as_u64).unwrap_or(0), None)
+                };
+                entry.insert(name.clone(), Metric { kind, value, hist });
+            }
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "## stats report\n");
+    let _ = writeln!(out, "{snapshots} snapshot(s); last is `{kind}` at t={t_ms} ms\n");
+    let _ = writeln!(out, "| layer | metric | kind | value |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    for (layer, metrics) in &layers {
+        for (name, m) in metrics {
+            let shown = match m.hist {
+                Some((count, mean, p50, p99)) => {
+                    format!("count={count} mean={mean} p50={p50} p99={p99}")
+                }
+                None => m.value.to_string(),
+            };
+            let _ = writeln!(out, "| {layer} | {name} | {} | {shown} |", m.kind);
+        }
+    }
+
+    let _ = writeln!(out, "\n### derived\n");
+    let lookup = |layer: &str, metric: &str| -> Option<&Metric> {
+        layers.get(layer).and_then(|m| m.get(metric))
+    };
+    if let (Some(events), Some(wall)) =
+        (lookup("kernel", "events_processed"), lookup("exec", "run_wall_ms"))
+    {
+        if wall.value > 0 {
+            let rate = events.value as f64 / (wall.value as f64 / 1000.0);
+            let _ = writeln!(out, "- kernel events/s (wall): {rate:.0}");
+        }
+    }
+    if let Some(recycled) = lookup("kernel", "pool_recycled") {
+        let _ = writeln!(out, "- allocations avoided (pool recycles): {}", recycled.value);
+    }
+    if let Some((count, mean, p50, p99)) = lookup("exec", "cell_wall_ms").and_then(|m| m.hist) {
+        let _ = writeln!(
+            out,
+            "- cell latency: {count} cells, mean={mean} ms p50={p50} ms p99={p99} ms"
+        );
+    }
+    let lane_events: Vec<u64> = layers
+        .get("shard")
+        .map(|m| {
+            let mut lanes: Vec<(usize, u64)> = m
+                .iter()
+                .filter_map(|(name, metric)| {
+                    let idx = name.strip_prefix("lane")?.strip_suffix("_events")?;
+                    Some((idx.parse::<usize>().ok()?, metric.value))
+                })
+                .collect();
+            lanes.sort_unstable();
+            lanes.into_iter().map(|(_, v)| v).collect()
+        })
+        .unwrap_or_default();
+    if lane_events.len() > 1 {
+        let max = *lane_events.iter().max().expect("non-empty") as f64;
+        let mean = lane_events.iter().sum::<u64>() as f64 / lane_events.len() as f64;
+        if mean > 0.0 {
+            let _ = writeln!(
+                out,
+                "- per-shard imbalance (max/mean events over {} lanes): {:.3}",
+                lane_events.len(),
+                max / mean
+            );
+        }
+    }
+    if let Some(rss) = lookup("process", "peak_rss_bytes") {
+        let _ = writeln!(out, "- peak RSS: {:.1} MiB", rss.value as f64 / (1024.0 * 1024.0));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LINE: &str = "{\"schema\":\"nylon-obs/1\",\"kind\":\"final\",\"t_ms\":2000,\"layers\":{\
+        \"exec\":{\"cell_wall_ms\":{\"type\":\"histogram\",\"count\":4,\"sum\":100,\"min\":10,\
+        \"max\":40,\"p50\":23,\"p90\":39,\"p99\":40,\"buckets\":[[12,2],[20,2]]},\
+        \"run_wall_ms\":{\"type\":\"gauge\",\"value\":2000}},\
+        \"kernel\":{\"events_processed\":{\"type\":\"counter\",\"value\":5000},\
+        \"pool_recycled\":{\"type\":\"counter\",\"value\":123}},\
+        \"shard\":{\"lane0_events\":{\"type\":\"counter\",\"value\":100},\
+        \"lane1_events\":{\"type\":\"counter\",\"value\":300}}}}";
+
+    #[test]
+    fn parses_and_derives_from_a_snapshot_line() {
+        let text = format!("{LINE}\n{LINE}\n");
+        let report = render(&text).expect("valid file renders");
+        assert!(report.contains("2 snapshot(s)"), "{report}");
+        assert!(report.contains("| kernel | events_processed | counter | 5000 |"), "{report}");
+        assert!(report.contains("count=4 mean=25 p50=23 p99=40"), "{report}");
+        assert!(report.contains("kernel events/s (wall): 2500"), "{report}");
+        assert!(report.contains("allocations avoided (pool recycles): 123"), "{report}");
+        // lanes 100 and 300: mean 200, max 300 -> 1.5 imbalance.
+        assert!(report.contains("over 2 lanes): 1.500"), "{report}");
+    }
+
+    #[test]
+    fn truncated_tail_lines_are_skipped() {
+        let text = format!("{LINE}\n{}", &LINE[..LINE.len() / 2]);
+        let report = render(&text).expect("truncated tail must not fail the report");
+        assert!(report.contains("1 snapshot(s)"), "{report}");
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let text = "{\"schema\":\"other/9\",\"kind\":\"final\",\"t_ms\":1,\"layers\":{}}";
+        assert!(render(text).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(render("").is_err());
+        assert!(render("not json\n").is_err());
+    }
+
+    #[test]
+    fn parser_round_trips_structures() {
+        let v = parse_line("{\"a\":[1,2.5,true,null,\"x\\\"y\"],\"b\":{}}").expect("parses");
+        assert_eq!(v.get("b"), Some(&Json::Obj(Vec::new())));
+        let Some(Json::Arr(items)) = v.get("a") else { panic!("array expected") };
+        assert_eq!(items.len(), 5);
+        assert_eq!(items[0], Json::Num(1.0));
+        assert_eq!(items[4], Json::Str("x\"y".to_string()));
+    }
+}

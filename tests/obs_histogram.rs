@@ -1,0 +1,122 @@
+//! Property tests for the nylon-obs histogram: the determinism contract
+//! the stats pipeline leans on.
+//!
+//! A histogram is an exact, order-free summary: recording a stream in any
+//! order gives the same snapshot, merging per-shard histograms equals
+//! recording the concatenated stream, and no value is ever lost or
+//! double-counted. These are the properties that make `--stats` output
+//! independent of `--jobs`, shard count and completion order.
+//!
+//! Lives in the root test suite (not the obs crate's) so it runs against
+//! the same feature resolution as the shipped binary — the workspace
+//! default enables `nylon-obs/enabled` through `nylon-workloads`.
+
+use proptest::prelude::*;
+
+use nylon_obs::{buckets, HistSnapshot, Histogram};
+
+fn snapshot_of(values: &[u64]) -> HistSnapshot {
+    let mut h = Histogram::new();
+    for v in values {
+        h.record(*v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Recording is order-independent: any permutation of the stream
+    /// yields an identical snapshot.
+    #[test]
+    fn record_is_order_independent(
+        mut values in proptest::collection::vec(any::<u64>(), 1..200),
+        seed in any::<u64>(),
+    ) {
+        let forward = snapshot_of(&values);
+        // Deterministic shuffle from the seed (Fisher-Yates over a tiny
+        // xorshift) — proptest gives us the seed, no global RNG involved.
+        let mut state = seed | 1;
+        for i in (1..values.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            values.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let shuffled = snapshot_of(&values);
+        prop_assert_eq!(forward, shuffled);
+    }
+
+    /// Nothing is lost or double-counted: count, sum, min and max are
+    /// exactly those of the recorded stream, and the bucket counts total
+    /// the stream length.
+    #[test]
+    fn snapshot_preserves_exact_counts(
+        values in proptest::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let snap = snapshot_of(&values);
+        prop_assert_eq!(snap.count, values.len() as u64);
+        let sum = values.iter().fold(0u64, |acc, v| acc.wrapping_add(*v));
+        prop_assert_eq!(snap.sum, sum, "sum must be exact (wrapping, like the recorder)");
+        prop_assert_eq!(snap.min, *values.iter().min().expect("non-empty"));
+        prop_assert_eq!(snap.max, *values.iter().max().expect("non-empty"));
+        let bucket_total: u64 = snap.buckets.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(bucket_total, values.len() as u64);
+        for (idx, _) in &snap.buckets {
+            prop_assert!((*idx as usize) < buckets::COUNT, "bucket index out of range");
+        }
+    }
+
+    /// Merging per-shard histograms equals recording the concatenated
+    /// stream — the invariant that makes per-shard stats aggregation
+    /// exact at any shard count.
+    #[test]
+    fn merge_equals_concatenated_stream(
+        a in proptest::collection::vec(any::<u64>(), 0..150),
+        b in proptest::collection::vec(any::<u64>(), 0..150),
+    ) {
+        let mut merged = snapshot_of(&a);
+        merged.merge(&snapshot_of(&b));
+
+        let concat: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged, snapshot_of(&concat));
+    }
+
+    /// Merge is commutative: shard completion order cannot change the
+    /// aggregate.
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(any::<u64>(), 0..150),
+        b in proptest::collection::vec(any::<u64>(), 0..150),
+    ) {
+        let mut ab = snapshot_of(&a);
+        ab.merge(&snapshot_of(&b));
+        let mut ba = snapshot_of(&b);
+        ba.merge(&snapshot_of(&a));
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Every recorded value lands in the bucket whose range contains it,
+    /// and quantiles stay inside the observed [min, max].
+    #[test]
+    fn buckets_and_quantiles_bracket_the_data(
+        values in proptest::collection::vec(any::<u64>(), 1..100),
+    ) {
+        let snap = snapshot_of(&values);
+        for v in &values {
+            let idx = buckets::index(*v);
+            prop_assert!(*v <= buckets::upper_bound(idx), "value above its bucket bound");
+            prop_assert!(
+                idx == 0 || *v > buckets::upper_bound(idx - 1),
+                "value below its bucket's range"
+            );
+        }
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let est = snap.quantile(q);
+            prop_assert!(
+                (snap.min..=snap.max).contains(&est),
+                "quantile {q} = {est} outside [{}, {}]", snap.min, snap.max
+            );
+        }
+    }
+}

@@ -46,26 +46,26 @@ fn hundred_thousand_nodes_twenty_rounds() {
     assert!(full > 85_000, "only {full} views filled at scale");
 }
 
-/// Peak resident set size of this process in bytes (`VmHWM`), or `None`
-/// off Linux / without procfs.
-fn peak_rss_bytes() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
-    Some(kb * 1024)
-}
-
 /// The PR-6 headline run: one million nodes for ten rounds on the
 /// four-shard driver. Ten million shuffle initiations — far too heavy for
 /// the tier-1 wall (hence `#[ignore]`), run in release via
 /// `scripts/million_node_smoke.sh`, which also reports the throughput and
-/// peak-RSS figures this test prints.
+/// peak-RSS figures this test prints. With `NYLON_STATS=path` set (the
+/// script sets it) the run additionally routes kernel/shard/engine
+/// counters and the peak-RSS gauge into the nylon-obs JSONL sink for
+/// `repro stats-report`.
 #[test]
 #[ignore = "release-only heavy run: scripts/million_node_smoke.sh"]
 fn million_nodes_ten_rounds_sharded() {
     const PEERS: u32 = 1_000_000;
     const ROUNDS: u64 = 10;
     const SHARDS: usize = 4;
+
+    if let Ok(path) = std::env::var("NYLON_STATS") {
+        if let Err(e) = nylon_obs::install(std::path::Path::new(&path)) {
+            println!("[1M] stats sink disabled: {e}");
+        }
+    }
 
     let built = std::time::Instant::now();
     let mut eng = Sharded::<BaselineEngine>::with_seed(
@@ -97,9 +97,15 @@ fn million_nodes_ten_rounds_sharded() {
          {} shuffles initiated",
         stats.initiated
     );
-    match peak_rss_bytes() {
+    match nylon_obs::process::peak_rss_bytes() {
         Some(bytes) => println!("[1M] peak RSS {:.2} GiB", bytes as f64 / (1u64 << 30) as f64),
         None => println!("[1M] peak RSS unavailable (no /proc/self/status)"),
+    }
+    if nylon_obs::is_active() {
+        let mut r = nylon_obs::Report::new();
+        eng.obs_report(&mut r);
+        nylon_obs::merge_report(&r);
+        nylon_obs::final_snapshot();
     }
 
     // 1M peers x 10 rounds: effectively every round initiates.

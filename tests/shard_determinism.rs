@@ -115,6 +115,41 @@ fn adversarial_figures_are_shard_and_thread_count_independent() {
 }
 
 #[test]
+fn stats_sink_never_perturbs_figure_output() {
+    // The nylon-obs contract: telemetry only observes. With the sink
+    // installed, every cell flushes its counters and the executor writes
+    // snapshot lines — none of which may touch RNG draws or event order,
+    // so fig9 and table1 must render byte-identically with stats on or
+    // off at every shard count. Stats-off renders run FIRST: the sink is
+    // a process-global OnceLock and cannot be uninstalled.
+    let off: Vec<String> = [1, 2, 4]
+        .iter()
+        .flat_map(|s| [render("fig9", &tiny(*s)), render("table1", &tiny(*s))])
+        .collect();
+
+    let path =
+        std::env::temp_dir().join(format!("nylon_shard_det_stats_{}.jsonl", std::process::id()));
+    nylon_obs::install(&path).expect("first sink install in this process");
+    assert!(nylon_obs::is_active(), "root tests must build with the obs feature on");
+
+    let on: Vec<String> = [1, 2, 4]
+        .iter()
+        .flat_map(|s| [render("fig9", &tiny(*s)), render("table1", &tiny(*s))])
+        .collect();
+    nylon_obs::final_snapshot();
+
+    assert_eq!(off, on, "stats collection changed rendered figure bytes");
+
+    // The sink really did record those runs — the snapshot file carries
+    // the schema marker and kernel counters from the flushed cells.
+    let text = std::fs::read_to_string(&path).expect("stats file written");
+    let _ = std::fs::remove_file(&path);
+    let last = text.lines().last().expect("at least the final snapshot");
+    assert!(last.contains("\"schema\":\"nylon-obs/1\""), "schema marker missing: {last}");
+    assert!(last.contains("\"events_processed\""), "kernel counters missing: {last}");
+}
+
+#[test]
 fn sharded_fingerprint_allows_resume_at_any_shard_count() {
     // The checkpoint fingerprint must treat all N > 0 as the same run
     // identity (cells are shard-count independent) while separating the
