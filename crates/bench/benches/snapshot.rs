@@ -196,6 +196,83 @@ fn bench_routing(samples: usize) -> Result {
     })
 }
 
+/// Builds a routing table holding `size` chain routes (plus the direct
+/// partner route), the steady-state shape `install_from_shuffle` runs
+/// against mid-simulation.
+fn populated_table(size: u32) -> nylon::routing::RoutingTable {
+    let mut rt = nylon::routing::RoutingTable::new(PeerId(0));
+    rt.update_direct(PeerId(1), SimDuration::from_secs(3600));
+    rt.install_from_shuffle(
+        PeerId(1),
+        (2..2 + size).map(|i| (PeerId(i), SimDuration::from_secs(3000), 1u8)),
+    );
+    rt
+}
+
+fn bench_routing_install(samples: usize, size: u32, name: &'static str) -> Result {
+    // One shuffle-sized batch (16 entries, the paper's view size) refreshed
+    // into a table already holding `size` routes: the batch probe + single
+    // occupancy check per install, with no growth and no allocation.
+    let mut rt = populated_table(size);
+    let mut start = 0u32;
+    measure(name, samples, move || {
+        let mut n = 0u64;
+        for _ in 0..100 {
+            // Rotate the batch through the key space so successive installs
+            // touch different probe chains, as real shuffles do.
+            start = (start + 17) % size;
+            let base = 2 + start;
+            let end = base + 16.min(size);
+            rt.install_from_shuffle(
+                PeerId(1),
+                (base..end)
+                    .map(|i| (PeerId(2 + (i - 2) % size), SimDuration::from_secs(3000), 1u8)),
+            );
+            n += rt.len() as u64;
+        }
+        n
+    })
+}
+
+fn bench_routing_lookup(samples: usize) -> Result {
+    // Point lookups against a 1k-route table: half present (hits walk the
+    // probe chain to a match), half absent (misses walk it to a vacant
+    // slot) — the `entry_of`/`next_rvp` mix message forwarding runs.
+    let rt = populated_table(1024);
+    measure("routing_entry_of_hit_miss_1k", samples, move || {
+        let mut n = 0u64;
+        for i in 0..512u32 {
+            if rt.entry_of(PeerId(2 + i * 2)).is_some() {
+                n += 1;
+            }
+            if rt.entry_of(PeerId(1_000_000 + i)).is_some() {
+                n += 1;
+            }
+        }
+        n
+    })
+}
+
+fn bench_routing_sweep(samples: usize) -> Result {
+    // The expiry sweep over a 1k-route table where half the TTLs lapse:
+    // clone a pre-built template (bulk lane copy), then age it past the
+    // shorter TTL so `decrease_ttls` purges and compacts in place.
+    let mut template = nylon::routing::RoutingTable::new(PeerId(0));
+    template.update_direct(PeerId(1), SimDuration::from_secs(3600));
+    template.install_from_shuffle(
+        PeerId(1),
+        (2..1026u32).map(|i| {
+            let ttl = if i % 2 == 0 { 20 } else { 3000 };
+            (PeerId(i), SimDuration::from_secs(ttl), 1u8)
+        }),
+    );
+    measure("routing_sweep_1k_half_expired", samples, move || {
+        let mut rt = template.clone();
+        let expired = rt.decrease_ttls(SimDuration::from_secs(90));
+        expired + rt.len() as u64
+    })
+}
+
 fn bench_protocol_round(samples: usize) -> Result {
     // Same population and warm-up as micro.rs's
     // `nylon_round_200_peers_70pct_nat`: the acceptance metric of the
@@ -486,6 +563,11 @@ fn main() {
         bench_natbox(samples),
         bench_view_merge(samples),
         bench_routing(samples),
+        bench_routing_install(samples, 64, "routing_install_batch16_64"),
+        bench_routing_install(samples, 1024, "routing_install_batch16_1k"),
+        bench_routing_install(samples, 16384, "routing_install_batch16_16k"),
+        bench_routing_lookup(samples),
+        bench_routing_sweep(samples),
         bench_protocol_round(samples),
         bench_peerswap_round(samples),
         bench_round_with_snapshot(samples),

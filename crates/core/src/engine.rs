@@ -14,10 +14,10 @@
 
 use nylon_gossip::{sort_tick_batch, NodeDescriptor, PartialView, ShardCtx};
 use nylon_net::{
-    BufferPool, Delivery, Endpoint, InFlight, NatClass, NatType, NetConfig, Network, Outbound,
-    PeerId, Slab, SlabKey,
+    BufferPool, Delivery, DenseMap, Endpoint, InFlight, NatClass, NatType, NetConfig, Network,
+    Outbound, PeerId, Slab, SlabKey,
 };
-use nylon_sim::{FxHashMap, ShardPlan, ShardWorker, Sim, SimDuration, SimRng, SimTime};
+use nylon_sim::{ShardPlan, ShardWorker, Sim, SimDuration, SimRng, SimTime};
 
 use crate::config::NylonConfig;
 use crate::message::{NylonMsg, WireEntry};
@@ -114,9 +114,9 @@ struct Node {
     /// receive touches one map instead of two.
     routing: RoutingTable,
     /// Outstanding hole punches: target → deadline.
-    pending_punch: FxHashMap<PeerId, SimTime>,
+    pending_punch: DenseMap<PeerId, SimTime>,
     /// Ids shipped per outstanding shuffle, for the swapper merge policy.
-    pending_sent: FxHashMap<PeerId, Vec<PeerId>>,
+    pending_sent: DenseMap<PeerId, Vec<PeerId>>,
     rng: SimRng,
 }
 
@@ -321,6 +321,23 @@ impl NylonEngine {
         out.counter("engine.nylon", "chain_samples", s.chain_samples);
         out.counter("engine.nylon", "routes_installed", s.routes_installed);
         out.counter("engine.nylon", "route_ttl_expiries", s.route_ttl_expiries);
+        // RouteMap storage health: snapshot-time walk over every node's
+        // table (read-only — the hot path carries no histogram state).
+        let mut probe = nylon_obs::Histogram::new();
+        let (mut entries, mut capacity) = (0u64, 0u64);
+        for node in &self.nodes {
+            let (len, cap) = node.routing.probe_stats(&mut probe);
+            entries += len;
+            capacity += cap;
+        }
+        out.counter("routing", "installs", s.routes_installed);
+        out.counter("routing", "ttl_expiries", s.route_ttl_expiries);
+        out.gauge("routing", "entries", entries);
+        out.gauge("routing", "slots", capacity);
+        let snap = probe.snapshot();
+        if snap.count > 0 {
+            out.histogram("routing", "probe_len", snap);
+        }
     }
 
     /// Adds a peer; if the engine is running, it starts shuffling within
@@ -331,8 +348,8 @@ impl NylonEngine {
         self.nodes.push(Node {
             view: PartialView::new(id, self.cfg.view_size),
             routing: RoutingTable::new(id),
-            pending_punch: FxHashMap::default(),
-            pending_sent: FxHashMap::default(),
+            pending_punch: DenseMap::new(),
+            pending_sent: DenseMap::new(),
             rng,
         });
         if self.started && self.owns(id) {

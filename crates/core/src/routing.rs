@@ -8,9 +8,38 @@
 //! chain (the 120/140/170 example of Figure 5); TTLs decrease every shuffle
 //! period and entries are purged on expiry
 //! (`decrease_routing_table_ttls`, Figure 6 line 14).
+//!
+//! # Storage: `RouteMap`
+//!
+//! This is the protocol's hottest data structure — `install_from_shuffle`
+//! runs for every descriptor of every shuffle and `entry_of`/`touch_direct`
+//! on every receive — so it is backed by a purpose-built open-addressed
+//! structure-of-arrays table rather than a generic hash map:
+//!
+//! * a dense `u32` key lane (16 keys per cache line) probed linearly from
+//!   an fxhash-derived start, separate from the cold
+//!   `{rvp, hops, contact}` and `expires` payload lanes;
+//! * power-of-two capacity, ≤ 3/4 load factor, backward-shift deletion
+//!   (no tombstones, so chains never rot and the table compacts in place
+//!   without rehashing);
+//! * batch installs reserve once per shuffle, so a whole descriptor run
+//!   pays a single occupancy/growth check.
+//!
+//! Expiry bookkeeping is an age accumulator plus a *lower bound on the
+//! earliest expiry*: entries expire passively (every accessor filters by
+//! `expires > age`, one extra lane load on a confirmed hit) and
+//! [`RoutingTable::decrease_ttls`] purges them in an amortized sweep of
+//! the contiguous expiry lane every `SWEEP_EVERY` (90 s) of accumulated
+//! age —
+//! skipped entirely (no walk at all) when the earliest-expiry bound
+//! proves nothing has lapsed. The bound also gives [`RoutingTable::len`]
+//! an O(1) fast path: while it exceeds the age, the stored occupancy *is*
+//! the live count. Observable behavior is identical to the retained
+//! hash-map implementation (proven by the differential proptest at the
+//! bottom of this file, which also compares the sweeps' purge counts).
 
-use nylon_net::{Endpoint, PeerId};
-use nylon_sim::{FxHashMap, SimDuration};
+use nylon_net::{DenseKey, Endpoint, PeerId};
+use nylon_sim::SimDuration;
 
 /// One routing entry: the next RVP towards a destination, the remaining
 /// lifetime of the chain, and the estimated chain length.
@@ -31,14 +60,196 @@ pub struct RouteEntry {
 /// infinity; honest Nylon chains average below 4).
 pub const MAX_ROUTE_HOPS: u8 = 16;
 
-/// The routing table of one Nylon peer.
+/// Accumulated age between expired-entry sweeps: expiry is already
+/// enforced passively by the read-path filters, so the sweep only bounds
+/// memory and can run rarely.
+const SWEEP_EVERY: SimDuration = SimDuration::from_secs(90);
+
+/// Cold per-entry payload (everything a probe does not need).
+#[derive(Debug, Clone, Copy)]
+struct Meta {
+    rvp: PeerId,
+    hops: u8,
+    /// Last observed (post-NAT) endpoint of the destination, recorded
+    /// alongside direct routes: replies travel back through the hole it
+    /// names. Only meaningful while the route is direct — exactly the
+    /// lifetime the engines need, which is why the endpoint lives here
+    /// instead of in a second per-node map paying a second lookup per
+    /// receive.
+    contact: Option<Endpoint>,
+}
+
+const VACANT_META: Meta = Meta { rvp: PeerId(u32::MAX), hops: 0, contact: None };
+
+/// Probe outcome: the slot holding the key, or the empty slot where it
+/// would be inserted.
+enum Slot {
+    Occupied(usize),
+    Vacant(usize),
+}
+
+/// The open-addressed SoA storage. Key lane is the occupancy authority
+/// ([`DenseKey::EMPTY`] marks vacant slots); payload lanes at vacant slots
+/// hold stale values and are never read.
+#[derive(Debug, Clone, Default)]
+struct RouteMap {
+    keys: Vec<PeerId>,
+    expires: Vec<SimDuration>,
+    meta: Vec<Meta>,
+    len: usize,
+    /// `capacity - 1`; meaningless while `keys` is empty.
+    mask: usize,
+}
+
+impl RouteMap {
+    #[inline]
+    fn slot_of(key: PeerId, mask: usize) -> usize {
+        let h = key.hash_u64();
+        (h ^ (h >> 32)) as usize & mask
+    }
+
+    /// Slot index of `key`, or `None`.
+    #[inline]
+    fn find(&self, key: PeerId) -> Option<usize> {
+        if self.keys.is_empty() {
+            return None;
+        }
+        let mut i = Self::slot_of(key, self.mask);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(i);
+            }
+            if k == PeerId::EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Probes for `key` assuming capacity for one more insert was already
+    /// reserved (callers go through [`RouteMap::reserve`]).
+    #[inline]
+    fn probe(&self, key: PeerId) -> Slot {
+        let mut i = Self::slot_of(key, self.mask);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Slot::Occupied(i);
+            }
+            if k == PeerId::EMPTY {
+                return Slot::Vacant(i);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Fills the vacant slot `i` (as returned by [`RouteMap::probe`]).
+    #[inline]
+    fn commit(&mut self, i: usize, key: PeerId, expires: SimDuration, meta: Meta) {
+        debug_assert!(self.len < self.keys.len(), "RouteMap overfilled: reserve() not honored");
+        self.keys[i] = key;
+        self.expires[i] = expires;
+        self.meta[i] = meta;
+        self.len += 1;
+    }
+
+    /// Ensures capacity for `additional` more entries with at most one
+    /// growth — the per-batch occupancy check for shuffle installs.
+    fn reserve(&mut self, additional: usize) {
+        let needed = self.len + additional;
+        // Load factor ≤ 3/4 keeps linear-probe chains short.
+        if needed * 4 > self.keys.len() * 3 {
+            let mut cap = self.keys.len().max(8);
+            while needed * 4 > cap * 3 {
+                cap *= 2;
+            }
+            self.grow(cap);
+        }
+    }
+
+    fn grow(&mut self, cap: usize) {
+        debug_assert!(cap.is_power_of_two());
+        let old_keys = std::mem::replace(&mut self.keys, vec![PeerId::EMPTY; cap]);
+        let old_expires = std::mem::replace(&mut self.expires, vec![SimDuration::ZERO; cap]);
+        let old_meta = std::mem::replace(&mut self.meta, vec![VACANT_META; cap]);
+        self.mask = cap - 1;
+        for (pos, key) in old_keys.into_iter().enumerate() {
+            if key == PeerId::EMPTY {
+                continue;
+            }
+            let mut i = Self::slot_of(key, self.mask);
+            while self.keys[i] != PeerId::EMPTY {
+                i = (i + 1) & self.mask;
+            }
+            self.keys[i] = key;
+            self.expires[i] = old_expires[pos];
+            self.meta[i] = old_meta[pos];
+        }
+    }
+
+    /// Vacates slot `i`, backward-shifting the probe chain behind it so no
+    /// tombstone is left (the table compacts in place, never rehashes).
+    fn remove_at(&mut self, mut i: usize) {
+        self.keys[i] = PeerId::EMPTY;
+        self.len -= 1;
+        let mask = self.mask;
+        let mut j = (i + 1) & mask;
+        while self.keys[j] != PeerId::EMPTY {
+            let home = Self::slot_of(self.keys[j], mask);
+            // keys[j] may move into the hole at i only if its home slot is
+            // not inside the cyclic interval (i, j].
+            if (j.wrapping_sub(home) & mask) >= (j.wrapping_sub(i) & mask) {
+                self.keys[i] = self.keys[j];
+                self.expires[i] = self.expires[j];
+                self.meta[i] = self.meta[j];
+                self.keys[j] = PeerId::EMPTY;
+                i = j;
+            }
+            j = (j + 1) & mask;
+        }
+    }
+
+    /// Purges every entry with `expires <= age`, walking the contiguous
+    /// expiry lane. Returns the purge count and the exact new minimum
+    /// expiry among survivors.
+    fn sweep_expired(&mut self, age: SimDuration) -> (u64, Option<SimDuration>) {
+        let cap = self.keys.len();
+        let mut purged = 0u64;
+        let mut min: Option<SimDuration> = None;
+        let mut i = 0;
+        // Single fused pass: purge and recompute the survivor minimum
+        // together. Backward-shift deletion only relocates not-yet-visited
+        // entries into `[i, cap)` (a hole wraps below `i` only once the
+        // probe walk itself has wrapped), so no entry escapes the scan;
+        // already-visited survivors that wrap forward are merely min'd
+        // twice, which is idempotent.
+        while i < cap {
+            if self.keys[i] != PeerId::EMPTY {
+                let e = self.expires[i];
+                if e <= age {
+                    self.remove_at(i);
+                    purged += 1;
+                    // The shift may have moved a later entry into slot i.
+                    continue;
+                }
+                min = Some(min.map_or(e, |m| m.min(e)));
+            }
+            i += 1;
+        }
+        (purged, min)
+    }
+}
+
+/// The routing table of one Nylon peer, backed by [`RouteMap`] (see the
+/// module docs for the storage design).
 ///
-/// TTLs are stored as absolute expiry offsets against an age accumulator,
-/// so [`RoutingTable::decrease_ttls`] — called once per peer per shuffle
-/// round — is O(1) bookkeeping instead of a full-table subtract-and-purge
-/// sweep (the sweep still runs, but only every [`SWEEP_EVERY`] of
-/// accumulated age, purely to bound memory). Every read filters expired
-/// entries, so the observable behaviour is identical to eager purging.
+/// TTLs are stored as absolute expiry offsets against an age accumulator:
+/// entries expire passively (every accessor filters by `expires > age`)
+/// and [`RoutingTable::decrease_ttls`] — called once per peer per shuffle
+/// round — is O(1) bookkeeping outside the amortized `SWEEP_EVERY` purge,
+/// which itself is skipped without a walk when the tracked earliest-expiry
+/// bound proves no entry has lapsed.
 ///
 /// ```
 /// use nylon::routing::RoutingTable;
@@ -56,40 +267,18 @@ pub const MAX_ROUTE_HOPS: u8 = 16;
 #[derive(Debug, Clone)]
 pub struct RoutingTable {
     owner: PeerId,
-    entries: FxHashMap<PeerId, Stored>,
+    map: RouteMap,
     /// Accumulated virtual age (total of all `decrease_ttls` calls).
     age: SimDuration,
-    /// Age at which the next compaction sweep runs.
+    /// Age at which the next amortized purge sweep runs.
     next_sweep: SimDuration,
-}
-
-/// How much age accumulates between compaction sweeps. Expired entries
-/// are invisible to every accessor the moment they expire; the sweep only
-/// reclaims their memory, so the interval must merely keep the table
-/// bounded — one hole-timeout of stale slack at most doubles the live
-/// set, and halving the sweep frequency measurably cheapens the per-round
-/// path (the sweep walks the whole map).
-const SWEEP_EVERY: SimDuration = SimDuration::from_secs(90);
-
-/// Internal entry: expiry measured on the age axis.
-#[derive(Debug, Clone, Copy)]
-struct Stored {
-    rvp: PeerId,
-    expires: SimDuration,
-    hops: u8,
-    /// Last observed (post-NAT) endpoint of `dest`, recorded alongside
-    /// direct routes: replies travel back through the hole it names. Only
-    /// meaningful while the route is direct — exactly the lifetime the
-    /// engines need, which is why the endpoint lives here instead of in a
-    /// second per-node hash map paying a second lookup per receive.
-    contact: Option<Endpoint>,
-}
-
-impl Stored {
-    /// Remaining TTL at age `age`; zero means expired.
-    fn ttl_at(&self, age: SimDuration) -> SimDuration {
-        self.expires.saturating_sub(age)
-    }
+    /// Lower bound on the earliest `expires` among stored entries; `None`
+    /// when the table is empty. Kept as a bound, not an exact minimum —
+    /// refreshes that extend an entry leave it stale-low, costing at worst
+    /// one sweep walk that purges nothing. While the bound exceeds the
+    /// age, *every stored entry is provably live*, which is the O(1) fast
+    /// path of [`RoutingTable::len`] and the no-walk skip of the sweep.
+    min_expires: Option<SimDuration>,
 }
 
 impl RoutingTable {
@@ -97,9 +286,10 @@ impl RoutingTable {
     pub fn new(owner: PeerId) -> Self {
         RoutingTable {
             owner,
-            entries: FxHashMap::default(),
+            map: RouteMap::default(),
             age: SimDuration::ZERO,
             next_sweep: SWEEP_EVERY,
+            min_expires: None,
         }
     }
 
@@ -108,15 +298,35 @@ impl RoutingTable {
         self.owner
     }
 
-    /// The live entry towards `dest`, filtering expired-but-unswept ones.
-    fn live(&self, dest: PeerId) -> Option<&Stored> {
-        self.entries.get(&dest).filter(|e| !e.ttl_at(self.age).is_zero())
+    /// Lowers the earliest-expiry bound to cover a newly written expiry.
+    #[inline]
+    fn note_expiry(&mut self, expires: SimDuration) {
+        self.min_expires = Some(self.min_expires.map_or(expires, |m| m.min(expires)));
     }
 
-    /// Number of live entries. O(table size): expired entries awaiting the
-    /// next compaction sweep are excluded.
+    /// Slot of `dest` if present *and live*: the key-lane probe plus one
+    /// expiry-lane load — the filter every accessor shares.
+    #[inline]
+    fn find_live(&self, dest: PeerId) -> Option<usize> {
+        self.map.find(dest).filter(|&i| self.map.expires[i] > self.age)
+    }
+
+    /// Number of live routes. O(1) while the earliest-expiry bound proves
+    /// every stored entry live (always right after a sweep); otherwise one
+    /// walk of the contiguous expiry lane.
     pub fn len(&self) -> usize {
-        self.entries.values().filter(|e| !e.ttl_at(self.age).is_zero()).count()
+        match self.min_expires {
+            Some(min) if min <= self.age => {
+                let age = self.age;
+                self.map
+                    .keys
+                    .iter()
+                    .zip(self.map.expires.iter())
+                    .filter(|&(&k, &e)| k != PeerId::EMPTY && e > age)
+                    .count()
+            }
+            _ => self.map.len,
+        }
     }
 
     /// `true` if no live routes are known.
@@ -127,22 +337,26 @@ impl RoutingTable {
     /// The next RVP towards `dest` (`Some(dest)` itself when direct), or
     /// `None` when no live route exists (Figure 6 `next_RVP()`).
     pub fn next_rvp(&self, dest: PeerId) -> Option<PeerId> {
-        self.live(dest).map(|e| e.rvp)
+        self.find_live(dest).map(|i| self.map.meta[i].rvp)
     }
 
     /// `true` if a live direct route (open NAT hole) to `dest` exists.
     pub fn is_direct(&self, dest: PeerId) -> bool {
-        self.live(dest).is_some_and(|e| e.rvp == dest)
+        self.find_live(dest).is_some_and(|i| self.map.meta[i].rvp == dest)
     }
 
     /// Remaining TTL of the route towards `dest`.
     pub fn ttl_of(&self, dest: PeerId) -> Option<SimDuration> {
-        self.live(dest).map(|e| e.ttl_at(self.age))
+        self.find_live(dest).map(|i| self.map.expires[i].saturating_sub(self.age))
     }
 
     /// The full route entry towards `dest`.
     pub fn entry_of(&self, dest: PeerId) -> Option<RouteEntry> {
-        self.live(dest).map(|e| RouteEntry { rvp: e.rvp, ttl: e.ttl_at(self.age), hops: e.hops })
+        self.find_live(dest).map(|i| RouteEntry {
+            rvp: self.map.meta[i].rvp,
+            ttl: self.map.expires[i].saturating_sub(self.age),
+            hops: self.map.meta[i].hops,
+        })
     }
 
     /// Installs or refreshes the *direct* route for `dest` (Figure 6
@@ -155,7 +369,7 @@ impl RoutingTable {
 
     /// [`RoutingTable::update_direct`] plus the observed endpoint the
     /// datagram came from — the engines' per-receive `touch`, folded into
-    /// one hash lookup.
+    /// one probe.
     pub fn touch_direct(&mut self, dest: PeerId, ttl: SimDuration, observed: Endpoint) {
         self.touch_direct_inner(dest, ttl, Some(observed));
     }
@@ -165,20 +379,23 @@ impl RoutingTable {
             return;
         }
         let expires = self.age + ttl;
-        match self.entries.get_mut(&dest) {
-            Some(e) => {
-                let stale = e.ttl_at(self.age).is_zero();
-                e.rvp = dest;
-                e.hops = 1;
-                // A stale (expired, unswept) entry must not donate its old
-                // expiry (or contact endpoint); a live one keeps the larger
-                // expiry and the freshest endpoint.
-                e.expires = if stale { expires } else { e.expires.max(expires) };
-                e.contact = if stale { observed } else { observed.or(e.contact) };
+        self.map.reserve(1);
+        match self.map.probe(dest) {
+            Slot::Occupied(i) => {
+                // A stale (expired, not yet swept) entry is absent for all
+                // observable purposes: overwrite it wholesale. A live one
+                // keeps the larger expiry and the freshest endpoint.
+                let stale = self.map.expires[i] <= self.age;
+                let m = &mut self.map.meta[i];
+                m.rvp = dest;
+                m.hops = 1;
+                m.contact = if stale { observed } else { observed.or(m.contact) };
+                let cur = self.map.expires[i];
+                self.map.expires[i] = if stale { expires } else { cur.max(expires) };
             }
-            None => {
-                self.entries
-                    .insert(dest, Stored { rvp: dest, expires, hops: 1, contact: observed });
+            Slot::Vacant(i) => {
+                self.map.commit(i, dest, expires, Meta { rvp: dest, hops: 1, contact: observed });
+                self.note_expiry(expires);
             }
         }
     }
@@ -186,7 +403,9 @@ impl RoutingTable {
     /// The last observed endpoint of `dest`, available exactly while a
     /// live *direct* route exists (replies through the hole it names).
     pub fn contact_of(&self, dest: PeerId) -> Option<Endpoint> {
-        self.live(dest).filter(|e| e.rvp == dest).and_then(|e| e.contact)
+        self.find_live(dest)
+            .filter(|&i| self.map.meta[i].rvp == dest)
+            .and_then(|i| self.map.meta[i].contact)
     }
 
     /// Updates (or creates) the entry for `dest` (Figure 6
@@ -210,27 +429,43 @@ impl RoutingTable {
             self.update_direct(dest, ttl);
             return;
         }
-        let age = self.age;
-        let new = Stored { rvp, expires: age + ttl, hops: hops.max(2), contact: None };
-        match self.entries.get_mut(&dest) {
-            None => {
-                self.entries.insert(dest, new);
+        self.map.reserve(1);
+        self.update_chain_prereserved(dest, rvp, ttl, hops);
+    }
+
+    /// Chain-route update with the occupancy check already paid (shared by
+    /// the point API above and the batch install below). `rvp != dest`,
+    /// `ttl > 0` and `hops <= MAX_ROUTE_HOPS` hold on entry.
+    #[inline]
+    fn update_chain_prereserved(&mut self, dest: PeerId, rvp: PeerId, ttl: SimDuration, hops: u8) {
+        let new_expires = self.age + ttl;
+        let new_hops = hops.max(2);
+        match self.map.probe(dest) {
+            Slot::Vacant(i) => {
+                self.map.commit(i, dest, new_expires, Meta { rvp, hops: new_hops, contact: None });
+                self.note_expiry(new_expires);
             }
-            Some(existing) if existing.ttl_at(age).is_zero() => {
-                // Expired-but-unswept: behaves as absent.
-                *existing = new;
-            }
-            Some(existing) => {
-                if existing.rvp == dest {
+            Slot::Occupied(i) => {
+                let cur = self.map.meta[i];
+                let cur_expires = self.map.expires[i];
+                if cur_expires <= self.age {
+                    // Stale: observably absent, so the update wins outright.
+                    self.map.expires[i] = new_expires;
+                    self.map.meta[i] = Meta { rvp, hops: new_hops, contact: None };
+                    self.note_expiry(new_expires);
+                } else if cur.rvp == dest {
                     // Keep the direct route.
-                } else if existing.rvp == rvp {
+                } else if cur.rvp == rvp {
                     // Same provider: take the fresher estimate.
-                    existing.expires = existing.expires.max(new.expires);
-                    existing.hops = new.hops;
-                } else if new.hops < existing.hops
-                    || (new.hops == existing.hops && new.ttl_at(age) > existing.ttl_at(age))
+                    self.map.expires[i] = cur_expires.max(new_expires);
+                    self.map.meta[i].hops = new_hops;
+                } else if new_hops < cur.hops || (new_hops == cur.hops && new_expires > cur_expires)
                 {
-                    *existing = new;
+                    self.map.expires[i] = new_expires;
+                    self.map.meta[i] = Meta { rvp, hops: new_hops, contact: None };
+                    // The replacement may expire earlier than what it
+                    // displaced.
+                    self.note_expiry(new_expires);
                 }
             }
         }
@@ -244,24 +479,43 @@ impl RoutingTable {
     /// partner — the chain cannot outlive its first hop (Figure 5's
     /// minimum-along-the-chain invariant) — and each received hop estimate
     /// grows by the partner's own distance.
+    ///
+    /// This is a true batch operation: the partner entry is read once, and
+    /// the whole run of descriptors is covered by a single occupancy/growth
+    /// check sized from the iterator's upper bound.
     pub fn install_from_shuffle(
         &mut self,
         partner: PeerId,
         received: impl IntoIterator<Item = (PeerId, SimDuration, u8)>,
     ) -> u64 {
-        let Some(partner_entry) = self.live(partner).copied() else { return 0 };
-        let partner_ttl = partner_entry.ttl_at(self.age);
+        let Some(pi) = self.find_live(partner) else { return 0 };
+        let partner_ttl = self.map.expires[pi].saturating_sub(self.age);
+        let partner_hops = self.map.meta[pi].hops;
+        let it = received.into_iter();
+        let batched = match it.size_hint().1 {
+            Some(upper) => {
+                self.map.reserve(upper);
+                true
+            }
+            None => false,
+        };
         let mut installed = 0;
-        for (dest, ttl, hops) in received {
+        for (dest, ttl, hops) in it {
             if dest == self.owner || dest == partner {
                 continue;
             }
-            self.update_next_rvp(
-                dest,
-                partner,
-                ttl.min(partner_ttl),
-                hops.saturating_add(partner_entry.hops),
-            );
+            let ttl = ttl.min(partner_ttl);
+            let hops = hops.saturating_add(partner_hops);
+            if ttl.is_zero() || hops > MAX_ROUTE_HOPS {
+                // Counted as handled (matching the point API, which
+                // ignores zero-TTL/overlong updates after the attempt).
+                installed += 1;
+                continue;
+            }
+            if !batched {
+                self.map.reserve(1);
+            }
+            self.update_chain_prereserved(dest, partner, ttl, hops);
             installed += 1;
         }
         installed
@@ -270,31 +524,43 @@ impl RoutingTable {
     /// Decreases every TTL by `elapsed` (Figure 6
     /// `decrease_routing_table_ttls()`, line 14).
     ///
-    /// O(1): advances the age accumulator; expired entries become
-    /// invisible immediately and are compacted away every
-    /// [`SWEEP_EVERY`] of accumulated age.
+    /// O(1) bookkeeping: advances the age accumulator. Expiry itself is
+    /// enforced by the read-path filters; every `SWEEP_EVERY` of
+    /// accumulated age an amortized sweep of the expiry lane purges the
+    /// lapsed entries in one pass (backward-shift compaction — no rehash,
+    /// no reallocation). When the earliest-expiry bound proves nothing has
+    /// lapsed, the scheduled sweep is skipped without touching the lanes.
     ///
-    /// Returns the number of expired entries compacted away (0 between
-    /// sweeps — expiries are only *counted* when the sweep collects them).
+    /// Returns the number of entries the sweep purged (0 between sweeps —
+    /// the same cadence the retained hash-map implementation reported).
     pub fn decrease_ttls(&mut self, elapsed: SimDuration) -> u64 {
         self.age += elapsed;
-        if self.age >= self.next_sweep {
-            let age = self.age;
-            let before = self.entries.len();
-            self.entries.retain(|_, e| !e.ttl_at(age).is_zero());
-            self.next_sweep = age + SWEEP_EVERY;
-            return (before - self.entries.len()) as u64;
+        if self.age < self.next_sweep {
+            return 0;
         }
-        0
+        self.next_sweep = self.age + SWEEP_EVERY;
+        match self.min_expires {
+            Some(min) if min <= self.age => {
+                let (purged, new_min) = self.map.sweep_expired(self.age);
+                self.min_expires = new_min;
+                purged
+            }
+            _ => 0,
+        }
     }
 
-    /// Removes the entry for `dest`, if any (and live).
+    /// Removes the entry for `dest`, returning it if it was still live
+    /// (a stale entry is dropped from storage but reported as absent).
     pub fn remove(&mut self, dest: PeerId) -> Option<RouteEntry> {
-        let age = self.age;
-        self.entries.remove(&dest).filter(|e| !e.ttl_at(age).is_zero()).map(|e| RouteEntry {
-            rvp: e.rvp,
-            ttl: e.ttl_at(age),
-            hops: e.hops,
+        self.map.find(dest).and_then(|i| {
+            let live = self.map.expires[i] > self.age;
+            let e = RouteEntry {
+                rvp: self.map.meta[i].rvp,
+                ttl: self.map.expires[i].saturating_sub(self.age),
+                hops: self.map.meta[i].hops,
+            };
+            self.map.remove_at(i);
+            live.then_some(e)
         })
     }
 
@@ -308,21 +574,52 @@ impl RoutingTable {
     pub fn resolve_first_hop(&self, dest: PeerId, max_depth: usize) -> Option<PeerId> {
         let mut hop = dest;
         for _ in 0..max_depth {
-            let entry = self.live(hop)?;
-            if entry.rvp == hop {
+            let rvp = self.find_live(hop).map(|i| self.map.meta[i].rvp)?;
+            if rvp == hop {
                 return Some(hop);
             }
-            hop = entry.rvp;
+            hop = rvp;
         }
         None
     }
 
     /// Iterates over live `(dest, entry)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (PeerId, RouteEntry)> + '_ {
-        self.entries
+        self.map
+            .keys
             .iter()
-            .filter(|(_, e)| !e.ttl_at(self.age).is_zero())
-            .map(|(d, e)| (*d, RouteEntry { rvp: e.rvp, ttl: e.ttl_at(self.age), hops: e.hops }))
+            .enumerate()
+            .filter(|&(i, &k)| k != PeerId::EMPTY && self.map.expires[i] > self.age)
+            .map(|(i, k)| {
+                (
+                    *k,
+                    RouteEntry {
+                        rvp: self.map.meta[i].rvp,
+                        ttl: self.map.expires[i].saturating_sub(self.age),
+                        hops: self.map.meta[i].hops,
+                    },
+                )
+            })
+    }
+
+    /// Snapshot-time instrumentation: records the probe distance of every
+    /// resident entry into `hist` (a read-only walk — the hot path carries
+    /// no histogram state; stale entries still occupy slots and lengthen
+    /// probes, so they are recorded too) and returns
+    /// `(live entries, slot capacity)` for occupancy gauges.
+    pub fn probe_stats(&self, hist: &mut nylon_obs::Histogram) -> (u64, u64) {
+        let mut live = 0u64;
+        for (i, &k) in self.map.keys.iter().enumerate() {
+            if k == PeerId::EMPTY {
+                continue;
+            }
+            if self.map.expires[i] > self.age {
+                live += 1;
+            }
+            let home = RouteMap::slot_of(k, self.map.mask);
+            hist.record((i.wrapping_sub(home) & self.map.mask) as u64);
+        }
+        (live, self.map.keys.len() as u64)
     }
 }
 
@@ -492,6 +789,23 @@ mod tests {
     }
 
     #[test]
+    fn len_is_exact_after_expiry() {
+        // len must agree with the live set at every age, whether it takes
+        // the O(1) counter fast path or the expiry-lane walk.
+        let mut t = rt();
+        for i in 1..=10u32 {
+            t.update_direct(PeerId(i), SimDuration::from_secs(10 * i as u64));
+        }
+        assert_eq!(t.len(), 10);
+        for step in 1..=10usize {
+            t.decrease_ttls(SimDuration::from_secs(10));
+            assert_eq!(t.len(), 10 - step);
+            assert_eq!(t.iter().count(), t.len());
+        }
+        assert!(t.is_empty());
+    }
+
+    #[test]
     fn resolve_first_hop_follows_chain() {
         let mut t = rt();
         t.update_direct(PeerId(1), S90);
@@ -569,6 +883,287 @@ mod tests {
             for d in 1u32..20 {
                 if let Some(hop) = t.resolve_first_hop(PeerId(d), 32) {
                     prop_assert!(t.is_direct(hop), "resolved hop must be direct");
+                }
+            }
+        }
+    }
+}
+
+/// The retained pre-RouteMap implementation (`FxHashMap` + lazy expiry +
+/// periodic sweep), kept verbatim as the reference model for the
+/// differential proptest below: `RouteMap`'s eager sweep must be
+/// observably identical to lazy expiry at every step.
+#[cfg(test)]
+mod reference {
+    use super::{RouteEntry, MAX_ROUTE_HOPS};
+    use nylon_net::{Endpoint, PeerId};
+    use nylon_sim::{FxHashMap, SimDuration};
+
+    const SWEEP_EVERY: SimDuration = SimDuration::from_secs(90);
+
+    #[derive(Debug, Clone, Copy)]
+    struct Stored {
+        rvp: PeerId,
+        expires: SimDuration,
+        hops: u8,
+        contact: Option<Endpoint>,
+    }
+
+    impl Stored {
+        fn ttl_at(&self, age: SimDuration) -> SimDuration {
+            self.expires.saturating_sub(age)
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct RefTable {
+        owner: PeerId,
+        entries: FxHashMap<PeerId, Stored>,
+        age: SimDuration,
+        next_sweep: SimDuration,
+    }
+
+    impl RefTable {
+        pub fn new(owner: PeerId) -> Self {
+            RefTable {
+                owner,
+                entries: FxHashMap::default(),
+                age: SimDuration::ZERO,
+                next_sweep: SWEEP_EVERY,
+            }
+        }
+
+        fn live(&self, dest: PeerId) -> Option<&Stored> {
+            self.entries.get(&dest).filter(|e| !e.ttl_at(self.age).is_zero())
+        }
+
+        pub fn len(&self) -> usize {
+            self.entries.values().filter(|e| !e.ttl_at(self.age).is_zero()).count()
+        }
+
+        pub fn next_rvp(&self, dest: PeerId) -> Option<PeerId> {
+            self.live(dest).map(|e| e.rvp)
+        }
+
+        pub fn ttl_of(&self, dest: PeerId) -> Option<SimDuration> {
+            self.live(dest).map(|e| e.ttl_at(self.age))
+        }
+
+        pub fn entry_of(&self, dest: PeerId) -> Option<RouteEntry> {
+            self.live(dest).map(|e| RouteEntry {
+                rvp: e.rvp,
+                ttl: e.ttl_at(self.age),
+                hops: e.hops,
+            })
+        }
+
+        pub fn contact_of(&self, dest: PeerId) -> Option<Endpoint> {
+            self.live(dest).filter(|e| e.rvp == dest).and_then(|e| e.contact)
+        }
+
+        pub fn is_direct(&self, dest: PeerId) -> bool {
+            self.live(dest).is_some_and(|e| e.rvp == dest)
+        }
+
+        pub fn update_direct(&mut self, dest: PeerId, ttl: SimDuration) {
+            self.touch_inner(dest, ttl, None);
+        }
+
+        pub fn touch_direct(&mut self, dest: PeerId, ttl: SimDuration, observed: Endpoint) {
+            self.touch_inner(dest, ttl, Some(observed));
+        }
+
+        fn touch_inner(&mut self, dest: PeerId, ttl: SimDuration, observed: Option<Endpoint>) {
+            if dest == self.owner || ttl.is_zero() {
+                return;
+            }
+            let expires = self.age + ttl;
+            match self.entries.get_mut(&dest) {
+                Some(e) => {
+                    let stale = e.ttl_at(self.age).is_zero();
+                    e.rvp = dest;
+                    e.hops = 1;
+                    e.expires = if stale { expires } else { e.expires.max(expires) };
+                    e.contact = if stale { observed } else { observed.or(e.contact) };
+                }
+                None => {
+                    self.entries
+                        .insert(dest, Stored { rvp: dest, expires, hops: 1, contact: observed });
+                }
+            }
+        }
+
+        pub fn update_next_rvp(&mut self, dest: PeerId, rvp: PeerId, ttl: SimDuration, hops: u8) {
+            if dest == self.owner || ttl.is_zero() || hops > MAX_ROUTE_HOPS {
+                return;
+            }
+            if rvp == dest {
+                self.update_direct(dest, ttl);
+                return;
+            }
+            let age = self.age;
+            let new = Stored { rvp, expires: age + ttl, hops: hops.max(2), contact: None };
+            match self.entries.get_mut(&dest) {
+                None => {
+                    self.entries.insert(dest, new);
+                }
+                Some(existing) if existing.ttl_at(age).is_zero() => {
+                    *existing = new;
+                }
+                Some(existing) => {
+                    if existing.rvp == dest {
+                        // Keep the direct route.
+                    } else if existing.rvp == rvp {
+                        existing.expires = existing.expires.max(new.expires);
+                        existing.hops = new.hops;
+                    } else if new.hops < existing.hops
+                        || (new.hops == existing.hops && new.ttl_at(age) > existing.ttl_at(age))
+                    {
+                        *existing = new;
+                    }
+                }
+            }
+        }
+
+        pub fn install_from_shuffle(
+            &mut self,
+            partner: PeerId,
+            received: impl IntoIterator<Item = (PeerId, SimDuration, u8)>,
+        ) -> u64 {
+            let Some(partner_entry) = self.live(partner).copied() else { return 0 };
+            let partner_ttl = partner_entry.ttl_at(self.age);
+            let mut installed = 0;
+            for (dest, ttl, hops) in received {
+                if dest == self.owner || dest == partner {
+                    continue;
+                }
+                self.update_next_rvp(
+                    dest,
+                    partner,
+                    ttl.min(partner_ttl),
+                    hops.saturating_add(partner_entry.hops),
+                );
+                installed += 1;
+            }
+            installed
+        }
+
+        pub fn decrease_ttls(&mut self, elapsed: SimDuration) -> u64 {
+            self.age += elapsed;
+            if self.age >= self.next_sweep {
+                let age = self.age;
+                let before = self.entries.len();
+                self.entries.retain(|_, e| !e.ttl_at(age).is_zero());
+                self.next_sweep = age + SWEEP_EVERY;
+                return (before - self.entries.len()) as u64;
+            }
+            0
+        }
+
+        pub fn remove(&mut self, dest: PeerId) -> Option<RouteEntry> {
+            let age = self.age;
+            self.entries.remove(&dest).filter(|e| !e.ttl_at(age).is_zero()).map(|e| RouteEntry {
+                rvp: e.rvp,
+                ttl: e.ttl_at(age),
+                hops: e.hops,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod differential {
+    use super::reference::RefTable;
+    use super::*;
+    use proptest::prelude::*;
+
+    fn xorshift(s: &mut u64) -> u64 {
+        *s ^= *s << 13;
+        *s ^= *s >> 7;
+        *s ^= *s << 17;
+        *s
+    }
+
+    proptest! {
+        /// `RouteMap` (open-addressed, lane-filtered expiry) and the
+        /// retained `FxHashMap` reference must agree on every observable —
+        /// `entry_of`, `next_rvp`, `contact_of`, `ttl_of`, `is_direct`,
+        /// `len`, and the sweeps' purge counts — after every step of a
+        /// random interleaving of install/touch/decrease_ttls/remove ops.
+        ///
+        /// Ops are decoded from plain tuples `(kind, a, b, ttl, hops)`:
+        /// 0 update_direct, 1 touch_direct, 2 update_next_rvp,
+        /// 3 install_from_shuffle (batch derived deterministically from
+        /// the tuple), 4 decrease_ttls, 5 remove.
+        #[test]
+        fn prop_routemap_matches_reference(
+            ops in proptest::collection::vec(
+                ((0u8..6, 0u32..24), (0u32..24, 0u64..200, 0u8..20)),
+                0..150,
+            ),
+        ) {
+            let owner = PeerId(0);
+            let mut new = RoutingTable::new(owner);
+            let mut old = RefTable::new(owner);
+            let ep = |i: u32| Endpoint::new(nylon_net::Ip(0x0100_0000 + i), nylon_net::Port(9000));
+            for &((kind, a), (b, t, h)) in &ops {
+                let ttl = SimDuration::from_secs(t);
+                match kind {
+                    0 => {
+                        new.update_direct(PeerId(a), ttl);
+                        old.update_direct(PeerId(a), ttl);
+                    }
+                    1 => {
+                        new.touch_direct(PeerId(a), ttl, ep(b % 8));
+                        old.touch_direct(PeerId(a), ttl, ep(b % 8));
+                    }
+                    2 => {
+                        new.update_next_rvp(PeerId(a), PeerId(b), ttl, h);
+                        old.update_next_rvp(PeerId(a), PeerId(b), ttl, h);
+                    }
+                    3 => {
+                        // Shuffle batch: length and contents derived from
+                        // the op tuple (the vendored proptest has no
+                        // nested per-op collections).
+                        let mut s = ((a as u64) << 32)
+                            ^ (b as u64)
+                            ^ t.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                            ^ ((h as u64) << 17)
+                            ^ 0xdead_beef;
+                        let n = (xorshift(&mut s) % 14) as usize;
+                        let batch: Vec<(PeerId, SimDuration, u8)> = (0..n)
+                            .map(|_| {
+                                (
+                                    PeerId((xorshift(&mut s) % 24) as u32),
+                                    SimDuration::from_secs(xorshift(&mut s) % 200),
+                                    (xorshift(&mut s) % 20) as u8,
+                                )
+                            })
+                            .collect();
+                        let x = new.install_from_shuffle(PeerId(a), batch.clone());
+                        let y = old.install_from_shuffle(PeerId(a), batch);
+                        prop_assert_eq!(x, y, "installed counts diverge");
+                    }
+                    4 => {
+                        // Same sweep cadence (the min-expires bound only
+                        // skips provably empty sweeps), so even the purge
+                        // counts must agree.
+                        let x = new.decrease_ttls(SimDuration::from_secs(t % 60 + 1));
+                        let y = old.decrease_ttls(SimDuration::from_secs(t % 60 + 1));
+                        prop_assert_eq!(x, y, "purge counts diverge");
+                    }
+                    _ => {
+                        prop_assert_eq!(new.remove(PeerId(a)), old.remove(PeerId(a)));
+                    }
+                }
+                prop_assert_eq!(new.len(), old.len(), "len diverges");
+                for d in 0u32..24 {
+                    let d = PeerId(d);
+                    prop_assert_eq!(new.entry_of(d), old.entry_of(d), "entry_of diverges");
+                    prop_assert_eq!(new.next_rvp(d), old.next_rvp(d));
+                    prop_assert_eq!(new.contact_of(d), old.contact_of(d));
+                    prop_assert_eq!(new.ttl_of(d), old.ttl_of(d));
+                    prop_assert_eq!(new.is_direct(d), old.is_direct(d));
                 }
             }
         }

@@ -18,9 +18,10 @@
 
 use nylon_gossip::{sort_tick_batch, GossipConfig, NodeDescriptor, PartialView, ShardCtx};
 use nylon_net::{
-    BufferPool, Delivery, Endpoint, InFlight, NatClass, NetConfig, Network, PeerId, Slab, SlabKey,
+    BufferPool, Delivery, DenseMap, Endpoint, InFlight, NatClass, NetConfig, Network, PeerId, Slab,
+    SlabKey,
 };
-use nylon_sim::{FxHashMap, ShardPlan, ShardWorker, Sim, SimDuration, SimRng, SimTime};
+use nylon_sim::{FxHashSet, ShardPlan, ShardWorker, Sim, SimDuration, SimRng, SimTime};
 
 /// A descriptor annotated with the peer's RVP binding (`None` for public
 /// peers).
@@ -104,11 +105,11 @@ struct Node {
     /// RVP binding for natted peers.
     rvp: Option<PeerId>,
     /// For public peers: observed endpoints of natted clients bound to us.
-    clients: FxHashMap<PeerId, Endpoint>,
-    pending_sent: FxHashMap<PeerId, Vec<PeerId>>,
+    clients: DenseMap<PeerId, Endpoint>,
+    pending_sent: DenseMap<PeerId, Vec<PeerId>>,
     rng: SimRng,
     /// RVP annotations learned alongside view entries.
-    bindings: FxHashMap<PeerId, Option<PeerId>>,
+    bindings: DenseMap<PeerId, Option<PeerId>>,
 }
 
 /// Engine events. `Deliver` carries a slab handle — the ~100 B
@@ -143,6 +144,8 @@ pub struct StaticRvpEngine {
     id_pool: BufferPool<PeerId>,
     /// Reused scratch for the descriptor projection of a merge.
     scratch_descs: Vec<NodeDescriptor>,
+    /// Reused scratch for the binding-cache keep set (merge truncation).
+    scratch_keep: FxHashSet<PeerId>,
     /// In-flight datagrams, parked here while their 4-byte handle travels
     /// through the timer wheel (see [`Ev`]); slots recycle.
     flights: Slab<InFlight<StaticRvpMsg>>,
@@ -167,6 +170,7 @@ impl StaticRvpEngine {
             entry_pool: BufferPool::new(),
             id_pool: BufferPool::new(),
             scratch_descs: Vec::new(),
+            scratch_keep: FxHashSet::default(),
             flights: Slab::new(),
             shard: None,
         }
@@ -241,10 +245,10 @@ impl StaticRvpEngine {
         self.nodes.push(Node {
             view: PartialView::new(id, self.cfg.view_size),
             rvp: None,
-            clients: FxHashMap::default(),
-            pending_sent: FxHashMap::default(),
+            clients: DenseMap::new(),
+            pending_sent: DenseMap::new(),
             rng,
-            bindings: FxHashMap::default(),
+            bindings: DenseMap::new(),
         });
         id
     }
@@ -610,6 +614,7 @@ impl StaticRvpEngine {
 
     fn merge(&mut self, me: PeerId, entries: &[BoundDescriptor], sent: &[PeerId]) {
         let mut descriptors = std::mem::take(&mut self.scratch_descs);
+        let mut keep = std::mem::take(&mut self.scratch_keep);
         descriptors.clear();
         descriptors.extend(entries.iter().map(|e| e.descriptor));
         let node = &mut self.nodes[me.index()];
@@ -622,10 +627,12 @@ impl StaticRvpEngine {
         // Bound the binding cache: keep only bindings for current view
         // entries plus a small slack of recently seen peers.
         if node.bindings.len() > 8 * node.view.capacity() {
-            let keep: std::collections::HashSet<PeerId> = node.view.ids().into_iter().collect();
+            keep.clear();
+            keep.extend(node.view.ids());
             node.bindings.retain(|id, _| keep.contains(id));
         }
         self.scratch_descs = descriptors;
+        self.scratch_keep = keep;
     }
 }
 

@@ -6,10 +6,10 @@
 //! Figures 2–4 quantify.
 
 use nylon_net::{
-    BufferPool, Delivery, Endpoint, InFlight, NatClass, NetConfig, Network, Outbound, PeerId, Slab,
-    SlabKey,
+    BufferPool, Delivery, DenseMap, Endpoint, InFlight, NatClass, NetConfig, Network, Outbound,
+    PeerId, Slab, SlabKey,
 };
-use nylon_sim::{FxHashMap, ShardPlan, ShardWorker, Sim, SimDuration, SimRng, SimTime};
+use nylon_sim::{ShardPlan, ShardWorker, Sim, SimDuration, SimRng, SimTime};
 
 use crate::descriptor::NodeDescriptor;
 use crate::policy::{GossipConfig, PropagationPolicy};
@@ -150,7 +150,7 @@ struct Node {
     view: PartialView,
     rng: SimRng,
     /// Ids shipped per outstanding request, for the swapper merge.
-    pending_sent: FxHashMap<PeerId, Vec<PeerId>>,
+    pending_sent: DenseMap<PeerId, Vec<PeerId>>,
 }
 
 /// Interval between NAT garbage-collection sweeps.
@@ -346,7 +346,7 @@ impl BaselineEngine {
         self.nodes.push(Node {
             view: PartialView::new(id, self.cfg.view_size),
             rng,
-            pending_sent: FxHashMap::default(),
+            pending_sent: DenseMap::new(),
         });
         if self.started && self.owns(id) {
             let phase = {

@@ -1,8 +1,9 @@
 //! The NAT device state machine: mappings, filtering rules, hole expiry.
 
-use nylon_sim::{FxHashMap, SimDuration, SimTime};
+use nylon_sim::{SimDuration, SimTime};
 
 use crate::addr::{Endpoint, Ip, Port};
+use crate::densemap::DenseMap;
 use crate::nat::NatType;
 
 /// Why an inbound packet was not forwarded by the NAT.
@@ -20,20 +21,20 @@ pub enum NatReject {
 /// The paper: "The public IP address and port mapping, as well as the
 /// filtering rule, only remain valid a limited time after the last message
 /// was sent (or received) in a session."
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 struct Session {
     expires: SimTime,
 }
 
 /// State of an endpoint-independent (cone) mapping for one private endpoint.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 struct ConeMapping {
     /// The stable public port reserved for this private endpoint — the
     /// peer's durable identity, which is why purging never removes the
     /// mapping itself (only expired sessions).
     port: Port,
     /// Live sessions keyed by remote endpoint.
-    sessions: FxHashMap<Endpoint, Session>,
+    sessions: DenseMap<Endpoint, Session>,
     /// Largest expiry over all sessions ever noted. Sessions only gain
     /// lifetime (inserts/refreshes), and purging removes only expired
     /// ones, so `max_expires > now` is *exactly* "some session is live" —
@@ -43,7 +44,7 @@ struct ConeMapping {
 
 impl ConeMapping {
     fn new(port: Port) -> Self {
-        ConeMapping { port, sessions: FxHashMap::default(), max_expires: SimTime::ZERO }
+        ConeMapping { port, sessions: DenseMap::new(), max_expires: SimTime::ZERO }
     }
 
     fn live(&self, now: SimTime) -> bool {
@@ -68,7 +69,7 @@ impl ConeMapping {
 }
 
 /// A symmetric (per-destination) mapping.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 struct SymMapping {
     private: Endpoint,
     remote: Endpoint,
@@ -113,16 +114,16 @@ pub struct NatBox {
     /// Cone state, keyed by private endpoint. The mapping carries the
     /// stable port reservation, so the egress hot path touches one map
     /// instead of a separate reservation table.
-    cone: FxHashMap<Endpoint, ConeMapping>,
+    cone: DenseMap<Endpoint, ConeMapping>,
     /// Reverse index: public port → owning private endpoint (cone).
-    cone_by_port: FxHashMap<Port, Endpoint>,
+    cone_by_port: DenseMap<Port, Endpoint>,
     /// Symmetric mappings keyed by (private, remote).
-    sym: FxHashMap<(Endpoint, Endpoint), Port>,
+    sym: DenseMap<(Endpoint, Endpoint), Port>,
     /// Reverse index: public port → symmetric mapping.
-    sym_by_port: FxHashMap<Port, SymMapping>,
+    sym_by_port: DenseMap<Port, SymMapping>,
     /// Permanent UPnP/NAT-PMP port forwardings: public port → private
     /// endpoint, never expiring and never filtered.
-    forwarded: FxHashMap<Port, Endpoint>,
+    forwarded: DenseMap<Port, Endpoint>,
     next_port: u16,
 }
 
@@ -137,11 +138,11 @@ impl NatBox {
             public_ip,
             nat_type,
             hole_timeout,
-            cone: FxHashMap::default(),
-            cone_by_port: FxHashMap::default(),
-            sym: FxHashMap::default(),
-            sym_by_port: FxHashMap::default(),
-            forwarded: FxHashMap::default(),
+            cone: DenseMap::new(),
+            cone_by_port: DenseMap::new(),
+            sym: DenseMap::new(),
+            sym_by_port: DenseMap::new(),
+            forwarded: DenseMap::new(),
             next_port: FIRST_DYNAMIC_PORT,
         }
     }
@@ -157,7 +158,7 @@ impl NatBox {
     /// Idempotent per private endpoint.
     pub fn enable_port_forwarding(&mut self, private: Endpoint) -> Endpoint {
         if let Some((port, _)) = self.forwarded.iter().find(|(_, p)| **p == private) {
-            return Endpoint::new(self.public_ip, *port);
+            return Endpoint::new(self.public_ip, port);
         }
         // Reuse the stable reservation for cone boxes so the identity
         // endpoint does not change; symmetric boxes get a fresh port.
@@ -391,7 +392,7 @@ impl NatBox {
             mapping.sessions.retain(|_, s| s.expires > now);
         }
         let dead: Vec<Port> =
-            self.sym_by_port.iter().filter(|(_, m)| m.expires <= now).map(|(p, _)| *p).collect();
+            self.sym_by_port.iter().filter(|(_, m)| m.expires <= now).map(|(p, _)| p).collect();
         for port in dead {
             if let Some(m) = self.sym_by_port.remove(&port) {
                 self.sym.remove(&(m.private, m.remote));

@@ -13,10 +13,14 @@
 //!            [--seed S] [--no-compare] [--min-cluster PCT] [--stats FILE]
 //!
 //! repro stats-report FILE
+//! repro stats-report --diff BEFORE AFTER
 //!
 //! The `stats-report` subcommand summarizes the JSONL a `--stats` run
 //! wrote: per-layer metric table plus derived events/s, allocations
-//! avoided, cell latency quantiles and per-shard imbalance.
+//! avoided, cell latency quantiles and per-shard imbalance. With
+//! `--diff` it compares two such files instead: per-(layer, metric)
+//! counter deltas and histogram quantile shifts, for before/after
+//! comparisons across a change.
 //!
 //! The `live` subcommand runs the on-wire demo instead: N in-process
 //! nodes over real loopback UDP behind the user-space NAT emulator,
@@ -278,26 +282,41 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// The `repro stats-report` subcommand: summarize a `--stats` JSONL file.
+/// The `repro stats-report` subcommand: summarize a `--stats` JSONL file,
+/// or diff two of them (`--diff BEFORE AFTER`).
 fn stats_report_main(args: &[String]) -> ExitCode {
-    let [path] = args else {
-        eprintln!("usage: repro stats-report FILE");
-        return ExitCode::FAILURE;
-    };
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
+    let read = |path: &String| match std::fs::read_to_string(path) {
+        Ok(t) => Some(t),
         Err(e) => {
             eprintln!("error: cannot read {path}: {e}");
+            None
+        }
+    };
+    let rendered = match args {
+        [path] => {
+            let Some(text) = read(path) else { return ExitCode::FAILURE };
+            nylon_workloads::stats_report::render(&text).map_err(|e| format!("{path}: {e}"))
+        }
+        [flag, before, after] if flag == "--diff" => {
+            let (Some(b), Some(a)) = (read(before), read(after)) else {
+                return ExitCode::FAILURE;
+            };
+            nylon_workloads::stats_report::render_diff(&b, &a)
+                .map_err(|e| format!("{before} vs {after}: {e}"))
+        }
+        _ => {
+            eprintln!("usage: repro stats-report FILE");
+            eprintln!("       repro stats-report --diff BEFORE AFTER");
             return ExitCode::FAILURE;
         }
     };
-    match nylon_workloads::stats_report::render(&text) {
+    match rendered {
         Ok(report) => {
             print!("{report}");
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("error: {path}: {e}");
+            eprintln!("error: {e}");
             ExitCode::FAILURE
         }
     }
@@ -442,6 +461,7 @@ fn usage(err: &str) -> ExitCode {
         "usage: repro [ARTIFACTS...] [--peers N] [--seeds K] [--rounds R] [--seed S] [--full] [--jobs N] [--shards N] [--engine NAME] [--attack NAME] [--checkpoint DIR] [--resume] [--csv] [--out DIR] [--stats FILE]"
     );
     eprintln!("       repro stats-report FILE");
+    eprintln!("       repro stats-report --diff BEFORE AFTER");
     eprintln!("artifacts: {} all", FIGURES.join(" "));
     eprintln!("engines: {}", engine_names());
     eprintln!("attacks: {}", attack_names());

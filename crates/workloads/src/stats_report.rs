@@ -218,12 +218,21 @@ struct Metric {
     hist: Option<(u64, u64, u64, u64)>, // (count, mean, p50, p99)
 }
 
-/// Summarizes a stats JSONL file as markdown.
+/// The last snapshot of one stats file, flattened for rendering.
+#[derive(Debug)]
+struct Summary {
+    snapshots: usize,
+    kind: String,
+    t_ms: u64,
+    layers: BTreeMap<String, BTreeMap<String, Metric>>,
+}
+
+/// Parses a stats JSONL file down to its last snapshot.
 ///
 /// Skips lines that fail to parse (a killed run can truncate its tail),
 /// but rejects files whose parseable lines carry the wrong schema tag or
 /// that contain no snapshot at all.
-pub fn render(text: &str) -> Result<String, String> {
+fn summarize(text: &str) -> Result<Summary, String> {
     let mut snapshots = 0usize;
     let mut last: Option<Json> = None;
     for line in text.lines() {
@@ -267,6 +276,12 @@ pub fn render(text: &str) -> Result<String, String> {
             }
         }
     }
+    Ok(Summary { snapshots, kind, t_ms, layers })
+}
+
+/// Summarizes a stats JSONL file as markdown.
+pub fn render(text: &str) -> Result<String, String> {
+    let Summary { snapshots, kind, t_ms, layers } = summarize(text)?;
 
     let mut out = String::new();
     let _ = writeln!(out, "## stats report\n");
@@ -338,6 +353,92 @@ pub fn render(text: &str) -> Result<String, String> {
     Ok(out)
 }
 
+/// Formats a signed delta with an explicit sign (`+12`, `-3`, `0`).
+fn signed(after: u64, before: u64) -> String {
+    if after == before {
+        "0".to_string()
+    } else if after > before {
+        format!("+{}", after - before)
+    } else {
+        format!("-{}", before - after)
+    }
+}
+
+/// Diffs two stats JSONL files (before, after) as markdown: per-(layer,
+/// metric) counter/gauge deltas plus histogram quantile shifts.
+///
+/// Metrics present in only one file still get a row — `(absent)` on the
+/// missing side — so a run that gained or lost an instrumentation layer
+/// is visible rather than silently skipped.
+pub fn render_diff(before_text: &str, after_text: &str) -> Result<String, String> {
+    let before = summarize(before_text).map_err(|e| format!("before: {e}"))?;
+    let after = summarize(after_text).map_err(|e| format!("after: {e}"))?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "## stats diff\n");
+    let _ = writeln!(
+        out,
+        "before: {} snapshot(s); last is `{}` at t={} ms",
+        before.snapshots, before.kind, before.t_ms
+    );
+    let _ = writeln!(
+        out,
+        "after:  {} snapshot(s); last is `{}` at t={} ms\n",
+        after.snapshots, after.kind, after.t_ms
+    );
+    let _ = writeln!(out, "| layer | metric | kind | before | after | delta |");
+    let _ = writeln!(out, "|---|---|---|---|---|---|");
+
+    // Union of layer names, then union of metric names per layer; BTreeMap
+    // keeps the sink's sorted order on both sides.
+    let layer_names: std::collections::BTreeSet<&String> =
+        before.layers.keys().chain(after.layers.keys()).collect();
+    for layer in layer_names {
+        let (b_metrics, a_metrics) = (before.layers.get(layer), after.layers.get(layer));
+        let metric_names: std::collections::BTreeSet<&String> = b_metrics
+            .into_iter()
+            .flat_map(BTreeMap::keys)
+            .chain(a_metrics.into_iter().flat_map(BTreeMap::keys))
+            .collect();
+        for name in metric_names {
+            let b = b_metrics.and_then(|m| m.get(name));
+            let a = a_metrics.and_then(|m| m.get(name));
+            let kind = a.or(b).map_or("?", |m| m.kind.as_str());
+            let show = |m: Option<&Metric>| -> String {
+                match m {
+                    None => "(absent)".to_string(),
+                    Some(Metric { hist: Some((count, mean, p50, p99)), .. }) => {
+                        format!("count={count} mean={mean} p50={p50} p99={p99}")
+                    }
+                    Some(m) => m.value.to_string(),
+                }
+            };
+            let delta = match (b, a) {
+                (Some(b), Some(a)) => match (b.hist, a.hist) {
+                    (Some((bc, bm, bp50, bp99)), Some((ac, am, ap50, ap99))) => format!(
+                        "count {} mean {} p50 {} p99 {}",
+                        signed(ac, bc),
+                        signed(am, bm),
+                        signed(ap50, bp50),
+                        signed(ap99, bp99)
+                    ),
+                    _ => signed(a.value, b.value),
+                },
+                (None, Some(_)) => "new".to_string(),
+                (Some(_), None) => "gone".to_string(),
+                (None, None) => unreachable!("name came from one of the two maps"),
+            };
+            let _ = writeln!(
+                out,
+                "| {layer} | {name} | {kind} | {} | {} | {delta} |",
+                show(b),
+                show(a)
+            );
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,6 +482,48 @@ mod tests {
     fn empty_input_is_an_error() {
         assert!(render("").is_err());
         assert!(render("not json\n").is_err());
+    }
+
+    #[test]
+    fn diff_reports_deltas_and_quantile_shifts() {
+        const AFTER: &str =
+            "{\"schema\":\"nylon-obs/1\",\"kind\":\"final\",\"t_ms\":1800,\"layers\":{\
+            \"exec\":{\"cell_wall_ms\":{\"type\":\"histogram\",\"count\":4,\"sum\":80,\"min\":5,\
+            \"max\":35,\"p50\":18,\"p90\":33,\"p99\":35,\"buckets\":[[12,2],[20,2]]},\
+            \"run_wall_ms\":{\"type\":\"gauge\",\"value\":1800}},\
+            \"kernel\":{\"events_processed\":{\"type\":\"counter\",\"value\":5000},\
+            \"pool_recycled\":{\"type\":\"counter\",\"value\":100}},\
+            \"routing\":{\"installs\":{\"type\":\"counter\",\"value\":42}}}}";
+        let report = render_diff(LINE, AFTER).expect("valid files diff");
+        // Counter delta with explicit sign.
+        assert!(
+            report.contains("| kernel | pool_recycled | counter | 123 | 100 | -23 |"),
+            "{report}"
+        );
+        assert!(
+            report.contains("| kernel | events_processed | counter | 5000 | 5000 | 0 |"),
+            "{report}"
+        );
+        // Histogram quantile shifts: mean 25 -> 20, p50 23 -> 18, p99 40 -> 35.
+        assert!(report.contains("count 0 mean -5 p50 -5 p99 -5"), "{report}");
+        // Layer present only after: shown as new, not skipped.
+        assert!(
+            report.contains("| routing | installs | counter | (absent) | 42 | new |"),
+            "{report}"
+        );
+        // Layer present only before: shown as gone.
+        assert!(
+            report.contains("| shard | lane0_events | counter | 100 | (absent) | gone |"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn diff_rejects_bad_inputs_with_side_labels() {
+        let err = render_diff("", LINE).unwrap_err();
+        assert!(err.starts_with("before:"), "{err}");
+        let err = render_diff(LINE, "not json\n").unwrap_err();
+        assert!(err.starts_with("after:"), "{err}");
     }
 
     #[test]
