@@ -208,6 +208,14 @@ impl<E: PeerSampler> PeerSampler for MaliciousSampler<E> {
         self.inner.enable_port_forwarding(peer);
     }
 
+    fn install_fault_plan(&mut self, plan: nylon_faults::FaultPlan) {
+        self.inner.install_fault_plan(plan);
+    }
+
+    fn fault_stats(&self) -> nylon_faults::FaultStats {
+        self.inner.fault_stats()
+    }
+
     fn bootstrap_random_public(&mut self, per_view: usize) {
         self.inner.bootstrap_random_public(per_view);
     }

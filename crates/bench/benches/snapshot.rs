@@ -299,6 +299,23 @@ fn bench_protocol_round(samples: usize) -> Result {
     })
 }
 
+fn bench_faults_off_round(samples: usize) -> Result {
+    // The fault plane's zero-cost-when-off contract: the same 200-peer
+    // round, built through the faults-aware workloads path with no plan
+    // installed (what `--faults none` produces). Gated against the
+    // pre-fault-plane `nylon_round_200_peers_70pct_nat` baseline entry
+    // (see BASELINE_ALIAS): if the `Option<FaultRuntime>` plumbing cost
+    // a measurable branch per event, this median would drift from the
+    // recorded one.
+    let scn = Scenario::new(200, 70.0, 5);
+    let mut eng: NylonEngine = build(&scn, NylonConfig::default());
+    eng.run_rounds(30);
+    measure("nylon_round_200_peers_faults_off", samples, move || {
+        eng.run_rounds(1);
+        eng.stats().shuffles_initiated
+    })
+}
+
 fn bench_peerswap_round(samples: usize) -> Result {
     // The PR-7 fourth engine over the same 200-peer/70%-NAT population:
     // PeerSwap ships copy-semantics swaps instead of Nylon's RVP-relayed
@@ -406,8 +423,9 @@ fn parse_results_array(text: &str) -> Vec<BaselineEntry> {
 /// reintroduced per-message allocation, shows up as hundreds); every
 /// other bench replays a fixed workload with deterministic allocation
 /// counts and is compared exactly.
-const ALLOC_DRIFT: [&str; 5] = [
+const ALLOC_DRIFT: [&str; 6] = [
     "nylon_round_200_peers_70pct_nat",
+    "nylon_round_200_peers_faults_off",
     "peerswap_round_200_peers_70pct_nat",
     "nylon_round_with_snapshot_200_peers",
     "nylon_sharded_round_200_peers_s1",
@@ -435,6 +453,13 @@ const MEDIAN_MARGIN: f64 = 1.25;
 /// loses a meaningful slice of the recorded end-to-end speedup.
 const DRIFT_MEDIAN_MARGIN: f64 = 1.5;
 
+/// Baseline aliases: a bench added after a baseline was recorded gates
+/// against a pre-existing entry that measures the same workload, instead
+/// of being skipped as "new". The faults-off round *is* the plain round
+/// plus dormant fault plumbing — that is exactly the comparison wanted.
+const BASELINE_ALIAS: [(&str, &str); 1] =
+    [("nylon_round_200_peers_faults_off", "nylon_round_200_peers_70pct_nat")];
+
 /// The machine-speed sentinel: this bench's source is frozen (it *is*
 /// the retained pre-wheel reference implementation), so the ratio of its
 /// current median to the baseline's measures the machine, not the code.
@@ -460,7 +485,12 @@ fn diff_against_baseline(results: &[Result], baseline: &[BaselineEntry]) -> Vec<
     }
     let speed = speed.unwrap_or(1.0);
     for r in results {
-        let Some(base) = baseline.iter().find(|b| b.name == r.name) else {
+        let base_name = BASELINE_ALIAS
+            .iter()
+            .find(|(name, _)| *name == r.name)
+            .map(|(_, base)| *base)
+            .unwrap_or(r.name);
+        let Some(base) = baseline.iter().find(|b| b.name == base_name) else {
             eprintln!("[diff] {:<38} no baseline entry (new bench), skipped", r.name);
             continue;
         };
@@ -569,6 +599,7 @@ fn main() {
         bench_routing_lookup(samples),
         bench_routing_sweep(samples),
         bench_protocol_round(samples),
+        bench_faults_off_round(samples),
         bench_peerswap_round(samples),
         bench_round_with_snapshot(samples),
         bench_sharded_round(samples, 1, "nylon_sharded_round_200_peers_s1"),

@@ -12,6 +12,7 @@
 //! * relaying of whole shuffles for the symmetric-NAT combinations where no
 //!   hole can be punched (lines 5–7 and 20–22).
 
+use nylon_faults::{FaultPlan, FaultRuntime, FaultStats};
 use nylon_gossip::{sort_tick_batch, NodeDescriptor, PartialView, ShardCtx};
 use nylon_net::{
     BufferPool, Delivery, DenseMap, Endpoint, InFlight, NatClass, NatType, NetConfig, Network,
@@ -63,6 +64,14 @@ pub struct NylonStats {
     /// Routing-table entries compacted away after their TTL expired — the
     /// cost center PR 5's profiling named.
     pub route_ttl_expiries: u64,
+    /// Hardened mode: punches re-sent after a timeout (bounded exponential
+    /// backoff) instead of being abandoned.
+    pub punch_retries: u64,
+    /// Hardened mode: punches that completed on a retry attempt.
+    pub punch_retry_wins: u64,
+    /// Hardened mode: observed-endpoint mismatches (a mid-session NAT
+    /// rebind) answered with an immediate re-punch PING.
+    pub stale_repunches: u64,
 }
 
 impl NylonStats {
@@ -88,6 +97,9 @@ impl NylonStats {
         self.chain_samples += other.chain_samples;
         self.routes_installed += other.routes_installed;
         self.route_ttl_expiries += other.route_ttl_expiries;
+        self.punch_retries += other.punch_retries;
+        self.punch_retry_wins += other.punch_retry_wins;
+        self.stale_repunches += other.stale_repunches;
     }
 
     fn record_chain(&mut self, hops: u8) {
@@ -106,6 +118,17 @@ impl NylonStats {
     }
 }
 
+/// State of one outstanding hole punch.
+#[derive(Debug, Clone, Copy, Default)]
+struct Punch {
+    /// When the punch is considered failed.
+    deadline: SimTime,
+    /// Retries already spent — stays 0 outside hardened mode.
+    attempts: u8,
+    /// The target's advertised endpoint, kept for retry PINGs.
+    addr: Endpoint,
+}
+
 #[derive(Debug)]
 struct Node {
     view: PartialView,
@@ -113,8 +136,8 @@ struct Node {
     /// route's hole was observed from lives inside the route entry, so a
     /// receive touches one map instead of two.
     routing: RoutingTable,
-    /// Outstanding hole punches: target → deadline.
-    pending_punch: DenseMap<PeerId, SimTime>,
+    /// Outstanding hole punches by target.
+    pending_punch: DenseMap<PeerId, Punch>,
     /// Ids shipped per outstanding shuffle, for the swapper merge policy.
     pending_sent: DenseMap<PeerId, Vec<PeerId>>,
     rng: SimRng,
@@ -128,6 +151,8 @@ enum Ev {
     Shuffle(PeerId),
     Deliver(SlabKey),
     Purge,
+    /// The next fault-plan event is due (see [`nylon_faults`]).
+    Fault,
 }
 
 // The whole point of the slab indirection: wheeled events stay slim.
@@ -135,6 +160,9 @@ const _: () = assert!(std::mem::size_of::<Ev>() <= 32, "Ev must stay slim for th
 
 /// Interval between NAT/contact-cache garbage-collection sweeps.
 const PURGE_EVERY: SimDuration = SimDuration::from_secs(60);
+
+/// Hardened mode: total punch tries (initial + retries) before giving up.
+const PUNCH_MAX_ATTEMPTS: u32 = 3;
 
 /// The Nylon protocol engine.
 ///
@@ -182,6 +210,12 @@ pub struct NylonEngine {
     /// `Some` when this engine is one worker of a sharded run (see
     /// `nylon_gossip::sharded`).
     shard: Option<ShardCtx<NylonMsg>>,
+    /// `Some` when a fault plan is installed (see
+    /// [`install_fault_plan`](Self::install_fault_plan)).
+    faults: Option<FaultRuntime>,
+    /// Graceful-degradation switch, cached off the installed plan: punch
+    /// retries, stale-mapping re-punch.
+    harden: bool,
 }
 
 impl NylonEngine {
@@ -212,7 +246,35 @@ impl NylonEngine {
             scratch_descs: Vec::new(),
             flights: Slab::new(),
             shard: None,
+            faults: None,
+            harden: false,
         }
+    }
+
+    /// Installs a compiled fault plan: applies its topology faults now and
+    /// schedules its timed events. Call after the population is added and
+    /// before bootstrap, so descriptors advertise post-CGN identities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has already started or a plan is installed.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(!self.started, "install the fault plan before start()");
+        assert!(self.faults.is_none(), "fault plan already installed");
+        plan.apply_topology(&mut self.net);
+        self.harden = plan.harden;
+        let count_global = self.shard.as_ref().is_none_or(|s| s.idx == 0);
+        let rt = FaultRuntime::new(plan, count_global);
+        if let Some(at) = rt.next_at() {
+            self.sim.schedule_at(at, Ev::Fault);
+        }
+        self.faults = Some(rt);
+    }
+
+    /// Counters of faults applied so far (ownership-filtered in shard
+    /// mode; see [`FaultStats`]).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|f| f.stats()).unwrap_or_default()
     }
 
     /// Turns this engine into worker `idx` of a sharded run (see
@@ -321,6 +383,12 @@ impl NylonEngine {
         out.counter("engine.nylon", "chain_samples", s.chain_samples);
         out.counter("engine.nylon", "routes_installed", s.routes_installed);
         out.counter("engine.nylon", "route_ttl_expiries", s.route_ttl_expiries);
+        out.counter("engine.nylon", "punch_retries", s.punch_retries);
+        out.counter("engine.nylon", "punch_retry_wins", s.punch_retry_wins);
+        out.counter("engine.nylon", "stale_repunches", s.stale_repunches);
+        if let Some(f) = &self.faults {
+            f.obs_report(out);
+        }
         // RouteMap storage health: snapshot-time walk over every node's
         // table (read-only — the hot path carries no histogram state).
         let mut probe = nylon_obs::Histogram::new();
@@ -631,8 +699,51 @@ impl NylonEngine {
     /// Marks `via` as directly reachable: refresh the direct route and
     /// remember the observed endpoint (every `on receive` in Figure 6
     /// starts with `update_next_RVP(p, p, HOLE_TIMEOUT)`).
+    ///
+    /// Hardened mode adds stale-mapping detection: if the observed
+    /// endpoint *moved* (a mid-session NAT rebind re-ported the peer), the
+    /// old hole is gone — answer with an immediate PING to the fresh
+    /// endpoint so our own NAT opens an egress session towards it, instead
+    /// of silently blackholing until TTL death.
     fn touch(&mut self, me: PeerId, via: PeerId, observed: Endpoint) {
+        if self.harden {
+            let prior = self.nodes[me.index()].routing.contact_of(via);
+            if prior.is_some_and(|c| c != observed) {
+                self.stats.stale_repunches += 1;
+                self.send_msg(me, observed, NylonMsg::Ping { from: me });
+            }
+        }
         self.nodes[me.index()].routing.touch_direct(via, self.cfg.hole_timeout, observed);
+    }
+
+    /// Hardened punch-timeout handling: re-send the OPEN_HOLE + PING pair
+    /// with bounded exponential backoff and deterministic jitter from the
+    /// node's own RNG stream, up to [`PUNCH_MAX_ATTEMPTS`] total tries.
+    fn retry_punch(&mut self, p: PeerId, t: PeerId, mut punch: Punch, now: SimTime) {
+        if u32::from(punch.attempts) + 1 >= PUNCH_MAX_ATTEMPTS {
+            self.stats.punch_timeouts += 1;
+            return;
+        }
+        let msg = NylonMsg::OpenHole { src: self.self_descriptor(p), dest: t, via: p, hops: 0 };
+        if !self.route_and_send(p, t, msg) {
+            // The chain died too; nothing left to retry through.
+            self.stats.punch_timeouts += 1;
+            return;
+        }
+        punch.attempts += 1;
+        self.stats.punch_retries += 1;
+        if !self.net.class_of(p).is_public() {
+            self.send_msg(p, punch.addr, NylonMsg::Ping { from: p });
+        }
+        let backoff = self.cfg.punch_timeout * (1u64 << punch.attempts.min(6));
+        let jitter = {
+            let node = &mut self.nodes[p.index()];
+            SimDuration::from_millis(
+                node.rng.gen_range(0..self.cfg.punch_timeout.as_millis().max(2)),
+            )
+        };
+        punch.deadline = now + backoff + jitter;
+        self.nodes[p.index()].pending_punch.insert(t, punch);
     }
 
     fn handle(&mut self, ev: Ev) {
@@ -649,12 +760,34 @@ impl NylonEngine {
                 // expire with them; no separate sweep needed.
                 self.sim.schedule_after(PURGE_EVERY, Ev::Purge);
             }
+            Ev::Fault => self.on_fault(),
+        }
+    }
+
+    /// Applies due fault-plan events and re-arms for the next instant.
+    /// Revived peers resume at their original phase: under a fault plan,
+    /// dead peers' shuffle chains keep ticking idle (see
+    /// [`on_shuffle`](Self::on_shuffle)).
+    fn on_fault(&mut self) {
+        let now = self.sim.now();
+        let Some(rt) = self.faults.as_mut() else { return };
+        let shard = self.shard.as_ref();
+        rt.apply_due(now, &mut self.net, |p| shard.is_none_or(|s| s.owns(p)), &mut Vec::new());
+        if let Some(at) = rt.next_at() {
+            self.sim.schedule_at(at, Ev::Fault);
         }
     }
 
     /// Figure 6, lines 1–14.
     fn on_shuffle(&mut self, p: PeerId) {
         if !self.net.is_alive(p) {
+            // Dead peers stop shuffling; the timer chain normally ends
+            // here. Under a fault plan the chain keeps ticking idle so a
+            // later Revive fault resumes shuffling at the original phase
+            // (no rescheduling, hence no cross-shard tie hazards).
+            if self.faults.is_some() {
+                self.sim.schedule_after(self.cfg.shuffle_period, Ev::Shuffle(p));
+            }
             return;
         }
         let now = self.sim.now();
@@ -663,9 +796,24 @@ impl NylonEngine {
         {
             let node = &mut self.nodes[p.index()];
             if !node.pending_punch.is_empty() {
-                let before = node.pending_punch.len();
-                node.pending_punch.retain(|_, deadline| *deadline > now);
-                self.stats.punch_timeouts += (before - node.pending_punch.len()) as u64;
+                if self.harden {
+                    let mut expired: Vec<(PeerId, Punch)> = Vec::new();
+                    node.pending_punch.retain(|t, punch| {
+                        if punch.deadline > now {
+                            true
+                        } else {
+                            expired.push((*t, *punch));
+                            false
+                        }
+                    });
+                    for (t, punch) in expired {
+                        self.retry_punch(p, t, punch, now);
+                    }
+                } else {
+                    let before = node.pending_punch.len();
+                    node.pending_punch.retain(|_, punch| punch.deadline > now);
+                    self.stats.punch_timeouts += (before - node.pending_punch.len()) as u64;
+                }
             }
         }
         let self_class = self.net.class_of(p);
@@ -738,7 +886,9 @@ impl NylonEngine {
             if self.route_and_send(p, t, msg) {
                 self.stats.hole_punches += 1;
                 let deadline = self.sim.now() + self.cfg.punch_timeout;
-                self.nodes[p.index()].pending_punch.insert(t, deadline);
+                self.nodes[p.index()]
+                    .pending_punch
+                    .insert(t, Punch { deadline, attempts: 0, addr: target.addr });
                 if !self_class.is_public() {
                     // Open our own hole towards the target (line 11–12); for
                     // symmetric targets the advertised endpoint is a
@@ -926,8 +1076,11 @@ impl NylonEngine {
                 // the unconditional REQUEST of the pseudocode would then
                 // shuffle twice in one round.
                 self.touch(to, from, from_ep);
-                if self.nodes[to.index()].pending_punch.remove(&from).is_some() {
+                if let Some(punch) = self.nodes[to.index()].pending_punch.remove(&from) {
                     self.stats.punch_successes += 1;
+                    if punch.attempts > 0 {
+                        self.stats.punch_retry_wins += 1;
+                    }
                     let entries = self.wire_view(to, from);
                     let sent = Self::sent_ids(&mut self.id_pool, &entries);
                     self.note_pending_sent(to, from, sent);

@@ -384,14 +384,27 @@ impl RoutingTable {
             Slot::Occupied(i) => {
                 // A stale (expired, not yet swept) entry is absent for all
                 // observable purposes: overwrite it wholesale. A live one
-                // keeps the larger expiry and the freshest endpoint.
+                // keeps the larger expiry and the freshest endpoint —
+                // unless the observed endpoint *moved*: a mid-session NAT
+                // rebind re-ported the peer, so the accumulated expiry is
+                // trust in a hole that no longer exists and the entry is
+                // reset to the fresh observation (the silent-blackhole
+                // fix: never serve a dead contact on borrowed time).
                 let stale = self.map.expires[i] <= self.age;
+                let remapped = !stale
+                    && matches!((observed, self.map.meta[i].contact),
+                        (Some(o), Some(c)) if o != c);
                 let m = &mut self.map.meta[i];
                 m.rvp = dest;
                 m.hops = 1;
-                m.contact = if stale { observed } else { observed.or(m.contact) };
+                m.contact = if stale || remapped { observed } else { observed.or(m.contact) };
                 let cur = self.map.expires[i];
-                self.map.expires[i] = if stale { expires } else { cur.max(expires) };
+                self.map.expires[i] = if stale || remapped { expires } else { cur.max(expires) };
+                if remapped {
+                    // The reset may have *shortened* this entry's expiry
+                    // below the tracked earliest-expiry bound.
+                    self.note_expiry(expires);
+                }
             }
             Slot::Vacant(i) => {
                 self.map.commit(i, dest, expires, Meta { rvp: dest, hops: 1, contact: observed });
@@ -777,6 +790,43 @@ mod tests {
     }
 
     #[test]
+    fn touch_direct_invalidates_on_endpoint_mismatch() {
+        // A NAT rebind re-ports the peer mid-session: the next datagram
+        // arrives from a new endpoint while the stale entry still holds
+        // accumulated TTL. Keeping the max expiry would keep serving
+        // trust in a hole that no longer exists (silent blackhole).
+        let e1 = Endpoint::new(nylon_net::Ip(1), nylon_net::Port(1000));
+        let e2 = Endpoint::new(nylon_net::Ip(1), nylon_net::Port(2000));
+        let mut t = rt();
+        t.touch_direct(PeerId(1), S90, e1);
+        t.decrease_ttls(S30);
+        assert_eq!(t.contact_of(PeerId(1)), Some(e1));
+        // Rebind: same peer, new observed endpoint, fresh 30 s hole.
+        t.touch_direct(PeerId(1), S30, e2);
+        assert_eq!(t.contact_of(PeerId(1)), Some(e2), "fresh endpoint replaces the dead one");
+        assert_eq!(t.ttl_of(PeerId(1)), Some(S30), "expiry resets to the fresh hole");
+        // Same-endpoint refreshes still never shorten.
+        t.touch_direct(PeerId(1), S90, e2);
+        t.touch_direct(PeerId(1), S30, e2);
+        assert_eq!(t.ttl_of(PeerId(1)), Some(S90));
+    }
+
+    #[test]
+    fn touch_after_mismatch_keeps_expiry_bound_sound() {
+        // The remap path can *shorten* an entry's expiry; the
+        // earliest-expiry bound must follow or len()'s O(1) fast path
+        // would count a lapsed entry as live.
+        let e1 = Endpoint::new(nylon_net::Ip(1), nylon_net::Port(1000));
+        let e2 = Endpoint::new(nylon_net::Ip(1), nylon_net::Port(2000));
+        let mut t = rt();
+        t.touch_direct(PeerId(1), S90 + S90, e1);
+        t.touch_direct(PeerId(1), S30, e2); // remap: expiry drops to 30 s
+        t.decrease_ttls(S60);
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.contact_of(PeerId(1)), None);
+    }
+
+    #[test]
     fn decrease_ttls_purges_expired() {
         let mut t = rt();
         t.update_direct(PeerId(1), S60);
@@ -981,10 +1031,12 @@ mod reference {
             match self.entries.get_mut(&dest) {
                 Some(e) => {
                     let stale = e.ttl_at(self.age).is_zero();
+                    let remapped =
+                        !stale && matches!((observed, e.contact), (Some(o), Some(c)) if o != c);
                     e.rvp = dest;
                     e.hops = 1;
-                    e.expires = if stale { expires } else { e.expires.max(expires) };
-                    e.contact = if stale { observed } else { observed.or(e.contact) };
+                    e.expires = if stale || remapped { expires } else { e.expires.max(expires) };
+                    e.contact = if stale || remapped { observed } else { observed.or(e.contact) };
                 }
                 None => {
                     self.entries

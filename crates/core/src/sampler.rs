@@ -49,6 +49,14 @@ impl PeerSampler for NylonEngine {
         NylonEngine::enable_port_forwarding(self, peer);
     }
 
+    fn install_fault_plan(&mut self, plan: nylon_faults::FaultPlan) {
+        NylonEngine::install_fault_plan(self, plan);
+    }
+
+    fn fault_stats(&self) -> nylon_faults::FaultStats {
+        NylonEngine::fault_stats(self)
+    }
+
     fn bootstrap_random_public(&mut self, per_view: usize) {
         NylonEngine::bootstrap_random_public(self, per_view);
     }
@@ -149,6 +157,14 @@ impl PeerSampler for StaticRvpEngine {
 
     fn enable_port_forwarding(&mut self, peer: PeerId) {
         StaticRvpEngine::enable_port_forwarding(self, peer);
+    }
+
+    fn install_fault_plan(&mut self, plan: nylon_faults::FaultPlan) {
+        StaticRvpEngine::install_fault_plan(self, plan);
+    }
+
+    fn fault_stats(&self) -> nylon_faults::FaultStats {
+        StaticRvpEngine::fault_stats(self)
     }
 
     fn bootstrap_random_public(&mut self, per_view: usize) {

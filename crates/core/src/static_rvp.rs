@@ -16,6 +16,7 @@
 //! period (proactive keep-alive, unlike Nylon's reactive punching) and
 //! re-bind to a fresh public peer if their RVP dies.
 
+use nylon_faults::{FaultPlan, FaultRuntime, FaultStats};
 use nylon_gossip::{sort_tick_batch, GossipConfig, NodeDescriptor, PartialView, ShardCtx};
 use nylon_net::{
     BufferPool, Delivery, DenseMap, Endpoint, InFlight, NatClass, NetConfig, Network, PeerId, Slab,
@@ -80,6 +81,9 @@ pub struct StaticRvpStats {
     pub responses_completed: u64,
     /// Natted peers that re-bound after their RVP died.
     pub rebinds: u64,
+    /// Hardened mode: proactive re-binds after repeated relay silence,
+    /// before the TTL ever declares the RVP dead.
+    pub failovers: u64,
 }
 
 impl StaticRvpStats {
@@ -96,6 +100,7 @@ impl StaticRvpStats {
         self.requests_completed += other.requests_completed;
         self.responses_completed += other.responses_completed;
         self.rebinds += other.rebinds;
+        self.failovers += other.failovers;
     }
 }
 
@@ -110,6 +115,8 @@ struct Node {
     rng: SimRng,
     /// RVP annotations learned alongside view entries.
     bindings: DenseMap<PeerId, Option<PeerId>>,
+    /// Hardened mode: shuffle rounds since the last RESPONSE made it back.
+    silent_rounds: u8,
 }
 
 /// Engine events. `Deliver` carries a slab handle — the ~100 B
@@ -120,12 +127,19 @@ enum Ev {
     Shuffle(PeerId),
     Deliver(SlabKey),
     Purge,
+    /// The next fault-plan event is due (see [`FaultRuntime::next_at`]).
+    Fault,
 }
 
 // The whole point of the slab indirection: wheeled events stay slim.
 const _: () = assert!(std::mem::size_of::<Ev>() <= 32, "Ev must stay slim for the timer wheel");
 
 const PURGE_EVERY: SimDuration = SimDuration::from_secs(60);
+
+/// Hardened mode: after this many consecutive shuffle rounds with no
+/// RESPONSE arriving, a natted peer assumes its relay path is dead (stale
+/// hole, silently crashed RVP) and re-registers with a different RVP.
+const FAILOVER_SILENT_ROUNDS: u8 = 3;
 
 /// Engine for the static-RVP strawman. API mirrors
 /// [`nylon::NylonEngine`](crate::NylonEngine).
@@ -152,6 +166,13 @@ pub struct StaticRvpEngine {
     /// `Some` when this engine is one worker of a sharded run (see
     /// `nylon_gossip::sharded`).
     shard: Option<ShardCtx<StaticRvpMsg>>,
+    /// Installed fault plan, if any (see [`install_fault_plan`]).
+    ///
+    /// [`install_fault_plan`]: StaticRvpEngine::install_fault_plan
+    faults: Option<FaultRuntime>,
+    /// Graceful-degradation mode from the fault plan: silence-based RVP
+    /// failover instead of waiting for TTL death.
+    harden: bool,
 }
 
 impl StaticRvpEngine {
@@ -173,7 +194,36 @@ impl StaticRvpEngine {
             scratch_keep: FxHashSet::default(),
             flights: Slab::new(),
             shard: None,
+            faults: None,
+            harden: false,
         }
+    }
+
+    /// Installs a compiled [`FaultPlan`]: applies its topology mutations
+    /// (stacked CGN, hairpin toggles) immediately and schedules its timed
+    /// events. Call after the population is added and before
+    /// [`bootstrap_random_public`](Self::bootstrap_random_public), so
+    /// descriptors advertise post-CGN identities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has started or a plan is already installed.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(!self.started, "install the fault plan before start()");
+        assert!(self.faults.is_none(), "fault plan already installed");
+        self.harden = plan.harden;
+        plan.apply_topology(&mut self.net);
+        let count_global = self.shard.as_ref().is_none_or(|s| s.idx == 0);
+        let rt = FaultRuntime::new(plan, count_global);
+        if let Some(at) = rt.next_at() {
+            self.sim.schedule_at(at, Ev::Fault);
+        }
+        self.faults = Some(rt);
+    }
+
+    /// Fault counters (all zero when no plan is installed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|f| f.stats()).unwrap_or_default()
     }
 
     /// Turns this engine into worker `idx` of a sharded run (see
@@ -235,6 +285,10 @@ impl StaticRvpEngine {
         out.counter("engine.static_rvp", "requests_completed", s.requests_completed);
         out.counter("engine.static_rvp", "responses_completed", s.responses_completed);
         out.counter("engine.static_rvp", "rebinds", s.rebinds);
+        out.counter("engine.static_rvp", "rvp_failovers", s.failovers);
+        if let Some(f) = &self.faults {
+            f.obs_report(out);
+        }
     }
 
     /// Adds a peer. Natted peers are bound to a uniformly random public RVP
@@ -249,6 +303,7 @@ impl StaticRvpEngine {
             pending_sent: DenseMap::new(),
             rng,
             bindings: DenseMap::new(),
+            silent_rounds: 0,
         });
         id
     }
@@ -450,11 +505,29 @@ impl StaticRvpEngine {
                 self.net.purge_expired_nat_state(now);
                 self.sim.schedule_after(PURGE_EVERY, Ev::Purge);
             }
+            Ev::Fault => self.on_fault(),
+        }
+    }
+
+    fn on_fault(&mut self) {
+        let now = self.sim.now();
+        let Some(rt) = self.faults.as_mut() else { return };
+        let shard = self.shard.as_ref();
+        rt.apply_due(now, &mut self.net, |p| shard.is_none_or(|s| s.owns(p)), &mut Vec::new());
+        if let Some(at) = rt.next_at() {
+            self.sim.schedule_at(at, Ev::Fault);
         }
     }
 
     fn on_shuffle(&mut self, p: PeerId) {
         if !self.net.is_alive(p) {
+            // Under a fault plan peers can be revived later: keep the timer
+            // chain ticking idle so a revived peer resumes at its original
+            // phase. Without faults, death is permanent and the chain ends
+            // here (byte-identical to the pre-fault-plane behavior).
+            if self.faults.is_some() {
+                self.sim.schedule_after(self.cfg.shuffle_period, Ev::Shuffle(p));
+            }
             return;
         }
         // Keep-alive / re-bind: a natted peer pings its RVP every period.
@@ -473,7 +546,42 @@ impl StaticRvpEngine {
                     *node.rng.pick(&publics).expect("publics non-empty")
                 };
                 self.nodes[p.index()].rvp = Some(rvp);
+                self.nodes[p.index()].silent_rounds = 0;
                 self.stats.rebinds += 1;
+            } else if self.harden && self.nodes[p.index()].silent_rounds >= FAILOVER_SILENT_ROUNDS {
+                // Silence-based failover: the RVP looks alive by TTL but no
+                // RESPONSE has made it back for several rounds — its relay
+                // state (our hole, its client table) may be stale. Re-register
+                // with a different live RVP from the view rather than
+                // blackholing until the TTL catches up.
+                let cur = self.nodes[p.index()].rvp;
+                let mut candidates: Vec<PeerId> = self.nodes[p.index()]
+                    .view
+                    .iter()
+                    .filter(|d| d.class.is_public())
+                    .map(|d| d.id)
+                    .filter(|q| Some(*q) != cur && self.net.is_alive(*q))
+                    .collect();
+                if candidates.is_empty() {
+                    candidates = self
+                        .net
+                        .alive_peers()
+                        .filter(|q| self.net.class_of(*q).is_public() && Some(*q) != cur)
+                        .collect();
+                }
+                let picked = {
+                    let node = &mut self.nodes[p.index()];
+                    node.rng.pick(&candidates).copied()
+                };
+                if let Some(rvp) = picked {
+                    self.nodes[p.index()].rvp = Some(rvp);
+                    self.stats.failovers += 1;
+                }
+                self.nodes[p.index()].silent_rounds = 0;
+            }
+            if self.harden {
+                let node = &mut self.nodes[p.index()];
+                node.silent_rounds = node.silent_rounds.saturating_add(1);
             }
             let rvp = self.nodes[p.index()].rvp.expect("just bound");
             let rvp_ep = self.net.identity_endpoint(rvp);
@@ -604,6 +712,7 @@ impl StaticRvpEngine {
                     return;
                 }
                 self.stats.responses_completed += 1;
+                self.nodes[to.index()].silent_rounds = 0;
                 let sent = self.nodes[to.index()].pending_sent.remove(&from).unwrap_or_default();
                 self.merge(to, &entries, &sent);
                 self.id_pool.release(sent);
@@ -776,6 +885,45 @@ mod tests {
         // warm-up they succeed. Either way the counters are consistent.
         let s = eng.stats();
         assert!(s.relays + s.relay_failures > 0);
+    }
+
+    /// A partition leaves RVPs alive by TTL but silently unreachable — the
+    /// exact blackhole silence-based failover exists for.
+    fn faulted_engine(harden: bool, seed: u64) -> StaticRvpEngine {
+        let mut eng = StaticRvpEngine::new(GossipConfig::default(), NetConfig::default(), seed);
+        for _ in 0..8 {
+            eng.add_peer(NatClass::Public);
+        }
+        for _ in 0..32 {
+            eng.add_peer(NatClass::Natted(NatType::PortRestrictedCone));
+        }
+        let cfg = nylon_faults::FaultConfig {
+            partition_at: SimTime::from_secs(30),
+            partition_len: SimDuration::from_secs(30),
+            partition_cut_fraction: 0.5,
+            harden,
+            ..nylon_faults::FaultConfig::default()
+        };
+        let classes: Vec<NatClass> = (0..40).map(|i| eng.net().class_of(PeerId(i))).collect();
+        eng.install_fault_plan(FaultPlan::compile(&cfg, seed, &classes));
+        eng.bootstrap_random_public(8);
+        eng.start();
+        eng.run_for(SimDuration::from_secs(90));
+        eng
+    }
+
+    #[test]
+    fn hardened_engine_fails_over_after_relay_silence() {
+        let eng = faulted_engine(true, 17);
+        assert_eq!(eng.fault_stats().partitions, 1, "the partition window must fire");
+        assert!(eng.stats().failovers > 0, "relay silence must trigger RVP failover");
+    }
+
+    #[test]
+    fn unhardened_engine_never_fails_over() {
+        let eng = faulted_engine(false, 17);
+        assert_eq!(eng.fault_stats().partitions, 1);
+        assert_eq!(eng.stats().failovers, 0, "failover is hardened-mode only");
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! unreachable entries silently vanish — which is exactly the degradation
 //! Figures 2–4 quantify.
 
+use nylon_faults::{FaultPlan, FaultRuntime, FaultStats};
 use nylon_net::{
     BufferPool, Delivery, DenseMap, Endpoint, InFlight, NatClass, NetConfig, Network, Outbound,
     PeerId, Slab, SlabKey,
@@ -49,6 +50,8 @@ enum Ev {
     Deliver(SlabKey),
     /// Periodic NAT state garbage collection.
     Purge,
+    /// The next fault-plan event is due (see [`nylon_faults`]).
+    Fault,
 }
 
 // The whole point of the slab indirection: wheeled events stay slim.
@@ -183,6 +186,9 @@ pub struct BaselineEngine {
     flights: Slab<InFlight<BaselineMsg>>,
     /// `Some` when this engine is one worker of a sharded run.
     shard: Option<ShardCtx<BaselineMsg>>,
+    /// `Some` when a fault plan is installed (see
+    /// [`install_fault_plan`](Self::install_fault_plan)).
+    faults: Option<FaultRuntime>,
 }
 
 impl BaselineEngine {
@@ -204,7 +210,33 @@ impl BaselineEngine {
             id_pool: BufferPool::new(),
             flights: Slab::new(),
             shard: None,
+            faults: None,
         }
+    }
+
+    /// Installs a compiled fault plan: applies its topology faults now and
+    /// schedules its timed events. Call after the population is added and
+    /// before bootstrap, so descriptors advertise post-CGN identities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has already started or a plan is installed.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(!self.started, "install the fault plan before start()");
+        assert!(self.faults.is_none(), "fault plan already installed");
+        plan.apply_topology(&mut self.net);
+        let count_global = self.shard.as_ref().is_none_or(|s| s.idx == 0);
+        let rt = FaultRuntime::new(plan, count_global);
+        if let Some(at) = rt.next_at() {
+            self.sim.schedule_at(at, Ev::Fault);
+        }
+        self.faults = Some(rt);
+    }
+
+    /// Counters of faults applied so far (ownership-filtered in shard
+    /// mode; see [`FaultStats`]).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|f| f.stats()).unwrap_or_default()
     }
 
     /// Turns this engine into worker `idx` of a sharded run (see
@@ -334,6 +366,9 @@ impl BaselineEngine {
         out.counter("engine.baseline", "empty_view_rounds", self.stats.empty_view_rounds);
         out.counter("engine.baseline", "requests_received", self.stats.requests_received);
         out.counter("engine.baseline", "responses_received", self.stats.responses_received);
+        if let Some(f) = &self.faults {
+            f.obs_report(out);
+        }
     }
 
     /// Adds a peer of the given NAT class and returns its id.
@@ -548,13 +583,37 @@ impl BaselineEngine {
                 self.net.purge_expired_nat_state(now);
                 self.sim.schedule_after(PURGE_EVERY, Ev::Purge);
             }
+            Ev::Fault => self.on_fault(),
+        }
+    }
+
+    /// Applies due fault-plan events and re-arms for the next instant.
+    ///
+    /// Revived peers need no timer surgery: with a fault plan installed,
+    /// dead peers' shuffle chains keep ticking idle (see
+    /// [`on_shuffle`](Self::on_shuffle)), so a revived peer resumes at its
+    /// original phase on every shard identically.
+    fn on_fault(&mut self) {
+        let now = self.sim.now();
+        let Some(rt) = self.faults.as_mut() else { return };
+        let shard = self.shard.as_ref();
+        rt.apply_due(now, &mut self.net, |p| shard.is_none_or(|s| s.owns(p)), &mut Vec::new());
+        if let Some(at) = rt.next_at() {
+            self.sim.schedule_at(at, Ev::Fault);
         }
     }
 
     /// Figure 1, lines 1–7: select target, ship view, age entries.
     fn on_shuffle(&mut self, p: PeerId) {
         if !self.net.is_alive(p) {
-            return; // dead peers stop shuffling; timer chain ends here
+            // Dead peers stop shuffling; the timer chain normally ends
+            // here. Under a fault plan the chain keeps ticking idle so a
+            // later Revive fault resumes shuffling at the original phase
+            // (no rescheduling, hence no cross-shard tie hazards).
+            if self.faults.is_some() {
+                self.sim.schedule_after(self.cfg.shuffle_period, Ev::Shuffle(p));
+            }
+            return;
         }
         let self_d = self.self_descriptor(p);
         let target = {

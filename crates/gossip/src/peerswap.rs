@@ -25,6 +25,7 @@
 //! structurally a shuffle request/response), so the transport crate's
 //! versioned codec carries PeerSwap traffic unmodified.
 
+use nylon_faults::{FaultPlan, FaultRuntime, FaultStats};
 use nylon_net::{
     BufferPool, Delivery, Endpoint, InFlight, NatClass, NetConfig, Network, Outbound, PeerId, Slab,
     SlabKey,
@@ -82,6 +83,8 @@ enum Ev {
     Deliver(SlabKey),
     /// Periodic NAT state garbage collection.
     Purge,
+    /// The next fault-plan event is due (see [`nylon_faults`]).
+    Fault,
 }
 
 const _: () = assert!(std::mem::size_of::<Ev>() <= 32, "Ev must stay slim for the timer wheel");
@@ -144,6 +147,9 @@ pub struct PeerSwapEngine {
     id_pool: BufferPool<PeerId>,
     flights: Slab<InFlight<BaselineMsg>>,
     shard: Option<ShardCtx<BaselineMsg>>,
+    /// `Some` when a fault plan is installed (see
+    /// [`install_fault_plan`](Self::install_fault_plan)).
+    faults: Option<FaultRuntime>,
 }
 
 impl PeerSwapEngine {
@@ -171,7 +177,33 @@ impl PeerSwapEngine {
             id_pool: BufferPool::new(),
             flights: Slab::new(),
             shard: None,
+            faults: None,
         }
+    }
+
+    /// Installs a compiled fault plan: applies its topology faults now and
+    /// schedules its timed events. Call after the population is added and
+    /// before bootstrap, so descriptors advertise post-CGN identities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has already started or a plan is installed.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(!self.started, "install the fault plan before start()");
+        assert!(self.faults.is_none(), "fault plan already installed");
+        plan.apply_topology(&mut self.net);
+        let count_global = self.shard.as_ref().is_none_or(|s| s.idx == 0);
+        let rt = FaultRuntime::new(plan, count_global);
+        if let Some(at) = rt.next_at() {
+            self.sim.schedule_at(at, Ev::Fault);
+        }
+        self.faults = Some(rt);
+    }
+
+    /// Counters of faults applied so far (ownership-filtered in shard
+    /// mode; see [`FaultStats`]).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|f| f.stats()).unwrap_or_default()
     }
 
     /// Turns this engine into worker `idx` of a sharded run (see
@@ -290,6 +322,9 @@ impl PeerSwapEngine {
         out.counter("engine.peerswap", "requests_received", self.stats.requests_received);
         out.counter("engine.peerswap", "responses_received", self.stats.responses_received);
         out.counter("engine.peerswap", "swaps_unanswered", self.stats.swaps_unanswered);
+        if let Some(f) = &self.faults {
+            f.obs_report(out);
+        }
     }
 
     /// Adds a peer of the given NAT class and returns its id. A peer added
@@ -445,6 +480,7 @@ impl PeerSwapEngine {
                 self.net.purge_expired_nat_state(now);
                 self.sim.schedule_after(PURGE_EVERY, Ev::Purge);
             }
+            Ev::Fault => self.on_fault(),
         }
     }
 
@@ -501,9 +537,29 @@ impl PeerSwapEngine {
     /// One initiated swap: shed the partner's entry (it will be refilled by
     /// the response — or stay gone if the partner is unreachable), ship a
     /// fresh self-descriptor plus copies of a random batch.
+    /// Applies due fault-plan events and re-arms for the next instant.
+    /// Revived peers resume at their original phase: under a fault plan,
+    /// dead peers' swap chains keep ticking idle (see
+    /// [`on_swap`](Self::on_swap)).
+    fn on_fault(&mut self) {
+        let now = self.sim.now();
+        let Some(rt) = self.faults.as_mut() else { return };
+        let shard = self.shard.as_ref();
+        rt.apply_due(now, &mut self.net, |p| shard.is_none_or(|s| s.owns(p)), &mut Vec::new());
+        if let Some(at) = rt.next_at() {
+            self.sim.schedule_at(at, Ev::Fault);
+        }
+    }
+
     fn on_swap(&mut self, p: PeerId) {
         if !self.net.is_alive(p) {
-            return; // dead peers stop swapping; timer chain ends here
+            // Dead peers stop swapping; the timer chain normally ends
+            // here. Under a fault plan the chain keeps ticking idle so a
+            // later Revive fault resumes swapping at the original phase.
+            if self.faults.is_some() {
+                self.sim.schedule_after(self.cfg.shuffle_period, Ev::Swap(p));
+            }
+            return;
         }
         let self_d = self.self_descriptor(p);
         // An unanswered previous swap is Cyclon-style failure detection:
@@ -633,6 +689,14 @@ impl crate::sampler::PeerSampler for PeerSwapEngine {
 
     fn enable_port_forwarding(&mut self, peer: PeerId) {
         PeerSwapEngine::enable_port_forwarding(self, peer);
+    }
+
+    fn install_fault_plan(&mut self, plan: FaultPlan) {
+        PeerSwapEngine::install_fault_plan(self, plan);
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        PeerSwapEngine::fault_stats(self)
     }
 
     fn bootstrap_random_public(&mut self, per_view: usize) {

@@ -65,6 +65,21 @@ pub trait PeerSampler: Sized {
     /// (no-op for public peers). Call before bootstrapping.
     fn enable_port_forwarding(&mut self, peer: PeerId);
 
+    /// Installs a compiled fault plan: applies its topology faults (CGN
+    /// stacking, hairpin enabling) immediately and schedules its timed
+    /// events. Call after the population is added and before
+    /// [`bootstrap_random_public`](Self::bootstrap_random_public), so
+    /// bootstrap descriptors advertise post-CGN identities. Default:
+    /// engines without fault support ignore the plan.
+    fn install_fault_plan(&mut self, _plan: nylon_faults::FaultPlan) {}
+
+    /// Counters of faults applied so far (ownership-filtered under
+    /// sharding, so sums across workers equal single-engine totals).
+    /// Default: no faults ever.
+    fn fault_stats(&self) -> nylon_faults::FaultStats {
+        nylon_faults::FaultStats::default()
+    }
+
     /// Fills every view with up to `per_view` uniformly chosen public
     /// peers (the paper's bootstrap).
     fn bootstrap_random_public(&mut self, per_view: usize);
@@ -162,6 +177,14 @@ impl PeerSampler for BaselineEngine {
 
     fn enable_port_forwarding(&mut self, peer: PeerId) {
         BaselineEngine::enable_port_forwarding(self, peer);
+    }
+
+    fn install_fault_plan(&mut self, plan: nylon_faults::FaultPlan) {
+        BaselineEngine::install_fault_plan(self, plan);
+    }
+
+    fn fault_stats(&self) -> nylon_faults::FaultStats {
+        BaselineEngine::fault_stats(self)
     }
 
     fn bootstrap_random_public(&mut self, per_view: usize) {

@@ -196,6 +196,21 @@ impl<E: ShardSampler> PeerSampler for Sharded<E> {
         self.for_each_shard(|e| e.enable_port_forwarding(peer));
     }
 
+    fn install_fault_plan(&mut self, plan: nylon_faults::FaultPlan) {
+        // Every worker replica gets the identical plan and applies every
+        // event to its own network replica; the runtime's ownership-based
+        // stat counting keeps absorbed totals equal to single-engine runs.
+        self.for_each_shard(|e| e.install_fault_plan(plan.clone()));
+    }
+
+    fn fault_stats(&self) -> nylon_faults::FaultStats {
+        let mut total = nylon_faults::FaultStats::default();
+        for w in self.sim.workers() {
+            total.merge(&w.fault_stats());
+        }
+        total
+    }
+
     fn bootstrap_random_public(&mut self, per_view: usize) {
         self.for_each_shard(|e| e.bootstrap_random_public(per_view));
     }

@@ -239,6 +239,20 @@ impl<K: DenseKey, V: Default> DenseMap<K, V> {
         val
     }
 
+    /// Removes every entry, keeping the allocated slots for reuse.
+    pub fn clear(&mut self) {
+        if self.len == 0 {
+            return;
+        }
+        for k in &mut self.keys {
+            *k = K::EMPTY;
+        }
+        for v in &mut self.vals {
+            *v = V::default();
+        }
+        self.len = 0;
+    }
+
     /// Keeps only entries for which `f` returns `true`.
     ///
     /// `f` must be a pure predicate over `(key, value)`: when a deletion's

@@ -14,6 +14,9 @@ pub enum NatReject {
     NoMapping,
     /// A mapping exists but the filtering rule rejects this source.
     Filtered,
+    /// A packet from the private side addressed the box's own public
+    /// endpoint, and the box does not support hairpinning (NAT loopback).
+    HairpinBlocked,
 }
 
 /// A session: one (private endpoint → remote endpoint) flow with an expiry.
@@ -124,6 +127,10 @@ pub struct NatBox {
     /// Permanent UPnP/NAT-PMP port forwardings: public port → private
     /// endpoint, never expiring and never filtered.
     forwarded: DenseMap<Port, Endpoint>,
+    /// Hairpinning (NAT loopback): whether a packet from the private side
+    /// addressed to this box's own public endpoint is translated back in.
+    /// A vendor option that most devices ship disabled — the default here.
+    hairpin: bool,
     next_port: u16,
 }
 
@@ -143,8 +150,77 @@ impl NatBox {
             sym: DenseMap::new(),
             sym_by_port: DenseMap::new(),
             forwarded: DenseMap::new(),
+            hairpin: false,
             next_port: FIRST_DYNAMIC_PORT,
         }
+    }
+
+    /// Enables or disables hairpinning (NAT loopback) on this box.
+    pub fn set_hairpin(&mut self, enabled: bool) {
+        self.hairpin = enabled;
+    }
+
+    /// `true` if this box translates hairpin packets (see
+    /// [`NatBox::on_hairpin`]).
+    pub fn hairpin_enabled(&self) -> bool {
+        self.hairpin
+    }
+
+    /// Processes a packet from `from_private` addressed to this box's *own*
+    /// public endpoint `to` (hairpin / NAT loopback). A hairpinning box
+    /// applies regular egress translation and then regular ingress
+    /// processing against the translated source — the packet re-enters as
+    /// if it had come from the public internet. Non-hairpinning boxes
+    /// (the default) drop it outright.
+    ///
+    /// Returns the private destination endpoint on success.
+    pub fn on_hairpin(
+        &mut self,
+        now: SimTime,
+        from_private: Endpoint,
+        to: Endpoint,
+    ) -> Result<Endpoint, NatReject> {
+        debug_assert_eq!(to.ip, self.public_ip, "hairpin packet must address this box");
+        if !self.hairpin {
+            return Err(NatReject::HairpinBlocked);
+        }
+        let src = self.on_outbound(now, from_private, to);
+        self.on_inbound(now, to.port, src)
+    }
+
+    /// Mobile-style mid-session rebinding: the box loses its dynamic state
+    /// as if it rebooted or the carrier re-assigned it. Cone mappings keep
+    /// their private endpoints but move to *fresh* public ports with every
+    /// session dropped; symmetric mappings are discarded wholesale (their
+    /// next outbound re-ports anyway). Permanent UPnP forwardings are
+    /// pinned by the control protocol and survive. Returns how many
+    /// mappings were affected.
+    pub fn rebind(&mut self) -> u64 {
+        let mut moved = 0u64;
+        let privates: Vec<Endpoint> = self.cone.iter().map(|(p, _)| p).collect();
+        for private in privates {
+            let old_port = self.cone.get(&private).expect("key just listed").port;
+            if self.forwarded.contains_key(&old_port) {
+                continue; // UPnP-pinned: the reservation survives.
+            }
+            // Allocate before releasing the old port so the fresh port is
+            // guaranteed to differ.
+            let new_port = self.alloc_port();
+            self.cone_by_port.remove(&old_port);
+            self.cone_by_port.insert(new_port, private);
+            let mapping = self.cone.get_mut(&private).expect("key just listed");
+            mapping.port = new_port;
+            mapping.sessions.clear();
+            // Sessions only ever gain lifetime, which is what makes
+            // `max_expires` a liveness oracle — a rebind is the one event
+            // that resets it.
+            mapping.max_expires = SimTime::ZERO;
+            moved += 1;
+        }
+        moved += self.sym_by_port.len() as u64;
+        self.sym.clear();
+        self.sym_by_port.clear();
+        moved
     }
 
     /// Installs a permanent UPnP/NAT-PMP port forwarding for `private` and
@@ -321,28 +397,39 @@ impl NatBox {
     /// `public_port` be forwarded at `now`? Unlike [`NatBox::on_inbound`],
     /// no session is refreshed or created. Used by the staleness metric.
     pub fn would_admit(&self, now: SimTime, public_port: Port, src: Endpoint) -> bool {
+        self.peek_inbound(now, public_port, src).is_some()
+    }
+
+    /// Read-only [`NatBox::on_inbound`]: the private endpoint a packet
+    /// from `src` addressed to `public_port` would be forwarded to at
+    /// `now`, or `None` if it would be dropped. No session is refreshed or
+    /// created. Used to resolve stacked (carrier-grade) NAT chains without
+    /// disturbing the inner box's state.
+    pub fn peek_inbound(&self, now: SimTime, public_port: Port, src: Endpoint) -> Option<Endpoint> {
         if public_port == Port::UNKNOWN {
-            return false;
+            return None;
         }
-        if self.forwarded.contains_key(&public_port) {
-            return true;
+        if let Some(private) = self.forwarded.get(&public_port) {
+            return Some(*private);
         }
         if self.nat_type.is_cone() {
-            let Some(private) = self.cone_by_port.get(&public_port) else { return false };
-            let Some(mapping) = self.cone.get(private) else { return false };
+            let private = *self.cone_by_port.get(&public_port)?;
+            let mapping = self.cone.get(&private)?;
             if !mapping.live(now) {
-                return false;
+                return None;
             }
-            match self.nat_type {
+            let admitted = match self.nat_type {
                 NatType::FullCone => true,
                 NatType::RestrictedCone => mapping.admits_ip(now, src),
                 NatType::PortRestrictedCone => {
                     mapping.sessions.get(&src).is_some_and(|s| s.expires > now)
                 }
                 NatType::Symmetric => unreachable!("cone branch"),
-            }
+            };
+            admitted.then_some(private)
         } else {
-            self.sym_by_port.get(&public_port).is_some_and(|m| m.expires > now && m.remote == src)
+            let m = self.sym_by_port.get(&public_port)?;
+            (m.expires > now && m.remote == src).then_some(m.private)
         }
     }
 
@@ -649,5 +736,91 @@ mod tests {
         assert_eq!(nat.public_ip(), Ip(0x0100_0001));
         assert_eq!(nat.nat_type(), NatType::RestrictedCone);
         assert_eq!(nat.hole_timeout(), TIMEOUT);
+        assert!(!nat.hairpin_enabled(), "hairpinning must default off");
+    }
+
+    #[test]
+    fn hairpin_blocked_by_default_translated_when_enabled() {
+        let mut nat = boxed(NatType::PortRestrictedCone);
+        let p1 = Endpoint::new(Ip(Ip::PRIVATE_BASE + 1), Port(5000));
+        let p2 = Endpoint::new(Ip(Ip::PRIVATE_BASE + 2), Port(5000));
+        // p2 opens a hole towards p1's public mapping.
+        let pub1 = nat.on_outbound(SimTime::ZERO, p1, remote(1));
+        let pub2 = nat.on_outbound(SimTime::ZERO, p2, pub1);
+        nat.on_outbound(SimTime::ZERO, p1, pub2); // p1 opens back
+                                                  // Default: the loopback packet is dropped at the box.
+        assert_eq!(nat.on_hairpin(SimTime::from_secs(1), p2, pub1), Err(NatReject::HairpinBlocked));
+        // Enabled: egress-translate, then regular ingress admission.
+        nat.set_hairpin(true);
+        assert_eq!(nat.on_hairpin(SimTime::from_secs(1), p2, pub1), Ok(p1));
+        // Filtering still applies: a third private host p1 never talked to
+        // is rejected by the port-restricted rule even over hairpin.
+        let p3 = Endpoint::new(Ip(Ip::PRIVATE_BASE + 3), Port(5000));
+        assert_eq!(nat.on_hairpin(SimTime::from_secs(1), p3, pub1), Err(NatReject::Filtered));
+    }
+
+    #[test]
+    fn rebind_reports_cone_mapping_and_drops_sessions() {
+        let mut nat = boxed(NatType::PortRestrictedCone);
+        let before = nat.on_outbound(SimTime::ZERO, private(), remote(1));
+        assert!(nat.would_admit(SimTime::from_secs(1), before.port, remote(1)));
+        assert_eq!(nat.rebind(), 1);
+        let after = nat.on_outbound(SimTime::from_secs(2), private(), remote(1));
+        assert_ne!(before.port, after.port, "rebind must move the mapping to a fresh port");
+        assert_eq!(after.ip, before.ip);
+        // The old port is gone and the old sessions did not survive.
+        assert!(!nat.would_admit(SimTime::from_secs(2), before.port, remote(1)));
+        // The re-STUNed stable endpoint agrees with the new mapping.
+        assert_eq!(nat.stable_public_endpoint(private()), Some(after));
+    }
+
+    #[test]
+    fn rebind_drops_symmetric_mappings_wholesale() {
+        let mut nat = boxed(NatType::Symmetric);
+        let a = nat.on_outbound(SimTime::ZERO, private(), remote(1));
+        assert_eq!(nat.rebind(), 1);
+        assert!(!nat.would_admit(SimTime::from_secs(1), a.port, remote(1)));
+        let b = nat.on_outbound(SimTime::from_secs(1), private(), remote(1));
+        assert_ne!(a.port, b.port);
+    }
+
+    #[test]
+    fn rebind_keeps_upnp_forwardings() {
+        let mut nat = boxed(NatType::PortRestrictedCone);
+        let fwd = nat.enable_port_forwarding(private());
+        // A second private host with a dynamic mapping does move.
+        let p2 = Endpoint::new(Ip(Ip::PRIVATE_BASE + 2), Port(5000));
+        let dyn_before = nat.on_outbound(SimTime::ZERO, p2, remote(1));
+        assert_eq!(nat.rebind(), 1, "only the dynamic mapping rebinds");
+        assert_eq!(nat.on_inbound(SimTime::from_secs(1), fwd.port, remote(9)), Ok(private()));
+        let dyn_after = nat.on_outbound(SimTime::from_secs(1), p2, remote(1));
+        assert_ne!(dyn_before.port, dyn_after.port);
+    }
+
+    #[test]
+    fn stacked_cgn_rewrites_egress_twice() {
+        // Carrier-grade NAT: the subscriber box's public side is the
+        // carrier box's private side. An outbound packet is rewritten at
+        // each level; the remote peer sees only the carrier's endpoint,
+        // and the reply unwinds the chain level by level.
+        let mut inner = NatBox::new(Ip(0x4000_0001), NatType::PortRestrictedCone, TIMEOUT);
+        let mut outer = NatBox::new(Ip(0x4000_0002), NatType::PortRestrictedCone, TIMEOUT);
+        let dst = remote(1);
+        let hop1 = inner.on_outbound(SimTime::ZERO, private(), dst);
+        assert_eq!(hop1.ip, Ip(0x4000_0001));
+        let hop2 = outer.on_outbound(SimTime::ZERO, hop1, dst);
+        assert_eq!(hop2.ip, Ip(0x4000_0002), "the wire source must be the carrier's");
+        assert_ne!(hop2, hop1);
+        // Reply from the contacted remote unwinds both levels...
+        assert_eq!(outer.on_inbound(SimTime::from_secs(1), hop2.port, dst), Ok(hop1));
+        assert_eq!(inner.on_inbound(SimTime::from_secs(1), hop1.port, dst), Ok(private()));
+        // ...and a stranger is filtered at the carrier already.
+        assert_eq!(
+            outer.on_inbound(SimTime::from_secs(1), hop2.port, remote(2)),
+            Err(NatReject::Filtered)
+        );
+        // peek_inbound resolves the chain without refreshing any session.
+        assert_eq!(outer.peek_inbound(SimTime::from_secs(1), hop2.port, dst), Some(hop1));
+        assert_eq!(inner.peek_inbound(SimTime::from_secs(1), hop1.port, dst), Some(private()));
     }
 }

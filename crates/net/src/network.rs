@@ -82,6 +82,12 @@ pub enum DropReason {
     NoMapping,
     /// The NAT filtering rule rejected the source.
     Filtered,
+    /// A hairpin (NAT loopback) packet hit a box with hairpinning off.
+    HairpinBlocked,
+    /// Dropped by an injected loss-burst window (fault plane).
+    FaultLoss,
+    /// Dropped by an injected partition window (fault plane).
+    Partitioned,
 }
 
 impl fmt::Display for DropReason {
@@ -93,6 +99,9 @@ impl fmt::Display for DropReason {
             DropReason::SourceDead => "source dead",
             DropReason::NoMapping => "no NAT mapping",
             DropReason::Filtered => "filtered by NAT",
+            DropReason::HairpinBlocked => "hairpin not supported",
+            DropReason::FaultLoss => "injected loss burst",
+            DropReason::Partitioned => "injected partition",
         };
         f.write_str(s)
     }
@@ -113,6 +122,12 @@ pub struct DropCounters {
     pub no_mapping: u64,
     /// Datagrams rejected by NAT filtering rules.
     pub filtered: u64,
+    /// Hairpin packets dropped by non-hairpinning boxes.
+    pub hairpin_blocked: u64,
+    /// Datagrams dropped by injected loss-burst windows.
+    pub fault_loss: u64,
+    /// Datagrams dropped by injected partition windows.
+    pub partitioned: u64,
 }
 
 impl DropCounters {
@@ -124,6 +139,9 @@ impl DropCounters {
             DropReason::SourceDead => self.source_dead += 1,
             DropReason::NoMapping => self.no_mapping += 1,
             DropReason::Filtered => self.filtered += 1,
+            DropReason::HairpinBlocked => self.hairpin_blocked += 1,
+            DropReason::FaultLoss => self.fault_loss += 1,
+            DropReason::Partitioned => self.partitioned += 1,
         }
     }
 
@@ -135,6 +153,9 @@ impl DropCounters {
             + self.source_dead
             + self.no_mapping
             + self.filtered
+            + self.hairpin_blocked
+            + self.fault_loss
+            + self.partitioned
     }
 }
 
@@ -188,7 +209,45 @@ struct PeerSlot {
     private_ep: Endpoint,
     identity_ep: Endpoint,
     nat_box: Option<usize>,
+    /// Carrier-grade (outer) NAT box in front of `nat_box`, if the fault
+    /// plane stacked one. Egress is rewritten at both levels; ingress
+    /// unwinds the chain.
+    outer_box: Option<usize>,
     alive: bool,
+}
+
+/// Active fault-plane windows (loss bursts, partitions). Allocated only
+/// when a fault is injected, so the clean path pays one `Option` check.
+#[derive(Debug, Clone, Copy, Default)]
+struct FaultOverlay {
+    /// End of the loss-burst window (exclusive).
+    burst_until: SimTime,
+    /// Burst drop probability in parts-per-million.
+    burst_ppm: u32,
+    /// Salt for the per-datagram drop hash.
+    burst_salt: u64,
+    /// End of the partition window (exclusive).
+    part_until: SimTime,
+    /// Peers with id < cut cannot exchange with peers with id >= cut.
+    part_cut: u32,
+}
+
+/// Deterministic per-datagram drop decision for loss bursts: a pure hash
+/// of (sender, destination, instant, salt), so any shard layout — and a
+/// resumed run — samples the identical drop set without consuming RNG
+/// state.
+fn fault_hash(sender: PeerId, dst: Endpoint, now: SimTime, salt: u64) -> u64 {
+    let mut x = salt
+        ^ (u64::from(sender.0) << 32)
+        ^ u64::from(dst.ip.0)
+        ^ (u64::from(dst.port.0) << 16)
+        ^ now.as_millis().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    // splitmix64 finalizer.
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -255,6 +314,8 @@ pub struct Network<P> {
     /// shard without caring how sends from *different* peers interleave.
     peer_rng: Vec<SimRng>,
     alive_count: usize,
+    /// Active fault windows; `None` on the clean path.
+    fault_overlay: Option<FaultOverlay>,
     /// Distribution of per-datagram wire sizes, recorded at every send
     /// (zero-sized no-op unless the telemetry feature is on).
     wire_hist: nylon_obs::Histogram,
@@ -281,6 +342,7 @@ impl<P> Network<P> {
             rng: SimRng::new(seed).fork(0x6E65_7477), // "netw"
             peer_rng: Vec::new(),
             alive_count: 0,
+            fault_overlay: None,
             wire_hist: nylon_obs::Histogram::new(),
             _payload: std::marker::PhantomData,
         }
@@ -312,6 +374,9 @@ impl<P> Network<P> {
         out.counter("net", "drop_source_dead", self.drops.source_dead);
         out.counter("net", "drop_no_mapping", self.drops.no_mapping);
         out.counter("net", "drop_filtered", self.drops.filtered);
+        out.counter("net", "drop_hairpin_blocked", self.drops.hairpin_blocked);
+        out.counter("net", "drop_fault_loss", self.drops.fault_loss);
+        out.counter("net", "drop_partitioned", self.drops.partitioned);
         out.counter("net", "drops_total", self.drops.total());
     }
 
@@ -351,7 +416,14 @@ impl<P> Network<P> {
             // "peer"
         }
         self.peer_by_private.insert(private_ep, id);
-        self.peers.push(PeerSlot { class, private_ep, identity_ep, nat_box, alive: true });
+        self.peers.push(PeerSlot {
+            class,
+            private_ep,
+            identity_ep,
+            nat_box,
+            outer_box: None,
+            alive: true,
+        });
         self.stats.push(TrafficStats::default());
         self.alive_count += 1;
         id
@@ -400,6 +472,19 @@ impl<P> Network<P> {
         }
     }
 
+    /// Brings a killed peer back (fault-plane flapping). The peer returns
+    /// with its NAT boxes in whatever state they were left — holes may have
+    /// expired while it was down. Returns `false` if it was already alive.
+    pub fn revive_peer(&mut self, peer: PeerId) -> bool {
+        let slot = &mut self.peers[peer.index()];
+        if slot.alive {
+            return false;
+        }
+        slot.alive = true;
+        self.alive_count += 1;
+        true
+    }
+
     /// Sends `payload` from `peer` to `dst_ep`, performing egress NAT
     /// processing and sampling latency/loss.
     ///
@@ -415,21 +500,37 @@ impl<P> Network<P> {
         payload: P,
         payload_bytes: u32,
     ) -> Option<InFlight<P>> {
-        let slot = &self.peers[peer.index()];
-        if !slot.alive {
+        if !self.peers[peer.index()].alive {
             self.drops.bump(DropReason::SourceDead);
             return None;
         }
         let wire_bytes = payload_bytes + self.cfg.header_bytes;
-        let src_ep = match slot.nat_box {
-            Some(b) => self.boxes[b].on_outbound(now, slot.private_ep, dst_ep),
-            None => slot.identity_ep,
-        };
+        let src_ep = self.egress_chain(now, peer, dst_ep);
         let st = &mut self.stats[peer.index()];
         st.bytes_sent += wire_bytes as u64;
         st.msgs_sent += 1;
         self.wire_hist.record(wire_bytes as u64);
 
+        if let Some(ov) = self.fault_overlay {
+            // Fault windows drop in the core: the datagram left the host
+            // (bytes accounted, NAT holes opened), like random loss below.
+            if now < ov.part_until && ov.part_cut > 0 {
+                if let Some(dst) = self.addressee_of(dst_ep) {
+                    if (peer.0 < ov.part_cut) != (dst.0 < ov.part_cut) {
+                        self.drops.bump(DropReason::Partitioned);
+                        return None;
+                    }
+                }
+            }
+            if now < ov.burst_until
+                && ov.burst_ppm > 0
+                && fault_hash(peer, dst_ep, now, ov.burst_salt) % 1_000_000
+                    < u64::from(ov.burst_ppm)
+            {
+                self.drops.bump(DropReason::FaultLoss);
+                return None;
+            }
+        }
         if self.cfg.loss_probability > 0.0
             && self.peer_rng[peer.index()].chance(self.cfg.loss_probability)
         {
@@ -473,23 +574,37 @@ impl<P> Network<P> {
                 }
                 pid
             }
-            IpOwner::Nat(b) => match self.boxes[b].on_inbound(now, dst_ep.port, src_ep) {
-                Ok(private) => match self.peer_by_private.get(&private) {
-                    Some(pid) => *pid,
-                    None => {
-                        self.drops.bump(DropReason::NoRoute);
-                        return Delivery::Dropped { reason: DropReason::NoRoute, payload };
-                    }
-                },
-                Err(NatReject::NoMapping) => {
-                    self.drops.bump(DropReason::NoMapping);
-                    return Delivery::Dropped { reason: DropReason::NoMapping, payload };
+            IpOwner::Nat(first) => {
+                // The sender sits behind the very box it is addressing:
+                // hairpin (NAT loopback), which most boxes drop outright.
+                if src_ep.ip == dst_ep.ip && !self.boxes[first].hairpin_enabled() {
+                    self.drops.bump(DropReason::HairpinBlocked);
+                    return Delivery::Dropped { reason: DropReason::HairpinBlocked, payload };
                 }
-                Err(NatReject::Filtered) => {
-                    self.drops.bump(DropReason::Filtered);
-                    return Delivery::Dropped { reason: DropReason::Filtered, payload };
+                let (mut b, mut port) = (first, dst_ep.port);
+                loop {
+                    let reason = match self.boxes[b].on_inbound(now, port, src_ep) {
+                        Ok(private) => match self.peer_by_private.get(&private) {
+                            Some(pid) => break *pid,
+                            // Not a peer: the next hop of a carrier-grade
+                            // chain (the subscriber box behind this one).
+                            None => match self.ip_owner.get(&private.ip) {
+                                Some(IpOwner::Nat(nb)) if *nb != b => {
+                                    b = *nb;
+                                    port = private.port;
+                                    continue;
+                                }
+                                _ => DropReason::NoRoute,
+                            },
+                        },
+                        Err(NatReject::NoMapping) => DropReason::NoMapping,
+                        Err(NatReject::Filtered) => DropReason::Filtered,
+                        Err(NatReject::HairpinBlocked) => DropReason::HairpinBlocked,
+                    };
+                    self.drops.bump(reason);
+                    return Delivery::Dropped { reason, payload };
                 }
-            },
+            }
         };
         if !self.peers[to.index()].alive {
             self.drops.bump(DropReason::TargetDead);
@@ -539,8 +654,33 @@ impl<P> Network<P> {
         }
         Some(match hslot.nat_box {
             None => hslot.identity_ep,
-            Some(b) => self.boxes[b].egress_preview(now, hslot.private_ep, target_ep).0,
+            Some(b) => {
+                let mid = self.boxes[b].egress_preview(now, hslot.private_ep, target_ep).0;
+                match hslot.outer_box {
+                    Some(ob) => self.boxes[ob].egress_preview(now, mid, target_ep).0,
+                    None => mid,
+                }
+            }
         })
+    }
+
+    /// Runs full egress translation for `peer` towards `dst_ep` — the
+    /// subscriber box, then the carrier box if one is stacked — creating or
+    /// refreshing mappings, and returns the wire source endpoint.
+    fn egress_chain(&mut self, now: SimTime, peer: PeerId, dst_ep: Endpoint) -> Endpoint {
+        let slot = &self.peers[peer.index()];
+        let (private_ep, identity_ep, nat_box, outer_box) =
+            (slot.private_ep, slot.identity_ep, slot.nat_box, slot.outer_box);
+        match nat_box {
+            None => identity_ep,
+            Some(b) => {
+                let mid = self.boxes[b].on_outbound(now, private_ep, dst_ep);
+                match outer_box {
+                    Some(ob) => self.boxes[ob].on_outbound(now, mid, dst_ep),
+                    None => mid,
+                }
+            }
+        }
     }
 
     /// Ingress half of [`reachable`](Self::reachable): would a datagram
@@ -559,11 +699,25 @@ impl<P> Network<P> {
         }
         match tslot.nat_box {
             None => target_ep == tslot.identity_ep,
-            Some(b) => {
-                if target_ep.ip != self.boxes[b].public_ip() {
+            Some(inner) => {
+                let first = tslot.outer_box.unwrap_or(inner);
+                if target_ep.ip != self.boxes[first].public_ip() {
                     return false;
                 }
-                self.boxes[b].would_admit(now, target_ep.port, src_ep)
+                let (mut b, mut port) = (first, target_ep.port);
+                loop {
+                    match self.boxes[b].peek_inbound(now, port, src_ep) {
+                        None => return false,
+                        Some(ep) if ep == tslot.private_ep => return true,
+                        Some(ep) => match self.ip_owner.get(&ep.ip) {
+                            Some(IpOwner::Nat(nb)) if *nb != b => {
+                                b = *nb;
+                                port = ep.port;
+                            }
+                            _ => return false,
+                        },
+                    }
+                }
             }
         }
     }
@@ -616,24 +770,25 @@ impl<P> Network<P> {
         target: PeerId,
     ) -> Option<Endpoint> {
         let target_identity = self.identity_endpoint(target);
-        let Some(tb) = self.peers[target.index()].nat_box else {
+        if self.peers[target.index()].nat_box.is_none() {
             return Some(target_identity);
-        };
+        }
         // Predicted source endpoint of the holder as seen by the target.
         let hslot = &self.peers[holder.index()];
         let holder_src = match hslot.nat_box {
             None => hslot.identity_ep,
-            Some(hb) => self.boxes[hb].egress_preview(now, hslot.private_ep, target_identity).0,
+            Some(hb) => {
+                let mid = self.boxes[hb].egress_preview(now, hslot.private_ep, target_identity).0;
+                match hslot.outer_box {
+                    Some(ob) => self.boxes[ob].egress_preview(now, mid, target_identity).0,
+                    None => mid,
+                }
+            }
         };
-        let t_private = self.peers[target.index()].private_ep;
-        let target_ep = self.boxes[tb].on_outbound(now, t_private, holder_src);
+        let target_ep = self.egress_chain(now, target, holder_src);
         // Also open the holder's own outbound session so replies pass its
-        // filter.
-        let hslot = &self.peers[holder.index()];
-        if let Some(hb) = hslot.nat_box {
-            let h_private = hslot.private_ep;
-            self.boxes[hb].on_outbound(now, h_private, target_ep);
-        }
+        // filter (no-op for public holders).
+        self.egress_chain(now, holder, target_ep);
         Some(target_ep)
     }
 
@@ -678,6 +833,114 @@ impl<P> Network<P> {
     /// Direct access to a peer's NAT box, if natted (for tests and probes).
     pub fn nat_box_of(&self, peer: PeerId) -> Option<&NatBox> {
         self.peers[peer.index()].nat_box.map(|b| &self.boxes[b])
+    }
+
+    /// Direct access to a peer's carrier-grade (outer) NAT box, if the
+    /// fault plane stacked one (for tests and probes).
+    pub fn outer_box_of(&self, peer: PeerId) -> Option<&NatBox> {
+        self.peers[peer.index()].outer_box.map(|b| &self.boxes[b])
+    }
+
+    /// Re-resolves a natted peer's advertised identity endpoint from the
+    /// current state of its NAT chain (after a rebind or a newly stacked
+    /// carrier box).
+    fn refresh_identity(&mut self, peer: PeerId) {
+        let slot = &self.peers[peer.index()];
+        let Some(inner) = slot.nat_box else { return };
+        let private = slot.private_ep;
+        let outer = slot.outer_box;
+        let inner_stable = self.boxes[inner].stable_public_endpoint(private);
+        let identity = match (inner_stable, outer) {
+            (Some(ep), None) => ep,
+            (None, None) => Endpoint::new(self.boxes[inner].public_ip(), Port::UNKNOWN),
+            (Some(mid), Some(ob)) => self.boxes[ob]
+                .stable_public_endpoint(mid)
+                .unwrap_or(Endpoint::new(self.boxes[ob].public_ip(), Port::UNKNOWN)),
+            (None, Some(ob)) => Endpoint::new(self.boxes[ob].public_ip(), Port::UNKNOWN),
+        };
+        self.peers[peer.index()].identity_ep = identity;
+    }
+
+    /// Mobile-style mid-session rebinding of a peer's whole NAT chain: every
+    /// box between the peer and the internet loses its dynamic state (see
+    /// [`NatBox::rebind`]) and the advertised identity endpoint is
+    /// re-resolved — except UPnP-forwarded identities, which the forwarding
+    /// protocol pins across the rebind. Returns `false` for public peers.
+    pub fn rebind_nat(&mut self, peer: PeerId) -> bool {
+        let slot = &self.peers[peer.index()];
+        let Some(inner) = slot.nat_box else {
+            return false;
+        };
+        let outer = slot.outer_box;
+        let old_identity = slot.identity_ep;
+        self.boxes[inner].rebind();
+        if let Some(ob) = outer {
+            self.boxes[ob].rebind();
+        }
+        let pinned = outer.is_none() && self.boxes[inner].is_forwarded(old_identity.port);
+        if !pinned {
+            self.refresh_identity(peer);
+        }
+        true
+    }
+
+    /// Enables or disables hairpinning on every box of a natted peer's
+    /// chain. Returns `false` for public peers.
+    pub fn set_hairpin(&mut self, peer: PeerId, enabled: bool) -> bool {
+        let slot = &self.peers[peer.index()];
+        let Some(inner) = slot.nat_box else {
+            return false;
+        };
+        let outer = slot.outer_box;
+        self.boxes[inner].set_hairpin(enabled);
+        if let Some(ob) = outer {
+            self.boxes[ob].set_hairpin(enabled);
+        }
+        true
+    }
+
+    /// Stacks a carrier-grade NAT box of `nat_type` in front of a natted
+    /// peer's own box and re-resolves its identity endpoint. The carrier box
+    /// gets its own public IP, so the address plan (and with it
+    /// [`addressee_of`](Self::addressee_of)) stays a pure append-only
+    /// function. No-op (returning `false`) for public peers, peers already
+    /// behind a carrier, and peers whose identity is UPnP-forwarded (a
+    /// carrier in front would silently break the forwarding).
+    pub fn stack_cgn(&mut self, peer: PeerId, nat_type: crate::nat::NatType) -> bool {
+        let slot = &self.peers[peer.index()];
+        let Some(inner) = slot.nat_box else {
+            return false;
+        };
+        if slot.outer_box.is_some() || self.boxes[inner].is_forwarded(slot.identity_ep.port) {
+            return false;
+        }
+        let box_idx = self.boxes.len();
+        let ip = Ip(NAT_IP_BASE + box_idx as u32);
+        self.boxes.push(NatBox::new(ip, nat_type, self.cfg.hole_timeout));
+        self.ip_owner.insert(ip, IpOwner::Nat(box_idx));
+        self.box_owner.push(peer);
+        self.peers[peer.index()].outer_box = Some(box_idx);
+        self.refresh_identity(peer);
+        true
+    }
+
+    /// Opens a loss-burst window: until `until`, every datagram is dropped
+    /// with `probability`, decided by a pure per-datagram hash (no RNG state
+    /// consumed, so shard layout and resume cannot change the drop set).
+    pub fn inject_loss_burst(&mut self, until: SimTime, probability: f64, salt: u64) {
+        assert!((0.0..=1.0).contains(&probability), "burst probability must be within [0, 1]");
+        let ov = self.fault_overlay.get_or_insert_with(FaultOverlay::default);
+        ov.burst_until = until;
+        ov.burst_ppm = (probability * 1_000_000.0) as u32;
+        ov.burst_salt = salt;
+    }
+
+    /// Opens a partition window: until `until`, peers with id below `cut`
+    /// cannot exchange datagrams with peers at or above it.
+    pub fn inject_partition(&mut self, until: SimTime, cut: u32) {
+        let ov = self.fault_overlay.get_or_insert_with(FaultOverlay::default);
+        ov.part_until = until;
+        ov.part_cut = cut;
     }
 }
 
@@ -1108,6 +1371,168 @@ mod tests {
         assert_eq!(net.stats_of(a).msgs_sent, 1);
         assert_eq!(net.stats_of(b).bytes_received, 128);
         assert_eq!(net.stats_of(b).msgs_received, 1);
+    }
+
+    #[test]
+    fn revive_restores_liveness() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let a = net.add_peer(NatClass::Public);
+        let b = net.add_peer(NatClass::Public);
+        net.kill_peer(b);
+        assert!(net.revive_peer(b));
+        assert!(!net.revive_peer(b), "revive must be idempotent");
+        assert!(!net.revive_peer(a), "reviving a live peer is a no-op");
+        assert_eq!(net.alive_count(), 2);
+        let d = {
+            let ep = net.identity_endpoint(b);
+            send_and_deliver(&mut net, SimTime::ZERO, a, ep, 3)
+        };
+        let (to, _, payload) = expect_peer(d);
+        assert_eq!((to, payload), (b, 3));
+    }
+
+    #[test]
+    fn rebind_nat_moves_identity_and_expires_old_endpoint() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let p = net.add_peer(NatClass::Public);
+        let n = net.add_peer(NatClass::Natted(NatType::PortRestrictedCone));
+        let old = net.identity_endpoint(n);
+        // Open a hole so the public peer can reach the old endpoint.
+        let _ = {
+            let ep = net.identity_endpoint(p);
+            send_and_deliver(&mut net, SimTime::ZERO, n, ep, 1)
+        };
+        assert!(net.reachable(SimTime::from_millis(100), p, n, old));
+        assert!(net.rebind_nat(n));
+        let new = net.identity_endpoint(n);
+        assert_eq!(new.ip, old.ip);
+        assert_ne!(new.port, old.port, "rebind must re-port the identity");
+        // The old endpoint is a blackhole now; a fresh outbound re-punches.
+        let t = SimTime::from_millis(200);
+        assert!(!net.reachable(t, p, n, old));
+        assert!(!net.reachable(t, p, n, new), "no session yet after rebind");
+        let _ = {
+            let ep = net.identity_endpoint(p);
+            send_and_deliver(&mut net, t, n, ep, 2)
+        };
+        assert!(net.reachable(SimTime::from_millis(300), p, n, new));
+        // Public peers have nothing to rebind.
+        assert!(!net.rebind_nat(p));
+    }
+
+    #[test]
+    fn rebind_nat_keeps_upnp_identity() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let p = net.add_peer(NatClass::Public);
+        let n = net.add_peer(NatClass::Natted(NatType::Symmetric));
+        let fwd = net.enable_port_forwarding(n).unwrap();
+        assert!(net.rebind_nat(n));
+        assert_eq!(net.identity_endpoint(n), fwd, "forwarded identity is pinned");
+        let d = send_and_deliver(&mut net, SimTime::ZERO, p, fwd, 4);
+        let (to, _, _) = expect_peer(d);
+        assert_eq!(to, n);
+    }
+
+    #[test]
+    fn stacked_cgn_end_to_end() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let p = net.add_peer(NatClass::Public);
+        let n = net.add_peer(NatClass::Natted(NatType::PortRestrictedCone));
+        let inner_identity = net.identity_endpoint(n);
+        assert!(net.stack_cgn(n, NatType::PortRestrictedCone));
+        let identity = net.identity_endpoint(n);
+        assert_ne!(identity.ip, inner_identity.ip, "identity must move to the carrier");
+        assert_eq!(net.outer_box_of(n).unwrap().public_ip(), identity.ip);
+        assert_eq!(net.addressee_of(identity), Some(n), "carrier box routes to its subscriber");
+        // Outbound is rewritten at both levels: the wire source is the
+        // carrier's.
+        let d = {
+            let ep = net.identity_endpoint(p);
+            send_and_deliver(&mut net, SimTime::ZERO, n, ep, 1)
+        };
+        let (to, observed, _) = expect_peer(d);
+        assert_eq!(to, p);
+        assert_eq!(observed.ip, identity.ip);
+        // The reply unwinds the chain back to the subscriber...
+        let d = send_and_deliver(&mut net, SimTime::from_millis(60), p, observed, 2);
+        let (to, _, payload) = expect_peer(d);
+        assert_eq!((to, payload), (n, 2));
+        // ...the oracle agrees with reality...
+        assert!(net.reachable(SimTime::from_millis(100), p, n, observed));
+        // ...and a stranger is filtered at the carrier already.
+        let stranger = net.add_peer(NatClass::Public);
+        let d = send_and_deliver(&mut net, SimTime::from_millis(120), stranger, observed, 3);
+        assert_eq!(expect_drop(d), DropReason::Filtered);
+        // One carrier level is modeled; public peers have no box to front.
+        assert!(!net.stack_cgn(n, NatType::PortRestrictedCone));
+        assert!(!net.stack_cgn(p, NatType::PortRestrictedCone));
+    }
+
+    #[test]
+    fn stack_cgn_skips_upnp_forwarded_identity() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let n = net.add_peer(NatClass::Natted(NatType::PortRestrictedCone));
+        let fwd = net.enable_port_forwarding(n).unwrap();
+        assert!(!net.stack_cgn(n, NatType::PortRestrictedCone));
+        assert_eq!(net.identity_endpoint(n), fwd);
+    }
+
+    #[test]
+    fn hairpin_gated_at_the_box() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let n = net.add_peer(NatClass::Natted(NatType::PortRestrictedCone));
+        let own = net.identity_endpoint(n);
+        // Self-addressed traffic loops via the box: dropped by default.
+        let d = send_and_deliver(&mut net, SimTime::ZERO, n, own, 1);
+        assert_eq!(expect_drop(d), DropReason::HairpinBlocked);
+        assert_eq!(net.drop_counters().hairpin_blocked, 1);
+        // With hairpinning on, the packet is translated back in.
+        assert!(net.set_hairpin(n, true));
+        let d = send_and_deliver(&mut net, SimTime::from_millis(60), n, own, 2);
+        let (to, _, payload) = expect_peer(d);
+        assert_eq!((to, payload), (n, 2));
+    }
+
+    #[test]
+    fn partition_window_cuts_cross_groups_only() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let a = net.add_peer(NatClass::Public);
+        let b = net.add_peer(NatClass::Public);
+        let c = net.add_peer(NatClass::Public);
+        net.inject_partition(SimTime::from_secs(10), 1);
+        // Cross-cut traffic is dropped at send time.
+        assert!(net.send(SimTime::ZERO, a, net.identity_endpoint(b), 1, 10).is_none());
+        assert_eq!(net.drop_counters().partitioned, 1);
+        // Same-side traffic flows.
+        let d = {
+            let ep = net.identity_endpoint(c);
+            send_and_deliver(&mut net, SimTime::ZERO, b, ep, 2)
+        };
+        expect_peer(d);
+        // The window heals on schedule.
+        let after = SimTime::from_secs(10);
+        let d = {
+            let ep = net.identity_endpoint(b);
+            send_and_deliver(&mut net, after, a, ep, 3)
+        };
+        expect_peer(d);
+    }
+
+    #[test]
+    fn loss_burst_window_drops_then_heals() {
+        let mut net = Net::new(NetConfig::default(), 1);
+        let a = net.add_peer(NatClass::Public);
+        let b = net.add_peer(NatClass::Public);
+        net.inject_loss_burst(SimTime::from_secs(5), 1.0, 0xDEAD);
+        assert!(net.send(SimTime::ZERO, a, net.identity_endpoint(b), 1, 10).is_none());
+        assert_eq!(net.drop_counters().fault_loss, 1);
+        // Bytes still accounted: the datagram left the host.
+        assert_eq!(net.stats_of(a).msgs_sent, 1);
+        let d = {
+            let ep = net.identity_endpoint(b);
+            send_and_deliver(&mut net, SimTime::from_secs(5), a, ep, 2)
+        };
+        expect_peer(d);
     }
 
     #[test]

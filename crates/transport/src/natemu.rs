@@ -137,6 +137,24 @@ impl NatEmulator {
         self.net.lock().expect("emulator lock poisoned").drop_counters()
     }
 
+    /// Replays a mapping-rebind fault on the wire: the peer's NAT box
+    /// forgets every mapping and hole and renumbers its public side, so
+    /// live traffic towards the old observed endpoints blackholes until
+    /// the overlay re-punches — exactly the `rebind` event of a
+    /// `nylon-faults` plan, applied to real packets. Returns `false` for
+    /// public peers (nothing to rebind).
+    pub fn rebind_nat(&self, peer: PeerId) -> bool {
+        self.net.lock().expect("emulator lock poisoned").rebind_nat(peer)
+    }
+
+    /// Stacks a carrier-grade NAT of `nat_type` onto a natted peer's path
+    /// (the `cgn` topology fault of a `nylon-faults` plan, on-wire). Call
+    /// before traffic flows — CGN egress rewrites apply to new mappings.
+    /// Returns `false` for public peers.
+    pub fn stack_cgn(&self, peer: PeerId, nat_type: nylon_net::NatType) -> bool {
+        self.net.lock().expect("emulator lock poisoned").stack_cgn(peer, nat_type)
+    }
+
     /// Reports middlebox activity under the `emulator` telemetry layer:
     /// frames forwarded (source endpoints rewritten), malformed frames,
     /// and the fabric's ingress verdicts by drop cause.

@@ -3,14 +3,16 @@
 //! ```text
 //! repro [ARTIFACTS...] [--peers N] [--seeds K] [--rounds R] [--seed S]
 //!       [--full] [--jobs N] [--shards N] [--engine NAME] [--attack NAME]
-//!       [--checkpoint DIR] [--resume] [--csv] [--out DIR] [--stats FILE]
+//!       [--faults SPEC] [--checkpoint DIR] [--resume] [--csv] [--out DIR]
+//!       [--stats FILE]
 //!
 //! ARTIFACTS: table1 fig2 fig3 fig4 fig7 fig8 fig9 fig10 correctness
 //!            ablation extensions timeline randomness capture eclipse
-//!            all     (default: all)
+//!            resilience all     (default: all)
 //!
 //! repro live [--peers N] [--nat-pct PCT] [--rounds R] [--period-ms MS]
-//!            [--seed S] [--no-compare] [--min-cluster PCT] [--stats FILE]
+//!            [--seed S] [--faults SPEC] [--no-compare] [--min-cluster PCT]
+//!            [--stats FILE]
 //!
 //! repro stats-report FILE
 //! repro stats-report --diff BEFORE AFTER
@@ -46,6 +48,14 @@
 //!                  (fig9's chain lengths, the churn scripts) keep theirs.
 //! --attack NAME    attack for the capture figure: shuffle-lying,
 //!                  self-promotion (default), eclipse or nat-eclipse
+//! --faults SPEC    comma-separated fault plan (rebind, rvp-crash, flap,
+//!                  cgn, hairpin, loss-burst, partition, harden, none) to
+//!                  compile and install into the engine-generic
+//!                  steady-state cells at standard intensities. `none` is
+//!                  the clean run (byte-identical to omitting the flag);
+//!                  the `resilience` artifact sweeps its own profiles and
+//!                  ignores the override. Unknown names error out listing
+//!                  the valid ones.
 //! --checkpoint DIR append each completed cell to DIR/cells.jsonl
 //! --resume         restore already-computed cells from the checkpoint
 //! --csv            print CSV instead of markdown
@@ -65,6 +75,7 @@
 use std::process::ExitCode;
 
 use nylon_adversary::AttackKind;
+use nylon_faults::FaultSpec;
 use nylon_workloads::experiment::{ExecOptions, Experiment};
 use nylon_workloads::figures::{self, EngineKind, FigureScale, FIGURES};
 
@@ -95,6 +106,7 @@ fn main() -> ExitCode {
     let mut shards: Option<usize> = None;
     let mut engine: Option<EngineKind> = None;
     let mut attack: Option<AttackKind> = None;
+    let mut faults: Option<FaultSpec> = None;
     let mut checkpoint: Option<String> = None;
     let mut resume = false;
     let mut stats: Option<String> = None;
@@ -144,6 +156,13 @@ fn main() -> ExitCode {
                     }
                 },
                 None => return usage(&format!("--attack needs a name: {}", attack_names())),
+            },
+            "--faults" => match it.next() {
+                Some(v) => match FaultSpec::parse(v) {
+                    Ok(spec) => faults = Some(spec),
+                    Err(e) => return usage(&e),
+                },
+                None => return usage(&format!("--faults needs a spec: {}", fault_names())),
             },
             "--checkpoint" => match it.next() {
                 Some(v) => checkpoint = Some(v.clone()),
@@ -219,9 +238,11 @@ fn main() -> ExitCode {
     }
     scale.engine = engine;
     scale.attack = attack;
+    // `--faults none` is the clean run — identical bytes to no flag at all.
+    scale.faults = faults.filter(|s| !s.is_none());
 
     eprintln!(
-        "[repro] scale: {} peers, {} seeds, {} rounds{}{}{}{}",
+        "[repro] scale: {} peers, {} seeds, {} rounds{}{}{}{}{}",
         scale.peers,
         scale.seeds,
         scale.rounds,
@@ -233,6 +254,7 @@ fn main() -> ExitCode {
         },
         scale.engine.map(|k| format!(", engine {}", k.label())).unwrap_or_default(),
         scale.attack.map(|k| format!(", attack {}", k.label())).unwrap_or_default(),
+        scale.faults.map(|s| format!(", faults {}", s.label())).unwrap_or_default(),
     );
 
     // One experiment for everything: sweeps shared between figures
@@ -358,6 +380,18 @@ fn live_main(args: &[String]) -> ExitCode {
                 None => return live_usage("--min-cluster needs a number"),
             },
             "--no-compare" => compare = false,
+            "--faults" => match it.next() {
+                Some(v) => match nylon_faults::FaultSpec::parse(v) {
+                    Ok(spec) => scale.faults = Some(spec).filter(|s| !s.is_none()),
+                    Err(e) => return live_usage(&e),
+                },
+                None => {
+                    return live_usage(&format!(
+                        "--faults needs a spec: comma-separated of {}",
+                        fault_names()
+                    ))
+                }
+            },
             "--stats" => match it.next() {
                 Some(v) => stats = Some(v.clone()),
                 None => return live_usage("--stats needs a file path"),
@@ -376,12 +410,13 @@ fn live_main(args: &[String]) -> ExitCode {
     }
 
     eprintln!(
-        "[repro] live: {} nodes over loopback UDP, {}% NAT, {} rounds at {} ms/round (~{:.1} s)",
+        "[repro] live: {} nodes over loopback UDP, {}% NAT, {} rounds at {} ms/round (~{:.1} s){}",
         scale.peers,
         scale.nat_pct,
         scale.rounds,
         scale.period_ms,
-        (scale.rounds * scale.period_ms) as f64 / 1000.0
+        (scale.rounds * scale.period_ms) as f64 / 1000.0,
+        scale.faults.map(|s| format!(", faults {}", s.label())).unwrap_or_default()
     );
     let live = match run_live(&scale) {
         Ok(outcome) => outcome,
@@ -409,6 +444,12 @@ fn live_main(args: &[String]) -> ExitCode {
         "{:<10} forwarded {}   NAT-dropped {}   decode errors {}   wall {:.1?}",
         "emulator", live.emulator_forwarded, live.emulator_dropped, live.decode_errors, live.wall
     );
+    if live.wire_rebinds > 0 || live.wire_cgn > 0 {
+        println!(
+            "{:<10} wire rebinds {}   cgn boxes {}",
+            "faults", live.wire_rebinds, live.wire_cgn
+        );
+    }
     if compare {
         let sim = run_sim_twin(&scale);
         print_snapshot("simulated", &sim);
@@ -436,8 +477,9 @@ fn live_usage(err: &str) -> ExitCode {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro live [--peers N] [--nat-pct PCT] [--rounds R] [--period-ms MS] [--seed S] [--no-compare] [--min-cluster PCT] [--stats FILE]"
+        "usage: repro live [--peers N] [--nat-pct PCT] [--rounds R] [--period-ms MS] [--seed S] [--faults SPEC] [--no-compare] [--min-cluster PCT] [--stats FILE]"
     );
+    eprintln!("live faults: comma-separated of rebind cgn harden (others are simulation-only)");
     if err.is_empty() {
         ExitCode::SUCCESS
     } else {
@@ -449,6 +491,10 @@ fn engine_names() -> String {
     EngineKind::ALL.map(EngineKind::label).join(" ")
 }
 
+fn fault_names() -> String {
+    nylon_faults::FAULT_NAMES.join(" ")
+}
+
 fn attack_names() -> String {
     AttackKind::ALL.map(AttackKind::label).join(" ")
 }
@@ -458,13 +504,14 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro [ARTIFACTS...] [--peers N] [--seeds K] [--rounds R] [--seed S] [--full] [--jobs N] [--shards N] [--engine NAME] [--attack NAME] [--checkpoint DIR] [--resume] [--csv] [--out DIR] [--stats FILE]"
+        "usage: repro [ARTIFACTS...] [--peers N] [--seeds K] [--rounds R] [--seed S] [--full] [--jobs N] [--shards N] [--engine NAME] [--attack NAME] [--faults SPEC] [--checkpoint DIR] [--resume] [--csv] [--out DIR] [--stats FILE]"
     );
     eprintln!("       repro stats-report FILE");
     eprintln!("       repro stats-report --diff BEFORE AFTER");
     eprintln!("artifacts: {} all", FIGURES.join(" "));
     eprintln!("engines: {}", engine_names());
     eprintln!("attacks: {}", attack_names());
+    eprintln!("faults: comma-separated of {}", fault_names());
     if err.is_empty() {
         ExitCode::SUCCESS
     } else {

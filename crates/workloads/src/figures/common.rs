@@ -67,6 +67,51 @@ macro_rules! dispatch_engine {
 }
 pub(crate) use dispatch_engine;
 
+/// [`dispatch_engine!`] with an explicit [`nylon_faults::FaultConfig`]:
+/// builds through [`crate::runner::build_with_faults`], so the cell's
+/// engine gets the compiled fault plan installed before bootstrap. The
+/// `resilience` sweeps — which vary fault intensity per point — go through
+/// here; cells honoring the `--faults` spec override use the scenario's
+/// own [`crate::scenario::Scenario::faults`] field instead.
+macro_rules! dispatch_engine_faults {
+    ($kind:expr, $shards:expr, $scn:expr, $fcfg:expr, $measure:path $(, $extra:expr)* $(,)?) => {{
+        use $crate::figures::EngineKind as __Kind;
+        use $crate::runner::build_with_faults as __build;
+        use nylon_gossip::ShardedConfig as __Sharded;
+        match ($kind, $shards) {
+            (__Kind::Baseline, 0) => {
+                $measure(__build($scn, nylon_gossip::GossipConfig::default(), $fcfg) $(, $extra)*)
+            }
+            (__Kind::Baseline, s) => $measure(
+                __build($scn, __Sharded::new(nylon_gossip::GossipConfig::default(), s), $fcfg)
+                $(, $extra)*,
+            ),
+            (__Kind::Nylon, 0) => {
+                $measure(__build($scn, nylon::NylonConfig::default(), $fcfg) $(, $extra)*)
+            }
+            (__Kind::Nylon, s) => $measure(
+                __build($scn, __Sharded::new(nylon::NylonConfig::default(), s), $fcfg)
+                $(, $extra)*,
+            ),
+            (__Kind::StaticRvp, 0) => {
+                $measure(__build($scn, nylon::StaticRvpConfig::default(), $fcfg) $(, $extra)*)
+            }
+            (__Kind::StaticRvp, s) => $measure(
+                __build($scn, __Sharded::new(nylon::StaticRvpConfig::default(), s), $fcfg)
+                $(, $extra)*,
+            ),
+            (__Kind::PeerSwap, 0) => {
+                $measure(__build($scn, nylon_gossip::PeerSwapConfig::default(), $fcfg) $(, $extra)*)
+            }
+            (__Kind::PeerSwap, s) => $measure(
+                __build($scn, __Sharded::new(nylon_gossip::PeerSwapConfig::default(), s), $fcfg)
+                $(, $extra)*,
+            ),
+        }
+    }};
+}
+pub(crate) use dispatch_engine_faults;
+
 /// Derives the seed list for a data point, mixing figure-specific salt so
 /// different figures do not share seeds.
 pub fn point_seeds(scale: &FigureScale, salt: u64) -> Vec<u64> {
@@ -74,8 +119,9 @@ pub fn point_seeds(scale: &FigureScale, salt: u64) -> Vec<u64> {
 }
 
 /// Merged protocol counters of a Nylon run, direct or sharded — the one
-/// engine-specific read the chain-length cell needs beyond [`PeerSampler`].
-trait NylonStatsSource {
+/// engine-specific read the chain-length and punch-retry cells need
+/// beyond [`PeerSampler`].
+pub(crate) trait NylonStatsSource {
     fn nylon_stats(&self) -> NylonStats;
 }
 
@@ -111,6 +157,7 @@ pub fn baseline_cluster_sample(
     let scn = Scenario {
         mix: NatMix::prc_only(),
         view_size: cfg.view_size,
+        faults: scale.faults.filter(|s| !s.is_none()),
         ..Scenario::new(scale.peers, nat_pct, seed)
     };
     match scale.shards {
@@ -139,6 +186,7 @@ pub fn engine_cluster_sample(
     let scn = Scenario {
         mix: NatMix::prc_only(),
         view_size,
+        faults: scale.faults.filter(|s| !s.is_none()),
         ..Scenario::new(scale.peers, nat_pct, seed)
     };
     dispatch_engine!(kind, scale.shards, &scn, |cfg| cfg, measure, scale.rounds)
@@ -157,6 +205,7 @@ pub fn baseline_staleness_sample(
     let scn = Scenario {
         mix: NatMix::prc_only(),
         view_size,
+        faults: scale.faults.filter(|s| !s.is_none()),
         ..Scenario::new(scale.peers, nat_pct, seed)
     };
     fn measure<S: PeerSampler>(mut eng: S, rounds: u64) -> Vec<f64> {
@@ -206,7 +255,10 @@ pub fn nylon_bandwidth_sample(scale: &FigureScale, nat_pct: f64, seed: u64) -> V
         obs_flush(&eng);
         vec![overall, public, natted]
     }
-    let scn = Scenario::new(scale.peers, nat_pct, seed);
+    let scn = Scenario {
+        faults: scale.faults.filter(|s| !s.is_none()),
+        ..Scenario::new(scale.peers, nat_pct, seed)
+    };
     let kind = scale.engine.unwrap_or(EngineKind::Nylon);
     dispatch_engine!(kind, scale.shards, &scn, |cfg| cfg, measure, scale.rounds)
 }
@@ -246,7 +298,11 @@ pub fn nylon_chain_sample(
         obs_flush(&eng);
         vec![if samples == 0 { f64::NAN } else { hops as f64 / samples as f64 }]
     }
-    let scn = Scenario { view_size, ..Scenario::new(scale.peers, nat_pct, seed) };
+    let scn = Scenario {
+        view_size,
+        faults: scale.faults.filter(|s| !s.is_none()),
+        ..Scenario::new(scale.peers, nat_pct, seed)
+    };
     let cfg = NylonConfig { view_size, ..NylonConfig::default() };
     match scale.shards {
         0 => measure(build(&scn, cfg), scale.rounds),

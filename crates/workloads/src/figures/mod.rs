@@ -16,6 +16,7 @@
 //! completed cell checkpoints for `--resume`.
 
 use nylon_adversary::AttackKind;
+use nylon_faults::FaultSpec;
 
 use crate::experiment::{ExecOptions, Experiment, Results, Sweep};
 use crate::output::Table;
@@ -30,6 +31,7 @@ mod fig2;
 mod fig34;
 mod fig78;
 mod fig9;
+mod resilience;
 mod table1;
 mod timeline;
 
@@ -112,6 +114,14 @@ pub struct FigureScale {
     /// self-promotion). The `eclipse` artifact always runs its two
     /// eclipse variants — that contrast is the figure.
     pub attack: Option<AttackKind>,
+    /// Fault-plan override for the engine-generic steady-state cells
+    /// (fig2, fig3/4, fig7/8): compile and install this spec's fault plan
+    /// at default intensities into every such cell's engine. `None` (or a
+    /// spec that parses to `none`) leaves every run clean. The `resilience`
+    /// artifact ignores the override — its fault profiles *are* the sweep —
+    /// and the engine-specific artifacts (fig9, the churn scripts) keep
+    /// clean runs, mirroring how `--engine` leaves them alone.
+    pub faults: Option<FaultSpec>,
 }
 
 impl Default for FigureScale {
@@ -125,6 +135,7 @@ impl Default for FigureScale {
             shards: 0,
             engine: None,
             attack: None,
+            faults: None,
         }
     }
 }
@@ -141,6 +152,7 @@ impl FigureScale {
             shards: 0,
             engine: None,
             attack: None,
+            faults: None,
         }
     }
 
@@ -153,7 +165,7 @@ impl FigureScale {
     /// (but not under the `0` reference path, whose cells differ).
     pub fn fingerprint(&self) -> String {
         format!(
-            "peers={} seeds={} rounds={} full_churn={} base_seed={}{}{}{}",
+            "peers={} seeds={} rounds={} full_churn={} base_seed={}{}{}{}{}",
             self.peers,
             self.seeds,
             self.rounds,
@@ -162,6 +174,10 @@ impl FigureScale {
             if self.shards > 0 { " sharded" } else { "" },
             self.engine.map(|k| format!(" engine={}", k.label())).unwrap_or_default(),
             self.attack.map(|k| format!(" attack={}", k.label())).unwrap_or_default(),
+            self.faults
+                .filter(|s| !s.is_none())
+                .map(|s| format!(" faults={}", s.label()))
+                .unwrap_or_default(),
         )
     }
 }
@@ -183,6 +199,7 @@ pub const FIGURES: &[&str] = [
     "randomness",
     "capture",
     "eclipse",
+    "resilience",
 ]
 .as_slice();
 
@@ -253,6 +270,7 @@ pub fn plan(name: &str, scale: &FigureScale) -> Option<Plan> {
         "randomness" => adversary::plan_randomness(scale),
         "capture" => adversary::plan_capture(scale),
         "eclipse" => adversary::plan_eclipse(scale),
+        "resilience" => resilience::plan(scale),
         _ => return None,
     };
     Some(plan)

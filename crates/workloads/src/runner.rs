@@ -11,6 +11,7 @@
 use std::sync::Arc;
 
 use nylon_adversary::{AttackStrategy, MaliciousConfig};
+use nylon_faults::{FaultConfig, FaultPlan};
 use nylon_gossip::{PeerSampler, SamplerConfig};
 use nylon_metrics::graph::{DiGraph, WccScratch};
 use nylon_metrics::staleness::StalenessReport;
@@ -46,10 +47,53 @@ pub fn build<C: SamplerConfig>(scn: &Scenario, cfg: C) -> C::Sampler {
 /// # Panics
 ///
 /// Panics if the scenario fails [`Scenario::validate`].
-pub fn build_with_net<C: SamplerConfig>(
+pub fn build_with_net<C: SamplerConfig>(scn: &Scenario, cfg: C, net_cfg: NetConfig) -> C::Sampler {
+    build_with_plan(scn, cfg, net_cfg, compiled_plan(scn))
+}
+
+/// The fault plan a scenario's [`Scenario::faults`] spec compiles to, if
+/// any. `None` (or an effect-free spec) yields `None`, so fault-free
+/// builds take the exact pre-fault-plane code path.
+fn compiled_plan(scn: &Scenario) -> Option<FaultPlan> {
+    let spec = scn.faults?;
+    if spec.is_none() {
+        return None;
+    }
+    let plan = FaultPlan::compile(&FaultConfig::from_spec(&spec), scn.seed, &scn.classes());
+    (!plan.is_noop()).then_some(plan)
+}
+
+/// [`build`] with a fault plan compiled from an explicit [`FaultConfig`]
+/// (custom intensities — rebind rate, crash fraction, flap period), over
+/// the default network fabric. The `resilience` artifact's sweeps go
+/// through here.
+///
+/// # Panics
+///
+/// Panics if the scenario fails [`Scenario::validate`].
+pub fn build_with_faults<C: SamplerConfig>(
+    scn: &Scenario,
+    cfg: C,
+    fault_cfg: &FaultConfig,
+) -> C::Sampler {
+    let plan = FaultPlan::compile(fault_cfg, scn.seed, &scn.classes());
+    build_with_plan(scn, cfg, NetConfig::default(), (!plan.is_noop()).then_some(plan))
+}
+
+/// [`build_with_net`] with an explicit, already-compiled fault plan
+/// (`None` for a clean run). The plan installs after the population and
+/// any UPnP grants exist — its topology faults (stacked CGN, hairpin)
+/// must rewrite final NAT stacks — and before bootstrap, so descriptors
+/// advertise post-CGN identities.
+///
+/// # Panics
+///
+/// Panics if the scenario fails [`Scenario::validate`].
+pub fn build_with_plan<C: SamplerConfig>(
     scn: &Scenario,
     mut cfg: C,
     net_cfg: NetConfig,
+    plan: Option<FaultPlan>,
 ) -> C::Sampler {
     if let Err(e) = scn.validate() {
         panic!("invalid scenario: {e}");
@@ -66,6 +110,9 @@ pub fn build_with_net<C: SamplerConfig>(
                 eng.enable_port_forwarding(PeerId(i as u32));
             }
         }
+    }
+    if let Some(plan) = plan {
+        eng.install_fault_plan(plan);
     }
     eng.bootstrap_random_public(scn.bootstrap_contacts);
     eng.start();

@@ -120,6 +120,12 @@ pub struct Scenario {
     /// Number of honest peers designated as eclipse victims (0 for
     /// attacks without a victim set).
     pub victims: usize,
+    /// Fault plan to compile and install (`None` for a clean run — the
+    /// builder takes the exact pre-fault-plane code path). The spec's
+    /// events are compiled against this scenario's classes and seed at
+    /// default intensities; sweeps needing custom intensities go through
+    /// [`crate::runner::build_with_faults`] instead.
+    pub faults: Option<nylon_faults::FaultSpec>,
     /// Seed driving the run.
     pub seed: u64,
 }
@@ -138,6 +144,7 @@ impl Scenario {
             attacker_fraction: 0.0,
             attackers_public: true,
             victims: 0,
+            faults: None,
             seed,
         }
     }

@@ -13,7 +13,8 @@
 use nylon_workloads::live::{run_live, run_sim_twin, LiveScale};
 
 fn main() {
-    let scale = LiveScale { peers: 32, nat_pct: 60.0, rounds: 25, period_ms: 120, seed: 7 };
+    let scale =
+        LiveScale { peers: 32, nat_pct: 60.0, rounds: 25, period_ms: 120, seed: 7, faults: None };
     println!(
         "driving {} nodes over loopback UDP ({}% NAT) for {} rounds...",
         scale.peers, scale.nat_pct, scale.rounds

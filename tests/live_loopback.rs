@@ -14,7 +14,14 @@ use nylon_workloads::live::{run_live, run_sim_twin, LiveScale};
 
 #[test]
 fn live_overlay_matches_simulated_baseline_within_tolerance() {
-    let scale = LiveScale { peers: 32, nat_pct: 60.0, rounds: 25, period_ms: 120, seed: 0xA11CE };
+    let scale = LiveScale {
+        peers: 32,
+        nat_pct: 60.0,
+        rounds: 25,
+        period_ms: 120,
+        faults: None,
+        seed: 0xA11CE,
+    };
     let live = run_live(&scale).expect("loopback sockets must bind");
     let sim = run_sim_twin(&scale);
 
@@ -52,5 +59,41 @@ fn live_overlay_matches_simulated_baseline_within_tolerance() {
         "live in-degree spread {:.1} far above simulated {:.1}",
         live.overlay.indegree_std,
         sim.indegree_std
+    );
+}
+
+#[test]
+fn live_overlay_survives_a_wire_rebind_wave() {
+    // The same `rebind` fault the simulator schedules, replayed on real
+    // packets: at mid-run the NAT emulator renumbers 25% of the natted
+    // boxes (hardening on), so live traffic towards the old observed
+    // endpoints blackholes until the engines re-punch. The overlay must
+    // take the hit and still converge.
+    let scale = LiveScale {
+        peers: 32,
+        nat_pct: 60.0,
+        rounds: 30,
+        period_ms: 120,
+        faults: Some(nylon_faults::FaultSpec::parse("rebind,harden").expect("valid live spec")),
+        seed: 0xA11CE,
+    };
+    let live = run_live(&scale).expect("loopback sockets must bind");
+
+    assert!(live.wire_rebinds > 0, "the mid-run wave must rebind at least one live NAT box");
+    assert_eq!(live.decode_errors, 0, "every on-wire frame must decode");
+    assert!(live.overlay.punch_successes > 0, "hole punching must work over real UDP");
+    assert!(
+        live.overlay.cluster_pct > 75.0,
+        "live overlay failed to recover from the rebind wave: {:.1}%",
+        live.overlay.cluster_pct
+    );
+
+    // The deterministic twin replays the identical plan on the simulated
+    // fabric — same wave, same virtual times — and must recover too.
+    let sim = run_sim_twin(&scale);
+    assert!(
+        sim.cluster_pct > 75.0,
+        "simulated twin failed to recover from the same plan: {:.1}%",
+        sim.cluster_pct
     );
 }
